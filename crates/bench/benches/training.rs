@@ -1,0 +1,72 @@
+//! Criterion benchmarks of whole training steps: one supervised step of the
+//! student and one full DTDBD distillation step (teacher forwards + student
+//! forward/backward + optimizer update). These are the per-batch costs behind
+//! Tables VI–VIII.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtdbd_core::{train_step, DistillConfig, DtdbdTrainer, TrainConfig};
+use dtdbd_data::{weibo21_spec, BatchIter, GeneratorConfig, NewsGenerator};
+use dtdbd_models::{FakeNewsModel, M3Fend, ModelConfig, TextCnnModel};
+use dtdbd_tensor::optim::Adam;
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::ParamStore;
+use std::hint::black_box;
+
+fn bench_student_step(c: &mut Criterion) {
+    let ds = NewsGenerator::new(weibo21_spec(), GeneratorConfig::default()).generate_scaled(1, 0.05);
+    let cfg = ModelConfig::for_dataset(&ds);
+    let mut store = ParamStore::new();
+    let mut model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(1));
+    let batch = BatchIter::new(&ds, 64, 0, false).next().unwrap();
+    let tc = TrainConfig::default();
+    let mut opt = Adam::new(1e-3);
+    c.bench_function("training/supervised step TextCNN-S (batch 64)", |bench| {
+        bench.iter(|| {
+            black_box(train_step(&mut model, &mut store, &batch, &mut opt, &tc, 0));
+        });
+    });
+}
+
+fn bench_distill_epoch(c: &mut Criterion) {
+    let ds = NewsGenerator::new(weibo21_spec(), GeneratorConfig::default()).generate_scaled(2, 0.03);
+    let split = ds.split(0.7, 0.1, 1);
+    let cfg = ModelConfig::for_dataset(&ds);
+
+    let mut clean_store = ParamStore::new();
+    let clean = M3Fend::new(&mut clean_store, &cfg, &mut Prng::new(2));
+    let mut unbiased_store = ParamStore::new();
+    let unbiased = TextCnnModel::student(&mut unbiased_store, &cfg, &mut Prng::new(3));
+    let mut student_store = ParamStore::new();
+    let mut student = TextCnnModel::student(&mut student_store, &cfg, &mut Prng::new(4));
+
+    let distill = DistillConfig {
+        epochs: 1,
+        batch_size: 64,
+        ..DistillConfig::default()
+    };
+    let trainer = DtdbdTrainer::new(distill);
+    c.bench_function("training/one DTDBD distillation epoch (small corpus)", |bench| {
+        bench.iter(|| {
+            let report = trainer.distill(
+                &mut student,
+                &mut student_store,
+                &clean,
+                &mut clean_store,
+                &unbiased,
+                &mut unbiased_store,
+                &split.train,
+                &split.val,
+            );
+            black_box(report.epoch_losses[0])
+        });
+    });
+    // Silence the unused-warning on the trait import used for model names.
+    let _ = student.name();
+}
+
+criterion_group!(
+    name = training;
+    config = Criterion::default().sample_size(10);
+    targets = bench_student_step, bench_distill_epoch
+);
+criterion_main!(training);

@@ -1,0 +1,79 @@
+//! Figure 3: case studies — predicted fake-news probability of M3FEND,
+//! MDFEND and DTDBD on three representative test items:
+//!
+//! 1. a real item from a real-heavy domain (Entertainment) with ambiguous
+//!    content — baselines tend to get it right, but with low confidence;
+//! 2. a real item from a fake-heavy domain (Politics) with ambiguous content
+//!    — baselines tend to flag it as fake (domain bias);
+//! 3. a real item from the most fake-heavy domain (Disaster) with ambiguous
+//!    content — the paper's Case 2/3 situation.
+
+use dtdbd_bench::experiments::{
+    chinese_split, distill_config, run_baseline, train_dtdbd, CleanTeacherKind, RunOptions,
+    StudentArch,
+};
+use dtdbd_core::predict_fake_probs;
+use dtdbd_metrics::TableBuilder;
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let split = chinese_split(&opts);
+    let test = &split.test;
+    let names = test.domain_names();
+
+    // Pick the case-study items: ambiguous items whose domain prior points the
+    // wrong way, which is exactly where domain bias shows.
+    let pick = |domain_name: &str, label: usize| -> Option<usize> {
+        let d = test.spec().domain_index(domain_name)?;
+        test.items()
+            .iter()
+            .enumerate()
+            .find(|(_, it)| it.domain == d && it.label == label && it.ambiguous)
+            .map(|(i, _)| i)
+    };
+    let cases: Vec<(String, usize)> = [
+        ("Ent.", 1usize),      // fake entertainment news (real-heavy domain)
+        ("Politics", 0usize),  // real politics news (fake-heavy domain)
+        ("Disaster", 0usize),  // real disaster news (most fake-heavy domain)
+    ]
+    .iter()
+    .filter_map(|(d, l)| pick(d, *l).map(|idx| (format!("{} ({})", d, if *l == 1 { "fake" } else { "real" }), idx)))
+    .collect();
+
+    eprintln!("training M3FEND ...");
+    let (_, mut m3) = run_baseline("M3FEND", &split, &opts);
+    eprintln!("training MDFEND ...");
+    let (_, mut md) = run_baseline("MDFEND", &split, &opts);
+    eprintln!("training DTDBD (Our(M3)) ...");
+    let (_, mut ours) = train_dtdbd(
+        CleanTeacherKind::M3Fend,
+        StudentArch::TextCnn,
+        &split,
+        &opts,
+        distill_config(&opts),
+        "Our(M3)",
+    );
+
+    let m3_probs = predict_fake_probs(&m3.model, &mut m3.store, test, 256);
+    let md_probs = predict_fake_probs(&md.model, &mut md.store, test, 256);
+    let our_probs = predict_fake_probs(&ours.model, &mut ours.store, test, 256);
+
+    let mut table = TableBuilder::new("Figure 3 — case studies (predicted P(fake))")
+        .header(["Case", "True label", "M3FEND", "MDFEND", "DTDBD"]);
+    for (title, idx) in &cases {
+        let item = &test.items()[*idx];
+        table.row([
+            format!("{} — {}", title, item.describe(names[item.domain])),
+            if item.is_fake() { "fake".to_string() } else { "real".to_string() },
+            format!("{:.3}", m3_probs[*idx]),
+            format!("{:.3}", md_probs[*idx]),
+            format!("{:.3}", our_probs[*idx]),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected shape (paper Fig. 3): on ambiguous items the baselines follow the domain prior\n\
+         (high P(fake) in Politics/Disaster, low in Ent.), while DTDBD stays closer to the truth\n\
+         and is better calibrated."
+    );
+}

@@ -1,0 +1,27 @@
+//! Table II: functional comparison of fake news detection methods.
+
+use dtdbd_metrics::TableBuilder;
+use dtdbd_models::registry;
+
+fn main() {
+    let mut table = TableBuilder::new("Table II — functional comparison").header([
+        "Method",
+        "Single-domain",
+        "Multi-domain",
+        "Debiasing",
+        "Bias type",
+        "Datasets",
+    ]);
+    for m in registry() {
+        let check = |b: bool| if b { "x" } else { "" };
+        table.row([
+            m.name.to_string(),
+            check(m.single_domain).to_string(),
+            check(m.multi_domain).to_string(),
+            check(m.debiasing).to_string(),
+            m.bias_type.unwrap_or("").to_string(),
+            m.datasets.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

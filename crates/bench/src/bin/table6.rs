@@ -1,0 +1,41 @@
+//! Table VI: performance and bias comparison of DTDBD against every baseline
+//! on the Chinese corpus (per-domain F1, overall F1, FNED, FPED, Total).
+
+use dtdbd_bench::experiments::{
+    baseline_names, chinese_split, distill_config, run_baseline, train_dtdbd, CleanTeacherKind,
+    RunOptions, StudentArch,
+};
+use dtdbd_metrics::TableBuilder;
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let split = chinese_split(&opts);
+
+    let mut header = vec!["Method".to_string()];
+    header.extend(split.test.domain_names().iter().map(|s| s.to_string()));
+    header.extend(["F1", "FNED", "FPED", "Total"].iter().map(|s| s.to_string()));
+    let mut table = TableBuilder::new("Table VI — Chinese dataset comparison").header(header);
+
+    for name in baseline_names() {
+        eprintln!("training {name} ...");
+        let (row, _) = run_baseline(name, &split, &opts);
+        row.push_full(&mut table);
+    }
+    for kind in [CleanTeacherKind::Mdfend, CleanTeacherKind::M3Fend] {
+        eprintln!("running DTDBD with clean teacher {} ...", kind.model_name());
+        let (row, _) = train_dtdbd(
+            kind,
+            StudentArch::TextCnn,
+            &split,
+            &opts,
+            distill_config(&opts),
+            kind.our_name(),
+        );
+        row.push_full(&mut table);
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected shape (paper Table VI): Our(MD)/Our(M3) should have the lowest Total while\n\
+         keeping overall F1 at or above the best baselines."
+    );
+}

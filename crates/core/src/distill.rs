@@ -1,0 +1,437 @@
+//! Dual-teacher de-biasing distillation (paper Sec. V, Algorithm 1).
+//!
+//! The student is trained with the weighted combination of three losses
+//! (Eq. 13):
+//!
+//! * `L_CE` — ordinary cross-entropy on the hard labels,
+//! * `L_ADD` — adversarial de-biasing distillation (Eq. 5–6): a softened KL
+//!   between the pairwise-distance correlation matrices of the (frozen)
+//!   unbiased teacher's and the student's intermediate features,
+//! * `L_DKD` — domain knowledge distillation (Eq. 12): a softened KL between
+//!   the (frozen) clean teacher's and the student's classification logits,
+//!
+//! with `ω_ADD` / `ω_DKD` rebalanced every epoch by the momentum-based
+//! dynamic adjustment algorithm using the student's validation F1 and bias.
+
+use crate::daa::DynamicAdjuster;
+use crate::trainer::evaluate;
+use dtdbd_data::{Batch, BatchIter, MultiDomainDataset};
+use dtdbd_models::FakeNewsModel;
+use dtdbd_tensor::losses::{add_distillation_loss, kd_kl_loss};
+use dtdbd_tensor::optim::{Adam, Optimizer};
+use dtdbd_tensor::{Graph, ParamStore, Tensor};
+
+/// Configuration of the dual-teacher distillation stage.
+#[derive(Debug, Clone)]
+pub struct DistillConfig {
+    /// Number of distillation epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate of the student (the paper uses 1e-4).
+    pub learning_rate: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub grad_clip: f32,
+    /// Seed for shuffling / dropout.
+    pub seed: u64,
+    /// Distillation temperature τ (shared by both distillation losses).
+    pub tau: f32,
+    /// Momentum `m` of the dynamic adjustment algorithm.
+    pub momentum: f32,
+    /// Initial ω_ADD.
+    pub initial_w_add: f32,
+    /// Weight of the student's own cross-entropy loss (ω_S, kept at 1).
+    pub w_classification: f32,
+    /// Enable the adversarial de-biasing distillation term.
+    pub use_add: bool,
+    /// Enable the domain knowledge distillation term.
+    pub use_dkd: bool,
+    /// Enable the momentum-based dynamic adjustment algorithm; when disabled
+    /// the weights stay at their initial values (the "w/o DAA" ablation).
+    pub use_daa: bool,
+    /// Print one line per epoch to stderr.
+    pub verbose: bool,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 5,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            grad_clip: 5.0,
+            seed: 42,
+            tau: 4.0,
+            momentum: 0.7,
+            initial_w_add: 0.5,
+            w_classification: 1.0,
+            use_add: true,
+            use_dkd: true,
+            use_daa: true,
+            verbose: false,
+        }
+    }
+}
+
+impl DistillConfig {
+    /// Ablation: only domain knowledge distillation ("Student+DND").
+    pub fn only_dkd() -> Self {
+        Self {
+            use_add: false,
+            use_daa: false,
+            initial_w_add: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// Ablation: only adversarial de-biasing distillation ("Student+ADD").
+    pub fn only_add() -> Self {
+        Self {
+            use_dkd: false,
+            use_daa: false,
+            initial_w_add: 1.0,
+            ..Self::default()
+        }
+    }
+
+    /// Ablation: both teachers but fixed equal weights ("w/o DAA").
+    pub fn without_daa() -> Self {
+        Self {
+            use_daa: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// History of a distillation run.
+#[derive(Debug, Clone)]
+pub struct DistillReport {
+    /// Mean overall training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// `(ω_ADD, ω_DKD)` used during each epoch.
+    pub weight_history: Vec<(f32, f32)>,
+    /// Validation macro-F1 after each epoch.
+    pub val_f1: Vec<f64>,
+    /// Validation bias Total (FNED + FPED) after each epoch.
+    pub val_total: Vec<f64>,
+}
+
+/// Orchestrates dual-teacher distillation (Algorithm 1, lines 8–15).
+#[derive(Debug, Clone)]
+pub struct DtdbdTrainer {
+    config: DistillConfig,
+}
+
+impl DtdbdTrainer {
+    /// Create a trainer with the given configuration.
+    pub fn new(config: DistillConfig) -> Self {
+        Self { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &DistillConfig {
+        &self.config
+    }
+
+    /// Run dual-teacher distillation of `student` under the guidance of the
+    /// frozen `clean_teacher` and `unbiased_teacher`.
+    ///
+    /// Both teachers are only ever run in evaluation mode and their parameter
+    /// stores receive no gradient, which realises the paper's frozen-teacher
+    /// setting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn distill<S, C, U>(
+        &self,
+        student: &mut S,
+        student_store: &mut ParamStore,
+        clean_teacher: &C,
+        clean_store: &mut ParamStore,
+        unbiased_teacher: &U,
+        unbiased_store: &mut ParamStore,
+        train: &MultiDomainDataset,
+        val: &MultiDomainDataset,
+    ) -> DistillReport
+    where
+        S: FakeNewsModel,
+        C: FakeNewsModel,
+        U: FakeNewsModel,
+    {
+        let cfg = &self.config;
+        assert!(cfg.use_add || cfg.use_dkd, "at least one teacher must be active");
+        let mut optimizer = Adam::new(cfg.learning_rate);
+        let mut adjuster = DynamicAdjuster::new(cfg.momentum, cfg.initial_w_add);
+        let mut report = DistillReport {
+            epoch_losses: Vec::with_capacity(cfg.epochs),
+            weight_history: Vec::with_capacity(cfg.epochs),
+            val_f1: Vec::with_capacity(cfg.epochs),
+            val_total: Vec::with_capacity(cfg.epochs),
+        };
+        let mut prev_f1: Option<f64> = None;
+        let mut prev_total: Option<f64> = None;
+
+        for epoch in 0..cfg.epochs {
+            let (w_add, w_dkd) = effective_weights(cfg, &adjuster);
+            report.weight_history.push((w_add, w_dkd));
+
+            let mut epoch_loss = 0.0f32;
+            let mut n_batches = 0usize;
+            let iter = BatchIter::new(train, cfg.batch_size, cfg.seed ^ ((epoch as u64) << 8), false);
+            for batch in iter {
+                let step = (epoch * 100_000 + n_batches) as u64;
+                let loss = self.distill_step(
+                    student,
+                    student_store,
+                    clean_teacher,
+                    clean_store,
+                    unbiased_teacher,
+                    unbiased_store,
+                    &batch,
+                    (w_add, w_dkd),
+                    &mut optimizer,
+                    step,
+                );
+                epoch_loss += loss;
+                n_batches += 1;
+            }
+            report.epoch_losses.push(epoch_loss / n_batches.max(1) as f32);
+
+            // Validation metrics drive the dynamic adjustment (Algorithm 1,
+            // line 11: weights are recomputed from the second epoch on).
+            let eval = evaluate(student, student_store, val, cfg.batch_size.max(128));
+            let f1 = eval.overall_f1();
+            let total = eval.bias().total();
+            report.val_f1.push(f1);
+            report.val_total.push(total);
+            if cfg.verbose {
+                eprintln!(
+                    "[DTDBD] epoch {epoch}: loss {:.4} val-F1 {f1:.4} val-Total {total:.4} (w_add {w_add:.3})",
+                    report.epoch_losses[epoch]
+                );
+            }
+            if cfg.use_daa {
+                if let (Some(pf), Some(pt)) = (prev_f1, prev_total) {
+                    let delta_f1 = (f1 - pf) as f32;
+                    let delta_bias = (pt - total) as f32; // improvement = reduction of Total
+                    adjuster.update(delta_f1, delta_bias);
+                }
+            }
+            prev_f1 = Some(f1);
+            prev_total = Some(total);
+        }
+        report
+    }
+
+    /// One distillation step on a single batch; returns the batch loss.
+    #[allow(clippy::too_many_arguments)]
+    fn distill_step<S, C, U>(
+        &self,
+        student: &mut S,
+        student_store: &mut ParamStore,
+        clean_teacher: &C,
+        clean_store: &mut ParamStore,
+        unbiased_teacher: &U,
+        unbiased_store: &mut ParamStore,
+        batch: &Batch,
+        weights: (f32, f32),
+        optimizer: &mut impl Optimizer,
+        step_seed: u64,
+    ) -> f32
+    where
+        S: FakeNewsModel,
+        C: FakeNewsModel,
+        U: FakeNewsModel,
+    {
+        let cfg = &self.config;
+        let (w_add, w_dkd) = weights;
+
+        // Frozen teacher passes (no backward, evaluation mode).
+        let clean_logits: Option<Tensor> = cfg.use_dkd.then(|| {
+            let mut g = Graph::new(clean_store, false, 0);
+            let out = clean_teacher.forward(&mut g, batch);
+            g.value(out.logits).clone()
+        });
+        let unbiased_features: Option<Tensor> = cfg.use_add.then(|| {
+            let mut g = Graph::new(unbiased_store, false, 0);
+            let out = unbiased_teacher.forward(&mut g, batch);
+            g.value(out.features).clone()
+        });
+
+        // Student pass.
+        student_store.zero_grad();
+        let mut g = Graph::new(student_store, true, cfg.seed ^ step_seed.wrapping_mul(0x1000_0001));
+        let out = student.forward(&mut g, batch);
+        let ce = g.cross_entropy_logits(out.logits, &batch.labels);
+        let mut total = g.scale(ce, cfg.w_classification);
+        if let Some(teacher_logits) = &clean_logits {
+            let dkd = kd_kl_loss(&mut g, out.logits, teacher_logits, cfg.tau);
+            let dkd = g.scale(dkd, w_dkd);
+            total = g.add(total, dkd);
+        }
+        if let Some(teacher_features) = &unbiased_features {
+            let add = add_distillation_loss(&mut g, out.features, teacher_features, cfg.tau);
+            let add = g.scale(add, w_add);
+            total = g.add(total, add);
+        }
+        let value = g.value(total).item();
+        g.backward(total);
+        let features = g.value(out.features).clone();
+        drop(g);
+        if cfg.grad_clip > 0.0 {
+            student_store.clip_grad_norm(cfg.grad_clip);
+        }
+        optimizer.step(student_store);
+        student.post_batch(&features, &batch.domains);
+        value
+    }
+}
+
+fn effective_weights(cfg: &DistillConfig, adjuster: &DynamicAdjuster) -> (f32, f32) {
+    let (mut w_add, mut w_dkd) = adjuster.weights();
+    if !cfg.use_add {
+        w_add = 0.0;
+        w_dkd = 1.0;
+    }
+    if !cfg.use_dkd {
+        w_dkd = 0.0;
+        if cfg.use_add && w_add == 0.0 {
+            w_add = 1.0;
+        }
+    }
+    (w_add, w_dkd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dat::{train_unbiased_teacher, DatConfig};
+    use crate::trainer::{train_model, TrainConfig};
+    use dtdbd_data::{weibo21_spec, GeneratorConfig, NewsGenerator};
+    use dtdbd_models::{M3Fend, ModelConfig, TextCnnModel};
+    use dtdbd_tensor::rng::Prng;
+
+    fn tiny_dataset() -> MultiDomainDataset {
+        NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(23, 0.05)
+    }
+
+    #[test]
+    fn effective_weights_respect_ablation_flags() {
+        let adjuster = DynamicAdjuster::new(0.7, 0.6);
+        let both = DistillConfig::default();
+        let (wa, wd) = effective_weights(&both, &adjuster);
+        assert!((wa - 0.6).abs() < 1e-6 && (wd - 0.4).abs() < 1e-6);
+        let only_dkd = DistillConfig::only_dkd();
+        assert_eq!(effective_weights(&only_dkd, &adjuster), (0.0, 1.0));
+        let only_add = DistillConfig::only_add();
+        let (wa, wd) = effective_weights(&only_add, &adjuster);
+        assert!(wa > 0.0);
+        assert_eq!(wd, 0.0);
+    }
+
+    #[test]
+    fn full_dtdbd_run_produces_consistent_history_and_reduces_bias() {
+        let ds = tiny_dataset();
+        let split = ds.split(0.7, 0.1, 9);
+        let cfg = ModelConfig::tiny(&ds);
+        let tc = TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
+
+        // Clean teacher: M3FEND.
+        let mut clean_store = ParamStore::new();
+        let mut clean = M3Fend::new(&mut clean_store, &cfg, &mut Prng::new(1));
+        train_model(&mut clean, &mut clean_store, &split.train, &tc);
+
+        // Unbiased teacher: student architecture + DAT-IE.
+        let dat = DatConfig {
+            train: tc.clone(),
+            ..DatConfig::default()
+        };
+        let mut unbiased_store = ParamStore::new();
+        let base = TextCnnModel::student(&mut unbiased_store, &cfg, &mut Prng::new(2));
+        let (unbiased, _) = train_unbiased_teacher(
+            base,
+            &mut unbiased_store,
+            &cfg,
+            &dat,
+            &split.train,
+            &mut Prng::new(3),
+        );
+
+        // Plain student for reference.
+        let mut plain_store = ParamStore::new();
+        let mut plain = TextCnnModel::student(&mut plain_store, &cfg, &mut Prng::new(4));
+        train_model(&mut plain, &mut plain_store, &split.train, &tc);
+        let plain_eval = evaluate(&plain, &mut plain_store, &split.test, 128);
+
+        // DTDBD student.
+        let mut student_store = ParamStore::new();
+        let mut student = TextCnnModel::student(&mut student_store, &cfg, &mut Prng::new(4));
+        let distill_cfg = DistillConfig {
+            epochs: 3,
+            batch_size: 32,
+            ..DistillConfig::default()
+        };
+        let trainer = DtdbdTrainer::new(distill_cfg);
+        let report = trainer.distill(
+            &mut student,
+            &mut student_store,
+            &clean,
+            &mut clean_store,
+            unbiased.base(),
+            &mut unbiased_store,
+            &split.train,
+            &split.val,
+        );
+        assert_eq!(report.epoch_losses.len(), 3);
+        assert_eq!(report.weight_history.len(), 3);
+        assert_eq!(report.val_f1.len(), 3);
+        for (wa, wd) in &report.weight_history {
+            assert!((0.0..=1.0).contains(wa));
+            assert!((wa + wd - 1.0).abs() < 1e-5);
+        }
+
+        let student_eval = evaluate(&student, &mut student_store, &split.test, 128);
+        // The distilled student must stay usable and should not be more
+        // biased than the plain student (tolerances are loose because the
+        // corpus here is tiny).
+        assert!(student_eval.overall_f1() > 0.55, "F1 {}", student_eval.overall_f1());
+        assert!(
+            student_eval.bias().total() <= plain_eval.bias().total() + 0.2,
+            "student total {} vs plain {}",
+            student_eval.bias().total(),
+            plain_eval.bias().total()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one teacher")]
+    fn disabling_both_teachers_is_rejected() {
+        let ds = tiny_dataset();
+        let split = ds.split(0.7, 0.1, 9);
+        let cfg = ModelConfig::tiny(&ds);
+        let mut clean_store = ParamStore::new();
+        let clean = M3Fend::new(&mut clean_store, &cfg, &mut Prng::new(1));
+        let mut unbiased_store = ParamStore::new();
+        let unbiased = TextCnnModel::student(&mut unbiased_store, &cfg, &mut Prng::new(2));
+        let mut student_store = ParamStore::new();
+        let mut student = TextCnnModel::student(&mut student_store, &cfg, &mut Prng::new(3));
+        let bad = DistillConfig {
+            use_add: false,
+            use_dkd: false,
+            ..DistillConfig::default()
+        };
+        let trainer = DtdbdTrainer::new(bad);
+        let _ = trainer.distill(
+            &mut student,
+            &mut student_store,
+            &clean,
+            &mut clean_store,
+            &unbiased,
+            &mut unbiased_store,
+            &split.train,
+            &split.val,
+        );
+    }
+}

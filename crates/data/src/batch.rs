@@ -1,0 +1,203 @@
+//! Mini-batch assembly.
+
+use crate::dataset::MultiDomainDataset;
+use crate::generator::{NewsItem, EMOTION_DIM, STYLE_DIM};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::Tensor;
+
+/// A mini-batch in the exact form the models consume.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Flattened `[batch, seq_len]` token ids.
+    pub token_ids: Vec<u32>,
+    /// Number of items in the batch.
+    pub batch_size: usize,
+    /// Token sequence length.
+    pub seq_len: usize,
+    /// Veracity labels (`0` real / `1` fake).
+    pub labels: Vec<usize>,
+    /// Hard domain labels.
+    pub domains: Vec<usize>,
+    /// Style side-features, `[batch, STYLE_DIM]`.
+    pub style: Tensor,
+    /// Emotion side-features, `[batch, EMOTION_DIM]`.
+    pub emotion: Tensor,
+    /// Indices of the items in the source dataset (for bookkeeping).
+    pub indices: Vec<usize>,
+}
+
+impl Batch {
+    /// Assemble a batch from dataset items (`indices` refer to the items'
+    /// positions in the source dataset and are carried along for metrics).
+    pub fn from_items(items: &[&NewsItem], indices: Vec<usize>, seq_len: usize) -> Self {
+        assert!(!items.is_empty(), "empty batch");
+        assert_eq!(items.len(), indices.len());
+        let batch_size = items.len();
+        let mut token_ids = Vec::with_capacity(batch_size * seq_len);
+        let mut labels = Vec::with_capacity(batch_size);
+        let mut domains = Vec::with_capacity(batch_size);
+        let mut style = Vec::with_capacity(batch_size * STYLE_DIM);
+        let mut emotion = Vec::with_capacity(batch_size * EMOTION_DIM);
+        for item in items {
+            assert_eq!(item.tokens.len(), seq_len, "sequence length mismatch");
+            token_ids.extend_from_slice(&item.tokens);
+            labels.push(item.label);
+            domains.push(item.domain);
+            style.extend_from_slice(&item.style);
+            emotion.extend_from_slice(&item.emotion);
+        }
+        Self {
+            token_ids,
+            batch_size,
+            seq_len,
+            labels,
+            domains,
+            style: Tensor::new(vec![batch_size, STYLE_DIM], style),
+            emotion: Tensor::new(vec![batch_size, EMOTION_DIM], emotion),
+            indices,
+        }
+    }
+
+    /// Build one batch containing the whole dataset (used for evaluation of
+    /// small test sets).
+    pub fn full(dataset: &MultiDomainDataset) -> Self {
+        let items: Vec<&NewsItem> = dataset.items().iter().collect();
+        let indices: Vec<usize> = (0..dataset.len()).collect();
+        Self::from_items(&items, indices, dataset.seq_len())
+    }
+
+    /// Fraction of fake labels in the batch.
+    pub fn fake_rate(&self) -> f32 {
+        self.labels.iter().sum::<usize>() as f32 / self.batch_size as f32
+    }
+}
+
+/// Iterator over shuffled mini-batches of a dataset.
+pub struct BatchIter<'a> {
+    dataset: &'a MultiDomainDataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+    drop_last: bool,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Create an iterator with a fresh shuffle.
+    pub fn new(dataset: &'a MultiDomainDataset, batch_size: usize, seed: u64, drop_last: bool) -> Self {
+        assert!(batch_size > 0);
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        Prng::new(seed).shuffle(&mut order);
+        Self {
+            dataset,
+            order,
+            batch_size,
+            cursor: 0,
+            drop_last,
+        }
+    }
+
+    /// Number of batches this iterator will yield.
+    pub fn n_batches(&self) -> usize {
+        if self.drop_last {
+            self.dataset.len() / self.batch_size
+        } else {
+            self.dataset.len().div_ceil(self.batch_size)
+        }
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        if self.drop_last && end - self.cursor < self.batch_size {
+            return None;
+        }
+        let indices: Vec<usize> = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        let items: Vec<&NewsItem> = indices.iter().map(|&i| &self.dataset.items()[i]).collect();
+        Some(Batch::from_items(&items, indices, self.dataset.seq_len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::english_spec;
+    use crate::generator::{GeneratorConfig, NewsGenerator};
+
+    fn dataset() -> MultiDomainDataset {
+        NewsGenerator::new(english_spec(), GeneratorConfig::tiny()).generate_scaled(1, 0.01)
+    }
+
+    #[test]
+    fn batches_cover_the_whole_dataset_exactly_once() {
+        let ds = dataset();
+        let iter = BatchIter::new(&ds, 32, 7, false);
+        let expected_batches = iter.n_batches();
+        let mut seen = vec![false; ds.len()];
+        let mut count = 0usize;
+        for batch in iter {
+            count += 1;
+            assert!(batch.batch_size <= 32);
+            for &idx in &batch.indices {
+                assert!(!seen[idx], "index {idx} repeated");
+                seen[idx] = true;
+            }
+        }
+        assert_eq!(count, expected_batches);
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn drop_last_skips_partial_batches() {
+        let ds = dataset();
+        let total: usize = BatchIter::new(&ds, 32, 7, true).map(|b| b.batch_size).sum();
+        assert_eq!(total, (ds.len() / 32) * 32);
+    }
+
+    #[test]
+    fn batch_tensors_have_matching_shapes() {
+        let ds = dataset();
+        let batch = BatchIter::new(&ds, 16, 3, false).next().unwrap();
+        assert_eq!(batch.token_ids.len(), batch.batch_size * batch.seq_len);
+        assert_eq!(batch.style.shape(), &[batch.batch_size, STYLE_DIM]);
+        assert_eq!(batch.emotion.shape(), &[batch.batch_size, EMOTION_DIM]);
+        assert_eq!(batch.labels.len(), batch.batch_size);
+        assert_eq!(batch.domains.len(), batch.batch_size);
+    }
+
+    #[test]
+    fn full_batch_contains_every_item_in_order() {
+        let ds = dataset();
+        let batch = Batch::full(&ds);
+        assert_eq!(batch.batch_size, ds.len());
+        assert_eq!(batch.indices, (0..ds.len()).collect::<Vec<_>>());
+        assert_eq!(batch.labels[0], ds.items()[0].label);
+    }
+
+    #[test]
+    fn shuffling_differs_between_seeds_but_is_reproducible() {
+        let ds = dataset();
+        let order = |seed: u64| {
+            BatchIter::new(&ds, 8, seed, false)
+                .next()
+                .unwrap()
+                .indices
+        };
+        assert_eq!(order(1), order(1));
+        assert_ne!(order(1), order(2));
+    }
+
+    #[test]
+    fn fake_rate_reflects_labels() {
+        let ds = dataset();
+        let batch = Batch::full(&ds);
+        let manual = ds.items().iter().filter(|i| i.is_fake()).count() as f32 / ds.len() as f32;
+        assert!((batch.fake_rate() - manual).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,192 @@
+//! Domain and corpus specifications.
+//!
+//! The per-domain fake/real counts are copied verbatim from Table IV
+//! (Weibo21, Chinese) and Table V (FakeNewsNet + COVID, English) of the
+//! paper, so the generated corpora reproduce Tables I/IV/V exactly.
+
+/// Specification of a single news domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainSpec {
+    /// Human-readable domain name (as printed in the paper's tables).
+    pub name: &'static str,
+    /// Number of fake news items in the domain.
+    pub fake: usize,
+    /// Number of real news items in the domain.
+    pub real: usize,
+    /// Topic-group mixture: indices into the corpus topic groups, in
+    /// decreasing order of relevance. The first entry is the domain's "home"
+    /// topic; later entries create cross-domain overlap.
+    pub topic_groups: &'static [usize],
+}
+
+impl DomainSpec {
+    /// Total number of items in the domain.
+    pub fn total(&self) -> usize {
+        self.fake + self.real
+    }
+
+    /// Fraction of items in the domain that are fake.
+    pub fn fake_rate(&self) -> f64 {
+        self.fake as f64 / self.total() as f64
+    }
+}
+
+/// Specification of a whole multi-domain corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Corpus name (`"weibo21"` or `"english"`).
+    pub name: &'static str,
+    /// Per-domain specifications.
+    pub domains: Vec<DomainSpec>,
+    /// Number of distinct topic groups referenced by the domains.
+    pub n_topic_groups: usize,
+}
+
+impl CorpusSpec {
+    /// Number of domains.
+    pub fn n_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Total number of items across all domains.
+    pub fn total(&self) -> usize {
+        self.domains.iter().map(DomainSpec::total).sum()
+    }
+
+    /// Total number of fake items across all domains.
+    pub fn total_fake(&self) -> usize {
+        self.domains.iter().map(|d| d.fake).sum()
+    }
+
+    /// Overall fake rate of the corpus.
+    pub fn fake_rate(&self) -> f64 {
+        self.total_fake() as f64 / self.total() as f64
+    }
+
+    /// Domain names in order.
+    pub fn domain_names(&self) -> Vec<&'static str> {
+        self.domains.iter().map(|d| d.name).collect()
+    }
+
+    /// Index of a domain by name (case-insensitive), if present.
+    pub fn domain_index(&self, name: &str) -> Option<usize> {
+        self.domains
+            .iter()
+            .position(|d| d.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// The Weibo21-like Chinese corpus specification (Table IV of the paper).
+///
+/// Topic groups: 0 science/tech, 1 military/conflict, 2 education,
+/// 3 disaster/accident, 4 politics/government, 5 health/medicine,
+/// 6 finance/economy, 7 entertainment/celebrity, 8 society/daily life.
+/// The overlaps encode the cross-domain correlations the paper discusses
+/// (e.g. disaster news overlaps society and politics coverage).
+pub fn weibo21_spec() -> CorpusSpec {
+    CorpusSpec {
+        name: "weibo21",
+        n_topic_groups: 9,
+        domains: vec![
+            DomainSpec { name: "Science", fake: 93, real: 143, topic_groups: &[0, 5, 2] },
+            DomainSpec { name: "Military", fake: 222, real: 121, topic_groups: &[1, 4, 0] },
+            DomainSpec { name: "Education", fake: 248, real: 243, topic_groups: &[2, 8, 0] },
+            DomainSpec { name: "Disaster", fake: 591, real: 185, topic_groups: &[3, 8, 4] },
+            DomainSpec { name: "Politics", fake: 546, real: 306, topic_groups: &[4, 1, 8] },
+            DomainSpec { name: "Health", fake: 515, real: 485, topic_groups: &[5, 0, 8] },
+            DomainSpec { name: "Finance", fake: 362, real: 959, topic_groups: &[6, 4, 8] },
+            DomainSpec { name: "Ent.", fake: 440, real: 1000, topic_groups: &[7, 8, 6] },
+            DomainSpec { name: "Society", fake: 1471, real: 1198, topic_groups: &[8, 3, 7] },
+        ],
+    }
+}
+
+/// The English corpus specification (Table V of the paper): FakeNewsNet's
+/// GossipCop and PolitiFact subsets merged with MM-COVID.
+///
+/// Topic groups: 0 celebrity/gossip, 1 politics, 2 pandemic/health,
+/// with mild overlaps (political gossip, pandemic politics).
+pub fn english_spec() -> CorpusSpec {
+    CorpusSpec {
+        name: "english",
+        n_topic_groups: 3,
+        domains: vec![
+            DomainSpec { name: "Gossipcop", fake: 5067, real: 16804, topic_groups: &[0, 1] },
+            DomainSpec { name: "Politifact", fake: 379, real: 447, topic_groups: &[1, 2] },
+            DomainSpec { name: "COVID", fake: 1317, real: 4750, topic_groups: &[2, 1] },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weibo21_totals_match_table_iv() {
+        let spec = weibo21_spec();
+        assert_eq!(spec.n_domains(), 9);
+        assert_eq!(spec.total(), 9128);
+        assert_eq!(spec.total_fake(), 4488);
+        let disaster = &spec.domains[spec.domain_index("disaster").unwrap()];
+        assert_eq!(disaster.total(), 776);
+        assert!((disaster.fake_rate() - 0.761).abs() < 0.01);
+        let finance = &spec.domains[spec.domain_index("finance").unwrap()];
+        assert!((finance.fake_rate() - 0.274).abs() < 0.01);
+    }
+
+    #[test]
+    fn weibo21_overall_fake_rate_matches_table_i() {
+        let spec = weibo21_spec();
+        // Table I reports ~51.0% fake on average (4488 fake / 9128 total = 49.2%;
+        // the table's "Average" row averages per-domain rates). Check both views.
+        assert!((spec.fake_rate() - 0.4917).abs() < 0.005);
+        let mean_rate: f64 = spec.domains.iter().map(DomainSpec::fake_rate).sum::<f64>()
+            / spec.n_domains() as f64;
+        assert!((mean_rate - 0.51).abs() < 0.03, "mean per-domain rate {mean_rate}");
+    }
+
+    #[test]
+    fn english_totals_match_table_v() {
+        let spec = english_spec();
+        assert_eq!(spec.n_domains(), 3);
+        assert_eq!(spec.total(), 28_764);
+        assert_eq!(spec.total_fake(), 6763);
+        assert_eq!(spec.domains[0].total(), 21_871);
+        assert_eq!(spec.domains[1].total(), 826);
+        assert_eq!(spec.domains[2].total(), 6067);
+    }
+
+    #[test]
+    fn every_domain_references_valid_topic_groups() {
+        for spec in [weibo21_spec(), english_spec()] {
+            for d in &spec.domains {
+                assert!(!d.topic_groups.is_empty(), "{} has no topic groups", d.name);
+                for &t in d.topic_groups {
+                    assert!(t < spec.n_topic_groups, "{}: topic group {t} out of range", d.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn domain_index_is_case_insensitive() {
+        let spec = weibo21_spec();
+        assert_eq!(spec.domain_index("SOCIETY"), Some(8));
+        assert_eq!(spec.domain_index("nonexistent"), None);
+    }
+
+    #[test]
+    fn domains_share_topic_groups_for_cross_domain_overlap() {
+        let spec = weibo21_spec();
+        // Disaster and Society must overlap (the paper's motivating example of
+        // related domains).
+        let disaster = &spec.domains[3];
+        let society = &spec.domains[8];
+        let shares = disaster
+            .topic_groups
+            .iter()
+            .any(|t| society.topic_groups.contains(t));
+        assert!(shares);
+    }
+}

@@ -1,0 +1,220 @@
+//! Binary confusion matrices.
+//!
+//! Convention (matching the paper): label `1` = fake = the *positive* class,
+//! label `0` = real = the *negative* class. A false positive is therefore a
+//! real news item predicted fake, and a false negative is a fake item
+//! predicted real.
+
+/// Counts of a binary classification outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Fake items predicted fake.
+    pub tp: usize,
+    /// Real items predicted fake.
+    pub fp: usize,
+    /// Real items predicted real.
+    pub tn: usize,
+    /// Fake items predicted real.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or contain labels other than
+    /// `0`/`1`.
+    pub fn from_predictions(predictions: &[usize], labels: &[usize]) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "length mismatch");
+        let mut m = Self::new();
+        for (&p, &y) in predictions.iter().zip(labels.iter()) {
+            m.record(p, y);
+        }
+        m
+    }
+
+    /// Record a single prediction.
+    pub fn record(&mut self, prediction: usize, label: usize) {
+        assert!(prediction <= 1 && label <= 1, "labels must be binary");
+        match (prediction, label) {
+            (1, 1) => self.tp += 1,
+            (1, 0) => self.fp += 1,
+            (0, 0) => self.tn += 1,
+            (0, 1) => self.fn_ += 1,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Merge another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Number of positive (fake) samples.
+    pub fn positives(&self) -> usize {
+        self.tp + self.fn_
+    }
+
+    /// Number of negative (real) samples.
+    pub fn negatives(&self) -> usize {
+        self.tn + self.fp
+    }
+
+    /// Accuracy. Returns 0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// False positive rate `FP / (FP + TN)` — the rate at which real news is
+    /// flagged as fake. Returns 0 when there are no real samples.
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.negatives())
+    }
+
+    /// False negative rate `FN / (FN + TP)` — the rate at which fake news
+    /// slips through as real. Returns 0 when there are no fake samples.
+    pub fn fnr(&self) -> f64 {
+        ratio(self.fn_, self.positives())
+    }
+
+    /// Precision of the fake class.
+    pub fn precision_fake(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall of the fake class.
+    pub fn recall_fake(&self) -> f64 {
+        ratio(self.tp, self.positives())
+    }
+
+    /// F1 of the fake class.
+    pub fn f1_fake(&self) -> f64 {
+        harmonic(self.precision_fake(), self.recall_fake())
+    }
+
+    /// Precision of the real class.
+    pub fn precision_real(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fn_)
+    }
+
+    /// Recall of the real class.
+    pub fn recall_real(&self) -> f64 {
+        ratio(self.tn, self.negatives())
+    }
+
+    /// F1 of the real class.
+    pub fn f1_real(&self) -> f64 {
+        harmonic(self.precision_real(), self.recall_real())
+    }
+
+    /// Macro-averaged F1 over the real and fake classes (the "F1" the paper
+    /// reports).
+    pub fn f1_macro(&self) -> f64 {
+        0.5 * (self.f1_fake() + self.f1_real())
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn harmonic(p: f64, r: f64) -> f64 {
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let m = ConfusionMatrix::from_predictions(&[1, 0, 1, 0], &[1, 0, 1, 0]);
+        assert_eq!(m.total(), 4);
+        assert!(approx(m.accuracy(), 1.0));
+        assert!(approx(m.f1_macro(), 1.0));
+        assert!(approx(m.fpr(), 0.0));
+        assert!(approx(m.fnr(), 0.0));
+    }
+
+    #[test]
+    fn always_fake_classifier_has_full_fpr_zero_fnr() {
+        let m = ConfusionMatrix::from_predictions(&[1, 1, 1, 1], &[1, 0, 1, 0]);
+        assert!(approx(m.fpr(), 1.0));
+        assert!(approx(m.fnr(), 0.0));
+        assert!(approx(m.recall_fake(), 1.0));
+        assert!(approx(m.precision_fake(), 0.5));
+        // Real-class F1 collapses to 0, dragging macro F1 down.
+        assert!(approx(m.f1_real(), 0.0));
+        assert!(m.f1_macro() < 0.6);
+    }
+
+    #[test]
+    fn hand_computed_mixed_case() {
+        // predictions: 1 1 0 0 1 ; labels: 1 0 1 0 1
+        let m = ConfusionMatrix::from_predictions(&[1, 1, 0, 0, 1], &[1, 0, 1, 0, 1]);
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.tn, 1);
+        assert!(approx(m.accuracy(), 0.6));
+        assert!(approx(m.fpr(), 0.5));
+        assert!(approx(m.fnr(), 1.0 / 3.0));
+        assert!(approx(m.precision_fake(), 2.0 / 3.0));
+        assert!(approx(m.recall_fake(), 2.0 / 3.0));
+        assert!(approx(m.f1_fake(), 2.0 / 3.0));
+    }
+
+    #[test]
+    fn empty_matrix_returns_zero_not_nan() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.total(), 0);
+        assert!(approx(m.accuracy(), 0.0));
+        assert!(approx(m.fpr(), 0.0));
+        assert!(approx(m.fnr(), 0.0));
+        assert!(approx(m.f1_macro(), 0.0));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix::from_predictions(&[1, 0], &[1, 0]);
+        let b = ConfusionMatrix::from_predictions(&[1, 0], &[0, 1]);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.tp, 1);
+        assert_eq!(a.fp, 1);
+        assert_eq!(a.tn, 1);
+        assert_eq!(a.fn_, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn non_binary_labels_panic() {
+        let mut m = ConfusionMatrix::new();
+        m.record(2, 0);
+    }
+}

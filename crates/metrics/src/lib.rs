@@ -1,0 +1,20 @@
+//! # dtdbd-metrics
+//!
+//! Evaluation metrics for multi-domain fake news detection, following the
+//! paper's Section VI-A3:
+//!
+//! * per-domain and overall **F1** (macro-averaged over the real/fake
+//!   classes, the convention used by MDFEND/M3FEND and this paper),
+//! * per-domain **false negative rate (FNR)** and **false positive rate
+//!   (FPR)** — the quantities behind Table III,
+//! * the bias metrics **FPED** and **FNED** (false positive / negative
+//!   equality differences, Eq. 16–17) and their sum **Total**,
+//! * plain-text table rendering used by the experiment binaries.
+
+pub mod bias;
+pub mod confusion;
+pub mod report;
+
+pub use bias::{BiasMetrics, DomainEvaluation, DomainMetrics};
+pub use confusion::ConfusionMatrix;
+pub use report::TableBuilder;

@@ -1,0 +1,122 @@
+//! The BERT / RoBERTa baseline: a frozen pre-trained encoder followed by a
+//! trainable MLP classifier (paper Sec. VI-A2, "Roberta" and "BERT" rows).
+//!
+//! The frozen encoder is simulated by the frozen embedding table (see
+//! DESIGN.md); mean pooling over the token sequence plays the role of the
+//! `[CLS]`-style sentence representation.
+
+use crate::config::ModelConfig;
+use crate::traits::{FakeNewsModel, ModelOutput};
+use dtdbd_data::Batch;
+use dtdbd_nn::{Activation, Embedding, Mlp};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::{Graph, ParamStore};
+
+/// Frozen-encoder + MLP baseline.
+#[derive(Debug, Clone)]
+pub struct BertMlp {
+    name: &'static str,
+    config: ModelConfig,
+    embedding: Embedding,
+    head: Mlp,
+}
+
+impl BertMlp {
+    /// Build the RoBERTa-flavoured baseline (the name only affects reporting;
+    /// both PLM baselines share the same simulated frozen encoder).
+    pub fn roberta(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        Self::with_name("RoBERTa", store, config, rng)
+    }
+
+    /// Build the BERT-flavoured baseline.
+    pub fn bert(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        Self::with_name("BERT", store, config, rng)
+    }
+
+    fn with_name(
+        name: &'static str,
+        store: &mut ParamStore,
+        config: &ModelConfig,
+        rng: &mut Prng,
+    ) -> Self {
+        let embedding = crate::pretrained::pretrained_embedding(
+            store,
+            &format!("{name}.encoder"),
+            &config.vocab,
+            config.emb_dim,
+            config.emb_seed,
+        );
+        let head = Mlp::new(
+            store,
+            &format!("{name}.head"),
+            &[config.emb_dim, config.feature_dim, 2],
+            Activation::Relu,
+            config.dropout,
+            rng,
+        );
+        Self {
+            name,
+            config: config.clone(),
+            embedding,
+            head,
+        }
+    }
+}
+
+impl FakeNewsModel for BertMlp {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput {
+        let embedded = self
+            .embedding
+            .forward(g, &batch.token_ids, batch.batch_size, batch.seq_len);
+        let pooled = g.mean_over_time(embedded);
+        let features = self.head.forward_hidden(g, pooled);
+        let logits = self.head.forward_output(g, features);
+        ModelOutput::simple(logits, features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::exercise_model;
+
+    #[test]
+    fn roberta_satisfies_model_contract() {
+        exercise_model(|store, cfg| BertMlp::roberta(store, cfg, &mut Prng::new(1)));
+    }
+
+    #[test]
+    fn bert_and_roberta_differ_only_in_name() {
+        let ds = crate::traits::test_support::tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let bert = BertMlp::bert(&mut store, &cfg, &mut Prng::new(2));
+        let roberta = BertMlp::roberta(&mut store, &cfg, &mut Prng::new(2));
+        assert_eq!(bert.name(), "BERT");
+        assert_eq!(roberta.name(), "RoBERTa");
+        assert!(!bert.uses_domain_labels());
+        assert_eq!(bert.domain_loss_weight(), 0.0);
+    }
+
+    #[test]
+    fn frozen_encoder_is_not_trainable() {
+        let ds = crate::traits::test_support::tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let model = BertMlp::roberta(&mut store, &cfg, &mut Prng::new(3));
+        assert!(model.embedding.is_frozen());
+        // Trainable parameter count excludes the big embedding table.
+        let trainable = store.num_trainable_scalars();
+        let total = store.num_scalars();
+        assert!(trainable < total);
+        assert!(total - trainable >= cfg.vocab_size * cfg.emb_dim);
+    }
+}

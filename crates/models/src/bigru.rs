@@ -1,0 +1,121 @@
+//! BiGRU models: the BiGRU baseline (Ma et al., 2016) and the BiGRU-S student
+//! used in the ablation study (paper Table VIII).
+
+use crate::config::ModelConfig;
+use crate::traits::{FakeNewsModel, ModelOutput};
+use dtdbd_data::Batch;
+use dtdbd_nn::{Activation, BiGru, Embedding, Mlp};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::{Graph, ParamStore};
+
+/// A bidirectional-GRU classifier over the frozen pre-trained embedding.
+#[derive(Debug, Clone)]
+pub struct BiGruModel {
+    name: &'static str,
+    config: ModelConfig,
+    embedding: Embedding,
+    encoder: BiGru,
+    head: Mlp,
+}
+
+impl BiGruModel {
+    /// The BiGRU baseline.
+    pub fn baseline(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        Self::with_name("BiGRU", store, config, rng)
+    }
+
+    /// The BiGRU-S student network.
+    pub fn student(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        Self::with_name("BiGRU-S", store, config, rng)
+    }
+
+    fn with_name(
+        name: &'static str,
+        store: &mut ParamStore,
+        config: &ModelConfig,
+        rng: &mut Prng,
+    ) -> Self {
+        let embedding = crate::pretrained::pretrained_embedding(
+            store,
+            &format!("{name}.encoder"),
+            &config.vocab,
+            config.emb_dim,
+            config.emb_seed,
+        );
+        let encoder = BiGru::new(store, &format!("{name}.bigru"), config.emb_dim, config.hidden, rng);
+        let head = Mlp::new(
+            store,
+            &format!("{name}.head"),
+            &[encoder.out_dim(), config.feature_dim, 2],
+            Activation::Relu,
+            config.dropout,
+            rng,
+        );
+        Self {
+            name,
+            config: config.clone(),
+            embedding,
+            encoder,
+            head,
+        }
+    }
+}
+
+impl FakeNewsModel for BiGruModel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput {
+        let embedded = self
+            .embedding
+            .forward(g, &batch.token_ids, batch.batch_size, batch.seq_len);
+        let encoded = self.encoder.forward(g, embedded);
+        let encoded = g.dropout(encoded, self.config.dropout);
+        let features = self.head.forward_hidden(g, encoded);
+        let logits = self.head.forward_output(g, features);
+        ModelOutput::simple(logits, features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{exercise_model, tiny_batch, tiny_dataset};
+
+    #[test]
+    fn baseline_satisfies_model_contract() {
+        exercise_model(|store, cfg| BiGruModel::baseline(store, cfg, &mut Prng::new(1)));
+    }
+
+    #[test]
+    fn student_shares_architecture_with_baseline() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store_a = ParamStore::new();
+        let a = BiGruModel::baseline(&mut store_a, &cfg, &mut Prng::new(2));
+        let mut store_b = ParamStore::new();
+        let b = BiGruModel::student(&mut store_b, &cfg, &mut Prng::new(2));
+        assert_eq!(store_a.num_scalars(), store_b.num_scalars());
+        assert_ne!(a.name(), b.name());
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let model = BiGruModel::baseline(&mut store, &cfg, &mut Prng::new(3));
+        let batch = tiny_batch(&ds, 8);
+        let run = |store: &mut ParamStore, seed: u64| {
+            let mut g = Graph::new(store, false, seed);
+            let out = model.forward(&mut g, &batch);
+            g.value(out.logits).data().to_vec()
+        };
+        assert_eq!(run(&mut store, 1), run(&mut store, 99));
+    }
+}

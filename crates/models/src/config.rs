@@ -1,0 +1,93 @@
+//! Shared model hyper-parameters.
+
+use dtdbd_data::generator::{EMOTION_DIM, STYLE_DIM};
+use dtdbd_data::{MultiDomainDataset, Vocabulary};
+
+/// Hyper-parameters shared by every model in the zoo.
+///
+/// The defaults are scaled-down but architecture-faithful versions of the
+/// paper's settings (embedding width 32 instead of BERT's 768, five
+/// convolution kernels of 64 channels reduced to 32, BiGRU hidden 300 reduced
+/// to 32) so that the full benchmark suite regenerates on a laptop CPU.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Vocabulary layout of the corpus (used to build the structured frozen
+    /// pre-trained embedding; see [`crate::pretrained`]).
+    pub vocab: Vocabulary,
+    /// Vocabulary size (exclusive upper bound on token ids).
+    pub vocab_size: usize,
+    /// Token sequence length.
+    pub seq_len: usize,
+    /// Number of domains in the corpus.
+    pub n_domains: usize,
+    /// Width of the frozen "pre-trained" token embedding.
+    pub emb_dim: usize,
+    /// Hidden width of recurrent encoders and experts.
+    pub hidden: usize,
+    /// Width of the penultimate (feature) layer — this is the representation
+    /// the paper distils and visualises.
+    pub feature_dim: usize,
+    /// Dropout probability used in classifier heads.
+    pub dropout: f32,
+    /// Seed of the frozen pre-trained embedding table. All models built from
+    /// the same config share the same simulated pre-trained encoder, exactly
+    /// as all of the paper's models share the same frozen BERT.
+    pub emb_seed: u64,
+    /// Style side-feature dimension.
+    pub style_dim: usize,
+    /// Emotion side-feature dimension.
+    pub emotion_dim: usize,
+    /// Number of experts for mixture-of-experts models (MMoE/MoSE/MDFEND).
+    pub n_experts: usize,
+}
+
+impl ModelConfig {
+    /// Configuration derived from a dataset (vocabulary size, sequence
+    /// length, number of domains) with default widths.
+    pub fn for_dataset(dataset: &MultiDomainDataset) -> Self {
+        Self {
+            vocab: dataset.vocabulary().clone(),
+            vocab_size: dataset.vocabulary().size(),
+            seq_len: dataset.seq_len(),
+            n_domains: dataset.n_domains(),
+            emb_dim: 32,
+            hidden: 32,
+            feature_dim: 64,
+            dropout: 0.2,
+            emb_seed: 0xBE27,
+            style_dim: STYLE_DIM,
+            emotion_dim: EMOTION_DIM,
+            n_experts: 5,
+        }
+    }
+
+    /// A smaller configuration for unit tests.
+    pub fn tiny(dataset: &MultiDomainDataset) -> Self {
+        Self {
+            emb_dim: 12,
+            hidden: 8,
+            feature_dim: 16,
+            n_experts: 3,
+            ..Self::for_dataset(dataset)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdbd_data::{weibo21_spec, GeneratorConfig, NewsGenerator};
+
+    #[test]
+    fn config_reflects_dataset_geometry() {
+        let ds = NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(1, 0.05);
+        let cfg = ModelConfig::for_dataset(&ds);
+        assert_eq!(cfg.n_domains, 9);
+        assert_eq!(cfg.seq_len, ds.seq_len());
+        assert_eq!(cfg.vocab_size, ds.vocabulary().size());
+        assert_eq!(cfg.style_dim, STYLE_DIM);
+        let tiny = ModelConfig::tiny(&ds);
+        assert!(tiny.emb_dim < cfg.emb_dim);
+        assert_eq!(tiny.n_domains, cfg.n_domains);
+    }
+}

@@ -1,0 +1,182 @@
+//! EANN — Event Adversarial Neural Networks (Wang et al., 2018).
+//!
+//! A TextCNN feature extractor, a fake-news classifier, and a domain (event)
+//! discriminator trained through a gradient reversal layer. `EANN_NoDAT`
+//! drops the adversarial branch, matching the paper's ablation rows.
+
+use crate::config::ModelConfig;
+use crate::traits::{FakeNewsModel, ModelOutput};
+use dtdbd_data::Batch;
+use dtdbd_nn::{Activation, DomainAdversary, Embedding, Mlp, TextCnnEncoder};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::{Graph, ParamStore};
+
+/// EANN with or without its domain-adversarial branch.
+#[derive(Debug, Clone)]
+pub struct Eann {
+    name: &'static str,
+    config: ModelConfig,
+    embedding: Embedding,
+    encoder: TextCnnEncoder,
+    feature_head: Mlp,
+    classifier: Mlp,
+    adversary: Option<DomainAdversary>,
+    domain_loss_weight: f32,
+}
+
+impl Eann {
+    /// Full EANN with the gradient-reversal domain discriminator.
+    pub fn with_dat(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        Self::build("EANN", true, store, config, rng)
+    }
+
+    /// EANN_NoDAT: the same architecture without the adversarial branch.
+    pub fn without_dat(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        Self::build("EANN_NoDAT", false, store, config, rng)
+    }
+
+    fn build(
+        name: &'static str,
+        with_dat: bool,
+        store: &mut ParamStore,
+        config: &ModelConfig,
+        rng: &mut Prng,
+    ) -> Self {
+        let embedding = crate::pretrained::pretrained_embedding(
+            store,
+            &format!("{name}.encoder"),
+            &config.vocab,
+            config.emb_dim,
+            config.emb_seed,
+        );
+        let encoder = TextCnnEncoder::new(
+            store,
+            &format!("{name}.cnn"),
+            config.emb_dim,
+            config.hidden,
+            &[1, 2, 3, 5],
+            rng,
+        );
+        let feature_head = Mlp::new(
+            store,
+            &format!("{name}.feature"),
+            &[encoder.out_dim(), config.feature_dim],
+            Activation::Relu,
+            0.0,
+            rng,
+        );
+        let classifier = Mlp::new(
+            store,
+            &format!("{name}.classifier"),
+            &[config.feature_dim, config.feature_dim, 2],
+            Activation::Relu,
+            config.dropout,
+            rng,
+        );
+        let adversary = with_dat.then(|| {
+            DomainAdversary::new(
+                store,
+                &format!("{name}.adversary"),
+                config.feature_dim,
+                config.hidden,
+                config.n_domains,
+                1.0,
+                rng,
+            )
+        });
+        Self {
+            name,
+            config: config.clone(),
+            embedding,
+            encoder,
+            feature_head,
+            classifier,
+            adversary,
+            domain_loss_weight: 1.0,
+        }
+    }
+
+    /// Whether the adversarial branch is present.
+    pub fn has_adversary(&self) -> bool {
+        self.adversary.is_some()
+    }
+}
+
+impl FakeNewsModel for Eann {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn uses_domain_labels(&self) -> bool {
+        self.adversary.is_some()
+    }
+
+    fn domain_loss_weight(&self) -> f32 {
+        if self.adversary.is_some() {
+            self.domain_loss_weight
+        } else {
+            0.0
+        }
+    }
+
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput {
+        let embedded = self
+            .embedding
+            .forward(g, &batch.token_ids, batch.batch_size, batch.seq_len);
+        let encoded = self.encoder.forward(g, embedded);
+        let raw_features = self.feature_head.forward(g, encoded);
+        let features = g.relu(raw_features);
+        let dropped = g.dropout(features, self.config.dropout);
+        let logits = self.classifier.forward(g, dropped);
+        let domain_logits = self.adversary.as_ref().map(|adv| adv.forward(g, features));
+        ModelOutput {
+            logits,
+            features,
+            domain_logits,
+            aux_loss: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{exercise_model, tiny_batch, tiny_dataset};
+
+    #[test]
+    fn eann_with_dat_satisfies_model_contract() {
+        exercise_model(|store, cfg| Eann::with_dat(store, cfg, &mut Prng::new(1)));
+    }
+
+    #[test]
+    fn eann_without_dat_satisfies_model_contract() {
+        exercise_model(|store, cfg| Eann::without_dat(store, cfg, &mut Prng::new(2)));
+    }
+
+    #[test]
+    fn only_the_dat_variant_produces_domain_logits() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let batch = tiny_batch(&ds, 6);
+
+        let mut store = ParamStore::new();
+        let with = Eann::with_dat(&mut store, &cfg, &mut Prng::new(3));
+        assert!(with.has_adversary());
+        assert!(with.uses_domain_labels());
+        assert!(with.domain_loss_weight() > 0.0);
+        let mut g = Graph::new(&mut store, false, 0);
+        assert!(with.forward(&mut g, &batch).domain_logits.is_some());
+        drop(g);
+
+        let mut store2 = ParamStore::new();
+        let without = Eann::without_dat(&mut store2, &cfg, &mut Prng::new(3));
+        assert!(!without.has_adversary());
+        assert_eq!(without.domain_loss_weight(), 0.0);
+        let mut g2 = Graph::new(&mut store2, false, 0);
+        assert!(without.forward(&mut g2, &batch).domain_logits.is_none());
+    }
+}

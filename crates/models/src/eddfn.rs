@@ -1,0 +1,247 @@
+//! EDDFN — Embracing Domain Differences in Fake News (Silva et al., 2021).
+//!
+//! EDDFN keeps a *domain-specific* and a *cross-domain* representation of
+//! each news item: the cross-domain branch is pushed towards
+//! domain-invariance with a gradient-reversal discriminator, the
+//! domain-specific branch is a per-domain transformation selected by the hard
+//! domain label, and a reconstruction term encourages the pair to preserve
+//! the input information. `EDDFN_NoDAT` drops the adversarial branch.
+
+use crate::config::ModelConfig;
+use crate::traits::{FakeNewsModel, ModelOutput};
+use dtdbd_data::Batch;
+use dtdbd_nn::moe::mix_with_weights;
+use dtdbd_nn::{Activation, DomainAdversary, Embedding, Linear, Mlp, TextCnnEncoder};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::{Graph, ParamStore, Tensor, Var};
+
+/// EDDFN with or without its domain-adversarial branch.
+#[derive(Debug, Clone)]
+pub struct Eddfn {
+    name: &'static str,
+    config: ModelConfig,
+    embedding: Embedding,
+    encoder: TextCnnEncoder,
+    shared_head: Mlp,
+    specific_heads: Vec<Linear>,
+    classifier: Mlp,
+    reconstructor: Linear,
+    adversary: Option<DomainAdversary>,
+}
+
+impl Eddfn {
+    /// Full EDDFN (cross-domain branch trained adversarially).
+    pub fn with_dat(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        Self::build("EDDFN", true, store, config, rng)
+    }
+
+    /// EDDFN_NoDAT: no adversarial branch.
+    pub fn without_dat(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        Self::build("EDDFN_NoDAT", false, store, config, rng)
+    }
+
+    fn build(
+        name: &'static str,
+        with_dat: bool,
+        store: &mut ParamStore,
+        config: &ModelConfig,
+        rng: &mut Prng,
+    ) -> Self {
+        let embedding = crate::pretrained::pretrained_embedding(
+            store,
+            &format!("{name}.encoder"),
+            &config.vocab,
+            config.emb_dim,
+            config.emb_seed,
+        );
+        let encoder = TextCnnEncoder::new(
+            store,
+            &format!("{name}.cnn"),
+            config.emb_dim,
+            config.hidden,
+            &[2, 3, 5],
+            rng,
+        );
+        let shared_head = Mlp::new(
+            store,
+            &format!("{name}.shared"),
+            &[encoder.out_dim(), config.feature_dim],
+            Activation::Relu,
+            0.0,
+            rng,
+        );
+        let specific_heads = (0..config.n_domains)
+            .map(|d| Linear::new(store, &format!("{name}.specific{d}"), encoder.out_dim(), config.feature_dim, rng))
+            .collect();
+        let classifier = Mlp::new(
+            store,
+            &format!("{name}.classifier"),
+            &[2 * config.feature_dim, config.feature_dim, 2],
+            Activation::Relu,
+            config.dropout,
+            rng,
+        );
+        let reconstructor = Linear::new(
+            store,
+            &format!("{name}.reconstructor"),
+            2 * config.feature_dim,
+            config.emb_dim,
+            rng,
+        );
+        let adversary = with_dat.then(|| {
+            DomainAdversary::new(
+                store,
+                &format!("{name}.adversary"),
+                config.feature_dim,
+                config.hidden,
+                config.n_domains,
+                1.0,
+                rng,
+            )
+        });
+        Self {
+            name,
+            config: config.clone(),
+            embedding,
+            encoder,
+            shared_head,
+            specific_heads,
+            classifier,
+            reconstructor,
+            adversary,
+        }
+    }
+
+    /// One-hot domain selection weights as a constant `[b, n_domains]`.
+    fn domain_onehot(&self, g: &mut Graph<'_>, domains: &[usize]) -> Var {
+        let b = domains.len();
+        let mut data = vec![0.0f32; b * self.config.n_domains];
+        for (i, &d) in domains.iter().enumerate() {
+            data[i * self.config.n_domains + d] = 1.0;
+        }
+        g.constant(Tensor::new(vec![b, self.config.n_domains], data))
+    }
+}
+
+impl FakeNewsModel for Eddfn {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn uses_domain_labels(&self) -> bool {
+        true
+    }
+
+    fn domain_loss_weight(&self) -> f32 {
+        if self.adversary.is_some() {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput {
+        let embedded = self
+            .embedding
+            .forward(g, &batch.token_ids, batch.batch_size, batch.seq_len);
+        let encoded = self.encoder.forward(g, embedded);
+
+        // Cross-domain (shared) representation.
+        let shared = self.shared_head.forward(g, encoded);
+        let shared = g.relu(shared);
+
+        // Domain-specific representation, selected by the hard domain label.
+        let specific_all: Vec<Var> = self
+            .specific_heads
+            .iter()
+            .map(|head| {
+                let h = head.forward(g, encoded);
+                g.relu(h)
+            })
+            .collect();
+        let onehot = self.domain_onehot(g, &batch.domains);
+        let specific = mix_with_weights(g, onehot, &specific_all);
+
+        let joint = g.concat_last(&[shared, specific]);
+        let joint_dropped = g.dropout(joint, self.config.dropout);
+        let logits = self.classifier.forward(g, joint_dropped);
+
+        // Reconstruction of the pooled input embedding keeps the pair of
+        // representations informative (EDDFN's autoencoding term).
+        let pooled = g.mean_over_time(embedded);
+        let reconstructed = self.reconstructor.forward(g, joint);
+        let aux = dtdbd_tensor::losses::mse_loss(g, reconstructed, pooled);
+        let aux = g.scale(aux, 0.1);
+
+        let domain_logits = self.adversary.as_ref().map(|adv| adv.forward(g, shared));
+        ModelOutput {
+            logits,
+            features: shared,
+            domain_logits,
+            aux_loss: Some(aux),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{exercise_model, tiny_batch, tiny_dataset};
+
+    #[test]
+    fn eddfn_with_dat_satisfies_model_contract() {
+        exercise_model(|store, cfg| Eddfn::with_dat(store, cfg, &mut Prng::new(1)));
+    }
+
+    #[test]
+    fn eddfn_without_dat_satisfies_model_contract() {
+        exercise_model(|store, cfg| Eddfn::without_dat(store, cfg, &mut Prng::new(2)));
+    }
+
+    #[test]
+    fn specific_heads_cover_every_domain() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let model = Eddfn::with_dat(&mut store, &cfg, &mut Prng::new(3));
+        assert_eq!(model.specific_heads.len(), cfg.n_domains);
+        assert!(model.uses_domain_labels());
+    }
+
+    #[test]
+    fn changing_the_domain_label_changes_the_prediction() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let model = Eddfn::with_dat(&mut store, &cfg, &mut Prng::new(4));
+        let batch = tiny_batch(&ds, 6);
+        let mut altered = batch.clone();
+        for d in &mut altered.domains {
+            *d = (*d + 1) % cfg.n_domains;
+        }
+        let logits = |store: &mut ParamStore, b: &Batch| {
+            let mut g = Graph::new(store, false, 0);
+            let out = model.forward(&mut g, b);
+            g.value(out.logits).data().to_vec()
+        };
+        assert_ne!(logits(&mut store, &batch), logits(&mut store, &altered));
+    }
+
+    #[test]
+    fn aux_loss_is_present_and_finite() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let model = Eddfn::without_dat(&mut store, &cfg, &mut Prng::new(5));
+        let batch = tiny_batch(&ds, 6);
+        let mut g = Graph::new(&mut store, false, 0);
+        let out = model.forward(&mut g, &batch);
+        let aux = out.aux_loss.expect("EDDFN has a reconstruction loss");
+        assert!(g.value(aux).item().is_finite());
+        assert!(g.value(aux).item() >= 0.0);
+    }
+}

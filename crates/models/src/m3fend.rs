@@ -1,0 +1,211 @@
+//! M3FEND — Memory-guided Multi-view Multi-domain Fake News Detection
+//! (Zhu et al., 2022).
+//!
+//! M3FEND builds a multi-view representation (semantic / emotion / style),
+//! uses a per-domain *memory bank* to infer a soft (fuzzy) domain label for
+//! each item, and aggregates per-domain adapters weighted by that soft label.
+//! It is the stronger of the two clean teachers used by DTDBD.
+
+use crate::config::ModelConfig;
+use crate::traits::{FakeNewsModel, ModelOutput};
+use dtdbd_data::Batch;
+use dtdbd_nn::moe::mix_with_weights;
+use dtdbd_nn::{Activation, DomainMemoryBank, Embedding, Linear, Mlp, TextCnnEncoder};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::{Graph, ParamStore, Var};
+use std::cell::RefCell;
+
+/// M3FEND: multi-view representation + domain memory bank + domain adapters.
+#[derive(Debug, Clone)]
+pub struct M3Fend {
+    config: ModelConfig,
+    embedding: Embedding,
+    semantic: TextCnnEncoder,
+    emotion_view: Mlp,
+    style_view: Mlp,
+    adapters: Vec<Linear>,
+    classifier: Linear,
+    memory: RefCell<DomainMemoryBank>,
+}
+
+impl M3Fend {
+    /// Build M3FEND.
+    pub fn new(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        let embedding = crate::pretrained::pretrained_embedding(
+            store,
+            "M3FEND.encoder",
+            &config.vocab,
+            config.emb_dim,
+            config.emb_seed,
+        );
+        let semantic = TextCnnEncoder::new(
+            store,
+            "M3FEND.semantic",
+            config.emb_dim,
+            config.hidden,
+            &[1, 2, 3, 5],
+            rng,
+        );
+        let emotion_view = Mlp::new(
+            store,
+            "M3FEND.emotion",
+            &[config.emotion_dim, config.hidden],
+            Activation::Relu,
+            0.0,
+            rng,
+        );
+        let style_view = Mlp::new(
+            store,
+            "M3FEND.style",
+            &[config.style_dim, config.hidden],
+            Activation::Relu,
+            0.0,
+            rng,
+        );
+        let view_dim = semantic.out_dim() + 2 * config.hidden;
+        let adapters = (0..config.n_domains)
+            .map(|d| Linear::new(store, &format!("M3FEND.adapter{d}"), view_dim, config.feature_dim, rng))
+            .collect();
+        let classifier = Linear::new(store, "M3FEND.classifier", config.feature_dim, 2, rng);
+        // The memory clusters items by their pooled pre-trained embedding,
+        // which is parameter-free and thus stable over training.
+        let memory = RefCell::new(DomainMemoryBank::new(config.n_domains, config.emb_dim, 0.9, 2.0));
+        Self {
+            config: config.clone(),
+            embedding,
+            semantic,
+            emotion_view,
+            style_view,
+            adapters,
+            classifier,
+            memory,
+        }
+    }
+
+    /// Soft (fuzzy) domain distribution for a batch, from the memory bank.
+    pub fn soft_domains(&self, g: &mut Graph<'_>, pooled_embedding: Var) -> Var {
+        let pooled = g.value(pooled_embedding).clone();
+        self.memory.borrow().soft_domains_var(g, &pooled)
+    }
+
+    /// Number of samples each memory slot has absorbed (diagnostics).
+    pub fn memory_counts(&self) -> Vec<usize> {
+        self.memory.borrow().counts().to_vec()
+    }
+}
+
+impl FakeNewsModel for M3Fend {
+    fn name(&self) -> &'static str {
+        "M3FEND"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn uses_domain_labels(&self) -> bool {
+        true
+    }
+
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput {
+        let embedded = self
+            .embedding
+            .forward(g, &batch.token_ids, batch.batch_size, batch.seq_len);
+        let pooled = g.mean_over_time(embedded);
+
+        // During training, keep the per-domain memory up to date with the
+        // (parameter-free) pooled embeddings and the hard domain labels.
+        if g.is_training() {
+            let pooled_tensor = g.value(pooled).clone();
+            self.memory.borrow_mut().update(&pooled_tensor, &batch.domains);
+        }
+
+        // Multi-view representation.
+        let sem = self.semantic.forward(g, embedded);
+        let emo_in = g.constant(batch.emotion.clone());
+        let emo = self.emotion_view.forward(g, emo_in);
+        let emo = g.relu(emo);
+        let sty_in = g.constant(batch.style.clone());
+        let sty = self.style_view.forward(g, sty_in);
+        let sty = g.relu(sty);
+        let views = g.concat_last(&[sem, emo, sty]);
+        let views = g.dropout(views, self.config.dropout);
+
+        // Fuzzy domain label from the memory bank drives the adapters.
+        let soft = self.soft_domains(g, pooled);
+        let adapted: Vec<Var> = self
+            .adapters
+            .iter()
+            .map(|a| {
+                let h = a.forward(g, views);
+                g.relu(h)
+            })
+            .collect();
+        let mixed = mix_with_weights(g, soft, &adapted);
+        let features = g.dropout(mixed, self.config.dropout);
+        let logits = self.classifier.forward(g, features);
+        ModelOutput::simple(logits, features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{exercise_model, tiny_batch, tiny_dataset};
+    use dtdbd_tensor::Graph;
+
+    #[test]
+    fn m3fend_satisfies_model_contract() {
+        exercise_model(|store, cfg| M3Fend::new(store, cfg, &mut Prng::new(1)));
+    }
+
+    #[test]
+    fn memory_fills_up_during_training_forwards_only() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let model = M3Fend::new(&mut store, &cfg, &mut Prng::new(2));
+        let batch = tiny_batch(&ds, 16);
+
+        // Eval forward: memory untouched.
+        {
+            let mut g = Graph::new(&mut store, false, 0);
+            let _ = model.forward(&mut g, &batch);
+        }
+        assert!(model.memory_counts().iter().all(|&c| c == 0));
+
+        // Training forward: memory absorbs the batch.
+        {
+            let mut g = Graph::new(&mut store, true, 0);
+            let _ = model.forward(&mut g, &batch);
+        }
+        let total: usize = model.memory_counts().iter().sum();
+        assert_eq!(total, batch.batch_size);
+    }
+
+    #[test]
+    fn soft_domain_labels_are_distributions() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let model = M3Fend::new(&mut store, &cfg, &mut Prng::new(3));
+        let batch = tiny_batch(&ds, 12);
+        // Warm the memory.
+        {
+            let mut g = Graph::new(&mut store, true, 0);
+            let _ = model.forward(&mut g, &batch);
+        }
+        let mut g = Graph::new(&mut store, false, 0);
+        let embedded = model
+            .embedding
+            .forward(&mut g, &batch.token_ids, batch.batch_size, batch.seq_len);
+        let pooled = g.mean_over_time(embedded);
+        let soft = model.soft_domains(&mut g, pooled);
+        let v = g.value(soft);
+        assert_eq!(v.shape(), &[batch.batch_size, cfg.n_domains]);
+        for i in 0..batch.batch_size {
+            let s: f32 = v.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! MDFEND — Multi-domain Fake News Detection (Nan et al., 2021).
+//!
+//! TextCNN experts aggregated by a *learnable domain gate*: the gate input is
+//! the concatenation of a trainable domain embedding (looked up with the hard
+//! domain label) and the pooled content representation. MDFEND is one of the
+//! two clean teachers used by DTDBD.
+
+use crate::config::ModelConfig;
+use crate::traits::{FakeNewsModel, ModelOutput};
+use dtdbd_data::Batch;
+use dtdbd_nn::moe::{mix_with_weights, ExpertGate};
+use dtdbd_nn::{Activation, Embedding, Mlp, TextCnnEncoder};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::{Graph, ParamStore};
+
+/// MDFEND: domain-gated mixture of TextCNN experts.
+#[derive(Debug, Clone)]
+pub struct Mdfend {
+    config: ModelConfig,
+    embedding: Embedding,
+    domain_embedding: Embedding,
+    experts: Vec<TextCnnEncoder>,
+    gate: ExpertGate,
+    head: Mlp,
+}
+
+impl Mdfend {
+    /// Build MDFEND with `config.n_experts` TextCNN experts.
+    pub fn new(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        let embedding = crate::pretrained::pretrained_embedding(
+            store,
+            "MDFEND.encoder",
+            &config.vocab,
+            config.emb_dim,
+            config.emb_seed,
+        );
+        let domain_embedding = Embedding::new(
+            store,
+            "MDFEND.domain_embedding",
+            config.n_domains,
+            config.emb_dim,
+            rng,
+        );
+        // Each expert is a narrow TextCNN; together they cover the same
+        // kernel range as the baseline TextCNN.
+        let expert_channels = (config.hidden / 2).max(4);
+        let experts: Vec<TextCnnEncoder> = (0..config.n_experts)
+            .map(|e| {
+                TextCnnEncoder::new(
+                    store,
+                    &format!("MDFEND.expert{e}"),
+                    config.emb_dim,
+                    expert_channels,
+                    &[2, 3, 5],
+                    rng,
+                )
+            })
+            .collect();
+        let gate = ExpertGate::new(
+            store,
+            "MDFEND.gate",
+            config.emb_dim * 2,
+            config.n_experts,
+            rng,
+        );
+        let head = Mlp::new(
+            store,
+            "MDFEND.head",
+            &[experts[0].out_dim(), config.feature_dim, 2],
+            Activation::Relu,
+            config.dropout,
+            rng,
+        );
+        Self {
+            config: config.clone(),
+            embedding,
+            domain_embedding,
+            experts,
+            gate,
+            head,
+        }
+    }
+
+    /// Number of TextCNN experts.
+    pub fn n_experts(&self) -> usize {
+        self.experts.len()
+    }
+}
+
+impl FakeNewsModel for Mdfend {
+    fn name(&self) -> &'static str {
+        "MDFEND"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn uses_domain_labels(&self) -> bool {
+        true
+    }
+
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput {
+        let embedded = self
+            .embedding
+            .forward(g, &batch.token_ids, batch.batch_size, batch.seq_len);
+        let pooled = g.mean_over_time(embedded);
+
+        // Domain gate input: [domain embedding ; pooled content].
+        let domain_ids: Vec<u32> = batch.domains.iter().map(|&d| d as u32).collect();
+        let domain_emb = self
+            .domain_embedding
+            .forward(g, &domain_ids, batch.batch_size, 1);
+        let domain_emb = g.reshape(domain_emb, &[batch.batch_size, self.config.emb_dim]);
+        let gate_input = g.concat_last(&[domain_emb, pooled]);
+
+        let expert_outputs: Vec<_> = self.experts.iter().map(|e| e.forward(g, embedded)).collect();
+        let weights = self.gate.weights(g, gate_input);
+        let mixed = mix_with_weights(g, weights, &expert_outputs);
+        let mixed = g.dropout(mixed, self.config.dropout);
+        let features = self.head.forward_hidden(g, mixed);
+        let logits = self.head.forward_output(g, features);
+        ModelOutput::simple(logits, features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{exercise_model, tiny_batch, tiny_dataset};
+
+    #[test]
+    fn mdfend_satisfies_model_contract() {
+        exercise_model(|store, cfg| Mdfend::new(store, cfg, &mut Prng::new(1)));
+    }
+
+    #[test]
+    fn mdfend_uses_domain_labels_as_input() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let model = Mdfend::new(&mut store, &cfg, &mut Prng::new(2));
+        assert!(model.uses_domain_labels());
+        assert_eq!(model.domain_loss_weight(), 0.0);
+        assert_eq!(model.n_experts(), cfg.n_experts);
+
+        // Changing the domain label must change the gate, hence the logits.
+        let batch = tiny_batch(&ds, 6);
+        let mut altered = batch.clone();
+        for d in &mut altered.domains {
+            *d = (*d + 1) % cfg.n_domains;
+        }
+        let logits = |store: &mut ParamStore, b: &Batch| {
+            let mut g = Graph::new(store, false, 0);
+            let out = model.forward(&mut g, b);
+            g.value(out.logits).data().to_vec()
+        };
+        assert_ne!(logits(&mut store, &batch), logits(&mut store, &altered));
+    }
+
+    #[test]
+    fn domain_embedding_is_trainable_unlike_text_encoder() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let model = Mdfend::new(&mut store, &cfg, &mut Prng::new(3));
+        assert!(model.embedding.is_frozen());
+        assert!(!model.domain_embedding.is_frozen());
+    }
+}

@@ -1,0 +1,175 @@
+//! Mixture-of-experts baselines: MMoE (Ma et al., 2018) and MoSE.
+//!
+//! MMoE uses MLP experts over the pooled text representation; MoSE replaces
+//! the MLP experts with sequential (LSTM) experts, as described in the
+//! paper's baseline list.
+
+use crate::config::ModelConfig;
+use crate::traits::{FakeNewsModel, ModelOutput};
+use dtdbd_data::Batch;
+use dtdbd_nn::moe::{mix_with_weights, ExpertGate};
+use dtdbd_nn::{Activation, Embedding, Linear, Lstm, Mlp, MixtureOfExperts};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::{Graph, ParamStore, Var};
+
+/// MMoE: multi-gate mixture of MLP experts over the pooled embedding.
+#[derive(Debug, Clone)]
+pub struct Mmoe {
+    config: ModelConfig,
+    embedding: Embedding,
+    experts: MixtureOfExperts,
+    classifier: Linear,
+}
+
+impl Mmoe {
+    /// Build the MMoE baseline.
+    pub fn new(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        let embedding = crate::pretrained::pretrained_embedding(
+            store,
+            "MMoE.encoder",
+            &config.vocab,
+            config.emb_dim,
+            config.emb_seed,
+        );
+        let experts = MixtureOfExperts::new(
+            store,
+            "MMoE.experts",
+            config.emb_dim,
+            config.hidden,
+            config.feature_dim,
+            config.n_experts,
+            rng,
+        );
+        let classifier = Linear::new(store, "MMoE.classifier", config.feature_dim, 2, rng);
+        Self {
+            config: config.clone(),
+            embedding,
+            experts,
+            classifier,
+        }
+    }
+}
+
+impl FakeNewsModel for Mmoe {
+    fn name(&self) -> &'static str {
+        "MMoE"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput {
+        let embedded = self
+            .embedding
+            .forward(g, &batch.token_ids, batch.batch_size, batch.seq_len);
+        let pooled = g.mean_over_time(embedded);
+        let mixed = self.experts.forward(g, pooled);
+        let features = g.relu(mixed);
+        let features = g.dropout(features, self.config.dropout);
+        let logits = self.classifier.forward(g, features);
+        ModelOutput::simple(logits, features)
+    }
+}
+
+/// MoSE: mixture of sequential (LSTM) experts.
+#[derive(Debug, Clone)]
+pub struct Mose {
+    config: ModelConfig,
+    embedding: Embedding,
+    experts: Vec<Lstm>,
+    gate: ExpertGate,
+    head: Mlp,
+}
+
+impl Mose {
+    /// Build the MoSE baseline.
+    pub fn new(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        let embedding = crate::pretrained::pretrained_embedding(
+            store,
+            "MoSE.encoder",
+            &config.vocab,
+            config.emb_dim,
+            config.emb_seed,
+        );
+        let experts = (0..config.n_experts)
+            .map(|e| Lstm::new(store, &format!("MoSE.expert{e}"), config.emb_dim, config.hidden, rng))
+            .collect();
+        let gate = ExpertGate::new(store, "MoSE.gate", config.emb_dim, config.n_experts, rng);
+        let head = Mlp::new(
+            store,
+            "MoSE.head",
+            &[config.hidden, config.feature_dim, 2],
+            Activation::Relu,
+            config.dropout,
+            rng,
+        );
+        Self {
+            config: config.clone(),
+            embedding,
+            experts,
+            gate,
+            head,
+        }
+    }
+
+    fn expert_outputs(&self, g: &mut Graph<'_>, embedded: Var) -> Vec<Var> {
+        self.experts
+            .iter()
+            .map(|lstm| lstm.forward_mean(g, embedded))
+            .collect()
+    }
+}
+
+impl FakeNewsModel for Mose {
+    fn name(&self) -> &'static str {
+        "MoSE"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput {
+        let embedded = self
+            .embedding
+            .forward(g, &batch.token_ids, batch.batch_size, batch.seq_len);
+        let pooled = g.mean_over_time(embedded);
+        let expert_outputs = self.expert_outputs(g, embedded);
+        let weights = self.gate.weights(g, pooled);
+        let mixed = mix_with_weights(g, weights, &expert_outputs);
+        let mixed = g.dropout(mixed, self.config.dropout);
+        let features = self.head.forward_hidden(g, mixed);
+        let logits = self.head.forward_output(g, features);
+        ModelOutput::simple(logits, features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{exercise_model, tiny_dataset};
+
+    #[test]
+    fn mmoe_satisfies_model_contract() {
+        exercise_model(|store, cfg| Mmoe::new(store, cfg, &mut Prng::new(1)));
+    }
+
+    #[test]
+    fn mose_satisfies_model_contract() {
+        exercise_model(|store, cfg| Mose::new(store, cfg, &mut Prng::new(2)));
+    }
+
+    #[test]
+    fn expert_count_follows_config() {
+        let ds = tiny_dataset();
+        let mut cfg = ModelConfig::tiny(&ds);
+        cfg.n_experts = 4;
+        let mut store = ParamStore::new();
+        let mose = Mose::new(&mut store, &cfg, &mut Prng::new(3));
+        assert_eq!(mose.experts.len(), 4);
+        let mut store2 = ParamStore::new();
+        let mmoe = Mmoe::new(&mut store2, &cfg, &mut Prng::new(3));
+        assert_eq!(mmoe.experts.n_experts(), 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Static functional-comparison metadata (paper Table II).
+
+/// Capabilities of a fake news detection method, as categorised by Table II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodInfo {
+    /// Method name.
+    pub name: &'static str,
+    /// Whether it targets single-domain detection.
+    pub single_domain: bool,
+    /// Whether it targets multi-domain detection.
+    pub multi_domain: bool,
+    /// Whether it contains an explicit de-biasing component.
+    pub debiasing: bool,
+    /// The type of bias addressed, if any.
+    pub bias_type: Option<&'static str>,
+    /// Datasets used in the original work.
+    pub datasets: &'static str,
+}
+
+/// The functional comparison of Table II, including this work ("DTDBD").
+pub fn registry() -> Vec<MethodInfo> {
+    vec![
+        MethodInfo {
+            name: "BiGRU",
+            single_domain: true,
+            multi_domain: false,
+            debiasing: false,
+            bias_type: None,
+            datasets: "Twitter, Weibo",
+        },
+        MethodInfo {
+            name: "StyleLSTM",
+            single_domain: true,
+            multi_domain: false,
+            debiasing: false,
+            bias_type: None,
+            datasets: "StyleLSTM",
+        },
+        MethodInfo {
+            name: "DualEmo",
+            single_domain: true,
+            multi_domain: false,
+            debiasing: false,
+            bias_type: None,
+            datasets: "RumourEval-19, Weibo-16, Weibo-20",
+        },
+        MethodInfo {
+            name: "EANN",
+            single_domain: false,
+            multi_domain: true,
+            debiasing: false,
+            bias_type: None,
+            datasets: "Twitter, Weibo",
+        },
+        MethodInfo {
+            name: "Diachronic Bias Mitigation",
+            single_domain: true,
+            multi_domain: false,
+            debiasing: true,
+            bias_type: Some("Diachronic"),
+            datasets: "MultiFC, Horne17, Celebrity, Constraint",
+        },
+        MethodInfo {
+            name: "EDDFN",
+            single_domain: false,
+            multi_domain: true,
+            debiasing: false,
+            bias_type: None,
+            datasets: "PolitiFact, Gossipcop, CoAID",
+        },
+        MethodInfo {
+            name: "MDFEND",
+            single_domain: false,
+            multi_domain: true,
+            debiasing: false,
+            bias_type: None,
+            datasets: "Weibo21",
+        },
+        MethodInfo {
+            name: "ENDEF",
+            single_domain: true,
+            multi_domain: false,
+            debiasing: true,
+            bias_type: Some("Entity"),
+            datasets: "Weibo, GossipCop",
+        },
+        MethodInfo {
+            name: "M3FEND",
+            single_domain: false,
+            multi_domain: true,
+            debiasing: false,
+            bias_type: None,
+            datasets: "Weibo21, Politifact, Gossipcop, COVID",
+        },
+        MethodInfo {
+            name: "DTDBD (ours)",
+            single_domain: false,
+            multi_domain: true,
+            debiasing: true,
+            bias_type: Some("Domain"),
+            datasets: "Weibo21, Politifact, Gossipcop, COVID",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table_ii_structure() {
+        let methods = registry();
+        assert_eq!(methods.len(), 10);
+        // Only three methods carry a de-biasing component, and only ours
+        // addresses domain bias in the multi-domain setting.
+        let debiasing: Vec<&MethodInfo> = methods.iter().filter(|m| m.debiasing).collect();
+        assert_eq!(debiasing.len(), 3);
+        let ours = methods.last().unwrap();
+        assert_eq!(ours.bias_type, Some("Domain"));
+        assert!(ours.multi_domain);
+        assert!(ours.debiasing);
+    }
+
+    #[test]
+    fn every_method_has_a_dataset_and_a_scope() {
+        for m in registry() {
+            assert!(!m.datasets.is_empty(), "{} lacks datasets", m.name);
+            assert!(m.single_domain || m.multi_domain, "{} lacks a scope", m.name);
+            if m.debiasing {
+                assert!(m.bias_type.is_some(), "{} debiases without a bias type", m.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Content-style baselines: StyleLSTM (Przybyla, 2020) and DualEmo
+//! (Zhang et al., 2021).
+//!
+//! Both follow the paper's setup: a recurrent text encoder whose output is
+//! concatenated with hand-crafted side features (writing-style features for
+//! StyleLSTM, dual-emotion features for DualEmo) before the MLP classifier.
+
+use crate::config::ModelConfig;
+use crate::traits::{FakeNewsModel, ModelOutput};
+use dtdbd_data::Batch;
+use dtdbd_nn::{Activation, BiGru, BiLstm, Embedding, Mlp};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::{Graph, ParamStore};
+
+/// StyleLSTM: BiLSTM text encoder + style features.
+#[derive(Debug, Clone)]
+pub struct StyleLstm {
+    config: ModelConfig,
+    embedding: Embedding,
+    encoder: BiLstm,
+    head: Mlp,
+}
+
+impl StyleLstm {
+    /// Build the StyleLSTM baseline.
+    pub fn new(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        let embedding = crate::pretrained::pretrained_embedding(
+            store,
+            "StyleLSTM.encoder",
+            &config.vocab,
+            config.emb_dim,
+            config.emb_seed,
+        );
+        let encoder = BiLstm::new(store, "StyleLSTM.bilstm", config.emb_dim, config.hidden, rng);
+        let head = Mlp::new(
+            store,
+            "StyleLSTM.head",
+            &[encoder.out_dim() + config.style_dim, config.feature_dim, 2],
+            Activation::Relu,
+            config.dropout,
+            rng,
+        );
+        Self {
+            config: config.clone(),
+            embedding,
+            encoder,
+            head,
+        }
+    }
+}
+
+impl FakeNewsModel for StyleLstm {
+    fn name(&self) -> &'static str {
+        "StyleLSTM"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput {
+        let embedded = self
+            .embedding
+            .forward(g, &batch.token_ids, batch.batch_size, batch.seq_len);
+        let encoded = self.encoder.forward(g, embedded);
+        let style = g.constant(batch.style.clone());
+        let joint = g.concat_last(&[encoded, style]);
+        let joint = g.dropout(joint, self.config.dropout);
+        let features = self.head.forward_hidden(g, joint);
+        let logits = self.head.forward_output(g, features);
+        ModelOutput::simple(logits, features)
+    }
+}
+
+/// DualEmo: BiGRU text encoder + dual emotion features.
+#[derive(Debug, Clone)]
+pub struct DualEmo {
+    config: ModelConfig,
+    embedding: Embedding,
+    encoder: BiGru,
+    head: Mlp,
+}
+
+impl DualEmo {
+    /// Build the DualEmo baseline.
+    pub fn new(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        let embedding = crate::pretrained::pretrained_embedding(
+            store,
+            "DualEmo.encoder",
+            &config.vocab,
+            config.emb_dim,
+            config.emb_seed,
+        );
+        let encoder = BiGru::new(store, "DualEmo.bigru", config.emb_dim, config.hidden, rng);
+        let head = Mlp::new(
+            store,
+            "DualEmo.head",
+            &[encoder.out_dim() + config.emotion_dim, config.feature_dim, 2],
+            Activation::Relu,
+            config.dropout,
+            rng,
+        );
+        Self {
+            config: config.clone(),
+            embedding,
+            encoder,
+            head,
+        }
+    }
+}
+
+impl FakeNewsModel for DualEmo {
+    fn name(&self) -> &'static str {
+        "DualEmo"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput {
+        let embedded = self
+            .embedding
+            .forward(g, &batch.token_ids, batch.batch_size, batch.seq_len);
+        let encoded = self.encoder.forward(g, embedded);
+        let emotion = g.constant(batch.emotion.clone());
+        let joint = g.concat_last(&[encoded, emotion]);
+        let joint = g.dropout(joint, self.config.dropout);
+        let features = self.head.forward_hidden(g, joint);
+        let logits = self.head.forward_output(g, features);
+        ModelOutput::simple(logits, features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{exercise_model, tiny_batch, tiny_dataset};
+    use dtdbd_tensor::Tensor;
+
+    #[test]
+    fn style_lstm_satisfies_model_contract() {
+        exercise_model(|store, cfg| StyleLstm::new(store, cfg, &mut Prng::new(1)));
+    }
+
+    #[test]
+    fn dual_emo_satisfies_model_contract() {
+        exercise_model(|store, cfg| DualEmo::new(store, cfg, &mut Prng::new(2)));
+    }
+
+    #[test]
+    fn emotion_features_influence_dual_emo_predictions() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let model = DualEmo::new(&mut store, &cfg, &mut Prng::new(3));
+        let batch = tiny_batch(&ds, 8);
+        let mut altered = batch.clone();
+        altered.emotion = Tensor::full(&[batch.batch_size, cfg.emotion_dim], 3.0);
+        let logits = |store: &mut ParamStore, b: &Batch| {
+            let mut g = Graph::new(store, false, 0);
+            let out = model.forward(&mut g, b);
+            g.value(out.logits).data().to_vec()
+        };
+        assert_ne!(logits(&mut store, &batch), logits(&mut store, &altered));
+    }
+
+    #[test]
+    fn style_features_influence_style_lstm_predictions() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let model = StyleLstm::new(&mut store, &cfg, &mut Prng::new(4));
+        let batch = tiny_batch(&ds, 8);
+        let mut altered = batch.clone();
+        altered.style = Tensor::full(&[batch.batch_size, cfg.style_dim], -3.0);
+        let logits = |store: &mut ParamStore, b: &Batch| {
+            let mut g = Graph::new(store, false, 0);
+            let out = model.forward(&mut g, b);
+            g.value(out.logits).data().to_vec()
+        };
+        assert_ne!(logits(&mut store, &batch), logits(&mut store, &altered));
+    }
+}

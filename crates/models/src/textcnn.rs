@@ -1,0 +1,150 @@
+//! TextCNN models: the TextCNN baseline (kernels {1, 2, 3, 5, 10}) and the
+//! student network TextCNN-S / TextCNN-U (kernels {1, 2, 3, 5}) used by the
+//! DTDBD framework (paper Sec. VI-A2 and VI-A4).
+
+use crate::config::ModelConfig;
+use crate::traits::{FakeNewsModel, ModelOutput};
+use dtdbd_data::Batch;
+use dtdbd_nn::{Activation, Embedding, Mlp, TextCnnEncoder};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::{Graph, ParamStore};
+
+/// A TextCNN classifier over the frozen pre-trained embedding.
+#[derive(Debug, Clone)]
+pub struct TextCnnModel {
+    name: &'static str,
+    config: ModelConfig,
+    embedding: Embedding,
+    encoder: TextCnnEncoder,
+    head: Mlp,
+}
+
+impl TextCnnModel {
+    /// The TextCNN baseline with the paper's five kernel widths
+    /// {1, 2, 3, 5, 10}.
+    pub fn baseline(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        Self::with_kernels("TextCNN", &[1, 2, 3, 5, 10], store, config, rng)
+    }
+
+    /// The student network TextCNN-S (called TextCNN-U once trained inside
+    /// DTDBD) with kernel widths {1, 2, 3, 5}.
+    pub fn student(store: &mut ParamStore, config: &ModelConfig, rng: &mut Prng) -> Self {
+        Self::with_kernels("TextCNN-S", &[1, 2, 3, 5], store, config, rng)
+    }
+
+    /// Build with explicit kernel widths (used by ablations).
+    pub fn with_kernels(
+        name: &'static str,
+        kernels: &[usize],
+        store: &mut ParamStore,
+        config: &ModelConfig,
+        rng: &mut Prng,
+    ) -> Self {
+        assert!(
+            kernels.iter().all(|&k| k <= config.seq_len),
+            "kernel wider than the sequence length"
+        );
+        let embedding = crate::pretrained::pretrained_embedding(
+            store,
+            &format!("{name}.encoder"),
+            &config.vocab,
+            config.emb_dim,
+            config.emb_seed,
+        );
+        let encoder = TextCnnEncoder::new(
+            store,
+            &format!("{name}.cnn"),
+            config.emb_dim,
+            config.hidden,
+            kernels,
+            rng,
+        );
+        let head = Mlp::new(
+            store,
+            &format!("{name}.head"),
+            &[encoder.out_dim(), config.feature_dim, 2],
+            Activation::Relu,
+            config.dropout,
+            rng,
+        );
+        Self {
+            name,
+            config: config.clone(),
+            embedding,
+            encoder,
+            head,
+        }
+    }
+
+    /// The convolutional encoder's output width (before the MLP head).
+    pub fn encoder_dim(&self) -> usize {
+        self.encoder.out_dim()
+    }
+}
+
+impl FakeNewsModel for TextCnnModel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput {
+        let embedded = self
+            .embedding
+            .forward(g, &batch.token_ids, batch.batch_size, batch.seq_len);
+        let encoded = self.encoder.forward(g, embedded);
+        let encoded = g.dropout(encoded, self.config.dropout);
+        let features = self.head.forward_hidden(g, encoded);
+        let logits = self.head.forward_output(g, features);
+        ModelOutput::simple(logits, features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{exercise_model, tiny_dataset};
+
+    #[test]
+    fn baseline_satisfies_model_contract() {
+        exercise_model(|store, cfg| TextCnnModel::baseline(store, cfg, &mut Prng::new(1)));
+    }
+
+    #[test]
+    fn student_satisfies_model_contract() {
+        exercise_model(|store, cfg| TextCnnModel::student(store, cfg, &mut Prng::new(2)));
+    }
+
+    #[test]
+    fn student_is_smaller_than_baseline() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store_b = ParamStore::new();
+        let _b = TextCnnModel::baseline(&mut store_b, &cfg, &mut Prng::new(3));
+        let mut store_s = ParamStore::new();
+        let _s = TextCnnModel::student(&mut store_s, &cfg, &mut Prng::new(3));
+        assert!(store_s.num_trainable_scalars() < store_b.num_trainable_scalars());
+    }
+
+    #[test]
+    fn encoder_dim_scales_with_kernel_count() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let model = TextCnnModel::with_kernels("custom", &[2, 3], &mut store, &cfg, &mut Prng::new(4));
+        assert_eq!(model.encoder_dim(), 2 * cfg.hidden);
+        assert_eq!(model.name(), "custom");
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel wider")]
+    fn kernel_wider_than_sequence_is_rejected() {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let _ = TextCnnModel::with_kernels("bad", &[99], &mut store, &cfg, &mut Prng::new(5));
+    }
+}

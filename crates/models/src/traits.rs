@@ -1,0 +1,188 @@
+//! The common interface every fake-news detection model implements.
+
+use crate::config::ModelConfig;
+use dtdbd_data::Batch;
+use dtdbd_tensor::{Graph, Tensor, Var};
+
+/// Result of a model forward pass.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelOutput {
+    /// Classification logits `[batch, 2]` (real / fake).
+    pub logits: Var,
+    /// The intermediate feature `[batch, feature_dim]` used for feature
+    /// distillation (Eq. 5) and for the t-SNE visualisation (Figure 2).
+    pub features: Var,
+    /// Domain-classifier logits `[batch, n_domains]` for models with a
+    /// domain-adversarial branch (EANN, EDDFN, the unbiased teacher).
+    pub domain_logits: Option<Var>,
+    /// Optional auxiliary loss already reduced to a scalar (e.g. EDDFN's
+    /// reconstruction term); added to the training objective with weight 1.
+    pub aux_loss: Option<Var>,
+}
+
+impl ModelOutput {
+    /// A plain output with logits and features only.
+    pub fn simple(logits: Var, features: Var) -> Self {
+        Self {
+            logits,
+            features,
+            domain_logits: None,
+            aux_loss: None,
+        }
+    }
+}
+
+/// A multi-domain fake news detection model.
+pub trait FakeNewsModel {
+    /// Short name used in result tables (matches the paper's rows).
+    fn name(&self) -> &'static str;
+
+    /// The configuration the model was built with.
+    fn config(&self) -> &ModelConfig;
+
+    /// Run the model on a batch, recording ops on the supplied graph.
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput;
+
+    /// Whether the model consumes the hard domain labels as an *input*
+    /// (MDFEND's domain gate, M3FEND's memory). The paper highlights that
+    /// only EANN, EDDFN, MDFEND and M3FEND use domain labels.
+    fn uses_domain_labels(&self) -> bool {
+        false
+    }
+
+    /// Weight of the domain-classification cross-entropy added to the
+    /// training loss when `domain_logits` is produced (α in Eq. 11).
+    fn domain_loss_weight(&self) -> f32 {
+        0.0
+    }
+
+    /// Hook called by trainers after each optimization step with the batch's
+    /// detached features; used by M3FEND to update its domain memory bank.
+    fn post_batch(&mut self, _features: &Tensor, _domains: &[usize]) {}
+
+    /// Dimension of the feature vector returned in [`ModelOutput::features`].
+    fn feature_dim(&self) -> usize {
+        self.config().feature_dim
+    }
+}
+
+impl<T: FakeNewsModel + ?Sized> FakeNewsModel for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn config(&self) -> &ModelConfig {
+        (**self).config()
+    }
+
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput {
+        (**self).forward(g, batch)
+    }
+
+    fn uses_domain_labels(&self) -> bool {
+        (**self).uses_domain_labels()
+    }
+
+    fn domain_loss_weight(&self) -> f32 {
+        (**self).domain_loss_weight()
+    }
+
+    fn post_batch(&mut self, features: &Tensor, domains: &[usize]) {
+        (**self).post_batch(features, domains);
+    }
+
+    fn feature_dim(&self) -> usize {
+        (**self).feature_dim()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared helpers for the model unit tests.
+
+    use super::*;
+    use dtdbd_data::{weibo21_spec, BatchIter, GeneratorConfig, MultiDomainDataset, NewsGenerator};
+    use dtdbd_tensor::optim::{Adam, Optimizer};
+    use dtdbd_tensor::ParamStore;
+
+    /// A small Weibo21-like dataset shared by model tests.
+    pub fn tiny_dataset() -> MultiDomainDataset {
+        NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(13, 0.03)
+    }
+
+    /// First batch of the dataset.
+    pub fn tiny_batch(ds: &MultiDomainDataset, batch_size: usize) -> Batch {
+        BatchIter::new(ds, batch_size, 5, false).next().expect("non-empty dataset")
+    }
+
+    /// Checks every contract of the `FakeNewsModel` interface on one batch:
+    /// output shapes, finite values, gradient flow, and that a few Adam steps
+    /// reduce the training loss.
+    pub fn exercise_model<M, F>(build: F)
+    where
+        M: FakeNewsModel,
+        F: Fn(&mut ParamStore, &ModelConfig) -> M,
+    {
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let mut model = build(&mut store, &cfg);
+        let batch = tiny_batch(&ds, 16);
+
+        // Shape contract.
+        {
+            let mut g = Graph::new(&mut store, false, 0);
+            let out = model.forward(&mut g, &batch);
+            assert_eq!(g.value(out.logits).shape(), &[batch.batch_size, 2]);
+            assert_eq!(
+                g.value(out.features).shape(),
+                &[batch.batch_size, model.feature_dim()],
+                "{} feature shape",
+                model.name()
+            );
+            if let Some(d) = out.domain_logits {
+                assert_eq!(g.value(d).shape(), &[batch.batch_size, cfg.n_domains]);
+            }
+            assert!(!g.value(out.logits).has_non_finite());
+        }
+
+        // Training contract: the *classification* loss decreases over a few
+        // steps on one batch. (The full objective of adversarial models is a
+        // min-max game and need not decrease monotonically.)
+        let mut opt = Adam::new(5e-3);
+        let mut first = None;
+        let mut last = 0.0;
+        for step in 0..12 {
+            store.zero_grad();
+            let mut g = Graph::new(&mut store, true, step);
+            let out = model.forward(&mut g, &batch);
+            let ce = g.cross_entropy_logits(out.logits, &batch.labels);
+            let mut loss = ce;
+            if let Some(domain_logits) = out.domain_logits {
+                let dl = g.cross_entropy_logits(domain_logits, &batch.domains);
+                let weighted = g.scale(dl, model.domain_loss_weight());
+                loss = g.add(loss, weighted);
+            }
+            if let Some(aux) = out.aux_loss {
+                loss = g.add(loss, aux);
+            }
+            let value = g.value(ce).item();
+            if first.is_none() {
+                first = Some(value);
+            }
+            last = value;
+            g.backward(loss);
+            let feats = g.value(out.features).clone();
+            drop(g);
+            opt.step(&mut store);
+            model.post_batch(&feats, &batch.domains);
+        }
+        let first = first.unwrap();
+        assert!(
+            last < first,
+            "{}: loss should decrease ({first} -> {last})",
+            model.name()
+        );
+        assert!(last.is_finite());
+    }
+}

@@ -1,0 +1,205 @@
+//! TextCNN-style convolutional sequence encoders (Kim, 2014).
+
+use dtdbd_tensor::init;
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::{Graph, ParamId, ParamStore, Var};
+
+/// One 1-D convolution "branch" of a TextCNN: a kernel of a single width
+/// followed by ReLU and max-over-time pooling.
+#[derive(Debug, Clone)]
+pub struct ConvBranch {
+    weight: ParamId,
+    bias: ParamId,
+    kernel: usize,
+    channels: usize,
+}
+
+impl ConvBranch {
+    /// Register a branch with `channels` output channels and width `kernel`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        channels: usize,
+        kernel: usize,
+        rng: &mut Prng,
+    ) -> Self {
+        let weight = store.add(
+            format!("{name}.weight"),
+            init::xavier_uniform(kernel * in_dim, channels, &[channels, kernel, in_dim], rng),
+        );
+        let bias = store.add(format!("{name}.bias"), init::zeros(&[channels]));
+        Self {
+            weight,
+            bias,
+            kernel,
+            channels,
+        }
+    }
+
+    /// Kernel width.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Number of output channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Apply conv -> ReLU -> max-over-time to a `[b, s, d]` input, producing
+    /// `[b, channels]`.
+    pub fn forward(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        let w = g.param(self.weight);
+        let b = g.param(self.bias);
+        let conv = g.conv1d(x, w, b);
+        let act = g.relu(conv);
+        g.max_over_time(act)
+    }
+}
+
+/// The multi-kernel TextCNN encoder: several [`ConvBranch`]es whose pooled
+/// outputs are concatenated.
+///
+/// The paper's configurations map to this type as follows:
+///
+/// * baseline TextCNN / MDFEND expert: kernels `{1, 2, 3, 5, 10}` × 64
+///   channels;
+/// * the student TextCNN-S / TextCNN-U: kernels `{1, 2, 3, 5}` × 64 channels
+///   on top of the frozen pre-trained embedding.
+#[derive(Debug, Clone)]
+pub struct TextCnnEncoder {
+    branches: Vec<ConvBranch>,
+    in_dim: usize,
+}
+
+impl TextCnnEncoder {
+    /// Build an encoder with one branch per kernel width.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        channels: usize,
+        kernels: &[usize],
+        rng: &mut Prng,
+    ) -> Self {
+        assert!(!kernels.is_empty(), "TextCnnEncoder needs at least one kernel");
+        let branches = kernels
+            .iter()
+            .map(|&k| ConvBranch::new(store, &format!("{name}.k{k}"), in_dim, channels, k, rng))
+            .collect();
+        Self { branches, in_dim }
+    }
+
+    /// Input (embedding) dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Dimension of the concatenated output feature.
+    pub fn out_dim(&self) -> usize {
+        self.branches.iter().map(ConvBranch::channels).sum()
+    }
+
+    /// Largest kernel width (the minimum usable sequence length).
+    pub fn max_kernel(&self) -> usize {
+        self.branches.iter().map(ConvBranch::kernel).max().unwrap_or(1)
+    }
+
+    /// Encode a `[b, s, d]` embedded sequence into `[b, out_dim]`.
+    ///
+    /// # Panics
+    /// Panics if the sequence is shorter than the largest kernel.
+    pub fn forward(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        let pooled: Vec<Var> = self.branches.iter().map(|br| br.forward(g, x)).collect();
+        if pooled.len() == 1 {
+            pooled[0]
+        } else {
+            g.concat_last(&pooled)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdbd_tensor::gradcheck::check_gradients;
+    use dtdbd_tensor::Tensor;
+
+    #[test]
+    fn encoder_output_dim_is_channels_times_kernels() {
+        let mut rng = Prng::new(1);
+        let mut store = ParamStore::new();
+        let enc = TextCnnEncoder::new(&mut store, "cnn", 16, 8, &[1, 2, 3, 5], &mut rng);
+        assert_eq!(enc.out_dim(), 32);
+        assert_eq!(enc.max_kernel(), 5);
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::randn(&[3, 12, 16], 1.0, &mut rng));
+        let y = enc.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[3, 32]);
+    }
+
+    #[test]
+    fn single_branch_skips_concat() {
+        let mut rng = Prng::new(2);
+        let mut store = ParamStore::new();
+        let enc = TextCnnEncoder::new(&mut store, "cnn", 8, 4, &[3], &mut rng);
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::randn(&[2, 6, 8], 1.0, &mut rng));
+        let y = enc.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn pooled_features_are_nonnegative_after_relu() {
+        let mut rng = Prng::new(3);
+        let mut store = ParamStore::new();
+        let enc = TextCnnEncoder::new(&mut store, "cnn", 8, 16, &[2, 3], &mut rng);
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::randn(&[4, 10, 8], 1.0, &mut rng));
+        let y = enc.forward(&mut g, x);
+        assert!(g.value(y).data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn encoder_gradients_pass_finite_difference_check() {
+        let mut rng = Prng::new(4);
+        let mut store = ParamStore::new();
+        let enc = TextCnnEncoder::new(&mut store, "cnn", 5, 3, &[2, 3], &mut rng);
+        let head_w = store.add("head", Tensor::randn(&[6, 2], 0.4, &mut rng));
+        let param_ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+        let x = Tensor::randn(&[3, 7, 5], 1.0, &mut rng);
+        let labels = vec![0usize, 1, 0];
+        let report = check_gradients(
+            &mut store,
+            &param_ids,
+            |store| {
+                let mut g = Graph::new(store, false, 0);
+                let xv = g.constant(x.clone());
+                let feat = enc.forward(&mut g, xv);
+                let w = g.param(head_w);
+                let logits = g.matmul(feat, w);
+                let loss = g.cross_entropy_logits(logits, &labels);
+                let v = g.value(loss).item();
+                g.backward(loss);
+                v
+            },
+            // Small eps: the ReLU + max-over-time composition is piecewise
+            // linear, and a larger perturbation can cross an argmax boundary.
+            1e-3,
+            10,
+        );
+        assert!(report.max_rel_error < 5e-2, "rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence length")]
+    fn too_short_sequence_panics() {
+        let mut rng = Prng::new(5);
+        let mut store = ParamStore::new();
+        let enc = TextCnnEncoder::new(&mut store, "cnn", 4, 2, &[5], &mut rng);
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::randn(&[1, 3, 4], 1.0, &mut rng));
+        let _ = enc.forward(&mut g, x);
+    }
+}

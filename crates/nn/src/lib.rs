@@ -1,0 +1,41 @@
+//! # dtdbd-nn
+//!
+//! Neural-network building blocks for the DTDBD reproduction, written on top
+//! of the [`dtdbd_tensor`] autograd substrate.
+//!
+//! Every layer follows the same pattern: construction registers its
+//! parameters in a caller-provided [`dtdbd_tensor::ParamStore`] (so the same
+//! store can hold a whole model and be handed to an optimizer), and
+//! `forward` records ops on a caller-provided [`dtdbd_tensor::Graph`].
+//!
+//! The blocks provided here are exactly the ones the paper's models need:
+//!
+//! * [`linear::Linear`] and [`linear::Mlp`] — dense heads and classifiers.
+//! * [`embedding::Embedding`] — trainable or frozen ("simulated pre-trained
+//!   BERT/RoBERTa activation") token embedding tables.
+//! * [`conv::TextCnnEncoder`] — the multi-kernel TextCNN encoder used by the
+//!   student (TextCNN-S/U), MDFEND's experts and EANN's feature extractor.
+//! * [`rnn::BiGru`] / [`rnn::BiLstm`] — recurrent encoders for BiGRU,
+//!   StyleLSTM, DualEmo and MoSE.
+//! * [`moe::MixtureOfExperts`] — the gated expert aggregation of MMoE/MoSE
+//!   and MDFEND's domain gate.
+//! * [`memory::DomainMemoryBank`] — M3FEND-style per-domain memory used to
+//!   produce soft (fuzzy) domain labels.
+//! * [`adversary::DomainAdversary`] — gradient-reversal domain classifier
+//!   used by EANN, EDDFN and the unbiased teacher (DAT / DAT-IE).
+
+pub mod adversary;
+pub mod conv;
+pub mod embedding;
+pub mod linear;
+pub mod memory;
+pub mod moe;
+pub mod rnn;
+
+pub use adversary::DomainAdversary;
+pub use conv::TextCnnEncoder;
+pub use embedding::Embedding;
+pub use linear::{Activation, Linear, Mlp};
+pub use memory::DomainMemoryBank;
+pub use moe::MixtureOfExperts;
+pub use rnn::{BiGru, BiLstm, Gru, Lstm};

@@ -1,0 +1,202 @@
+//! M3FEND-style domain memory bank.
+//!
+//! The memory bank keeps one slot vector per domain. During training the
+//! slots are updated (outside the autograd tape) as an exponential moving
+//! average of the features of samples that carry that hard domain label.
+//! At prediction time the similarity between a sample's feature vector and
+//! every slot yields a *soft* (fuzzy) domain distribution — the "potential
+//! domain labels" that M3FEND uses to drive its domain adapter, and that the
+//! paper's Challenges section motivates as fuzzy labels.
+
+use dtdbd_tensor::{Graph, Tensor, Var};
+
+/// Per-domain feature memory with EMA updates.
+#[derive(Debug, Clone)]
+pub struct DomainMemoryBank {
+    slots: Tensor,
+    counts: Vec<usize>,
+    dim: usize,
+    n_domains: usize,
+    momentum: f32,
+    temperature: f32,
+}
+
+impl DomainMemoryBank {
+    /// Create an empty bank for `n_domains` domains of `dim`-dimensional
+    /// features. `momentum` controls the EMA update (`0.9` keeps slots
+    /// stable); `temperature` controls how peaked the soft domain
+    /// distribution is.
+    pub fn new(n_domains: usize, dim: usize, momentum: f32, temperature: f32) -> Self {
+        assert!(n_domains > 0 && dim > 0);
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        assert!(temperature > 0.0, "temperature must be positive");
+        Self {
+            slots: Tensor::zeros(&[n_domains, dim]),
+            counts: vec![0; n_domains],
+            dim,
+            n_domains,
+            momentum,
+            temperature,
+        }
+    }
+
+    /// Number of domains (slots).
+    pub fn n_domains(&self) -> usize {
+        self.n_domains
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow the raw slot matrix (`[n_domains, dim]`).
+    pub fn slots(&self) -> &Tensor {
+        &self.slots
+    }
+
+    /// Number of samples that have contributed to each slot.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// EMA-update the slots with a batch of features (`[b, dim]`) and their
+    /// hard domain labels.
+    ///
+    /// # Panics
+    /// Panics if shapes or label ranges are inconsistent.
+    pub fn update(&mut self, features: &Tensor, domains: &[usize]) {
+        assert_eq!(features.ndim(), 2, "features must be [b, dim]");
+        assert_eq!(features.shape()[1], self.dim, "feature dim mismatch");
+        assert_eq!(features.shape()[0], domains.len(), "batch size mismatch");
+        for (i, &d) in domains.iter().enumerate() {
+            assert!(d < self.n_domains, "domain label {d} out of range");
+            let row = features.row(i);
+            let first_time = self.counts[d] == 0;
+            let slot_offset = d * self.dim;
+            let slot = &mut self.slots.data_mut()[slot_offset..slot_offset + self.dim];
+            if first_time {
+                slot.copy_from_slice(row);
+            } else {
+                for (s, &f) in slot.iter_mut().zip(row.iter()) {
+                    *s = self.momentum * *s + (1.0 - self.momentum) * f;
+                }
+            }
+            self.counts[d] += 1;
+        }
+    }
+
+    /// Soft domain distribution for a batch of plain-tensor features
+    /// (`[b, dim] -> [b, n_domains]`), computed from negative squared
+    /// distances to the slots divided by the temperature.
+    pub fn soft_domains(&self, features: &Tensor) -> Tensor {
+        assert_eq!(features.shape()[1], self.dim, "feature dim mismatch");
+        let b = features.shape()[0];
+        let mut logits = Tensor::zeros(&[b, self.n_domains]);
+        for i in 0..b {
+            let f = features.row(i);
+            for d in 0..self.n_domains {
+                let slot = &self.slots.data()[d * self.dim..(d + 1) * self.dim];
+                let mut dist = 0.0f32;
+                for (a, s) in f.iter().zip(slot.iter()) {
+                    let diff = a - s;
+                    dist += diff * diff;
+                }
+                logits.set2(i, d, -dist / self.temperature);
+            }
+        }
+        logits.softmax_rows()
+    }
+
+    /// Record the soft domain distribution on an autograd tape as a constant
+    /// gate input (the memory itself is not differentiated through, matching
+    /// M3FEND's design where the memory is updated by moving averages).
+    pub fn soft_domains_var(&self, g: &mut Graph<'_>, features: &Tensor) -> Var {
+        let soft = self.soft_domains(features);
+        g.constant(soft)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdbd_tensor::rng::Prng;
+
+    fn clustered_features(rng: &mut Prng, centers: &[Vec<f32>], per: usize) -> (Tensor, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (d, c) in centers.iter().enumerate() {
+            for _ in 0..per {
+                let row: Vec<f32> = c.iter().map(|&v| v + 0.05 * rng.normal()).collect();
+                rows.push(Tensor::from_vec(row));
+                labels.push(d);
+            }
+        }
+        (Tensor::stack_rows(&rows), labels)
+    }
+
+    #[test]
+    fn slots_move_towards_domain_means() {
+        let mut rng = Prng::new(1);
+        let centers = vec![vec![1.0, 0.0, 0.0], vec![0.0, 2.0, 0.0]];
+        let (features, labels) = clustered_features(&mut rng, &centers, 30);
+        let mut bank = DomainMemoryBank::new(2, 3, 0.8, 1.0);
+        bank.update(&features, &labels);
+        let slot0 = bank.slots().row(0);
+        let slot1 = bank.slots().row(1);
+        assert!((slot0[0] - 1.0).abs() < 0.2, "slot0 {slot0:?}");
+        assert!((slot1[1] - 2.0).abs() < 0.2, "slot1 {slot1:?}");
+        assert_eq!(bank.counts(), &[30, 30]);
+    }
+
+    #[test]
+    fn soft_domains_peak_on_the_true_domain() {
+        let mut rng = Prng::new(2);
+        let centers = vec![vec![3.0, 0.0], vec![0.0, 3.0], vec![-3.0, -3.0]];
+        let (features, labels) = clustered_features(&mut rng, &centers, 20);
+        let mut bank = DomainMemoryBank::new(3, 2, 0.7, 2.0);
+        bank.update(&features, &labels);
+        let probe = Tensor::from_rows(&[vec![2.9, 0.1], vec![-2.8, -3.1]]);
+        let soft = bank.soft_domains(&probe);
+        assert_eq!(soft.argmax_rows(), vec![0, 2]);
+        for i in 0..2 {
+            let s: f32 = soft.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn higher_temperature_gives_fuzzier_labels() {
+        let mut rng = Prng::new(3);
+        let centers = vec![vec![2.0, 0.0], vec![-2.0, 0.0]];
+        let (features, labels) = clustered_features(&mut rng, &centers, 10);
+        let probe = Tensor::from_rows(&[vec![1.9, 0.0]]);
+        let mut sharp = DomainMemoryBank::new(2, 2, 0.7, 0.5);
+        sharp.update(&features, &labels);
+        let mut fuzzy = DomainMemoryBank::new(2, 2, 0.7, 50.0);
+        fuzzy.update(&features, &labels);
+        assert!(sharp.soft_domains(&probe).at2(0, 0) > fuzzy.soft_domains(&probe).at2(0, 0));
+        assert!(fuzzy.soft_domains(&probe).at2(0, 0) > 0.5);
+    }
+
+    #[test]
+    fn soft_domains_var_is_constant_on_the_tape() {
+        let mut rng = Prng::new(4);
+        let centers = vec![vec![1.0, 1.0], vec![-1.0, -1.0]];
+        let (features, labels) = clustered_features(&mut rng, &centers, 5);
+        let mut bank = DomainMemoryBank::new(2, 2, 0.7, 1.0);
+        bank.update(&features, &labels);
+        let mut store = dtdbd_tensor::ParamStore::new();
+        let mut g = Graph::new(&mut store, true, 0);
+        let v = bank.soft_domains_var(&mut g, &features);
+        assert_eq!(g.value(v).shape(), &[10, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_domain_label_panics() {
+        let mut bank = DomainMemoryBank::new(2, 2, 0.5, 1.0);
+        let feats = Tensor::from_rows(&[vec![0.0, 0.0]]);
+        bank.update(&feats, &[5]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Gated mixture-of-experts aggregation.
+//!
+//! This block implements the expert aggregation mechanism shared by three of
+//! the paper's baselines:
+//!
+//! * **MMoE** — MLP experts combined by a softmax gate conditioned on the
+//!   input representation;
+//! * **MoSE** — the same gate over sequential (LSTM) experts, whose outputs
+//!   are supplied by the caller;
+//! * **MDFEND** — TextCNN experts combined by a gate conditioned on the
+//!   domain embedding (the "learnable domain gate").
+
+use crate::linear::{Activation, Mlp};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::{Graph, ParamStore, Var};
+
+/// A softmax gate that mixes `n_experts` feature vectors.
+#[derive(Debug, Clone)]
+pub struct ExpertGate {
+    gate: Mlp,
+    n_experts: usize,
+}
+
+impl ExpertGate {
+    /// Build a gate conditioned on a `gate_in_dim`-dimensional input.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        gate_in_dim: usize,
+        n_experts: usize,
+        rng: &mut Prng,
+    ) -> Self {
+        let gate = Mlp::new(
+            store,
+            &format!("{name}.gate"),
+            &[gate_in_dim, n_experts],
+            Activation::Relu,
+            0.0,
+            rng,
+        );
+        Self { gate, n_experts }
+    }
+
+    /// Number of experts mixed by the gate.
+    pub fn n_experts(&self) -> usize {
+        self.n_experts
+    }
+
+    /// Softmax mixture weights `[batch, n_experts]` given the gate input.
+    pub fn weights(&self, g: &mut Graph<'_>, gate_input: Var) -> Var {
+        let logits = self.gate.forward(g, gate_input);
+        g.softmax(logits)
+    }
+
+    /// Mix pre-computed expert outputs (`expert_outputs[e]` is `[b, d]`)
+    /// using weights computed from `gate_input`.
+    ///
+    /// # Panics
+    /// Panics if the number of expert outputs differs from `n_experts`.
+    pub fn mix(&self, g: &mut Graph<'_>, gate_input: Var, expert_outputs: &[Var]) -> Var {
+        assert_eq!(
+            expert_outputs.len(),
+            self.n_experts,
+            "expected {} expert outputs",
+            self.n_experts
+        );
+        let weights = self.weights(g, gate_input);
+        mix_with_weights(g, weights, expert_outputs)
+    }
+}
+
+/// Mix expert outputs with an explicit `[b, n_experts]` weight matrix
+/// (each row need not be normalised; callers usually pass a softmax output).
+pub fn mix_with_weights(g: &mut Graph<'_>, weights: Var, expert_outputs: &[Var]) -> Var {
+    assert!(!expert_outputs.is_empty(), "no expert outputs to mix");
+    let mut acc: Option<Var> = None;
+    for (e, &out) in expert_outputs.iter().enumerate() {
+        let w_col = g.select_col(weights, e);
+        let scaled = g.row_scale(out, w_col);
+        acc = Some(match acc {
+            Some(a) => g.add(a, scaled),
+            None => scaled,
+        });
+    }
+    acc.expect("at least one expert")
+}
+
+/// A full mixture-of-experts block with MLP experts (the MMoE baseline's
+/// core): each expert maps `[b, in_dim] -> [b, expert_dim]`, and the gate is
+/// conditioned on the same input.
+#[derive(Debug, Clone)]
+pub struct MixtureOfExperts {
+    experts: Vec<Mlp>,
+    gate: ExpertGate,
+    expert_dim: usize,
+}
+
+impl MixtureOfExperts {
+    /// Build `n_experts` single-hidden-layer MLP experts plus the gate.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        expert_hidden: usize,
+        expert_dim: usize,
+        n_experts: usize,
+        rng: &mut Prng,
+    ) -> Self {
+        let experts = (0..n_experts)
+            .map(|e| {
+                Mlp::new(
+                    store,
+                    &format!("{name}.expert{e}"),
+                    &[in_dim, expert_hidden, expert_dim],
+                    Activation::Relu,
+                    0.0,
+                    rng,
+                )
+            })
+            .collect();
+        let gate = ExpertGate::new(store, name, in_dim, n_experts, rng);
+        Self {
+            experts,
+            gate,
+            expert_dim,
+        }
+    }
+
+    /// Output dimension of the mixed representation.
+    pub fn out_dim(&self) -> usize {
+        self.expert_dim
+    }
+
+    /// Number of experts.
+    pub fn n_experts(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// Mix the experts' outputs for a `[b, in_dim]` input.
+    pub fn forward(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        let outputs: Vec<Var> = self.experts.iter().map(|e| e.forward(g, x)).collect();
+        self.gate.mix(g, x, &outputs)
+    }
+
+    /// Mix the experts' outputs but condition the gate on a separate input
+    /// (e.g. a domain embedding, as in MDFEND).
+    pub fn forward_gated_by(&self, g: &mut Graph<'_>, x: Var, gate_input: Var) -> Var {
+        let outputs: Vec<Var> = self.experts.iter().map(|e| e.forward(g, x)).collect();
+        self.gate.mix(g, gate_input, &outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdbd_tensor::gradcheck::check_gradients;
+    use dtdbd_tensor::Tensor;
+
+    #[test]
+    fn gate_weights_are_a_distribution() {
+        let mut rng = Prng::new(1);
+        let mut store = ParamStore::new();
+        let gate = ExpertGate::new(&mut store, "gate", 6, 4, &mut rng);
+        assert_eq!(gate.n_experts(), 4);
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::randn(&[3, 6], 1.0, &mut rng));
+        let w = gate.weights(&mut g, x);
+        assert_eq!(g.value(w).shape(), &[3, 4]);
+        for i in 0..3 {
+            let s: f32 = g.value(w).row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mixing_with_onehot_weights_selects_an_expert() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new(&mut store, false, 0);
+        let e0 = g.constant(Tensor::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]));
+        let e1 = g.constant(Tensor::from_rows(&[vec![5.0, 5.0], vec![5.0, 5.0]]));
+        // First row picks expert 0, second row picks expert 1.
+        let w = g.constant(Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]));
+        let mixed = mix_with_weights(&mut g, w, &[e0, e1]);
+        assert_eq!(g.value(mixed).data(), &[1.0, 1.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn moe_output_shape() {
+        let mut rng = Prng::new(2);
+        let mut store = ParamStore::new();
+        let moe = MixtureOfExperts::new(&mut store, "moe", 8, 16, 10, 5, &mut rng);
+        assert_eq!(moe.out_dim(), 10);
+        assert_eq!(moe.n_experts(), 5);
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::randn(&[4, 8], 1.0, &mut rng));
+        let y = moe.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[4, 10]);
+        let y2 = moe.forward_gated_by(&mut g, x, x);
+        assert_eq!(g.value(y2).shape(), &[4, 10]);
+    }
+
+    #[test]
+    fn moe_gradients_pass_finite_difference_check() {
+        let mut rng = Prng::new(3);
+        let mut store = ParamStore::new();
+        let moe = MixtureOfExperts::new(&mut store, "moe", 4, 6, 5, 3, &mut rng);
+        let head = store.add("head", Tensor::randn(&[5, 2], 0.5, &mut rng));
+        let param_ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+        let x = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let labels = vec![0usize, 1, 0];
+        let report = check_gradients(
+            &mut store,
+            &param_ids,
+            |store| {
+                let mut g = Graph::new(store, false, 0);
+                let xv = g.constant(x.clone());
+                let mixed = moe.forward(&mut g, xv);
+                let w = g.param(head);
+                let logits = g.matmul(mixed, w);
+                let loss = g.cross_entropy_logits(logits, &labels);
+                let v = g.value(loss).item();
+                g.backward(loss);
+                v
+            },
+            1e-2,
+            8,
+        );
+        assert!(report.max_rel_error < 5e-2, "rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 expert outputs")]
+    fn wrong_expert_count_panics() {
+        let mut rng = Prng::new(4);
+        let mut store = ParamStore::new();
+        let gate = ExpertGate::new(&mut store, "gate", 4, 3, &mut rng);
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::randn(&[2, 4], 1.0, &mut rng));
+        let e = g.constant(Tensor::randn(&[2, 5], 1.0, &mut rng));
+        let _ = gate.mix(&mut g, x, &[e]);
+    }
+}

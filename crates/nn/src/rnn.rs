@@ -1,0 +1,489 @@
+//! Recurrent sequence encoders: GRU / BiGRU and LSTM / BiLSTM.
+//!
+//! The cells are expressed entirely in terms of the autograd primitives
+//! (matmul / sigmoid / tanh / elementwise), so no dedicated backward code is
+//! needed and the finite-difference checks in the test module validate the
+//! whole unrolled computation.
+
+use dtdbd_tensor::init;
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::{Graph, ParamId, ParamStore, Tensor, Var};
+
+/// Parameters of a single-direction GRU.
+#[derive(Debug, Clone)]
+pub struct Gru {
+    w_z: ParamId,
+    u_z: ParamId,
+    b_z: ParamId,
+    w_r: ParamId,
+    u_r: ParamId,
+    b_r: ParamId,
+    w_h: ParamId,
+    u_h: ParamId,
+    b_h: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl Gru {
+    /// Register a GRU with the given input and hidden sizes.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Prng) -> Self {
+        let mut gate = |gate_name: &str, rows: usize| {
+            store.add(
+                format!("{name}.{gate_name}"),
+                init::xavier_uniform(rows, hidden, &[rows, hidden], rng),
+            )
+        };
+        let w_z = gate("w_z", in_dim);
+        let u_z = gate("u_z", hidden);
+        let w_r = gate("w_r", in_dim);
+        let u_r = gate("u_r", hidden);
+        let w_h = gate("w_h", in_dim);
+        let u_h = gate("u_h", hidden);
+        let b_z = store.add(format!("{name}.b_z"), init::zeros(&[hidden]));
+        let b_r = store.add(format!("{name}.b_r"), init::zeros(&[hidden]));
+        let b_h = store.add(format!("{name}.b_h"), init::zeros(&[hidden]));
+        Self {
+            w_z,
+            u_z,
+            b_z,
+            w_r,
+            u_r,
+            b_r,
+            w_h,
+            u_h,
+            b_h,
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Hidden state size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input feature size.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// One GRU step: `h' = (1 - z) ⊙ h + z ⊙ tanh(W_h x + U_h (r ⊙ h) + b_h)`.
+    pub fn step(&self, g: &mut Graph<'_>, x_t: Var, h: Var) -> Var {
+        let w_z = g.param(self.w_z);
+        let u_z = g.param(self.u_z);
+        let b_z = g.param(self.b_z);
+        let w_r = g.param(self.w_r);
+        let u_r = g.param(self.u_r);
+        let b_r = g.param(self.b_r);
+        let w_h = g.param(self.w_h);
+        let u_h = g.param(self.u_h);
+        let b_h = g.param(self.b_h);
+
+        let xz = g.matmul(x_t, w_z);
+        let hz = g.matmul(h, u_z);
+        let z_pre = g.add(xz, hz);
+        let z_pre = g.add_bias(z_pre, b_z);
+        let z = g.sigmoid(z_pre);
+
+        let xr = g.matmul(x_t, w_r);
+        let hr = g.matmul(h, u_r);
+        let r_pre = g.add(xr, hr);
+        let r_pre = g.add_bias(r_pre, b_r);
+        let r = g.sigmoid(r_pre);
+
+        let rh = g.mul(r, h);
+        let xh = g.matmul(x_t, w_h);
+        let hh = g.matmul(rh, u_h);
+        let cand_pre = g.add(xh, hh);
+        let cand_pre = g.add_bias(cand_pre, b_h);
+        let cand = g.tanh(cand_pre);
+
+        let one_minus_z = g.one_minus(z);
+        let keep = g.mul(one_minus_z, h);
+        let update = g.mul(z, cand);
+        g.add(keep, update)
+    }
+
+    /// Run over a `[b, s, d]` sequence, returning the hidden state after each
+    /// time step (in temporal order when `reverse == false`).
+    pub fn forward_states(&self, g: &mut Graph<'_>, x: Var, reverse: bool) -> Vec<Var> {
+        let shape = g.value(x).shape().to_vec();
+        assert_eq!(shape.len(), 3, "GRU expects a [b, s, d] input");
+        let (b, s, _) = (shape[0], shape[1], shape[2]);
+        let mut h = g.constant(Tensor::zeros(&[b, self.hidden]));
+        let mut states = Vec::with_capacity(s);
+        let order: Vec<usize> = if reverse { (0..s).rev().collect() } else { (0..s).collect() };
+        for t in order {
+            let x_t = g.select_time(x, t);
+            h = self.step(g, x_t, h);
+            states.push(h);
+        }
+        if reverse {
+            states.reverse();
+        }
+        states
+    }
+
+    /// Mean of the hidden states over time: `[b, hidden]`.
+    pub fn forward_mean(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        let states = self.forward_states(g, x, false);
+        mean_of_states(g, &states)
+    }
+
+    /// Final hidden state: `[b, hidden]`.
+    pub fn forward_last(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        *self
+            .forward_states(g, x, false)
+            .last()
+            .expect("sequence must be non-empty")
+    }
+}
+
+/// Bidirectional GRU; the output feature is the concatenation of the mean
+/// hidden state of the forward and backward passes (`[b, 2 * hidden]`).
+#[derive(Debug, Clone)]
+pub struct BiGru {
+    forward: Gru,
+    backward: Gru,
+}
+
+impl BiGru {
+    /// Register both directions.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Prng) -> Self {
+        Self {
+            forward: Gru::new(store, &format!("{name}.fwd"), in_dim, hidden, rng),
+            backward: Gru::new(store, &format!("{name}.bwd"), in_dim, hidden, rng),
+        }
+    }
+
+    /// Output dimension (`2 * hidden`).
+    pub fn out_dim(&self) -> usize {
+        self.forward.hidden() * 2
+    }
+
+    /// Encode a `[b, s, d]` sequence into `[b, 2 * hidden]`.
+    pub fn forward(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        let fwd_states = self.forward.forward_states(g, x, false);
+        let bwd_states = self.backward.forward_states(g, x, true);
+        let fwd = mean_of_states(g, &fwd_states);
+        let bwd = mean_of_states(g, &bwd_states);
+        g.concat_last(&[fwd, bwd])
+    }
+}
+
+/// Parameters of a single-direction LSTM.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    w_i: ParamId,
+    u_i: ParamId,
+    b_i: ParamId,
+    w_f: ParamId,
+    u_f: ParamId,
+    b_f: ParamId,
+    w_o: ParamId,
+    u_o: ParamId,
+    b_o: ParamId,
+    w_c: ParamId,
+    u_c: ParamId,
+    b_c: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl Lstm {
+    /// Register an LSTM with the given input and hidden sizes.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Prng) -> Self {
+        let mut w = |gate: &str, rows: usize| {
+            store.add(
+                format!("{name}.{gate}"),
+                init::xavier_uniform(rows, hidden, &[rows, hidden], rng),
+            )
+        };
+        let w_i = w("w_i", in_dim);
+        let u_i = w("u_i", hidden);
+        let w_f = w("w_f", in_dim);
+        let u_f = w("u_f", hidden);
+        let w_o = w("w_o", in_dim);
+        let u_o = w("u_o", hidden);
+        let w_c = w("w_c", in_dim);
+        let u_c = w("u_c", hidden);
+        // Forget-gate bias initialised to 1 (standard trick for gradient flow).
+        let b_i = store.add(format!("{name}.b_i"), init::zeros(&[hidden]));
+        let b_f = store.add(format!("{name}.b_f"), Tensor::full(&[hidden], 1.0));
+        let b_o = store.add(format!("{name}.b_o"), init::zeros(&[hidden]));
+        let b_c = store.add(format!("{name}.b_c"), init::zeros(&[hidden]));
+        Self {
+            w_i,
+            u_i,
+            b_i,
+            w_f,
+            u_f,
+            b_f,
+            w_o,
+            u_o,
+            b_o,
+            w_c,
+            u_c,
+            b_c,
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Hidden state size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input feature size.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// One LSTM step; returns `(h', c')`.
+    pub fn step(&self, g: &mut Graph<'_>, x_t: Var, h: Var, c: Var) -> (Var, Var) {
+        let gate = |g: &mut Graph<'_>, w, u, b, x_t, h| {
+            let wv = g.param(w);
+            let uv = g.param(u);
+            let bv = g.param(b);
+            let xw = g.matmul(x_t, wv);
+            let hu = g.matmul(h, uv);
+            let pre = g.add(xw, hu);
+            g.add_bias(pre, bv)
+        };
+        let i = gate(g, self.w_i, self.u_i, self.b_i, x_t, h);
+        let i = g.sigmoid(i);
+        let f = gate(g, self.w_f, self.u_f, self.b_f, x_t, h);
+        let f = g.sigmoid(f);
+        let o = gate(g, self.w_o, self.u_o, self.b_o, x_t, h);
+        let o = g.sigmoid(o);
+        let cand = gate(g, self.w_c, self.u_c, self.b_c, x_t, h);
+        let cand = g.tanh(cand);
+
+        let keep = g.mul(f, c);
+        let write = g.mul(i, cand);
+        let c_new = g.add(keep, write);
+        let c_act = g.tanh(c_new);
+        let h_new = g.mul(o, c_act);
+        (h_new, c_new)
+    }
+
+    /// Run over a `[b, s, d]` sequence, returning hidden states in temporal
+    /// order.
+    pub fn forward_states(&self, g: &mut Graph<'_>, x: Var, reverse: bool) -> Vec<Var> {
+        let shape = g.value(x).shape().to_vec();
+        assert_eq!(shape.len(), 3, "LSTM expects a [b, s, d] input");
+        let (b, s, _) = (shape[0], shape[1], shape[2]);
+        let mut h = g.constant(Tensor::zeros(&[b, self.hidden]));
+        let mut c = g.constant(Tensor::zeros(&[b, self.hidden]));
+        let mut states = Vec::with_capacity(s);
+        let order: Vec<usize> = if reverse { (0..s).rev().collect() } else { (0..s).collect() };
+        for t in order {
+            let x_t = g.select_time(x, t);
+            let (h_new, c_new) = self.step(g, x_t, h, c);
+            h = h_new;
+            c = c_new;
+            states.push(h);
+        }
+        if reverse {
+            states.reverse();
+        }
+        states
+    }
+
+    /// Mean hidden state over time.
+    pub fn forward_mean(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        let states = self.forward_states(g, x, false);
+        mean_of_states(g, &states)
+    }
+
+    /// Final hidden state.
+    pub fn forward_last(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        *self
+            .forward_states(g, x, false)
+            .last()
+            .expect("sequence must be non-empty")
+    }
+}
+
+/// Bidirectional LSTM; output is the concatenation of both directions' mean
+/// hidden states.
+#[derive(Debug, Clone)]
+pub struct BiLstm {
+    forward: Lstm,
+    backward: Lstm,
+}
+
+impl BiLstm {
+    /// Register both directions.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Prng) -> Self {
+        Self {
+            forward: Lstm::new(store, &format!("{name}.fwd"), in_dim, hidden, rng),
+            backward: Lstm::new(store, &format!("{name}.bwd"), in_dim, hidden, rng),
+        }
+    }
+
+    /// Output dimension (`2 * hidden`).
+    pub fn out_dim(&self) -> usize {
+        self.forward.hidden() * 2
+    }
+
+    /// Encode a `[b, s, d]` sequence into `[b, 2 * hidden]`.
+    pub fn forward(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        let fwd_states = self.forward.forward_states(g, x, false);
+        let bwd_states = self.backward.forward_states(g, x, true);
+        let fwd = mean_of_states(g, &fwd_states);
+        let bwd = mean_of_states(g, &bwd_states);
+        g.concat_last(&[fwd, bwd])
+    }
+}
+
+/// Average a list of equally shaped `[b, h]` state tensors.
+fn mean_of_states(g: &mut Graph<'_>, states: &[Var]) -> Var {
+    assert!(!states.is_empty(), "mean over empty state list");
+    let mut acc = states[0];
+    for s in &states[1..] {
+        acc = g.add(acc, *s);
+    }
+    g.scale(acc, 1.0 / states.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdbd_tensor::gradcheck::check_gradients;
+
+    #[test]
+    fn gru_shapes() {
+        let mut rng = Prng::new(1);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "gru", 6, 5, &mut rng);
+        assert_eq!(gru.in_dim(), 6);
+        assert_eq!(gru.hidden(), 5);
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::randn(&[3, 4, 6], 1.0, &mut rng));
+        let states = gru.forward_states(&mut g, x, false);
+        assert_eq!(states.len(), 4);
+        assert_eq!(g.value(states[0]).shape(), &[3, 5]);
+        let mean = gru.forward_mean(&mut g, x);
+        assert_eq!(g.value(mean).shape(), &[3, 5]);
+        let last = gru.forward_last(&mut g, x);
+        assert_eq!(g.value(last).shape(), &[3, 5]);
+    }
+
+    #[test]
+    fn bigru_concatenates_directions() {
+        let mut rng = Prng::new(2);
+        let mut store = ParamStore::new();
+        let rnn = BiGru::new(&mut store, "bigru", 4, 7, &mut rng);
+        assert_eq!(rnn.out_dim(), 14);
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::randn(&[2, 5, 4], 1.0, &mut rng));
+        let y = rnn.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 14]);
+    }
+
+    #[test]
+    fn gru_hidden_is_bounded_by_tanh_gate() {
+        let mut rng = Prng::new(3);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "gru", 3, 4, &mut rng);
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::randn(&[2, 10, 3], 5.0, &mut rng));
+        let last = gru.forward_last(&mut g, x);
+        assert!(g.value(last).data().iter().all(|v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    fn lstm_shapes_and_bilstm() {
+        let mut rng = Prng::new(4);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "lstm", 5, 6, &mut rng);
+        assert_eq!(lstm.hidden(), 6);
+        assert_eq!(lstm.in_dim(), 5);
+        let bilstm = BiLstm::new(&mut store, "bilstm", 5, 6, &mut rng);
+        assert_eq!(bilstm.out_dim(), 12);
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::randn(&[2, 3, 5], 1.0, &mut rng));
+        let h = lstm.forward_mean(&mut g, x);
+        assert_eq!(g.value(h).shape(), &[2, 6]);
+        let hb = bilstm.forward(&mut g, x);
+        assert_eq!(g.value(hb).shape(), &[2, 12]);
+    }
+
+    #[test]
+    fn reversed_pass_differs_from_forward_pass() {
+        let mut rng = Prng::new(5);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "gru", 4, 4, &mut rng);
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::randn(&[1, 6, 4], 1.0, &mut rng));
+        let fwd = gru.forward_states(&mut g, x, false);
+        let bwd = gru.forward_states(&mut g, x, true);
+        // Both are in temporal order; the first forward state only saw token
+        // 0 while the first backward state saw the whole sequence, so they
+        // should differ.
+        let a = g.value(fwd[0]).data().to_vec();
+        let b = g.value(bwd[0]).data().to_vec();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gru_gradients_pass_finite_difference_check() {
+        let mut rng = Prng::new(6);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "gru", 3, 4, &mut rng);
+        let head = store.add("head", Tensor::randn(&[4, 2], 0.5, &mut rng));
+        let param_ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+        let x = Tensor::randn(&[2, 4, 3], 1.0, &mut rng);
+        let labels = vec![1usize, 0];
+        let report = check_gradients(
+            &mut store,
+            &param_ids,
+            |store| {
+                let mut g = Graph::new(store, false, 0);
+                let xv = g.constant(x.clone());
+                let feat = gru.forward_mean(&mut g, xv);
+                let w = g.param(head);
+                let logits = g.matmul(feat, w);
+                let loss = g.cross_entropy_logits(logits, &labels);
+                let v = g.value(loss).item();
+                g.backward(loss);
+                v
+            },
+            1e-2,
+            6,
+        );
+        assert!(report.max_rel_error < 5e-2, "rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn lstm_gradients_pass_finite_difference_check() {
+        let mut rng = Prng::new(7);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "lstm", 3, 3, &mut rng);
+        let head = store.add("head", Tensor::randn(&[3, 2], 0.5, &mut rng));
+        let param_ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+        let x = Tensor::randn(&[2, 3, 3], 1.0, &mut rng);
+        let labels = vec![0usize, 1];
+        let report = check_gradients(
+            &mut store,
+            &param_ids,
+            |store| {
+                let mut g = Graph::new(store, false, 0);
+                let xv = g.constant(x.clone());
+                let feat = lstm.forward_last(&mut g, xv);
+                let w = g.param(head);
+                let logits = g.matmul(feat, w);
+                let loss = g.cross_entropy_logits(logits, &labels);
+                let v = g.value(loss).item();
+                g.backward(loss);
+                v
+            },
+            1e-2,
+            5,
+        );
+        assert!(report.max_rel_error < 5e-2, "rel err {}", report.max_rel_error);
+    }
+}

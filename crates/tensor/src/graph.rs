@@ -1,0 +1,1325 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is created per forward pass over a mutable [`ParamStore`].
+//! Calling an op method evaluates it eagerly, records a node on the tape and
+//! returns a [`Var`] handle. [`Graph::backward`] seeds the gradient of a
+//! scalar loss node and walks the tape in reverse, accumulating parameter
+//! gradients into the store.
+//!
+//! The op set is a closed enum covering exactly what the DTDBD models need:
+//! dense algebra, activations, softmax/log-softmax, sequence ops (embedding
+//! lookup, 1-D convolution, max/mean-over-time, time-step selection), the
+//! gradient-reversal pseudo-op for domain-adversarial training, a pairwise
+//! squared-Euclidean-distance op for the unbiased-distribution knowledge of
+//! adversarial de-biasing distillation, and a fused softmax cross-entropy.
+
+use crate::params::{ParamId, ParamStore};
+use crate::rng::Prng;
+use crate::shape::{as_rows_cols, fmt_shape, numel};
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape. Cheap to copy; only valid for the graph
+/// that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+impl Var {
+    /// Raw node index (mainly useful for debugging).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// The closed set of differentiable operations.
+#[derive(Debug)]
+enum Op {
+    /// Constant or parameter leaf.
+    Leaf,
+    /// Elementwise sum of two same-shape tensors.
+    Add,
+    /// Elementwise difference of two same-shape tensors.
+    Sub,
+    /// Elementwise (Hadamard) product of two same-shape tensors.
+    Mul,
+    /// `x + b` where `b` broadcasts over the last dimension.
+    AddBias,
+    /// `a * x + b` with scalar `a`, `b`.
+    Affine { a: f32 },
+    /// 2-D matrix product.
+    Matmul,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// `ln(x + eps)`.
+    LogEps { eps: f32 },
+    /// Row-wise softmax over the last dimension.
+    Softmax,
+    /// Row-wise log-softmax over the last dimension.
+    LogSoftmax,
+    /// Mean of all elements (scalar output).
+    MeanAll,
+    /// Sum of all elements (scalar output).
+    SumAll,
+    /// Shape change preserving element order.
+    Reshape,
+    /// Concatenation along the last dimension.
+    ConcatLast { widths: Vec<usize> },
+    /// Inverted dropout; the mask already includes the `1/(1-p)` scaling.
+    Dropout { mask: Vec<f32> },
+    /// Identity forward, `-lambda * grad` backward (Ganin & Lempitsky).
+    GradReverse { lambda: f32 },
+    /// Row lookup into an embedding table parameter.
+    Embedding { table: ParamId, ids: Vec<u32> },
+    /// Select one time step: `[b, s, d] -> [b, d]`.
+    SelectTime { t: usize },
+    /// Mean over the time dimension: `[b, s, d] -> [b, d]`.
+    MeanOverTime,
+    /// Max over the time dimension with remembered arg-max indices.
+    MaxOverTime { argmax: Vec<usize> },
+    /// 1-D convolution over the time dimension (inputs: x, weight, bias).
+    Conv1d,
+    /// Pairwise squared Euclidean distances between rows: `[b, d] -> [b, b]`.
+    PairwiseSqDist,
+    /// Column selection: `[r, c] -> [r, 1]`.
+    SelectCol { col: usize },
+    /// Scale each row of `x` by the matching entry of a `[r, 1]` column.
+    RowScale,
+    /// Fused softmax + negative log-likelihood with hard labels.
+    CrossEntropyLogits { labels: Vec<usize>, probs: Tensor },
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    inputs: Vec<usize>,
+    param: Option<ParamId>,
+    requires_grad: bool,
+}
+
+/// A per-forward-pass autodiff tape over a [`ParamStore`].
+pub struct Graph<'s> {
+    store: &'s mut ParamStore,
+    nodes: Vec<Node>,
+    training: bool,
+    rng: Prng,
+}
+
+impl<'s> Graph<'s> {
+    /// Create a tape. `training` controls dropout; `seed` makes dropout masks
+    /// reproducible.
+    pub fn new(store: &'s mut ParamStore, training: bool, seed: u64) -> Self {
+        Self {
+            store,
+            nodes: Vec::with_capacity(256),
+            training,
+            rng: Prng::new(seed),
+        }
+    }
+
+    /// Whether the graph was created in training mode.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow the value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Borrow the underlying parameter store.
+    pub fn store(&self) -> &ParamStore {
+        self.store
+    }
+
+    fn push(
+        &mut self,
+        value: Tensor,
+        op: Op,
+        inputs: Vec<usize>,
+        param: Option<ParamId>,
+        requires_grad: bool,
+    ) -> Var {
+        debug_assert!(
+            !value.has_non_finite(),
+            "non-finite value produced by {op:?}"
+        );
+        self.nodes.push(Node {
+            value,
+            op,
+            inputs,
+            param,
+            requires_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn any_requires_grad(&self, inputs: &[usize]) -> bool {
+        inputs.iter().any(|&i| self.nodes[i].requires_grad)
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// Record a constant (no gradient flows into it).
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, vec![], None, false)
+    }
+
+    /// Record a scalar constant.
+    pub fn constant_scalar(&mut self, value: f32) -> Var {
+        self.constant(Tensor::scalar(value))
+    }
+
+    /// Record a parameter leaf. Gradient flows into the store unless the
+    /// parameter is frozen.
+    pub fn param(&mut self, id: ParamId) -> Var {
+        let p = self.store.get(id);
+        let value = p.value.clone();
+        let requires = p.trainable;
+        self.push(value, Op::Leaf, vec![], Some(id), requires)
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise and dense algebra
+    // ------------------------------------------------------------------
+
+    /// Elementwise addition of same-shape tensors.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        let rg = self.any_requires_grad(&[a.0, b.0]);
+        self.push(value, Op::Add, vec![a.0, b.0], None, rg)
+    }
+
+    /// Elementwise subtraction of same-shape tensors.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        let rg = self.any_requires_grad(&[a.0, b.0]);
+        self.push(value, Op::Sub, vec![a.0, b.0], None, rg)
+    }
+
+    /// Elementwise product of same-shape tensors.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
+        let rg = self.any_requires_grad(&[a.0, b.0]);
+        self.push(value, Op::Mul, vec![a.0, b.0], None, rg)
+    }
+
+    /// `x + bias` where `bias` has the length of `x`'s last dimension.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let bv = &self.nodes[bias.0].value;
+        let (rows, cols) = as_rows_cols(xv.shape());
+        assert_eq!(
+            bv.numel(),
+            cols,
+            "add_bias: bias {} does not match last dim of {}",
+            fmt_shape(bv.shape()),
+            fmt_shape(xv.shape())
+        );
+        let mut data = xv.data().to_vec();
+        for r in 0..rows {
+            for c in 0..cols {
+                data[r * cols + c] += bv.data()[c];
+            }
+        }
+        let value = Tensor::new(xv.shape().to_vec(), data);
+        let rg = self.any_requires_grad(&[x.0, bias.0]);
+        self.push(value, Op::AddBias, vec![x.0, bias.0], None, rg)
+    }
+
+    /// Scalar affine map `a * x + b`.
+    pub fn affine(&mut self, x: Var, a: f32, b: f32) -> Var {
+        let value = self.nodes[x.0].value.map(|v| a * v + b);
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::Affine { a }, vec![x.0], None, rg)
+    }
+
+    /// Multiply by a scalar.
+    pub fn scale(&mut self, x: Var, c: f32) -> Var {
+        self.affine(x, c, 0.0)
+    }
+
+    /// Elementwise `1 - x`.
+    pub fn one_minus(&mut self, x: Var) -> Var {
+        self.affine(x, -1.0, 1.0)
+    }
+
+    /// Matrix product of 2-D tensors.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let rg = self.any_requires_grad(&[a.0, b.0]);
+        self.push(value, Op::Matmul, vec![a.0, b.0], None, rg)
+    }
+
+    // ------------------------------------------------------------------
+    // Activations and normalisations
+    // ------------------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let value = self.nodes[x.0].value.map(|v| v.max(0.0));
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::Relu, vec![x.0], None, rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let value = self.nodes[x.0].value.map(|v| 1.0 / (1.0 + (-v).exp()));
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::Sigmoid, vec![x.0], None, rg)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let value = self.nodes[x.0].value.map(f32::tanh);
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::Tanh, vec![x.0], None, rg)
+    }
+
+    /// Natural logarithm with an epsilon guard: `ln(x + eps)`.
+    pub fn log_eps(&mut self, x: Var, eps: f32) -> Var {
+        let value = self.nodes[x.0].value.map(|v| (v + eps).ln());
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::LogEps { eps }, vec![x.0], None, rg)
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax(&mut self, x: Var) -> Var {
+        let value = rowwise_softmax(&self.nodes[x.0].value);
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::Softmax, vec![x.0], None, rg)
+    }
+
+    /// Log-softmax over the last dimension.
+    pub fn log_softmax(&mut self, x: Var) -> Var {
+        let value = rowwise_log_softmax(&self.nodes[x.0].value);
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::LogSoftmax, vec![x.0], None, rg)
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions and reshaping
+    // ------------------------------------------------------------------
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let value = Tensor::scalar(self.nodes[x.0].value.mean());
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::MeanAll, vec![x.0], None, rg)
+    }
+
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let value = Tensor::scalar(self.nodes[x.0].value.sum());
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::SumAll, vec![x.0], None, rg)
+    }
+
+    /// Reshape preserving element order.
+    pub fn reshape(&mut self, x: Var, new_shape: &[usize]) -> Var {
+        let value = self.nodes[x.0].value.reshape(new_shape);
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::Reshape, vec![x.0], None, rg)
+    }
+
+    /// Concatenate along the last dimension. All inputs must agree on their
+    /// leading dimensions.
+    pub fn concat_last(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_last on empty list");
+        let first_shape = self.nodes[parts[0].0].value.shape().to_vec();
+        let (rows, _) = as_rows_cols(&first_shape);
+        let mut widths = Vec::with_capacity(parts.len());
+        for p in parts {
+            let s = self.nodes[p.0].value.shape();
+            let (r, c) = as_rows_cols(s);
+            assert_eq!(r, rows, "concat_last: leading dims mismatch");
+            widths.push(c);
+        }
+        let total: usize = widths.iter().sum();
+        let mut data = vec![0.0f32; rows * total];
+        let mut col_off = 0usize;
+        for (p, &w) in parts.iter().zip(widths.iter()) {
+            let src = self.nodes[p.0].value.data();
+            for r in 0..rows {
+                data[r * total + col_off..r * total + col_off + w]
+                    .copy_from_slice(&src[r * w..(r + 1) * w]);
+            }
+            col_off += w;
+        }
+        let mut out_shape = first_shape;
+        *out_shape.last_mut().expect("non-scalar concat input") = total;
+        let value = Tensor::new(out_shape, data);
+        let idxs: Vec<usize> = parts.iter().map(|p| p.0).collect();
+        let rg = self.any_requires_grad(&idxs);
+        self.push(value, Op::ConcatLast { widths }, idxs, None, rg)
+    }
+
+    // ------------------------------------------------------------------
+    // Regularisation / adversarial helpers
+    // ------------------------------------------------------------------
+
+    /// Inverted dropout with drop probability `p`. Identity when the graph is
+    /// in evaluation mode or `p == 0`.
+    pub fn dropout(&mut self, x: Var, p: f32) -> Var {
+        if !self.training || p <= 0.0 {
+            return x;
+        }
+        assert!(p < 1.0, "dropout probability must be < 1");
+        let keep = 1.0 - p;
+        let n = self.nodes[x.0].value.numel();
+        let mask: Vec<f32> = (0..n)
+            .map(|_| if self.rng.chance(p) { 0.0 } else { 1.0 / keep })
+            .collect();
+        let xv = &self.nodes[x.0].value;
+        let data: Vec<f32> = xv
+            .data()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&v, &m)| v * m)
+            .collect();
+        let value = Tensor::new(xv.shape().to_vec(), data);
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::Dropout { mask }, vec![x.0], None, rg)
+    }
+
+    /// Gradient reversal layer: identity on the forward pass, multiplies the
+    /// gradient by `-lambda` on the backward pass.
+    pub fn grad_reverse(&mut self, x: Var, lambda: f32) -> Var {
+        let value = self.nodes[x.0].value.clone();
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::GradReverse { lambda }, vec![x.0], None, rg)
+    }
+
+    // ------------------------------------------------------------------
+    // Sequence ops
+    // ------------------------------------------------------------------
+
+    /// Embedding lookup. `table` must be a `[vocab, emb]` parameter; `ids`
+    /// has `batch * seq` entries; the output is `[batch, seq, emb]`.
+    pub fn embedding(&mut self, table: ParamId, ids: &[u32], batch: usize, seq: usize) -> Var {
+        assert_eq!(ids.len(), batch * seq, "embedding: ids length mismatch");
+        let tbl = self.store.value(table);
+        assert_eq!(tbl.ndim(), 2, "embedding table must be 2-D");
+        let vocab = tbl.shape()[0];
+        let emb = tbl.shape()[1];
+        let mut data = vec![0.0f32; batch * seq * emb];
+        for (r, &id) in ids.iter().enumerate() {
+            let id = id as usize;
+            assert!(id < vocab, "token id {id} out of vocabulary ({vocab})");
+            data[r * emb..(r + 1) * emb].copy_from_slice(&tbl.data()[id * emb..(id + 1) * emb]);
+        }
+        let value = Tensor::new(vec![batch, seq, emb], data);
+        let requires = self.store.get(table).trainable;
+        self.push(
+            value,
+            Op::Embedding {
+                table,
+                ids: ids.to_vec(),
+            },
+            vec![],
+            None,
+            requires,
+        )
+    }
+
+    /// Select time step `t`: `[b, s, d] -> [b, d]`.
+    pub fn select_time(&mut self, x: Var, t: usize) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert_eq!(xv.ndim(), 3, "select_time expects [b, s, d]");
+        let (b, s, d) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+        assert!(t < s, "select_time index {t} out of range {s}");
+        let mut data = vec![0.0f32; b * d];
+        for i in 0..b {
+            let off = i * s * d + t * d;
+            data[i * d..(i + 1) * d].copy_from_slice(&xv.data()[off..off + d]);
+        }
+        let value = Tensor::new(vec![b, d], data);
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::SelectTime { t }, vec![x.0], None, rg)
+    }
+
+    /// Mean over the time dimension: `[b, s, d] -> [b, d]`.
+    pub fn mean_over_time(&mut self, x: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert_eq!(xv.ndim(), 3, "mean_over_time expects [b, s, d]");
+        let (b, s, d) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+        let mut data = vec![0.0f32; b * d];
+        for i in 0..b {
+            for t in 0..s {
+                let off = i * s * d + t * d;
+                for j in 0..d {
+                    data[i * d + j] += xv.data()[off + j];
+                }
+            }
+            for j in 0..d {
+                data[i * d + j] /= s as f32;
+            }
+        }
+        let value = Tensor::new(vec![b, d], data);
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::MeanOverTime, vec![x.0], None, rg)
+    }
+
+    /// Max over the time dimension: `[b, s, c] -> [b, c]` (max pooling over
+    /// time, as in TextCNN).
+    pub fn max_over_time(&mut self, x: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert_eq!(xv.ndim(), 3, "max_over_time expects [b, s, c]");
+        let (b, s, c) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+        assert!(s > 0, "max_over_time over empty time dimension");
+        let mut data = vec![f32::NEG_INFINITY; b * c];
+        let mut argmax = vec![0usize; b * c];
+        for i in 0..b {
+            for t in 0..s {
+                let off = i * s * c + t * c;
+                for j in 0..c {
+                    let v = xv.data()[off + j];
+                    if v > data[i * c + j] {
+                        data[i * c + j] = v;
+                        argmax[i * c + j] = t;
+                    }
+                }
+            }
+        }
+        let value = Tensor::new(vec![b, c], data);
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::MaxOverTime { argmax }, vec![x.0], None, rg)
+    }
+
+    /// 1-D convolution over the time dimension.
+    ///
+    /// * `x`: `[b, s, d]`
+    /// * `weight`: `[out_channels, k, d]`
+    /// * `bias`: `[out_channels]`
+    /// * output: `[b, s - k + 1, out_channels]`
+    pub fn conv1d(&mut self, x: Var, weight: Var, bias: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let wv = &self.nodes[weight.0].value;
+        let bv = &self.nodes[bias.0].value;
+        assert_eq!(xv.ndim(), 3, "conv1d input must be [b, s, d]");
+        assert_eq!(wv.ndim(), 3, "conv1d weight must be [oc, k, d]");
+        let (b, s, d) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+        let (oc, k, dw) = (wv.shape()[0], wv.shape()[1], wv.shape()[2]);
+        assert_eq!(d, dw, "conv1d feature dimension mismatch");
+        assert_eq!(bv.numel(), oc, "conv1d bias length mismatch");
+        assert!(s >= k, "conv1d: sequence length {s} shorter than kernel {k}");
+        let out_s = s - k + 1;
+        let mut data = vec![0.0f32; b * out_s * oc];
+        let xd = xv.data();
+        let wd = wv.data();
+        let bd = bv.data();
+        for i in 0..b {
+            for t in 0..out_s {
+                for o in 0..oc {
+                    let mut acc = bd[o];
+                    for ki in 0..k {
+                        let x_off = i * s * d + (t + ki) * d;
+                        let w_off = o * k * d + ki * d;
+                        for j in 0..d {
+                            acc += xd[x_off + j] * wd[w_off + j];
+                        }
+                    }
+                    data[i * out_s * oc + t * oc + o] = acc;
+                }
+            }
+        }
+        let value = Tensor::new(vec![b, out_s, oc], data);
+        let rg = self.any_requires_grad(&[x.0, weight.0, bias.0]);
+        self.push(value, Op::Conv1d, vec![x.0, weight.0, bias.0], None, rg)
+    }
+
+    // ------------------------------------------------------------------
+    // Distillation-specific ops
+    // ------------------------------------------------------------------
+
+    /// Pairwise squared Euclidean distances between the rows of a `[b, d]`
+    /// feature matrix, producing the `[b, b]` correlation matrix `M` of
+    /// Eq. (5) in the paper.
+    pub fn pairwise_sq_dist(&mut self, x: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert_eq!(xv.ndim(), 2, "pairwise_sq_dist expects [b, d]");
+        let (b, d) = (xv.shape()[0], xv.shape()[1]);
+        let mut data = vec![0.0f32; b * b];
+        let xd = xv.data();
+        for i in 0..b {
+            for j in (i + 1)..b {
+                let mut acc = 0.0f32;
+                for t in 0..d {
+                    let diff = xd[i * d + t] - xd[j * d + t];
+                    acc += diff * diff;
+                }
+                data[i * b + j] = acc;
+                data[j * b + i] = acc;
+            }
+        }
+        let value = Tensor::new(vec![b, b], data);
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::PairwiseSqDist, vec![x.0], None, rg)
+    }
+
+    /// Select a single column of a 2-D tensor as a `[rows, 1]` tensor.
+    pub fn select_col(&mut self, x: Var, col: usize) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert_eq!(xv.ndim(), 2, "select_col expects a 2-D tensor");
+        let (r, c) = (xv.shape()[0], xv.shape()[1]);
+        assert!(col < c, "select_col {col} out of range {c}");
+        let data: Vec<f32> = (0..r).map(|i| xv.data()[i * c + col]).collect();
+        let value = Tensor::new(vec![r, 1], data);
+        let rg = self.nodes[x.0].requires_grad;
+        self.push(value, Op::SelectCol { col }, vec![x.0], None, rg)
+    }
+
+    /// Multiply each row of `x` (`[r, c]`) by the matching entry of the
+    /// column vector `s` (`[r, 1]` or `[r]`).
+    pub fn row_scale(&mut self, x: Var, s: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let sv = &self.nodes[s.0].value;
+        let (r, c) = as_rows_cols(xv.shape());
+        assert_eq!(sv.numel(), r, "row_scale: scale length mismatch");
+        let mut data = vec![0.0f32; r * c];
+        for i in 0..r {
+            let w = sv.data()[i];
+            for j in 0..c {
+                data[i * c + j] = xv.data()[i * c + j] * w;
+            }
+        }
+        let value = Tensor::new(xv.shape().to_vec(), data);
+        let rg = self.any_requires_grad(&[x.0, s.0]);
+        self.push(value, Op::RowScale, vec![x.0, s.0], None, rg)
+    }
+
+    /// Fused softmax cross-entropy with hard labels, averaged over the batch.
+    pub fn cross_entropy_logits(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let lv = &self.nodes[logits.0].value;
+        assert_eq!(lv.ndim(), 2, "cross_entropy_logits expects [b, classes]");
+        let (b, c) = (lv.shape()[0], lv.shape()[1]);
+        assert_eq!(labels.len(), b, "label count must match batch size");
+        let probs = rowwise_softmax(lv);
+        let mut loss = 0.0f32;
+        for (i, &y) in labels.iter().enumerate() {
+            assert!(y < c, "label {y} out of range for {c} classes");
+            loss -= (probs.data()[i * c + y] + 1e-12).ln();
+        }
+        loss /= b as f32;
+        let value = Tensor::scalar(loss);
+        let rg = self.nodes[logits.0].requires_grad;
+        self.push(
+            value,
+            Op::CrossEntropyLogits {
+                labels: labels.to_vec(),
+                probs,
+            },
+            vec![logits.0],
+            None,
+            rg,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Backward pass
+    // ------------------------------------------------------------------
+
+    /// Run reverse-mode differentiation from a scalar loss node, accumulating
+    /// gradients of every trainable parameter into the [`ParamStore`].
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward expects a scalar loss, got {}",
+            fmt_shape(self.nodes[loss.0].value.shape())
+        );
+        let n = self.nodes.len();
+        let mut grads: Vec<Option<Tensor>> = vec![None; n];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for i in (0..n).rev() {
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            let Some(grad) = grads[i].take() else { continue };
+            // Leaf parameters: flush into the store.
+            if let Some(pid) = self.nodes[i].param {
+                if self.store.get(pid).trainable {
+                    self.store.accumulate_grad(pid, &grad);
+                }
+                continue;
+            }
+            self.backprop_node(i, &grad, &mut grads);
+        }
+    }
+
+    fn accumulate(&self, grads: &mut [Option<Tensor>], idx: usize, delta: Tensor) {
+        if !self.nodes[idx].requires_grad {
+            return;
+        }
+        match &mut grads[idx] {
+            Some(g) => g.axpy(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn backprop_node(&mut self, i: usize, grad: &Tensor, grads: &mut [Option<Tensor>]) {
+        // Split borrows: everything we read from `self.nodes` is immutable,
+        // and writes go through `grads` / the parameter store only.
+        let inputs = self.nodes[i].inputs.clone();
+        match &self.nodes[i].op {
+            Op::Leaf => {}
+            Op::Add => {
+                self.accumulate(grads, inputs[0], grad.clone());
+                self.accumulate(grads, inputs[1], grad.clone());
+            }
+            Op::Sub => {
+                self.accumulate(grads, inputs[0], grad.clone());
+                self.accumulate(grads, inputs[1], grad.scale(-1.0));
+            }
+            Op::Mul => {
+                let a = &self.nodes[inputs[0]].value;
+                let b = &self.nodes[inputs[1]].value;
+                let da = grad.mul(b);
+                let db = grad.mul(a);
+                self.accumulate(grads, inputs[0], da);
+                self.accumulate(grads, inputs[1], db);
+            }
+            Op::AddBias => {
+                let (rows, cols) = as_rows_cols(grad.shape());
+                let mut db = vec![0.0f32; cols];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        db[c] += grad.data()[r * cols + c];
+                    }
+                }
+                let bias_shape = self.nodes[inputs[1]].value.shape().to_vec();
+                self.accumulate(grads, inputs[0], grad.clone());
+                self.accumulate(grads, inputs[1], Tensor::new(bias_shape, db));
+            }
+            Op::Affine { a } => {
+                self.accumulate(grads, inputs[0], grad.scale(*a));
+            }
+            Op::Matmul => {
+                let a = &self.nodes[inputs[0]].value;
+                let b = &self.nodes[inputs[1]].value;
+                let da = grad.matmul(&b.transpose2());
+                let db = a.transpose2().matmul(grad);
+                self.accumulate(grads, inputs[0], da);
+                self.accumulate(grads, inputs[1], db);
+            }
+            Op::Relu => {
+                let y = &self.nodes[i].value;
+                let dx = Tensor::new(
+                    y.shape().to_vec(),
+                    y.data()
+                        .iter()
+                        .zip(grad.data().iter())
+                        .map(|(&v, &g)| if v > 0.0 { g } else { 0.0 })
+                        .collect(),
+                );
+                self.accumulate(grads, inputs[0], dx);
+            }
+            Op::Sigmoid => {
+                let y = &self.nodes[i].value;
+                let dx = Tensor::new(
+                    y.shape().to_vec(),
+                    y.data()
+                        .iter()
+                        .zip(grad.data().iter())
+                        .map(|(&v, &g)| g * v * (1.0 - v))
+                        .collect(),
+                );
+                self.accumulate(grads, inputs[0], dx);
+            }
+            Op::Tanh => {
+                let y = &self.nodes[i].value;
+                let dx = Tensor::new(
+                    y.shape().to_vec(),
+                    y.data()
+                        .iter()
+                        .zip(grad.data().iter())
+                        .map(|(&v, &g)| g * (1.0 - v * v))
+                        .collect(),
+                );
+                self.accumulate(grads, inputs[0], dx);
+            }
+            Op::LogEps { eps } => {
+                let x = &self.nodes[inputs[0]].value;
+                let dx = Tensor::new(
+                    x.shape().to_vec(),
+                    x.data()
+                        .iter()
+                        .zip(grad.data().iter())
+                        .map(|(&v, &g)| g / (v + eps))
+                        .collect(),
+                );
+                self.accumulate(grads, inputs[0], dx);
+            }
+            Op::Softmax => {
+                let y = &self.nodes[i].value;
+                let (rows, cols) = as_rows_cols(y.shape());
+                let mut dx = vec![0.0f32; y.numel()];
+                for r in 0..rows {
+                    let mut dot = 0.0f32;
+                    for c in 0..cols {
+                        dot += grad.data()[r * cols + c] * y.data()[r * cols + c];
+                    }
+                    for c in 0..cols {
+                        let idx = r * cols + c;
+                        dx[idx] = y.data()[idx] * (grad.data()[idx] - dot);
+                    }
+                }
+                self.accumulate(grads, inputs[0], Tensor::new(y.shape().to_vec(), dx));
+            }
+            Op::LogSoftmax => {
+                let y = &self.nodes[i].value;
+                let (rows, cols) = as_rows_cols(y.shape());
+                let mut dx = vec![0.0f32; y.numel()];
+                for r in 0..rows {
+                    let mut gsum = 0.0f32;
+                    for c in 0..cols {
+                        gsum += grad.data()[r * cols + c];
+                    }
+                    for c in 0..cols {
+                        let idx = r * cols + c;
+                        dx[idx] = grad.data()[idx] - y.data()[idx].exp() * gsum;
+                    }
+                }
+                self.accumulate(grads, inputs[0], Tensor::new(y.shape().to_vec(), dx));
+            }
+            Op::MeanAll => {
+                let x_shape = self.nodes[inputs[0]].value.shape().to_vec();
+                let n = numel(&x_shape) as f32;
+                let g = grad.item() / n;
+                self.accumulate(grads, inputs[0], Tensor::full(&x_shape, g));
+            }
+            Op::SumAll => {
+                let x_shape = self.nodes[inputs[0]].value.shape().to_vec();
+                self.accumulate(grads, inputs[0], Tensor::full(&x_shape, grad.item()));
+            }
+            Op::Reshape => {
+                let x_shape = self.nodes[inputs[0]].value.shape().to_vec();
+                self.accumulate(grads, inputs[0], grad.reshape(&x_shape));
+            }
+            Op::ConcatLast { widths } => {
+                let widths = widths.clone();
+                let total: usize = widths.iter().sum();
+                let rows = grad.numel() / total;
+                let mut col_off = 0usize;
+                for (slot, w) in inputs.iter().zip(widths.iter()) {
+                    let mut part = vec![0.0f32; rows * w];
+                    for r in 0..rows {
+                        part[r * w..(r + 1) * w].copy_from_slice(
+                            &grad.data()[r * total + col_off..r * total + col_off + w],
+                        );
+                    }
+                    let mut shape = self.nodes[*slot].value.shape().to_vec();
+                    *shape.last_mut().expect("non-scalar") = *w;
+                    self.accumulate(grads, *slot, Tensor::new(shape, part));
+                    col_off += w;
+                }
+            }
+            Op::Dropout { mask } => {
+                let dx = Tensor::new(
+                    grad.shape().to_vec(),
+                    grad.data()
+                        .iter()
+                        .zip(mask.iter())
+                        .map(|(&g, &m)| g * m)
+                        .collect(),
+                );
+                self.accumulate(grads, inputs[0], dx);
+            }
+            Op::GradReverse { lambda } => {
+                self.accumulate(grads, inputs[0], grad.scale(-lambda));
+            }
+            Op::Embedding { table, ids } => {
+                let table = *table;
+                if !self.store.get(table).trainable {
+                    return;
+                }
+                let emb = self.store.value(table).shape()[1];
+                let mut delta = Tensor::zeros(self.store.value(table).shape());
+                for (r, &id) in ids.iter().enumerate() {
+                    let dst = &mut delta.data_mut()[id as usize * emb..(id as usize + 1) * emb];
+                    let src = &grad.data()[r * emb..(r + 1) * emb];
+                    for (d, s) in dst.iter_mut().zip(src.iter()) {
+                        *d += s;
+                    }
+                }
+                self.store.accumulate_grad(table, &delta);
+            }
+            Op::SelectTime { t } => {
+                let x_shape = self.nodes[inputs[0]].value.shape().to_vec();
+                let (b, s, d) = (x_shape[0], x_shape[1], x_shape[2]);
+                let mut dx = vec![0.0f32; b * s * d];
+                for i2 in 0..b {
+                    let off = i2 * s * d + t * d;
+                    dx[off..off + d].copy_from_slice(&grad.data()[i2 * d..(i2 + 1) * d]);
+                }
+                self.accumulate(grads, inputs[0], Tensor::new(x_shape, dx));
+            }
+            Op::MeanOverTime => {
+                let x_shape = self.nodes[inputs[0]].value.shape().to_vec();
+                let (b, s, d) = (x_shape[0], x_shape[1], x_shape[2]);
+                let mut dx = vec![0.0f32; b * s * d];
+                for i2 in 0..b {
+                    for t in 0..s {
+                        for j in 0..d {
+                            dx[i2 * s * d + t * d + j] = grad.data()[i2 * d + j] / s as f32;
+                        }
+                    }
+                }
+                self.accumulate(grads, inputs[0], Tensor::new(x_shape, dx));
+            }
+            Op::MaxOverTime { argmax } => {
+                let argmax = argmax.clone();
+                let x_shape = self.nodes[inputs[0]].value.shape().to_vec();
+                let (b, s, c) = (x_shape[0], x_shape[1], x_shape[2]);
+                let mut dx = vec![0.0f32; b * s * c];
+                for i2 in 0..b {
+                    for j in 0..c {
+                        let t = argmax[i2 * c + j];
+                        dx[i2 * s * c + t * c + j] += grad.data()[i2 * c + j];
+                    }
+                }
+                self.accumulate(grads, inputs[0], Tensor::new(x_shape, dx));
+            }
+            Op::Conv1d => {
+                let xv = self.nodes[inputs[0]].value.clone();
+                let wv = self.nodes[inputs[1]].value.clone();
+                let (b, s, d) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+                let (oc, k, _) = (wv.shape()[0], wv.shape()[1], wv.shape()[2]);
+                let out_s = s - k + 1;
+                let gd = grad.data();
+                let mut dx = vec![0.0f32; b * s * d];
+                let mut dw = vec![0.0f32; oc * k * d];
+                let mut db = vec![0.0f32; oc];
+                for i2 in 0..b {
+                    for t in 0..out_s {
+                        for o in 0..oc {
+                            let g = gd[i2 * out_s * oc + t * oc + o];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            db[o] += g;
+                            for ki in 0..k {
+                                let x_off = i2 * s * d + (t + ki) * d;
+                                let w_off = o * k * d + ki * d;
+                                for j in 0..d {
+                                    dx[x_off + j] += g * wv.data()[w_off + j];
+                                    dw[w_off + j] += g * xv.data()[x_off + j];
+                                }
+                            }
+                        }
+                    }
+                }
+                self.accumulate(grads, inputs[0], Tensor::new(vec![b, s, d], dx));
+                self.accumulate(grads, inputs[1], Tensor::new(vec![oc, k, d], dw));
+                self.accumulate(grads, inputs[2], Tensor::new(vec![oc], db));
+            }
+            Op::PairwiseSqDist => {
+                let xv = &self.nodes[inputs[0]].value;
+                let (b, d) = (xv.shape()[0], xv.shape()[1]);
+                let mut dx = vec![0.0f32; b * d];
+                for i2 in 0..b {
+                    for j in 0..b {
+                        if i2 == j {
+                            continue;
+                        }
+                        let g = grad.data()[i2 * b + j] + grad.data()[j * b + i2];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for t in 0..d {
+                            dx[i2 * d + t] += 2.0 * g * (xv.data()[i2 * d + t] - xv.data()[j * d + t]);
+                        }
+                    }
+                }
+                self.accumulate(grads, inputs[0], Tensor::new(vec![b, d], dx));
+            }
+            Op::SelectCol { col } => {
+                let x_shape = self.nodes[inputs[0]].value.shape().to_vec();
+                let (r, c) = (x_shape[0], x_shape[1]);
+                let mut dx = vec![0.0f32; r * c];
+                for i2 in 0..r {
+                    dx[i2 * c + col] = grad.data()[i2];
+                }
+                self.accumulate(grads, inputs[0], Tensor::new(x_shape, dx));
+            }
+            Op::RowScale => {
+                let xv = &self.nodes[inputs[0]].value;
+                let sv = &self.nodes[inputs[1]].value;
+                let (r, c) = as_rows_cols(xv.shape());
+                let mut dx = vec![0.0f32; r * c];
+                let mut ds = vec![0.0f32; r];
+                for i2 in 0..r {
+                    let w = sv.data()[i2];
+                    for j in 0..c {
+                        let g = grad.data()[i2 * c + j];
+                        dx[i2 * c + j] = g * w;
+                        ds[i2] += g * xv.data()[i2 * c + j];
+                    }
+                }
+                let s_shape = sv.shape().to_vec();
+                self.accumulate(grads, inputs[0], Tensor::new(xv.shape().to_vec(), dx));
+                self.accumulate(grads, inputs[1], Tensor::new(s_shape, ds));
+            }
+            Op::CrossEntropyLogits { labels, probs } => {
+                let (b, c) = (probs.shape()[0], probs.shape()[1]);
+                let scale = grad.item() / b as f32;
+                let mut dx = probs.data().to_vec();
+                for (i2, &y) in labels.iter().enumerate() {
+                    dx[i2 * c + y] -= 1.0;
+                }
+                for v in &mut dx {
+                    *v *= scale;
+                }
+                self.accumulate(grads, inputs[0], Tensor::new(vec![b, c], dx));
+            }
+        }
+    }
+}
+
+fn rowwise_softmax(x: &Tensor) -> Tensor {
+    let (rows, cols) = as_rows_cols(x.shape());
+    let mut out = vec![0.0f32; x.numel()];
+    for r in 0..rows {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for c in 0..cols {
+            let e = (row[c] - m).exp();
+            out[r * cols + c] = e;
+            z += e;
+        }
+        for c in 0..cols {
+            out[r * cols + c] /= z;
+        }
+    }
+    Tensor::new(x.shape().to_vec(), out)
+}
+
+fn rowwise_log_softmax(x: &Tensor) -> Tensor {
+    let (rows, cols) = as_rows_cols(x.shape());
+    let mut out = vec![0.0f32; x.numel()];
+    for r in 0..rows {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let logz = row.iter().map(|v| (v - m).exp()).sum::<f32>().ln() + m;
+        for c in 0..cols {
+            out[r * cols + c] = row[c] - logz;
+        }
+    }
+    Tensor::new(x.shape().to_vec(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+
+    fn approx(a: f32, b: f32, tol: f32) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn forward_values_are_recorded() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new(&mut store, false, 0);
+        let a = g.constant(Tensor::from_vec(vec![1.0, 2.0]));
+        let b = g.constant(Tensor::from_vec(vec![3.0, 4.0]));
+        let c = g.add(a, b);
+        assert_eq!(g.value(c).data(), &[4.0, 6.0]);
+        let d = g.mul(a, b);
+        assert_eq!(g.value(d).data(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn simple_param_gradient() {
+        // loss = mean((w * x)^2) with w = [2], x = [3] -> dloss/dw = 2*w*x^2 = 36
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![2.0]));
+        let mut g = Graph::new(&mut store, false, 0);
+        let wv = g.param(w);
+        let x = g.constant(Tensor::from_vec(vec![3.0]));
+        let wx = g.mul(wv, x);
+        let sq = g.mul(wx, wx);
+        let loss = g.mean_all(sq);
+        assert!(approx(g.value(loss).item(), 36.0, 1e-5));
+        g.backward(loss);
+        assert!(approx(store.grad(w).data()[0], 36.0, 1e-4));
+    }
+
+    #[test]
+    fn matmul_gradients_match_hand_computation() {
+        // loss = sum(A @ B); dA = 1 @ B^T (row sums of B), dB = A^T @ 1.
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let b = store.add("b", Tensor::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]));
+        let mut g = Graph::new(&mut store, false, 0);
+        let av = g.param(a);
+        let bv = g.param(b);
+        let c = g.matmul(av, bv);
+        let loss = g.sum_all(c);
+        g.backward(loss);
+        assert_eq!(store.grad(a).data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(store.grad(b).data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn frozen_params_receive_no_gradient() {
+        let mut store = ParamStore::new();
+        let w = store.add_frozen("w", Tensor::from_vec(vec![2.0]));
+        let mut g = Graph::new(&mut store, false, 0);
+        let wv = g.param(w);
+        let loss = g.mean_all(wv);
+        g.backward(loss);
+        assert_eq!(store.grad(w).data(), &[0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0]]));
+        let s = g.softmax(x);
+        let v = g.value(s);
+        assert!(approx(v.row(0).iter().sum::<f32>(), 1.0, 1e-6));
+        assert!(approx(v.at2(1, 0), 1.0 / 3.0, 1e-6));
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::from_rows(&[vec![0.5, -1.0, 2.0]]));
+        let s = g.softmax(x);
+        let ls = g.log_softmax(x);
+        for j in 0..3 {
+            assert!(approx(g.value(s).at2(0, j).ln(), g.value(ls).at2(0, j), 1e-5));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual_value() {
+        let mut store = ParamStore::new();
+        let w = store.add("logits", Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 0.0]]));
+        let mut g = Graph::new(&mut store, false, 0);
+        let l = g.param(w);
+        let loss = g.cross_entropy_logits(l, &[1, 0]);
+        // manual: -ln(softmax([1,2])[1]) - ln(softmax([3,0])[0]) over 2
+        let p1 = (2.0f32).exp() / ((1.0f32).exp() + (2.0f32).exp());
+        let p2 = (3.0f32).exp() / ((3.0f32).exp() + (0.0f32).exp());
+        let expect = -(p1.ln() + p2.ln()) / 2.0;
+        assert!(approx(g.value(loss).item(), expect, 1e-5));
+        g.backward(loss);
+        // Gradient of CE wrt logits is (p - onehot)/b.
+        let grad = store.grad(w);
+        assert!(approx(grad.at2(0, 1), (p1 - 1.0) / 2.0, 1e-5));
+        assert!(approx(grad.at2(1, 0), (p2 - 1.0) / 2.0, 1e-5));
+    }
+
+    #[test]
+    fn grad_reverse_flips_and_scales_gradient() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![1.0, 2.0]));
+        let mut g = Graph::new(&mut store, false, 0);
+        let wv = g.param(w);
+        let r = g.grad_reverse(wv, 0.5);
+        let loss = g.sum_all(r);
+        g.backward(loss);
+        assert_eq!(store.grad(w).data(), &[-0.5, -0.5]);
+    }
+
+    #[test]
+    fn dropout_eval_mode_is_identity() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new(&mut store, false, 7);
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0]));
+        let d = g.dropout(x, 0.5);
+        assert_eq!(d, x);
+    }
+
+    #[test]
+    fn dropout_training_mode_scales_kept_units() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new(&mut store, true, 7);
+        let x = g.constant(Tensor::full(&[1000], 1.0));
+        let d = g.dropout(x, 0.25);
+        let v = g.value(d);
+        // Every kept unit is scaled by 1/(1-p); the mean stays ~1.
+        for &e in v.data() {
+            assert!(e == 0.0 || approx(e, 1.0 / 0.75, 1e-6));
+        }
+        assert!(approx(v.mean(), 1.0, 0.1));
+    }
+
+    #[test]
+    fn embedding_looks_up_rows_and_backprops() {
+        let mut store = ParamStore::new();
+        let table = store.add(
+            "emb",
+            Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, 2.0]]),
+        );
+        let mut g = Graph::new(&mut store, false, 0);
+        let e = g.embedding(table, &[2, 0, 1, 1], 2, 2);
+        assert_eq!(g.value(e).shape(), &[2, 2, 2]);
+        assert_eq!(g.value(e).at(&[0, 0, 0]), 2.0);
+        assert_eq!(g.value(e).at(&[1, 0, 1]), 1.0);
+        let s = g.sum_all(e);
+        g.backward(s);
+        // Token 1 appears twice, so its grad row accumulates 2.
+        assert_eq!(store.grad(table).row(1), &[2.0, 2.0]);
+        assert_eq!(store.grad(table).row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn max_over_time_routes_gradient_to_argmax() {
+        let mut store = ParamStore::new();
+        let w = store.add(
+            "x",
+            Tensor::new(vec![1, 3, 2], vec![0.0, 5.0, 3.0, 1.0, 2.0, 9.0]),
+        );
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.param(w);
+        let m = g.max_over_time(x);
+        assert_eq!(g.value(m).data(), &[3.0, 9.0]);
+        let loss = g.sum_all(m);
+        g.backward(loss);
+        let grad = store.grad(w);
+        assert_eq!(grad.data(), &[0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn conv1d_shapes_and_simple_values() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new(&mut store, false, 0);
+        // x: batch 1, seq 3, dim 1 = [1, 2, 3]; kernel k=2, single channel w=[1,1]
+        let x = g.constant(Tensor::new(vec![1, 3, 1], vec![1.0, 2.0, 3.0]));
+        let w = g.constant(Tensor::new(vec![1, 2, 1], vec![1.0, 1.0]));
+        let b = g.constant(Tensor::from_vec(vec![0.5]));
+        let y = g.conv1d(x, w, b);
+        assert_eq!(g.value(y).shape(), &[1, 2, 1]);
+        assert_eq!(g.value(y).data(), &[3.5, 5.5]);
+    }
+
+    #[test]
+    fn pairwise_sq_dist_is_symmetric_with_zero_diagonal() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new(&mut store, false, 0);
+        let x = g.constant(Tensor::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![1.0, 1.0]]));
+        let m = g.pairwise_sq_dist(x);
+        let v = g.value(m);
+        assert_eq!(v.shape(), &[3, 3]);
+        assert_eq!(v.at2(0, 0), 0.0);
+        assert_eq!(v.at2(0, 1), 25.0);
+        assert_eq!(v.at2(1, 0), 25.0);
+        assert_eq!(v.at2(0, 2), 2.0);
+    }
+
+    #[test]
+    fn concat_and_split_gradients() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::from_rows(&[vec![1.0, 2.0]]));
+        let b = store.add("b", Tensor::from_rows(&[vec![3.0]]));
+        let mut g = Graph::new(&mut store, false, 0);
+        let av = g.param(a);
+        let bv = g.param(b);
+        let c = g.concat_last(&[av, bv]);
+        assert_eq!(g.value(c).shape(), &[1, 3]);
+        assert_eq!(g.value(c).data(), &[1.0, 2.0, 3.0]);
+        let w = g.constant(Tensor::from_rows(&[vec![1.0], vec![10.0], vec![100.0]]));
+        let y = g.matmul(c, w);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(store.grad(a).data(), &[1.0, 10.0]);
+        assert_eq!(store.grad(b).data(), &[100.0]);
+    }
+
+    #[test]
+    fn select_col_and_row_scale() {
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let s = store.add("s", Tensor::from_rows(&[vec![10.0, 0.5], vec![20.0, 0.25]]));
+        let mut g = Graph::new(&mut store, false, 0);
+        let xv = g.param(x);
+        let sv = g.param(s);
+        let col = g.select_col(sv, 1);
+        assert_eq!(g.value(col).data(), &[0.5, 0.25]);
+        let scaled = g.row_scale(xv, col);
+        assert_eq!(g.value(scaled).data(), &[0.5, 1.0, 0.75, 1.0]);
+        let loss = g.sum_all(scaled);
+        g.backward(loss);
+        assert_eq!(store.grad(x).data(), &[0.5, 0.5, 0.25, 0.25]);
+        // ds = sum_j x[i,j] routed back through the selected column.
+        assert_eq!(store.grad(s).data(), &[0.0, 3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn select_time_and_mean_over_time() {
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::new(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]));
+        let mut g = Graph::new(&mut store, false, 0);
+        let xv = g.param(x);
+        let t1 = g.select_time(xv, 1);
+        assert_eq!(g.value(t1).data(), &[3.0, 4.0]);
+        let m = g.mean_over_time(xv);
+        assert_eq!(g.value(m).data(), &[2.0, 3.0]);
+        let loss = g.sum_all(m);
+        g.backward(loss);
+        assert_eq!(store.grad(x).data(), &[0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_reuse() {
+        // y = x + x -> dy/dx = 2
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::from_vec(vec![1.0]));
+        let mut g = Graph::new(&mut store, false, 0);
+        let xv = g.param(x);
+        let y = g.add(xv, xv);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(store.grad(x).data(), &[2.0]);
+    }
+
+    #[test]
+    fn multi_layer_chain_backprop_runs() {
+        // A tiny MLP: relu(x @ W1 + b1) @ W2, cross-entropy; just checks that
+        // gradients are finite and nonzero end to end.
+        let mut rng = Prng::new(3);
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", Tensor::randn(&[4, 8], 0.5, &mut rng));
+        let b1 = store.add("b1", Tensor::zeros(&[8]));
+        let w2 = store.add("w2", Tensor::randn(&[8, 2], 0.5, &mut rng));
+        let mut g = Graph::new(&mut store, true, 1);
+        let x = g.constant(Tensor::randn(&[6, 4], 1.0, &mut rng));
+        let w1v = g.param(w1);
+        let b1v = g.param(b1);
+        let w2v = g.param(w2);
+        let h = g.matmul(x, w1v);
+        let h = g.add_bias(h, b1v);
+        let h = g.relu(h);
+        let logits = g.matmul(h, w2v);
+        let loss = g.cross_entropy_logits(logits, &[0, 1, 0, 1, 0, 1]);
+        g.backward(loss);
+        assert!(store.grad(w1).norm() > 0.0);
+        assert!(store.grad(w2).norm() > 0.0);
+        assert!(!store.grad(w1).has_non_finite());
+    }
+}

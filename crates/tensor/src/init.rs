@@ -1,0 +1,62 @@
+//! Weight initialisation schemes.
+
+use crate::rng::Prng;
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform initialisation for a `[fan_in, fan_out]` weight
+/// matrix (also used for conv kernels with `fan_in = k * in_dim`).
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, shape: &[usize], rng: &mut Prng) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -limit, limit, rng)
+}
+
+/// Kaiming/He normal initialisation, appropriate before ReLU layers.
+pub fn kaiming_normal(fan_in: usize, shape: &[usize], rng: &mut Prng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::randn(shape, std, rng)
+}
+
+/// Scaled normal initialisation used for embedding tables.
+pub fn embedding_normal(shape: &[usize], rng: &mut Prng) -> Tensor {
+    Tensor::randn(shape, 0.1, rng)
+}
+
+/// Zero initialisation (biases).
+pub fn zeros(shape: &[usize]) -> Tensor {
+    Tensor::zeros(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = Prng::new(1);
+        let t = xavier_uniform(64, 64, &[64, 64], &mut rng);
+        let limit = (6.0f32 / 128.0).sqrt();
+        assert!(t.data().iter().all(|x| x.abs() <= limit));
+        // Not degenerate.
+        assert!(t.data().iter().any(|x| x.abs() > limit * 0.5));
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = Prng::new(2);
+        let t = kaiming_normal(200, &[200, 50], &mut rng);
+        let var = t.data().iter().map(|x| x * x).sum::<f32>() / t.numel() as f32;
+        assert!((var - 2.0 / 200.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn embedding_init_is_small() {
+        let mut rng = Prng::new(3);
+        let t = embedding_normal(&[100, 16], &mut rng);
+        assert!(t.data().iter().all(|x| x.abs() < 1.0));
+    }
+
+    #[test]
+    fn zeros_are_zero() {
+        assert_eq!(zeros(&[3, 3]).sum(), 0.0);
+    }
+}

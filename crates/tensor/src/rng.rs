@@ -1,0 +1,204 @@
+//! Deterministic random number utilities.
+//!
+//! Every stochastic component in the reproduction (parameter initialisation,
+//! dropout masks, corpus generation, mini-batch shuffling) is seeded from an
+//! explicit `u64`, so that each table/figure binary is reproducible
+//! run-to-run. We use a small self-contained xoshiro-style generator rather
+//! than `rand::StdRng` in the hot paths so the stream is stable regardless of
+//! the `rand` crate version; `rand` is still used where its distributions are
+//! convenient.
+
+/// A small, fast, deterministic PRNG (xorshift64*-based splitmix64 stream).
+///
+/// Not cryptographically secure; used only for reproducible experiments.
+#[derive(Clone, Debug)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Create a generator from a seed. Two generators created from the same
+    /// seed produce identical streams.
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zero state.
+        Self {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Derive an independent child generator; useful for giving each
+    /// component (init / dropout / sampling) its own stream.
+    pub fn fork(&mut self, tag: u64) -> Prng {
+        let s = self.next_u64() ^ tag.wrapping_mul(0xA24B_AED4_963E_E407);
+        Prng::new(s)
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 high-quality mantissa bits.
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        loop {
+            let u1 = self.next_f32();
+            let u2 = self.next_f32();
+            if u1 > f32::EPSILON {
+                let r = (-2.0 * u1.ln()).sqrt();
+                return r * (2.0 * std::f32::consts::PI * u2).cos();
+            }
+        }
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Prng::below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` of returning `true`.
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.next_f32() < p
+    }
+
+    /// Sample an index from an (unnormalised) non-negative weight vector.
+    ///
+    /// # Panics
+    /// Panics if the weights sum to zero or the slice is empty.
+    pub fn weighted(&mut self, weights: &[f32]) -> usize {
+        assert!(!weights.is_empty(), "Prng::weighted on empty slice");
+        let total: f32 = weights.iter().sum();
+        assert!(total > 0.0, "Prng::weighted requires positive total weight");
+        let mut x = self.next_f32() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        if items.len() < 2 {
+            return;
+        }
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Prng::new(7);
+        let mut b = Prng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prng::new(1);
+        let mut b = Prng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge, {same} collisions");
+    }
+
+    #[test]
+    fn uniform_is_in_range() {
+        let mut r = Prng::new(3);
+        for _ in 0..1000 {
+            let x = r.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut r = Prng::new(11);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn below_stays_below() {
+        let mut r = Prng::new(5);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut r = Prng::new(9);
+        for _ in 0..200 {
+            let i = r.weighted(&[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn weighted_roughly_proportional() {
+        let mut r = Prng::new(13);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[r.weighted(&[1.0, 2.0, 1.0])] += 1;
+        }
+        let frac = counts[1] as f32 / 30_000.0;
+        assert!((frac - 0.5).abs() < 0.03, "middle fraction {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Prng::new(21);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut root = Prng::new(123);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+}

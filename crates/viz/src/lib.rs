@@ -1,0 +1,15 @@
+//! # dtdbd-viz
+//!
+//! Visualization substrate for the DTDBD reproduction: PCA, an exact
+//! (O(n²)) t-SNE implementation, and an ASCII scatter renderer. Together they
+//! regenerate Figure 2 of the paper — the t-SNE projection of the
+//! intermediate features of M3FEND, the plain student, the DAT-IE student and
+//! the DTDBD student, coloured by domain.
+
+pub mod pca;
+pub mod scatter;
+pub mod tsne;
+
+pub use pca::pca_project;
+pub use scatter::{render_scatter, ScatterConfig};
+pub use tsne::{Tsne, TsneConfig};

@@ -1,0 +1,162 @@
+//! Principal component analysis via power iteration.
+//!
+//! Used both on its own and as the standard initialisation / pre-reduction
+//! step of t-SNE.
+
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::Tensor;
+
+/// Project `[n, d]` data onto its first `k` principal components,
+/// returning an `[n, k]` matrix.
+///
+/// Components are extracted one at a time by power iteration with deflation,
+/// which is accurate enough for visualisation purposes and keeps the code
+/// dependency-free.
+pub fn pca_project(data: &Tensor, k: usize, seed: u64) -> Tensor {
+    assert_eq!(data.ndim(), 2, "pca expects [n, d]");
+    let (n, d) = (data.shape()[0], data.shape()[1]);
+    assert!(k <= d, "cannot extract more components than dimensions");
+    let mut rng = Prng::new(seed);
+
+    // Center the data.
+    let mut mean = vec![0.0f32; d];
+    for i in 0..n {
+        for (m, v) in mean.iter_mut().zip(data.row(i).iter()) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f32;
+    }
+    let mut centered = vec![0.0f32; n * d];
+    for i in 0..n {
+        for j in 0..d {
+            centered[i * d + j] = data.at2(i, j) - mean[j];
+        }
+    }
+
+    // Covariance matrix (d x d).
+    let mut cov = vec![0.0f32; d * d];
+    for i in 0..n {
+        let row = &centered[i * d..(i + 1) * d];
+        for a in 0..d {
+            if row[a] == 0.0 {
+                continue;
+            }
+            for b in 0..d {
+                cov[a * d + b] += row[a] * row[b];
+            }
+        }
+    }
+    let denom = (n.max(2) - 1) as f32;
+    for c in &mut cov {
+        *c /= denom;
+    }
+
+    // Power iteration with deflation.
+    let mut components: Vec<Vec<f32>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut v: Vec<f32> = (0..d).map(|_| rng.normal()).collect();
+        normalize(&mut v);
+        for _ in 0..60 {
+            let mut next = vec![0.0f32; d];
+            for a in 0..d {
+                let mut acc = 0.0f32;
+                for b in 0..d {
+                    acc += cov[a * d + b] * v[b];
+                }
+                next[a] = acc;
+            }
+            normalize(&mut next);
+            v = next;
+        }
+        // Deflate: cov -= lambda v v^T.
+        let lambda = rayleigh(&cov, &v, d);
+        for a in 0..d {
+            for b in 0..d {
+                cov[a * d + b] -= lambda * v[a] * v[b];
+            }
+        }
+        components.push(v);
+    }
+
+    // Project.
+    let mut out = vec![0.0f32; n * k];
+    for i in 0..n {
+        let row = &centered[i * d..(i + 1) * d];
+        for (c, comp) in components.iter().enumerate() {
+            out[i * k + c] = row.iter().zip(comp.iter()).map(|(x, w)| x * w).sum();
+        }
+    }
+    Tensor::new(vec![n, k], out)
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-9);
+    for x in v {
+        *x /= norm;
+    }
+}
+
+fn rayleigh(cov: &[f32], v: &[f32], d: usize) -> f32 {
+    let mut av = vec![0.0f32; d];
+    for a in 0..d {
+        for b in 0..d {
+            av[a] += cov[a * d + b] * v[b];
+        }
+    }
+    av.iter().zip(v.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data stretched along one axis: the first PC must capture it.
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        let mut rng = Prng::new(1);
+        let mut rows = Vec::new();
+        for _ in 0..200 {
+            let main = rng.normal() * 10.0;
+            let minor = rng.normal() * 0.5;
+            // The dominant direction is (1, 1)/sqrt(2) in a 2-D space
+            // embedded in 4 dimensions.
+            rows.push(Tensor::from_vec(vec![main + minor, main - minor, rng.normal() * 0.1, 0.0]));
+        }
+        let data = Tensor::stack_rows(&rows);
+        let proj = pca_project(&data, 1, 7);
+        assert_eq!(proj.shape(), &[200, 1]);
+        // The projection variance along PC1 should be close to the original
+        // dominant variance (~2 * 100).
+        let var: f32 = proj.data().iter().map(|x| x * x).sum::<f32>() / 200.0;
+        assert!(var > 100.0, "projected variance {var}");
+    }
+
+    #[test]
+    fn projection_is_centered() {
+        let mut rng = Prng::new(2);
+        let data = Tensor::randn(&[100, 6], 1.0, &mut rng).map(|x| x + 5.0);
+        let proj = pca_project(&data, 2, 3);
+        let mean0: f32 = (0..100).map(|i| proj.at2(i, 0)).sum::<f32>() / 100.0;
+        assert!(mean0.abs() < 0.5, "mean {mean0}");
+    }
+
+    #[test]
+    fn components_are_roughly_orthogonal_in_projection() {
+        let mut rng = Prng::new(3);
+        let data = Tensor::randn(&[150, 8], 1.0, &mut rng);
+        let proj = pca_project(&data, 2, 5);
+        let dot: f32 = (0..150).map(|i| proj.at2(i, 0) * proj.at2(i, 1)).sum::<f32>() / 150.0;
+        let v0: f32 = (0..150).map(|i| proj.at2(i, 0).powi(2)).sum::<f32>() / 150.0;
+        let v1: f32 = (0..150).map(|i| proj.at2(i, 1).powi(2)).sum::<f32>() / 150.0;
+        assert!(dot.abs() < 0.2 * (v0 * v1).sqrt(), "dot {dot} v0 {v0} v1 {v1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more components")]
+    fn too_many_components_panics() {
+        let data = Tensor::zeros(&[3, 2]);
+        let _ = pca_project(&data, 5, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! ASCII scatter rendering of 2-D embeddings.
+//!
+//! The experiment binaries have no plotting backend, so Figure 2 is rendered
+//! as a character grid: each cell shows the symbol of the (most common)
+//! domain among the points that fall into it. Regions dominated by a single
+//! domain are exactly the "areas containing samples from only one or a few
+//! domains" the paper's qualitative analysis talks about.
+
+use dtdbd_tensor::Tensor;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct ScatterConfig {
+    /// Grid width in characters.
+    pub width: usize,
+    /// Grid height in characters.
+    pub height: usize,
+    /// One symbol per class/domain (cycled if there are more classes).
+    pub symbols: Vec<char>,
+}
+
+impl Default for ScatterConfig {
+    fn default() -> Self {
+        Self {
+            width: 72,
+            height: 28,
+            symbols: vec!['S', 'M', 'E', 'D', 'P', 'H', 'F', 'N', 'O'],
+        }
+    }
+}
+
+/// Render a `[n, 2]` embedding with integer class labels as an ASCII grid.
+///
+/// # Panics
+/// Panics if the embedding is not `[n, 2]` or lengths mismatch.
+pub fn render_scatter(embedding: &Tensor, classes: &[usize], config: &ScatterConfig) -> String {
+    assert_eq!(embedding.ndim(), 2, "expected [n, 2]");
+    assert_eq!(embedding.shape()[1], 2, "expected 2-D points");
+    assert_eq!(embedding.shape()[0], classes.len(), "label count mismatch");
+    let n = classes.len();
+    if n == 0 {
+        return String::new();
+    }
+    let (mut min_x, mut max_x) = (f32::INFINITY, f32::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f32::INFINITY, f32::NEG_INFINITY);
+    for i in 0..n {
+        min_x = min_x.min(embedding.at2(i, 0));
+        max_x = max_x.max(embedding.at2(i, 0));
+        min_y = min_y.min(embedding.at2(i, 1));
+        max_y = max_y.max(embedding.at2(i, 1));
+    }
+    let span_x = (max_x - min_x).max(1e-6);
+    let span_y = (max_y - min_y).max(1e-6);
+
+    let n_classes = classes.iter().copied().max().unwrap_or(0) + 1;
+    // counts[cell][class]
+    let mut counts = vec![vec![0usize; n_classes]; config.width * config.height];
+    for i in 0..n {
+        let cx = (((embedding.at2(i, 0) - min_x) / span_x) * (config.width - 1) as f32).round() as usize;
+        let cy = (((embedding.at2(i, 1) - min_y) / span_y) * (config.height - 1) as f32).round() as usize;
+        counts[cy * config.width + cx][classes[i]] += 1;
+    }
+
+    let mut out = String::with_capacity((config.width + 1) * config.height);
+    for row in (0..config.height).rev() {
+        for col in 0..config.width {
+            let cell = &counts[row * config.width + col];
+            let total: usize = cell.iter().sum();
+            if total == 0 {
+                out.push(' ');
+            } else {
+                let best = cell
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(cls, _)| cls)
+                    .unwrap_or(0);
+                out.push(config.symbols[best % config.symbols.len()]);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Fraction of occupied grid cells whose points all come from a single
+/// class — a simple quantitative proxy for the "domain separation" the paper
+/// reads off Figure 2 (higher = more domain-pure regions).
+pub fn single_class_cell_fraction(embedding: &Tensor, classes: &[usize], config: &ScatterConfig) -> f64 {
+    assert_eq!(embedding.shape()[0], classes.len());
+    let n = classes.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let (mut min_x, mut max_x) = (f32::INFINITY, f32::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f32::INFINITY, f32::NEG_INFINITY);
+    for i in 0..n {
+        min_x = min_x.min(embedding.at2(i, 0));
+        max_x = max_x.max(embedding.at2(i, 0));
+        min_y = min_y.min(embedding.at2(i, 1));
+        max_y = max_y.max(embedding.at2(i, 1));
+    }
+    let span_x = (max_x - min_x).max(1e-6);
+    let span_y = (max_y - min_y).max(1e-6);
+    let n_classes = classes.iter().copied().max().unwrap_or(0) + 1;
+    let mut counts = vec![vec![0usize; n_classes]; config.width * config.height];
+    for i in 0..n {
+        let cx = (((embedding.at2(i, 0) - min_x) / span_x) * (config.width - 1) as f32).round() as usize;
+        let cy = (((embedding.at2(i, 1) - min_y) / span_y) * (config.height - 1) as f32).round() as usize;
+        counts[cy * config.width + cx][classes[i]] += 1;
+    }
+    let mut occupied = 0usize;
+    let mut pure = 0usize;
+    for cell in counts {
+        let total: usize = cell.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        occupied += 1;
+        if cell.iter().filter(|&&c| c > 0).count() == 1 {
+            pure += 1;
+        }
+    }
+    if occupied == 0 {
+        0.0
+    } else {
+        pure as f64 / occupied as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdbd_tensor::rng::Prng;
+
+    fn two_blobs() -> (Tensor, Vec<usize>) {
+        let mut rng = Prng::new(1);
+        let mut rows = Vec::new();
+        let mut classes = Vec::new();
+        for i in 0..40 {
+            let (cx, cls) = if i % 2 == 0 { (-5.0, 0) } else { (5.0, 1) };
+            rows.push(Tensor::from_vec(vec![cx + 0.2 * rng.normal(), 0.2 * rng.normal()]));
+            classes.push(cls);
+        }
+        (Tensor::stack_rows(&rows), classes)
+    }
+
+    #[test]
+    fn render_contains_both_symbols_and_has_grid_shape() {
+        let (emb, classes) = two_blobs();
+        let cfg = ScatterConfig {
+            width: 40,
+            height: 10,
+            ..ScatterConfig::default()
+        };
+        let s = render_scatter(&emb, &classes, &cfg);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.len() == 40));
+        assert!(s.contains('S'));
+        assert!(s.contains('M'));
+    }
+
+    #[test]
+    fn well_separated_blobs_have_high_purity() {
+        let (emb, classes) = two_blobs();
+        let purity = single_class_cell_fraction(&emb, &classes, &ScatterConfig::default());
+        assert!(purity > 0.95, "purity {purity}");
+    }
+
+    #[test]
+    fn fully_mixed_points_have_lower_purity_than_separated_ones() {
+        let mut rng = Prng::new(2);
+        let mut rows = Vec::new();
+        let mut classes = Vec::new();
+        for i in 0..200 {
+            rows.push(Tensor::from_vec(vec![rng.normal(), rng.normal()]));
+            classes.push(i % 2);
+        }
+        let mixed = Tensor::stack_rows(&rows);
+        let cfg = ScatterConfig {
+            width: 12,
+            height: 6,
+            ..ScatterConfig::default()
+        };
+        let mixed_purity = single_class_cell_fraction(&mixed, &classes, &cfg);
+        let (sep, sep_classes) = two_blobs();
+        let sep_purity = single_class_cell_fraction(&sep, &sep_classes, &cfg);
+        assert!(sep_purity > mixed_purity);
+    }
+
+    #[test]
+    fn empty_input_renders_empty_string() {
+        let emb = Tensor::zeros(&[0, 2]);
+        let s = render_scatter(&emb, &[], &ScatterConfig::default());
+        assert!(s.is_empty());
+    }
+}

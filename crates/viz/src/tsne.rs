@@ -1,0 +1,367 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008).
+//!
+//! An O(n²) implementation with perplexity calibration, early exaggeration
+//! and momentum gradient descent — sufficient for the ~1,000-point feature
+//! sets visualised in Figure 2.
+
+use crate::pca::pca_project;
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::Tensor;
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f32,
+    /// Number of gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Iterations during which the attractive forces are exaggerated.
+    pub early_exaggeration_iters: usize,
+    /// Early exaggeration factor.
+    pub exaggeration: f32,
+    /// Momentum of the gradient descent.
+    pub momentum: f32,
+    /// Random seed (initialisation uses PCA plus a small jitter).
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 30.0,
+            iterations: 300,
+            learning_rate: 100.0,
+            early_exaggeration_iters: 80,
+            exaggeration: 4.0,
+            momentum: 0.8,
+            seed: 42,
+        }
+    }
+}
+
+impl TsneConfig {
+    /// A faster configuration for tests and quick runs.
+    pub fn quick() -> Self {
+        Self {
+            perplexity: 10.0,
+            iterations: 120,
+            early_exaggeration_iters: 30,
+            ..Self::default()
+        }
+    }
+}
+
+/// Exact t-SNE runner.
+#[derive(Debug, Clone)]
+pub struct Tsne {
+    config: TsneConfig,
+}
+
+impl Tsne {
+    /// Create a runner.
+    pub fn new(config: TsneConfig) -> Self {
+        Self { config }
+    }
+
+    /// Embed `[n, d]` data into 2-D, returning an `[n, 2]` tensor.
+    pub fn embed(&self, data: &Tensor) -> Tensor {
+        assert_eq!(data.ndim(), 2, "t-SNE expects [n, d]");
+        let n = data.shape()[0];
+        assert!(n >= 5, "t-SNE needs at least a handful of points");
+        let cfg = &self.config;
+
+        // High-dimensional affinities.
+        let p = joint_probabilities(data, cfg.perplexity);
+
+        // Initialise from PCA with a small jitter to break ties.
+        let mut rng = Prng::new(cfg.seed);
+        let init = pca_project(data, 2.min(data.shape()[1]), cfg.seed);
+        let mut y = vec![0.0f32; n * 2];
+        for i in 0..n {
+            for c in 0..2 {
+                let base = if init.shape()[1] > c { init.at2(i, c) } else { 0.0 };
+                y[i * 2 + c] = 0.01 * base + 0.01 * rng.normal();
+            }
+        }
+        let mut velocity = vec![0.0f32; n * 2];
+
+        for iter in 0..cfg.iterations {
+            let exaggeration = if iter < cfg.early_exaggeration_iters {
+                cfg.exaggeration
+            } else {
+                1.0
+            };
+            let grad = gradient(&p, &y, n, exaggeration);
+            for i in 0..n * 2 {
+                velocity[i] = cfg.momentum * velocity[i] - cfg.learning_rate * grad[i];
+                y[i] += velocity[i];
+            }
+            center(&mut y, n);
+        }
+        Tensor::new(vec![n, 2], y)
+    }
+
+    /// KL divergence between the input affinities and the embedding's
+    /// affinities — the quantity t-SNE minimises. Exposed for tests and
+    /// benchmarks.
+    pub fn kl_divergence(&self, data: &Tensor, embedding: &Tensor) -> f32 {
+        let n = data.shape()[0];
+        let p = joint_probabilities(data, self.config.perplexity);
+        let q = low_dim_affinities(embedding.data(), n);
+        let mut kl = 0.0f32;
+        for i in 0..n * n {
+            if p[i] > 1e-12 {
+                kl += p[i] * (p[i] / q[i].max(1e-12)).ln();
+            }
+        }
+        kl
+    }
+}
+
+/// Symmetrised, perplexity-calibrated joint probabilities `P`.
+fn joint_probabilities(data: &Tensor, perplexity: f32) -> Vec<f32> {
+    let n = data.shape()[0];
+    let d = data.shape()[1];
+    // Pairwise squared distances.
+    let mut dist = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut acc = 0.0f32;
+            for t in 0..d {
+                let diff = data.at2(i, t) - data.at2(j, t);
+                acc += diff * diff;
+            }
+            dist[i * n + j] = acc;
+            dist[j * n + i] = acc;
+        }
+    }
+    // Per-point binary search for the bandwidth matching the perplexity.
+    let target_entropy = perplexity.max(2.0).ln();
+    let mut p_cond = vec![0.0f32; n * n];
+    for i in 0..n {
+        let mut beta = 1.0f32;
+        let mut beta_min = f32::NEG_INFINITY;
+        let mut beta_max = f32::INFINITY;
+        for _ in 0..50 {
+            let (entropy, row) = row_distribution(&dist[i * n..(i + 1) * n], i, beta);
+            let diff = entropy - target_entropy;
+            p_cond[i * n..(i + 1) * n].copy_from_slice(&row);
+            if diff.abs() < 1e-4 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_min = beta;
+                beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_max = beta;
+                beta = if beta_min.is_finite() { (beta + beta_min) / 2.0 } else { beta / 2.0 };
+            }
+        }
+    }
+    // Symmetrise and normalise.
+    let mut p = vec![0.0f32; n * n];
+    let mut total = 0.0f32;
+    for i in 0..n {
+        for j in 0..n {
+            let v = (p_cond[i * n + j] + p_cond[j * n + i]) / (2.0 * n as f32);
+            p[i * n + j] = v;
+            total += v;
+        }
+    }
+    for v in &mut p {
+        *v = (*v / total.max(1e-12)).max(1e-12);
+    }
+    p
+}
+
+fn row_distribution(dist_row: &[f32], i: usize, beta: f32) -> (f32, Vec<f32>) {
+    let n = dist_row.len();
+    let mut row = vec![0.0f32; n];
+    let mut sum = 0.0f32;
+    for (j, &dsq) in dist_row.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let v = (-beta * dsq).exp();
+        row[j] = v;
+        sum += v;
+    }
+    let sum = sum.max(1e-12);
+    let mut entropy = 0.0f32;
+    for (j, r) in row.iter_mut().enumerate() {
+        if j == i {
+            continue;
+        }
+        *r /= sum;
+        if *r > 1e-12 {
+            entropy -= *r * r.ln();
+        }
+    }
+    (entropy, row)
+}
+
+fn low_dim_affinities(y: &[f32], n: usize) -> Vec<f32> {
+    let mut q = vec![0.0f32; n * n];
+    let mut total = 0.0f32;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = y[i * 2] - y[j * 2];
+            let dy = y[i * 2 + 1] - y[j * 2 + 1];
+            let v = 1.0 / (1.0 + dx * dx + dy * dy);
+            q[i * n + j] = v;
+            q[j * n + i] = v;
+            total += 2.0 * v;
+        }
+    }
+    for v in &mut q {
+        *v /= total.max(1e-12);
+    }
+    q
+}
+
+fn gradient(p: &[f32], y: &[f32], n: usize, exaggeration: f32) -> Vec<f32> {
+    // Unnormalised Student-t kernel and its normaliser.
+    let mut num = vec![0.0f32; n * n];
+    let mut total = 0.0f32;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = y[i * 2] - y[j * 2];
+            let dy = y[i * 2 + 1] - y[j * 2 + 1];
+            let v = 1.0 / (1.0 + dx * dx + dy * dy);
+            num[i * n + j] = v;
+            num[j * n + i] = v;
+            total += 2.0 * v;
+        }
+    }
+    let total = total.max(1e-12);
+    let mut grad = vec![0.0f32; n * 2];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let q = (num[i * n + j] / total).max(1e-12);
+            let mult = (exaggeration * p[i * n + j] - q) * num[i * n + j];
+            grad[i * 2] += 4.0 * mult * (y[i * 2] - y[j * 2]);
+            grad[i * 2 + 1] += 4.0 * mult * (y[i * 2 + 1] - y[j * 2 + 1]);
+        }
+    }
+    grad
+}
+
+fn center(y: &mut [f32], n: usize) {
+    let mut mean = [0.0f32; 2];
+    for i in 0..n {
+        mean[0] += y[i * 2];
+        mean[1] += y[i * 2 + 1];
+    }
+    mean[0] /= n as f32;
+    mean[1] /= n as f32;
+    for i in 0..n {
+        y[i * 2] -= mean[0];
+        y[i * 2 + 1] -= mean[1];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian clusters must stay separated in 2-D.
+    fn clustered_data(per_cluster: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = Prng::new(seed);
+        let centers = [
+            vec![8.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 8.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 8.0, 0.0, 0.0],
+        ];
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..per_cluster {
+                let row: Vec<f32> = center.iter().map(|&v| v + 0.3 * rng.normal()).collect();
+                rows.push(Tensor::from_vec(row));
+                labels.push(c);
+            }
+        }
+        (Tensor::stack_rows(&rows), labels)
+    }
+
+    fn centroid(points: &Tensor, labels: &[usize], cluster: usize) -> (f32, f32) {
+        let idx: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == cluster)
+            .map(|(i, _)| i)
+            .collect();
+        let n = idx.len() as f32;
+        let x = idx.iter().map(|&i| points.at2(i, 0)).sum::<f32>() / n;
+        let y = idx.iter().map(|&i| points.at2(i, 1)).sum::<f32>() / n;
+        (x, y)
+    }
+
+    #[test]
+    fn clusters_remain_separated_in_the_embedding() {
+        let (data, labels) = clustered_data(25, 3);
+        let tsne = Tsne::new(TsneConfig::quick());
+        let emb = tsne.embed(&data);
+        assert_eq!(emb.shape(), &[75, 2]);
+        assert!(!emb.has_non_finite());
+
+        // Average distance to own centroid must be well below the distance
+        // between different centroids.
+        let centroids: Vec<(f32, f32)> = (0..3).map(|c| centroid(&emb, &labels, c)).collect();
+        let mut within = 0.0f32;
+        for (i, &l) in labels.iter().enumerate() {
+            let (cx, cy) = centroids[l];
+            within += ((emb.at2(i, 0) - cx).powi(2) + (emb.at2(i, 1) - cy).powi(2)).sqrt();
+        }
+        within /= labels.len() as f32;
+        let mut between = f32::INFINITY;
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                let d = ((centroids[a].0 - centroids[b].0).powi(2)
+                    + (centroids[a].1 - centroids[b].1).powi(2))
+                .sqrt();
+                between = between.min(d);
+            }
+        }
+        assert!(
+            between > 2.0 * within,
+            "between {between} should exceed 2x within {within}"
+        );
+    }
+
+    #[test]
+    fn joint_probabilities_are_a_distribution() {
+        let (data, _) = clustered_data(10, 5);
+        let p = joint_probabilities(&data, 10.0);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn embedding_is_deterministic_for_a_seed() {
+        let (data, _) = clustered_data(8, 7);
+        let tsne = Tsne::new(TsneConfig {
+            iterations: 50,
+            ..TsneConfig::quick()
+        });
+        let a = tsne.embed(&data);
+        let b = tsne.embed(&data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kl_divergence_improves_over_random_layout() {
+        let (data, _) = clustered_data(15, 9);
+        let tsne = Tsne::new(TsneConfig::quick());
+        let emb = tsne.embed(&data);
+        let mut rng = Prng::new(1);
+        let random = Tensor::randn(&[data.shape()[0], 2], 1.0, &mut rng);
+        assert!(tsne.kl_divergence(&data, &emb) < tsne.kl_divergence(&data, &random));
+    }
+}

@@ -1,0 +1,23 @@
+//! Workspace-level integration tests for the DTDBD reproduction.
+//!
+//! This crate carries no library code; see the `tests/` directory next to it
+//! for the cross-crate scenarios (corpus → models → training → metrics →
+//! distillation → visualization).
+
+/// A shared, deliberately small experiment setup used by the integration
+/// tests so that each test file does not regenerate corpora from scratch.
+pub mod fixtures {
+    use dtdbd_data::{weibo21_spec, GeneratorConfig, MultiDomainDataset, NewsGenerator, Split};
+
+    /// A ~12% scale Weibo21-like corpus. Large enough that per-domain error
+    /// rates on the test portion are meaningful (≥ 20 items per domain),
+    /// small enough that the end-to-end tests stay fast in release mode.
+    pub fn small_chinese() -> MultiDomainDataset {
+        NewsGenerator::new(weibo21_spec(), GeneratorConfig::default()).generate_scaled(99, 0.12)
+    }
+
+    /// A 70/10/20 split of [`small_chinese`].
+    pub fn small_chinese_split() -> Split {
+        small_chinese().split(0.7, 0.1, 99)
+    }
+}
