@@ -20,10 +20,16 @@ fn main() {
     let opts = RunOptions::from_args();
     let split = chinese_split(&opts);
     // t-SNE is O(n^2); embed a stratified subsample of the test set.
-    let viz_set = split.test.subsample(if opts.quick { 0.25 } else { 0.12 }, opts.seed);
+    let viz_set = split
+        .test
+        .subsample(if opts.quick { 0.25 } else { 0.12 }, opts.seed);
     eprintln!("visualising {} test items", viz_set.len());
 
-    let tsne = Tsne::new(if opts.quick { TsneConfig::quick() } else { TsneConfig::default() });
+    let tsne = Tsne::new(if opts.quick {
+        TsneConfig::quick()
+    } else {
+        TsneConfig::default()
+    });
     let scatter_cfg = ScatterConfig::default();
     let names = split.test.domain_names();
 
@@ -40,7 +46,8 @@ fn main() {
     panels.push(("(b) TextCNN-U".to_string(), feats, domains));
 
     eprintln!("training TextCNN-U + DAT-IE ...");
-    let (_, mut datie) = train_adversarial_student(StudentArch::TextCnn, DatMode::DatIe, &split, &opts);
+    let (_, mut datie) =
+        train_adversarial_student(StudentArch::TextCnn, DatMode::DatIe, &split, &opts);
     let (feats, domains, _) = extract_features(&datie.model, &mut datie.store, &viz_set, 256);
     panels.push(("(c) TextCNN-U + DAT-IE".to_string(), feats, domains));
 
@@ -57,7 +64,19 @@ fn main() {
     panels.push(("(d) TextCNN-U + DTDBD".to_string(), feats, domains));
 
     println!("== Figure 2 — t-SNE of intermediate features (one letter per domain) ==");
-    println!("legend: {}", names.iter().enumerate().map(|(i, n)| format!("{}={}", scatter_cfg.symbols[i % scatter_cfg.symbols.len()], n)).collect::<Vec<_>>().join("  "));
+    println!(
+        "legend: {}",
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| format!(
+                "{}={}",
+                scatter_cfg.symbols[i % scatter_cfg.symbols.len()],
+                n
+            ))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for (title, feats, domains) in &panels {
         eprintln!("running t-SNE for {title} ...");
         let embedding = tsne.embed(feats);

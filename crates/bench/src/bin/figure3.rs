@@ -32,12 +32,19 @@ fn main() {
             .map(|(i, _)| i)
     };
     let cases: Vec<(String, usize)> = [
-        ("Ent.", 1usize),      // fake entertainment news (real-heavy domain)
-        ("Politics", 0usize),  // real politics news (fake-heavy domain)
-        ("Disaster", 0usize),  // real disaster news (most fake-heavy domain)
+        ("Ent.", 1usize),     // fake entertainment news (real-heavy domain)
+        ("Politics", 0usize), // real politics news (fake-heavy domain)
+        ("Disaster", 0usize), // real disaster news (most fake-heavy domain)
     ]
     .iter()
-    .filter_map(|(d, l)| pick(d, *l).map(|idx| (format!("{} ({})", d, if *l == 1 { "fake" } else { "real" }), idx)))
+    .filter_map(|(d, l)| {
+        pick(d, *l).map(|idx| {
+            (
+                format!("{} ({})", d, if *l == 1 { "fake" } else { "real" }),
+                idx,
+            )
+        })
+    })
     .collect();
 
     eprintln!("training M3FEND ...");
@@ -58,13 +65,22 @@ fn main() {
     let md_probs = predict_fake_probs(&md.model, &mut md.store, test, 256);
     let our_probs = predict_fake_probs(&ours.model, &mut ours.store, test, 256);
 
-    let mut table = TableBuilder::new("Figure 3 — case studies (predicted P(fake))")
-        .header(["Case", "True label", "M3FEND", "MDFEND", "DTDBD"]);
+    let mut table = TableBuilder::new("Figure 3 — case studies (predicted P(fake))").header([
+        "Case",
+        "True label",
+        "M3FEND",
+        "MDFEND",
+        "DTDBD",
+    ]);
     for (title, idx) in &cases {
         let item = &test.items()[*idx];
         table.row([
             format!("{} — {}", title, item.describe(names[item.domain])),
-            if item.is_fake() { "fake".to_string() } else { "real".to_string() },
+            if item.is_fake() {
+                "fake".to_string()
+            } else {
+                "real".to_string()
+            },
             format!("{:.3}", m3_probs[*idx]),
             format!("{:.3}", md_probs[*idx]),
             format!("{:.3}", our_probs[*idx]),

@@ -13,7 +13,11 @@ fn main() {
 
     let mut header = vec!["Method".to_string()];
     header.extend(split.test.domain_names().iter().map(|s| s.to_string()));
-    header.extend(["F1", "FNED", "FPED", "Total"].iter().map(|s| s.to_string()));
+    header.extend(
+        ["F1", "FNED", "FPED", "Total"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
     let mut table = TableBuilder::new("Table VII — English dataset comparison").header(header);
 
     for name in baseline_names() {

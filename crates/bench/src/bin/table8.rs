@@ -30,7 +30,13 @@ fn main() {
             StudentArch::TextCnn => "TextCNN-S",
             StudentArch::BiGru => "BiGRU-S",
         };
-        table.row([format!("--- {arch_name} ---"), String::new(), String::new(), String::new(), String::new()]);
+        table.row([
+            format!("--- {arch_name} ---"),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
 
         eprintln!("[{arch_name}] training plain student ...");
         let (row, _) = train_plain_student(arch, &split, &opts);
@@ -44,22 +50,68 @@ fn main() {
 
         eprintln!("[{arch_name}] training Student+DND (clean teacher only) ...");
         let base = distill_config(&opts);
-        let dnd = DistillConfig { epochs: base.epochs, batch_size: base.batch_size, learning_rate: base.learning_rate, seed: base.seed, ..DistillConfig::only_dkd() };
-        let (row, _) = train_dtdbd(CleanTeacherKind::M3Fend, arch, &split, &opts, dnd, "Student+DND");
+        let dnd = DistillConfig {
+            epochs: base.epochs,
+            batch_size: base.batch_size,
+            learning_rate: base.learning_rate,
+            seed: base.seed,
+            ..DistillConfig::only_dkd()
+        };
+        let (row, _) = train_dtdbd(
+            CleanTeacherKind::M3Fend,
+            arch,
+            &split,
+            &opts,
+            dnd,
+            "Student+DND",
+        );
         row.push_overall(&mut table);
 
         eprintln!("[{arch_name}] training Student+ADD (unbiased teacher only) ...");
-        let add = DistillConfig { epochs: base.epochs, batch_size: base.batch_size, learning_rate: base.learning_rate, seed: base.seed, ..DistillConfig::only_add() };
-        let (row, _) = train_dtdbd(CleanTeacherKind::M3Fend, arch, &split, &opts, add, "Student+ADD");
+        let add = DistillConfig {
+            epochs: base.epochs,
+            batch_size: base.batch_size,
+            learning_rate: base.learning_rate,
+            seed: base.seed,
+            ..DistillConfig::only_add()
+        };
+        let (row, _) = train_dtdbd(
+            CleanTeacherKind::M3Fend,
+            arch,
+            &split,
+            &opts,
+            add,
+            "Student+ADD",
+        );
         row.push_overall(&mut table);
 
         eprintln!("[{arch_name}] training w/o DAA ...");
-        let no_daa = DistillConfig { epochs: base.epochs, batch_size: base.batch_size, learning_rate: base.learning_rate, seed: base.seed, ..DistillConfig::without_daa() };
-        let (row, _) = train_dtdbd(CleanTeacherKind::M3Fend, arch, &split, &opts, no_daa, "w/o DAA");
+        let no_daa = DistillConfig {
+            epochs: base.epochs,
+            batch_size: base.batch_size,
+            learning_rate: base.learning_rate,
+            seed: base.seed,
+            ..DistillConfig::without_daa()
+        };
+        let (row, _) = train_dtdbd(
+            CleanTeacherKind::M3Fend,
+            arch,
+            &split,
+            &opts,
+            no_daa,
+            "w/o DAA",
+        );
         row.push_overall(&mut table);
 
         eprintln!("[{arch_name}] training full DTDBD Our(M3) ...");
-        let (row, _) = train_dtdbd(CleanTeacherKind::M3Fend, arch, &split, &opts, distill_config(&opts), "Our(M3)");
+        let (row, _) = train_dtdbd(
+            CleanTeacherKind::M3Fend,
+            arch,
+            &split,
+            &opts,
+            distill_config(&opts),
+            "Our(M3)",
+        );
         row.push_overall(&mut table);
     }
 

@@ -19,7 +19,13 @@ fn main() {
             StudentArch::TextCnn => "TextCNN-S",
             StudentArch::BiGru => "BiGRU-S",
         };
-        table.row([format!("--- {arch_name} ---"), String::new(), String::new(), String::new(), String::new()]);
+        table.row([
+            format!("--- {arch_name} ---"),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
 
         eprintln!("[{arch_name}] plain student ...");
         let (row, _) = train_plain_student(arch, &split, &opts);

@@ -2,7 +2,9 @@
 
 use dtdbd_core::dat::{train_unbiased_teacher, DatConfig, DatMode};
 use dtdbd_core::{evaluate, train_model, DistillConfig, DtdbdTrainer, TrainConfig};
-use dtdbd_data::{english_spec, weibo21_spec, GeneratorConfig, MultiDomainDataset, NewsGenerator, Split};
+use dtdbd_data::{
+    english_spec, weibo21_spec, GeneratorConfig, MultiDomainDataset, NewsGenerator, Split,
+};
 use dtdbd_metrics::{DomainEvaluation, TableBuilder};
 use dtdbd_models::{
     BertMlp, BiGruModel, DualEmo, Eann, Eddfn, FakeNewsModel, M3Fend, Mdfend, Mmoe, ModelConfig,
@@ -168,7 +170,11 @@ impl EvalRow {
 
     /// Append only the overall metrics to a table.
     pub fn push_overall(&self, table: &mut TableBuilder) {
-        table.metric_row(&self.name, &[self.overall_f1, self.fned, self.fped, self.total], 4);
+        table.metric_row(
+            &self.name,
+            &[self.overall_f1, self.fned, self.fped, self.total],
+            4,
+        );
     }
 }
 
@@ -310,7 +316,11 @@ impl CleanTeacherKind {
 }
 
 /// Train a plain (undistilled) student of the given architecture.
-pub fn train_plain_student(arch: StudentArch, split: &Split, opts: &RunOptions) -> (EvalRow, TrainedModel) {
+pub fn train_plain_student(
+    arch: StudentArch,
+    split: &Split,
+    opts: &RunOptions,
+) -> (EvalRow, TrainedModel) {
     let name = match arch {
         StudentArch::TextCnn => "TextCNN-S",
         StudentArch::BiGru => "BiGRU-S",
@@ -337,7 +347,8 @@ pub fn train_adversarial_student(
         train: train_config(opts),
         ..DatConfig::default()
     };
-    let (wrapped, _) = train_unbiased_teacher(base, &mut store, &config, &dat, &split.train, &mut rng);
+    let (wrapped, _) =
+        train_unbiased_teacher(base, &mut store, &config, &dat, &split.train, &mut rng);
     let name = wrapped.name().to_string();
     let mut trained = TrainedModel {
         model: Box::new(wrapped),
@@ -367,7 +378,12 @@ pub fn train_dtdbd(
     // Clean teacher (frozen afterwards).
     let mut clean_store = ParamStore::new();
     let mut clean_rng = Prng::new(opts.seed ^ 0xC1EA);
-    let mut clean = build_baseline(clean_kind.model_name(), &mut clean_store, &config, &mut clean_rng);
+    let mut clean = build_baseline(
+        clean_kind.model_name(),
+        &mut clean_store,
+        &config,
+        &mut clean_rng,
+    );
     if distill.use_dkd {
         train_model(&mut clean, &mut clean_store, &split.train, &tc);
     }
@@ -474,7 +490,8 @@ mod tests {
 
     #[test]
     fn eval_row_reflects_evaluation() {
-        let eval = DomainEvaluation::from_names(&[1, 0, 1, 0], &[1, 0, 0, 1], &[0, 0, 1, 1], &["A", "B"]);
+        let eval =
+            DomainEvaluation::from_names(&[1, 0, 1, 0], &[1, 0, 0, 1], &[0, 0, 1, 1], &["A", "B"]);
         let row = EvalRow::from_eval("demo", &eval);
         assert_eq!(row.name, "demo");
         assert_eq!(row.domain_f1.len(), 2);

@@ -16,6 +16,7 @@
 //! * `--epochs N` — override the number of training epochs.
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::{
     baseline_names, build_baseline, chinese_split, english_split, run_baseline, train_config,

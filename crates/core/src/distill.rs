@@ -157,7 +157,10 @@ impl DtdbdTrainer {
         U: FakeNewsModel,
     {
         let cfg = &self.config;
-        assert!(cfg.use_add || cfg.use_dkd, "at least one teacher must be active");
+        assert!(
+            cfg.use_add || cfg.use_dkd,
+            "at least one teacher must be active"
+        );
         let mut optimizer = Adam::new(cfg.learning_rate);
         let mut adjuster = DynamicAdjuster::new(cfg.momentum, cfg.initial_w_add);
         let mut report = DistillReport {
@@ -175,7 +178,12 @@ impl DtdbdTrainer {
 
             let mut epoch_loss = 0.0f32;
             let mut n_batches = 0usize;
-            let iter = BatchIter::new(train, cfg.batch_size, cfg.seed ^ ((epoch as u64) << 8), false);
+            let iter = BatchIter::new(
+                train,
+                cfg.batch_size,
+                cfg.seed ^ ((epoch as u64) << 8),
+                false,
+            );
             for batch in iter {
                 let step = (epoch * 100_000 + n_batches) as u64;
                 let loss = self.distill_step(
@@ -193,7 +201,9 @@ impl DtdbdTrainer {
                 epoch_loss += loss;
                 n_batches += 1;
             }
-            report.epoch_losses.push(epoch_loss / n_batches.max(1) as f32);
+            report
+                .epoch_losses
+                .push(epoch_loss / n_batches.max(1) as f32);
 
             // Validation metrics drive the dynamic adjustment (Algorithm 1,
             // line 11: weights are recomputed from the second epoch on).
@@ -258,7 +268,11 @@ impl DtdbdTrainer {
 
         // Student pass.
         student_store.zero_grad();
-        let mut g = Graph::new(student_store, true, cfg.seed ^ step_seed.wrapping_mul(0x1000_0001));
+        let mut g = Graph::new(
+            student_store,
+            true,
+            cfg.seed ^ step_seed.wrapping_mul(0x1000_0001),
+        );
         let out = student.forward(&mut g, batch);
         let ce = g.cross_entropy_logits(out.logits, &batch.labels);
         let mut total = g.scale(ce, cfg.w_classification);
@@ -396,7 +410,11 @@ mod tests {
         // The distilled student must stay usable and should not be more
         // biased than the plain student (tolerances are loose because the
         // corpus here is tiny).
-        assert!(student_eval.overall_f1() > 0.55, "F1 {}", student_eval.overall_f1());
+        assert!(
+            student_eval.overall_f1() > 0.55,
+            "F1 {}",
+            student_eval.overall_f1()
+        );
         assert!(
             student_eval.bias().total() <= plain_eval.bias().total() + 0.2,
             "student total {} vs plain {}",

@@ -77,7 +77,12 @@ pub fn train_model<M: FakeNewsModel>(
     for epoch in 0..config.epochs {
         let mut epoch_loss = 0.0f32;
         let mut n_batches = 0usize;
-        let iter = BatchIter::new(train, config.batch_size, config.seed ^ (epoch as u64) << 8, false);
+        let iter = BatchIter::new(
+            train,
+            config.batch_size,
+            config.seed ^ (epoch as u64) << 8,
+            false,
+        );
         for batch in iter {
             let loss = train_step(model, store, &batch, &mut optimizer, config, steps as u64);
             epoch_loss += loss;
@@ -90,7 +95,10 @@ pub fn train_model<M: FakeNewsModel>(
         }
         epoch_losses.push(mean);
     }
-    TrainReport { epoch_losses, steps }
+    TrainReport {
+        epoch_losses,
+        steps,
+    }
 }
 
 /// One optimization step on a single batch; returns the batch loss.
@@ -103,7 +111,11 @@ pub fn train_step<M: FakeNewsModel>(
     step_seed: u64,
 ) -> f32 {
     store.zero_grad();
-    let mut g = Graph::new(store, true, config.seed ^ step_seed.wrapping_mul(0x9E37_79B9));
+    let mut g = Graph::new(
+        store,
+        true,
+        config.seed ^ step_seed.wrapping_mul(0x9E37_79B9),
+    );
     let out = model.forward(&mut g, batch);
     let mut loss = g.cross_entropy_logits(out.logits, &batch.labels);
     if let Some(domain_logits) = out.domain_logits {
@@ -147,7 +159,11 @@ pub fn evaluate<M: FakeNewsModel>(
         labels.extend(batch.labels.iter().copied());
         domains.extend(batch.domains.iter().copied());
     }
-    let names: Vec<String> = dataset.domain_names().iter().map(|s| s.to_string()).collect();
+    let names: Vec<String> = dataset
+        .domain_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     DomainEvaluation::new(&predictions, &labels, &domains, &names)
 }
 

@@ -83,7 +83,12 @@ pub struct BatchIter<'a> {
 
 impl<'a> BatchIter<'a> {
     /// Create an iterator with a fresh shuffle.
-    pub fn new(dataset: &'a MultiDomainDataset, batch_size: usize, seed: u64, drop_last: bool) -> Self {
+    pub fn new(
+        dataset: &'a MultiDomainDataset,
+        batch_size: usize,
+        seed: u64,
+        drop_last: bool,
+    ) -> Self {
         assert!(batch_size > 0);
         let mut order: Vec<usize> = (0..dataset.len()).collect();
         Prng::new(seed).shuffle(&mut order);
@@ -183,12 +188,7 @@ mod tests {
     #[test]
     fn shuffling_differs_between_seeds_but_is_reproducible() {
         let ds = dataset();
-        let order = |seed: u64| {
-            BatchIter::new(&ds, 8, seed, false)
-                .next()
-                .unwrap()
-                .indices
-        };
+        let order = |seed: u64| BatchIter::new(&ds, 8, seed, false).next().unwrap().indices;
         assert_eq!(order(1), order(1));
         assert_ne!(order(1), order(2));
     }

@@ -96,12 +96,7 @@ pub struct Split {
 
 impl MultiDomainDataset {
     /// Assemble a dataset from parts (normally called by the generator).
-    pub fn new(
-        spec: CorpusSpec,
-        vocab: Vocabulary,
-        seq_len: usize,
-        items: Vec<NewsItem>,
-    ) -> Self {
+    pub fn new(spec: CorpusSpec, vocab: Vocabulary, seq_len: usize, items: Vec<NewsItem>) -> Self {
         Self {
             spec,
             vocab,

@@ -88,15 +88,60 @@ pub fn weibo21_spec() -> CorpusSpec {
         name: "weibo21",
         n_topic_groups: 9,
         domains: vec![
-            DomainSpec { name: "Science", fake: 93, real: 143, topic_groups: &[0, 5, 2] },
-            DomainSpec { name: "Military", fake: 222, real: 121, topic_groups: &[1, 4, 0] },
-            DomainSpec { name: "Education", fake: 248, real: 243, topic_groups: &[2, 8, 0] },
-            DomainSpec { name: "Disaster", fake: 591, real: 185, topic_groups: &[3, 8, 4] },
-            DomainSpec { name: "Politics", fake: 546, real: 306, topic_groups: &[4, 1, 8] },
-            DomainSpec { name: "Health", fake: 515, real: 485, topic_groups: &[5, 0, 8] },
-            DomainSpec { name: "Finance", fake: 362, real: 959, topic_groups: &[6, 4, 8] },
-            DomainSpec { name: "Ent.", fake: 440, real: 1000, topic_groups: &[7, 8, 6] },
-            DomainSpec { name: "Society", fake: 1471, real: 1198, topic_groups: &[8, 3, 7] },
+            DomainSpec {
+                name: "Science",
+                fake: 93,
+                real: 143,
+                topic_groups: &[0, 5, 2],
+            },
+            DomainSpec {
+                name: "Military",
+                fake: 222,
+                real: 121,
+                topic_groups: &[1, 4, 0],
+            },
+            DomainSpec {
+                name: "Education",
+                fake: 248,
+                real: 243,
+                topic_groups: &[2, 8, 0],
+            },
+            DomainSpec {
+                name: "Disaster",
+                fake: 591,
+                real: 185,
+                topic_groups: &[3, 8, 4],
+            },
+            DomainSpec {
+                name: "Politics",
+                fake: 546,
+                real: 306,
+                topic_groups: &[4, 1, 8],
+            },
+            DomainSpec {
+                name: "Health",
+                fake: 515,
+                real: 485,
+                topic_groups: &[5, 0, 8],
+            },
+            DomainSpec {
+                name: "Finance",
+                fake: 362,
+                real: 959,
+                topic_groups: &[6, 4, 8],
+            },
+            DomainSpec {
+                name: "Ent.",
+                fake: 440,
+                real: 1000,
+                topic_groups: &[7, 8, 6],
+            },
+            DomainSpec {
+                name: "Society",
+                fake: 1471,
+                real: 1198,
+                topic_groups: &[8, 3, 7],
+            },
         ],
     }
 }
@@ -111,9 +156,24 @@ pub fn english_spec() -> CorpusSpec {
         name: "english",
         n_topic_groups: 3,
         domains: vec![
-            DomainSpec { name: "Gossipcop", fake: 5067, real: 16804, topic_groups: &[0, 1] },
-            DomainSpec { name: "Politifact", fake: 379, real: 447, topic_groups: &[1, 2] },
-            DomainSpec { name: "COVID", fake: 1317, real: 4750, topic_groups: &[2, 1] },
+            DomainSpec {
+                name: "Gossipcop",
+                fake: 5067,
+                real: 16804,
+                topic_groups: &[0, 1],
+            },
+            DomainSpec {
+                name: "Politifact",
+                fake: 379,
+                real: 447,
+                topic_groups: &[1, 2],
+            },
+            DomainSpec {
+                name: "COVID",
+                fake: 1317,
+                real: 4750,
+                topic_groups: &[2, 1],
+            },
         ],
     }
 }
@@ -141,9 +201,12 @@ mod tests {
         // Table I reports ~51.0% fake on average (4488 fake / 9128 total = 49.2%;
         // the table's "Average" row averages per-domain rates). Check both views.
         assert!((spec.fake_rate() - 0.4917).abs() < 0.005);
-        let mean_rate: f64 = spec.domains.iter().map(DomainSpec::fake_rate).sum::<f64>()
-            / spec.n_domains() as f64;
-        assert!((mean_rate - 0.51).abs() < 0.03, "mean per-domain rate {mean_rate}");
+        let mean_rate: f64 =
+            spec.domains.iter().map(DomainSpec::fake_rate).sum::<f64>() / spec.n_domains() as f64;
+        assert!(
+            (mean_rate - 0.51).abs() < 0.03,
+            "mean per-domain rate {mean_rate}"
+        );
     }
 
     #[test]
@@ -163,7 +226,11 @@ mod tests {
             for d in &spec.domains {
                 assert!(!d.topic_groups.is_empty(), "{} has no topic groups", d.name);
                 for &t in d.topic_groups {
-                    assert!(t < spec.n_topic_groups, "{}: topic group {t} out of range", d.name);
+                    assert!(
+                        t < spec.n_topic_groups,
+                        "{}: topic group {t} out of range",
+                        d.name
+                    );
                 }
             }
         }

@@ -47,7 +47,11 @@ impl NewsItem {
             domain_name,
             if self.is_fake() { "fake" } else { "real" },
             self.id,
-            if self.ambiguous { "ambiguous content" } else { "clear content" }
+            if self.ambiguous {
+                "ambiguous content"
+            } else {
+                "clear content"
+            }
         )
     }
 }
@@ -115,7 +119,11 @@ impl NewsGenerator {
     /// Create a generator for a corpus specification.
     pub fn new(spec: CorpusSpec, config: GeneratorConfig) -> Self {
         let vocab = Vocabulary::standard(spec.n_domains(), spec.n_topic_groups);
-        Self { config, vocab, spec }
+        Self {
+            config,
+            vocab,
+            spec,
+        }
     }
 
     /// The vocabulary layout used by this generator.
@@ -161,7 +169,10 @@ impl NewsGenerator {
     /// (keeping at least 8 items per class per domain). Used by the `--quick`
     /// mode of the experiment binaries.
     pub fn generate_scaled(&self, seed: u64, fraction: f64) -> MultiDomainDataset {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let mut scaled = self.spec.clone();
         for d in &mut scaled.domains {
             d.fake = ((d.fake as f64 * fraction).round() as usize).max(8);
@@ -230,8 +241,12 @@ impl NewsGenerator {
     fn consistent_cue(&self, domain: usize, label: usize, rng: &mut Prng) -> u32 {
         let use_dialect = rng.chance(self.config.dialect_rate);
         match (label, use_dialect) {
-            (1, false) => self.vocab.shared_fake_cue(rng.below(self.vocab.shared_cues_per_class())),
-            (0, false) => self.vocab.shared_real_cue(rng.below(self.vocab.shared_cues_per_class())),
+            (1, false) => self
+                .vocab
+                .shared_fake_cue(rng.below(self.vocab.shared_cues_per_class())),
+            (0, false) => self
+                .vocab
+                .shared_real_cue(rng.below(self.vocab.shared_cues_per_class())),
             (1, true) => self
                 .vocab
                 .domain_fake_cue(domain, rng.below(self.vocab.domain_cues_per_class())),
@@ -328,7 +343,11 @@ mod tests {
             assert_eq!(x.domain, y.domain);
         }
         let c = generator.generate_scaled(4, 0.05);
-        assert!(a.items().iter().zip(c.items().iter()).any(|(x, y)| x.tokens != y.tokens));
+        assert!(a
+            .items()
+            .iter()
+            .zip(c.items().iter())
+            .any(|(x, y)| x.tokens != y.tokens));
     }
 
     #[test]

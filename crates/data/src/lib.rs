@@ -35,10 +35,12 @@ pub mod batch;
 pub mod dataset;
 pub mod domain;
 pub mod generator;
+pub mod request;
 pub mod vocab;
 
 pub use batch::{Batch, BatchIter};
 pub use dataset::{DatasetStats, MultiDomainDataset, Split};
 pub use domain::{english_spec, weibo21_spec, CorpusSpec, DomainSpec};
 pub use generator::{GeneratorConfig, NewsGenerator, NewsItem};
+pub use request::{EncodedRequest, InferenceRequest, RequestEncoder, RequestError};
 pub use vocab::Vocabulary;

@@ -48,6 +48,30 @@ impl Vocabulary {
         }
     }
 
+    /// Reassemble a vocabulary from explicitly recorded region sizes.
+    ///
+    /// This is the checkpoint-restore constructor: a serialized model must
+    /// reproduce its token-id layout exactly even if the standard layout's
+    /// constants change in a later version, so the codec stores all six
+    /// fields and rebuilds through here.
+    pub fn from_parts(
+        n_domains: usize,
+        n_topic_groups: usize,
+        shared_cues_per_class: usize,
+        domain_cues_per_class: usize,
+        topic_tokens_per_group: usize,
+        noise_tokens: usize,
+    ) -> Self {
+        Self {
+            n_domains,
+            n_topic_groups,
+            shared_cues_per_class,
+            domain_cues_per_class,
+            topic_tokens_per_group,
+            noise_tokens,
+        }
+    }
+
     /// The padding token id.
     pub const PAD: u32 = 0;
 
@@ -189,7 +213,10 @@ mod tests {
         assert_eq!(v.kind(v.shared_real_cue(0)), TokenKind::SharedRealCue);
         for d in 0..9 {
             assert_eq!(v.kind(v.domain_fake_cue(d, 3)), TokenKind::DomainFakeCue(d));
-            assert_eq!(v.kind(v.domain_real_cue(d, 19)), TokenKind::DomainRealCue(d));
+            assert_eq!(
+                v.kind(v.domain_real_cue(d, 19)),
+                TokenKind::DomainRealCue(d)
+            );
         }
         for t in 0..9 {
             assert_eq!(v.kind(v.topic_token(t, 5)), TokenKind::Topic(t));
@@ -226,8 +253,14 @@ mod tests {
     #[test]
     fn indices_wrap_instead_of_escaping_region() {
         let v = Vocabulary::standard(3, 3);
-        assert_eq!(v.shared_fake_cue(0), v.shared_fake_cue(v.shared_cues_per_class()));
-        assert_eq!(v.topic_token(1, 0), v.topic_token(1, v.topic_tokens_per_group()));
+        assert_eq!(
+            v.shared_fake_cue(0),
+            v.shared_fake_cue(v.shared_cues_per_class())
+        );
+        assert_eq!(
+            v.topic_token(1, 0),
+            v.topic_token(1, v.topic_tokens_per_group())
+        );
     }
 
     #[test]

@@ -42,7 +42,13 @@ impl BiGruModel {
             config.emb_dim,
             config.emb_seed,
         );
-        let encoder = BiGru::new(store, &format!("{name}.bigru"), config.emb_dim, config.hidden, rng);
+        let encoder = BiGru::new(
+            store,
+            &format!("{name}.bigru"),
+            config.emb_dim,
+            config.hidden,
+            rng,
+        );
         let head = Mlp::new(
             store,
             &format!("{name}.head"),

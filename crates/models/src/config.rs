@@ -80,7 +80,8 @@ mod tests {
 
     #[test]
     fn config_reflects_dataset_geometry() {
-        let ds = NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(1, 0.05);
+        let ds =
+            NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(1, 0.05);
         let cfg = ModelConfig::for_dataset(&ds);
         assert_eq!(cfg.n_domains, 9);
         assert_eq!(cfg.seq_len, ds.seq_len());

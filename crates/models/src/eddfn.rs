@@ -71,7 +71,15 @@ impl Eddfn {
             rng,
         );
         let specific_heads = (0..config.n_domains)
-            .map(|d| Linear::new(store, &format!("{name}.specific{d}"), encoder.out_dim(), config.feature_dim, rng))
+            .map(|d| {
+                Linear::new(
+                    store,
+                    &format!("{name}.specific{d}"),
+                    encoder.out_dim(),
+                    config.feature_dim,
+                    rng,
+                )
+            })
             .collect();
         let classifier = Mlp::new(
             store,

@@ -64,12 +64,25 @@ impl M3Fend {
         );
         let view_dim = semantic.out_dim() + 2 * config.hidden;
         let adapters = (0..config.n_domains)
-            .map(|d| Linear::new(store, &format!("M3FEND.adapter{d}"), view_dim, config.feature_dim, rng))
+            .map(|d| {
+                Linear::new(
+                    store,
+                    &format!("M3FEND.adapter{d}"),
+                    view_dim,
+                    config.feature_dim,
+                    rng,
+                )
+            })
             .collect();
         let classifier = Linear::new(store, "M3FEND.classifier", config.feature_dim, 2, rng);
         // The memory clusters items by their pooled pre-trained embedding,
         // which is parameter-free and thus stable over training.
-        let memory = RefCell::new(DomainMemoryBank::new(config.n_domains, config.emb_dim, 0.9, 2.0));
+        let memory = RefCell::new(DomainMemoryBank::new(
+            config.n_domains,
+            config.emb_dim,
+            0.9,
+            2.0,
+        ));
         Self {
             config: config.clone(),
             embedding,
@@ -117,7 +130,9 @@ impl FakeNewsModel for M3Fend {
         // (parameter-free) pooled embeddings and the hard domain labels.
         if g.is_training() {
             let pooled_tensor = g.value(pooled).clone();
-            self.memory.borrow_mut().update(&pooled_tensor, &batch.domains);
+            self.memory
+                .borrow_mut()
+                .update(&pooled_tensor, &batch.domains);
         }
 
         // Multi-view representation.
@@ -196,9 +211,10 @@ mod tests {
             let _ = model.forward(&mut g, &batch);
         }
         let mut g = Graph::new(&mut store, false, 0);
-        let embedded = model
-            .embedding
-            .forward(&mut g, &batch.token_ids, batch.batch_size, batch.seq_len);
+        let embedded =
+            model
+                .embedding
+                .forward(&mut g, &batch.token_ids, batch.batch_size, batch.seq_len);
         let pooled = g.mean_over_time(embedded);
         let soft = model.soft_domains(&mut g, pooled);
         let v = g.value(soft);

@@ -114,7 +114,11 @@ impl FakeNewsModel for Mdfend {
         let domain_emb = g.reshape(domain_emb, &[batch.batch_size, self.config.emb_dim]);
         let gate_input = g.concat_last(&[domain_emb, pooled]);
 
-        let expert_outputs: Vec<_> = self.experts.iter().map(|e| e.forward(g, embedded)).collect();
+        let expert_outputs: Vec<_> = self
+            .experts
+            .iter()
+            .map(|e| e.forward(g, embedded))
+            .collect();
         let weights = self.gate.weights(g, gate_input);
         let mixed = mix_with_weights(g, weights, &expert_outputs);
         let mixed = g.dropout(mixed, self.config.dropout);

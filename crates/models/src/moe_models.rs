@@ -8,7 +8,7 @@ use crate::config::ModelConfig;
 use crate::traits::{FakeNewsModel, ModelOutput};
 use dtdbd_data::Batch;
 use dtdbd_nn::moe::{mix_with_weights, ExpertGate};
-use dtdbd_nn::{Activation, Embedding, Linear, Lstm, Mlp, MixtureOfExperts};
+use dtdbd_nn::{Activation, Embedding, Linear, Lstm, MixtureOfExperts, Mlp};
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::{Graph, ParamStore, Var};
 
@@ -93,7 +93,15 @@ impl Mose {
             config.emb_seed,
         );
         let experts = (0..config.n_experts)
-            .map(|e| Lstm::new(store, &format!("MoSE.expert{e}"), config.emb_dim, config.hidden, rng))
+            .map(|e| {
+                Lstm::new(
+                    store,
+                    &format!("MoSE.expert{e}"),
+                    config.emb_dim,
+                    config.hidden,
+                    rng,
+                )
+            })
             .collect();
         let gate = ExpertGate::new(store, "MoSE.gate", config.emb_dim, config.n_experts, rng);
         let head = Mlp::new(

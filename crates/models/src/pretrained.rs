@@ -42,7 +42,9 @@ pub fn pretrained_table(vocab: &Vocabulary, dim: usize, seed: u64) -> Tensor {
     // Shared semantic directions.
     let fake_dir = unit(&mut rng);
     let real_dir = unit(&mut rng);
-    let topic_dirs: Vec<Vec<f32>> = (0..vocab.n_topic_groups()).map(|_| unit(&mut rng)).collect();
+    let topic_dirs: Vec<Vec<f32>> = (0..vocab.n_topic_groups())
+        .map(|_| unit(&mut rng))
+        .collect();
     let domain_dirs: Vec<Vec<f32>> = (0..vocab.n_domains()).map(|_| unit(&mut rng)).collect();
 
     let size = vocab.size();
@@ -119,7 +121,10 @@ mod tests {
         let noise_noise = cosine(row(vocab.noise_token(0)), row(vocab.noise_token(5)));
         assert!(fake_fake > 0.4, "fake cues should cluster: {fake_fake}");
         assert!(fake_fake > fake_real + 0.2);
-        assert!(noise_noise.abs() < 0.4, "noise tokens should not cluster strongly");
+        assert!(
+            noise_noise.abs() < 0.4,
+            "noise tokens should not cluster strongly"
+        );
     }
 
     #[test]
@@ -141,8 +146,14 @@ mod tests {
     #[test]
     fn table_is_deterministic_in_the_seed() {
         let vocab = Vocabulary::standard(3, 3);
-        assert_eq!(pretrained_table(&vocab, 16, 1), pretrained_table(&vocab, 16, 1));
-        assert_ne!(pretrained_table(&vocab, 16, 1), pretrained_table(&vocab, 16, 2));
+        assert_eq!(
+            pretrained_table(&vocab, 16, 1),
+            pretrained_table(&vocab, 16, 1)
+        );
+        assert_ne!(
+            pretrained_table(&vocab, 16, 1),
+            pretrained_table(&vocab, 16, 2)
+        );
     }
 
     #[test]

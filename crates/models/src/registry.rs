@@ -125,9 +125,17 @@ mod tests {
     fn every_method_has_a_dataset_and_a_scope() {
         for m in registry() {
             assert!(!m.datasets.is_empty(), "{} lacks datasets", m.name);
-            assert!(m.single_domain || m.multi_domain, "{} lacks a scope", m.name);
+            assert!(
+                m.single_domain || m.multi_domain,
+                "{} lacks a scope",
+                m.name
+            );
             if m.debiasing {
-                assert!(m.bias_type.is_some(), "{} debiases without a bias type", m.name);
+                assert!(
+                    m.bias_type.is_some(),
+                    "{} debiases without a bias type",
+                    m.name
+                );
             }
         }
     }

@@ -31,7 +31,13 @@ impl StyleLstm {
             config.emb_dim,
             config.emb_seed,
         );
-        let encoder = BiLstm::new(store, "StyleLSTM.bilstm", config.emb_dim, config.hidden, rng);
+        let encoder = BiLstm::new(
+            store,
+            "StyleLSTM.bilstm",
+            config.emb_dim,
+            config.hidden,
+            rng,
+        );
         let head = Mlp::new(
             store,
             "StyleLSTM.head",
@@ -95,7 +101,11 @@ impl DualEmo {
         let head = Mlp::new(
             store,
             "DualEmo.head",
-            &[encoder.out_dim() + config.emotion_dim, config.feature_dim, 2],
+            &[
+                encoder.out_dim() + config.emotion_dim,
+                config.feature_dim,
+                2,
+            ],
             Activation::Relu,
             config.dropout,
             rng,

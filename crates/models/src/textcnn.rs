@@ -134,7 +134,8 @@ mod tests {
         let ds = tiny_dataset();
         let cfg = ModelConfig::tiny(&ds);
         let mut store = ParamStore::new();
-        let model = TextCnnModel::with_kernels("custom", &[2, 3], &mut store, &cfg, &mut Prng::new(4));
+        let model =
+            TextCnnModel::with_kernels("custom", &[2, 3], &mut store, &cfg, &mut Prng::new(4));
         assert_eq!(model.encoder_dim(), 2 * cfg.hidden);
         assert_eq!(model.name(), "custom");
     }

@@ -2,7 +2,7 @@
 
 use crate::config::ModelConfig;
 use dtdbd_data::Batch;
-use dtdbd_tensor::{Graph, Tensor, Var};
+use dtdbd_tensor::{BufferPool, Graph, ParamStore, Tensor, Var};
 
 /// Result of a model forward pass.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +29,36 @@ impl ModelOutput {
             domain_logits: None,
             aux_loss: None,
         }
+    }
+}
+
+/// Owned result of a tape-free inference pass ([`FakeNewsModel::infer`]).
+///
+/// Unlike [`ModelOutput`], whose `Var` handles borrow a live [`Graph`], this
+/// struct owns plain tensors copied out of the inference graph's scratch
+/// buffers, so it can cross threads and outlive the forward pass — exactly
+/// what a serving layer needs.
+#[derive(Debug, Clone)]
+pub struct InferenceOutput {
+    /// Classification logits `[batch, 2]` (real / fake).
+    pub logits: Tensor,
+    /// Intermediate features `[batch, feature_dim]`.
+    pub features: Tensor,
+    /// Domain-classifier logits `[batch, n_domains]` for models with a
+    /// domain branch.
+    pub domain_logits: Option<Tensor>,
+}
+
+impl InferenceOutput {
+    /// Softmax fake-class probability of every item in the batch.
+    pub fn fake_probs(&self) -> Vec<f32> {
+        let probs = self.logits.softmax_rows();
+        (0..probs.shape()[0]).map(|i| probs.at2(i, 1)).collect()
+    }
+
+    /// Row-softmax domain scores, when the model has a domain branch.
+    pub fn domain_scores(&self) -> Option<Tensor> {
+        self.domain_logits.as_ref().map(Tensor::softmax_rows)
     }
 }
 
@@ -64,6 +94,31 @@ pub trait FakeNewsModel {
     fn feature_dim(&self) -> usize {
         self.config().feature_dim
     }
+
+    /// Tape-free inference: run the forward pass on a [`Graph::inference`]
+    /// graph (no gradient bookkeeping, scratch buffers drawn from — and
+    /// returned to — `pool`) and copy the outputs into an owned
+    /// [`InferenceOutput`].
+    ///
+    /// The default implementation reuses [`FakeNewsModel::forward`], so every
+    /// model in the zoo serves requests without model-specific code; a model
+    /// may override it with a hand-fused path later.
+    fn infer(
+        &self,
+        store: &mut ParamStore,
+        pool: &mut BufferPool,
+        batch: &Batch,
+    ) -> InferenceOutput {
+        let mut g = Graph::inference(store, pool);
+        let out = self.forward(&mut g, batch);
+        let result = InferenceOutput {
+            logits: g.value(out.logits).clone(),
+            features: g.value(out.features).clone(),
+            domain_logits: out.domain_logits.map(|d| g.value(d).clone()),
+        };
+        g.finish();
+        result
+    }
 }
 
 impl<T: FakeNewsModel + ?Sized> FakeNewsModel for Box<T> {
@@ -94,6 +149,15 @@ impl<T: FakeNewsModel + ?Sized> FakeNewsModel for Box<T> {
     fn feature_dim(&self) -> usize {
         (**self).feature_dim()
     }
+
+    fn infer(
+        &self,
+        store: &mut ParamStore,
+        pool: &mut BufferPool,
+        batch: &Batch,
+    ) -> InferenceOutput {
+        (**self).infer(store, pool, batch)
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +176,9 @@ pub(crate) mod test_support {
 
     /// First batch of the dataset.
     pub fn tiny_batch(ds: &MultiDomainDataset, batch_size: usize) -> Batch {
-        BatchIter::new(ds, batch_size, 5, false).next().expect("non-empty dataset")
+        BatchIter::new(ds, batch_size, 5, false)
+            .next()
+            .expect("non-empty dataset")
     }
 
     /// Checks every contract of the `FakeNewsModel` interface on one batch:
@@ -130,7 +196,7 @@ pub(crate) mod test_support {
         let batch = tiny_batch(&ds, 16);
 
         // Shape contract.
-        {
+        let tape_logits = {
             let mut g = Graph::new(&mut store, false, 0);
             let out = model.forward(&mut g, &batch);
             assert_eq!(g.value(out.logits).shape(), &[batch.batch_size, 2]);
@@ -144,6 +210,35 @@ pub(crate) mod test_support {
                 assert_eq!(g.value(d).shape(), &[batch.batch_size, cfg.n_domains]);
             }
             assert!(!g.value(out.logits).has_non_finite());
+            g.value(out.logits).clone()
+        };
+
+        // Inference contract: the tape-free path reproduces the evaluation
+        // forward pass for every model family.
+        {
+            let mut pool = dtdbd_tensor::BufferPool::new();
+            let inferred = model.infer(&mut store, &mut pool, &batch);
+            assert_eq!(inferred.logits.shape(), tape_logits.shape());
+            for (a, b) in inferred.logits.data().iter().zip(tape_logits.data()) {
+                assert!(
+                    (a - b).abs() <= 1e-6,
+                    "{}: tape-free logits diverge ({a} vs {b})",
+                    model.name()
+                );
+            }
+            let probs = inferred.fake_probs();
+            assert_eq!(probs.len(), batch.batch_size);
+            assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+            // A second call reuses the warmed pool instead of allocating.
+            let misses = pool.alloc_misses();
+            let again = model.infer(&mut store, &mut pool, &batch);
+            assert_eq!(again.logits.data(), inferred.logits.data());
+            assert_eq!(
+                pool.alloc_misses(),
+                misses,
+                "{}: steady-state inference must not allocate fresh buffers",
+                model.name()
+            );
         }
 
         // Training contract: the *classification* loss decreases over a few

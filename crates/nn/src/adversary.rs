@@ -80,7 +80,7 @@ impl DomainAdversary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtdbd_tensor::{Tensor, ParamId};
+    use dtdbd_tensor::{ParamId, Tensor};
 
     fn setup(lambda: f32) -> (ParamStore, DomainAdversary, ParamId) {
         let mut rng = Prng::new(11);

@@ -83,7 +83,10 @@ impl TextCnnEncoder {
         kernels: &[usize],
         rng: &mut Prng,
     ) -> Self {
-        assert!(!kernels.is_empty(), "TextCnnEncoder needs at least one kernel");
+        assert!(
+            !kernels.is_empty(),
+            "TextCnnEncoder needs at least one kernel"
+        );
         let branches = kernels
             .iter()
             .map(|&k| ConvBranch::new(store, &format!("{name}.k{k}"), in_dim, channels, k, rng))
@@ -103,7 +106,11 @@ impl TextCnnEncoder {
 
     /// Largest kernel width (the minimum usable sequence length).
     pub fn max_kernel(&self) -> usize {
-        self.branches.iter().map(ConvBranch::kernel).max().unwrap_or(1)
+        self.branches
+            .iter()
+            .map(ConvBranch::kernel)
+            .max()
+            .unwrap_or(1)
     }
 
     /// Encode a `[b, s, d]` embedded sequence into `[b, out_dim]`.
@@ -189,7 +196,11 @@ mod tests {
             1e-3,
             10,
         );
-        assert!(report.max_rel_error < 5e-2, "rel err {}", report.max_rel_error);
+        assert!(
+            report.max_rel_error < 5e-2,
+            "rel err {}",
+            report.max_rel_error
+        );
     }
 
     #[test]

@@ -21,7 +21,13 @@ pub struct Embedding {
 
 impl Embedding {
     /// A trainable embedding table.
-    pub fn new(store: &mut ParamStore, name: &str, vocab: usize, dim: usize, rng: &mut Prng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut Prng,
+    ) -> Self {
         let table = store.add(
             format!("{name}.table"),
             init::embedding_normal(&[vocab, dim], rng),

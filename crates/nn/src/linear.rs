@@ -92,7 +92,10 @@ impl Mlp {
         dropout: f32,
         rng: &mut Prng,
     ) -> Self {
-        assert!(sizes.len() >= 2, "Mlp needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "Mlp needs at least input and output sizes"
+        );
         let layers = sizes
             .windows(2)
             .enumerate()
@@ -186,7 +189,14 @@ mod tests {
     fn mlp_shapes_and_depth() {
         let mut rng = Prng::new(2);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, "mlp", &[8, 16, 4, 2], Activation::Relu, 0.0, &mut rng);
+        let mlp = Mlp::new(
+            &mut store,
+            "mlp",
+            &[8, 16, 4, 2],
+            Activation::Relu,
+            0.0,
+            &mut rng,
+        );
         assert_eq!(mlp.depth(), 3);
         assert_eq!(mlp.in_dim(), 8);
         assert_eq!(mlp.out_dim(), 2);
@@ -200,7 +210,14 @@ mod tests {
     fn hidden_plus_output_equals_forward() {
         let mut rng = Prng::new(3);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, "mlp", &[6, 10, 3], Activation::Tanh, 0.0, &mut rng);
+        let mlp = Mlp::new(
+            &mut store,
+            "mlp",
+            &[6, 10, 3],
+            Activation::Tanh,
+            0.0,
+            &mut rng,
+        );
         let x = Tensor::randn(&[4, 6], 1.0, &mut rng);
         let mut g = Graph::new(&mut store, false, 0);
         let xv = g.constant(x.clone());
@@ -217,7 +234,14 @@ mod tests {
     fn mlp_gradients_pass_finite_difference_check() {
         let mut rng = Prng::new(4);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, "mlp", &[5, 8, 2], Activation::Tanh, 0.0, &mut rng);
+        let mlp = Mlp::new(
+            &mut store,
+            "mlp",
+            &[5, 8, 2],
+            Activation::Tanh,
+            0.0,
+            &mut rng,
+        );
         let param_ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
         let x = Tensor::randn(&[3, 5], 1.0, &mut rng);
         let labels = vec![0usize, 1, 1];
@@ -236,14 +260,25 @@ mod tests {
             1e-2,
             12,
         );
-        assert!(report.max_rel_error < 3e-2, "rel err {}", report.max_rel_error);
+        assert!(
+            report.max_rel_error < 3e-2,
+            "rel err {}",
+            report.max_rel_error
+        );
     }
 
     #[test]
     fn training_with_dropout_produces_stochastic_outputs() {
         let mut rng = Prng::new(5);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, "mlp", &[4, 32, 2], Activation::Relu, 0.5, &mut rng);
+        let mlp = Mlp::new(
+            &mut store,
+            "mlp",
+            &[4, 32, 2],
+            Activation::Relu,
+            0.5,
+            &mut rng,
+        );
         let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
         let run = |store: &mut ParamStore, seed: u64| {
             let mut g = Graph::new(store, true, seed);

@@ -122,7 +122,11 @@ mod tests {
     use super::*;
     use dtdbd_tensor::rng::Prng;
 
-    fn clustered_features(rng: &mut Prng, centers: &[Vec<f32>], per: usize) -> (Tensor, Vec<usize>) {
+    fn clustered_features(
+        rng: &mut Prng,
+        centers: &[Vec<f32>],
+        per: usize,
+    ) -> (Tensor, Vec<usize>) {
         let mut rows = Vec::new();
         let mut labels = Vec::new();
         for (d, c) in centers.iter().enumerate() {

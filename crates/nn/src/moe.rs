@@ -225,7 +225,11 @@ mod tests {
             1e-2,
             8,
         );
-        assert!(report.max_rel_error < 5e-2, "rel err {}", report.max_rel_error);
+        assert!(
+            report.max_rel_error < 5e-2,
+            "rel err {}",
+            report.max_rel_error
+        );
     }
 
     #[test]

@@ -27,7 +27,13 @@ pub struct Gru {
 
 impl Gru {
     /// Register a GRU with the given input and hidden sizes.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Prng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut Prng,
+    ) -> Self {
         let mut gate = |gate_name: &str, rows: usize| {
             store.add(
                 format!("{name}.{gate_name}"),
@@ -113,7 +119,11 @@ impl Gru {
         let (b, s, _) = (shape[0], shape[1], shape[2]);
         let mut h = g.constant(Tensor::zeros(&[b, self.hidden]));
         let mut states = Vec::with_capacity(s);
-        let order: Vec<usize> = if reverse { (0..s).rev().collect() } else { (0..s).collect() };
+        let order: Vec<usize> = if reverse {
+            (0..s).rev().collect()
+        } else {
+            (0..s).collect()
+        };
         for t in order {
             let x_t = g.select_time(x, t);
             h = self.step(g, x_t, h);
@@ -150,7 +160,13 @@ pub struct BiGru {
 
 impl BiGru {
     /// Register both directions.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Prng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut Prng,
+    ) -> Self {
         Self {
             forward: Gru::new(store, &format!("{name}.fwd"), in_dim, hidden, rng),
             backward: Gru::new(store, &format!("{name}.bwd"), in_dim, hidden, rng),
@@ -193,7 +209,13 @@ pub struct Lstm {
 
 impl Lstm {
     /// Register an LSTM with the given input and hidden sizes.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Prng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut Prng,
+    ) -> Self {
         let mut w = |gate: &str, rows: usize| {
             store.add(
                 format!("{name}.{gate}"),
@@ -278,7 +300,11 @@ impl Lstm {
         let mut h = g.constant(Tensor::zeros(&[b, self.hidden]));
         let mut c = g.constant(Tensor::zeros(&[b, self.hidden]));
         let mut states = Vec::with_capacity(s);
-        let order: Vec<usize> = if reverse { (0..s).rev().collect() } else { (0..s).collect() };
+        let order: Vec<usize> = if reverse {
+            (0..s).rev().collect()
+        } else {
+            (0..s).collect()
+        };
         for t in order {
             let x_t = g.select_time(x, t);
             let (h_new, c_new) = self.step(g, x_t, h, c);
@@ -317,7 +343,13 @@ pub struct BiLstm {
 
 impl BiLstm {
     /// Register both directions.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Prng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut Prng,
+    ) -> Self {
         Self {
             forward: Lstm::new(store, &format!("{name}.fwd"), in_dim, hidden, rng),
             backward: Lstm::new(store, &format!("{name}.bwd"), in_dim, hidden, rng),
@@ -455,7 +487,11 @@ mod tests {
             1e-2,
             6,
         );
-        assert!(report.max_rel_error < 5e-2, "rel err {}", report.max_rel_error);
+        assert!(
+            report.max_rel_error < 5e-2,
+            "rel err {}",
+            report.max_rel_error
+        );
     }
 
     #[test]
@@ -484,6 +520,10 @@ mod tests {
             1e-2,
             5,
         );
-        assert!(report.max_rel_error < 5e-2, "rel err {}", report.max_rel_error);
+        assert!(
+            report.max_rel_error < 5e-2,
+            "rel err {}",
+            report.max_rel_error
+        );
     }
 }

@@ -1,0 +1,65 @@
+//! Rebuilding model architectures from a checkpoint's `arch` tag.
+//!
+//! A checkpoint stores the architecture as the model's canonical name (what
+//! [`dtdbd_models::FakeNewsModel::name`] returns at save time). This module
+//! maps those tags back to constructors so a serving process can go from a
+//! file on disk to a ready [`InferenceSession`] without the caller knowing
+//! which concrete type is inside.
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::session::InferenceSession;
+use dtdbd_models::{BiGruModel, FakeNewsModel, Mdfend, ModelConfig, TextCnnModel};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::ParamStore;
+
+/// A boxed model that can cross threads (what the server's workers hold).
+pub type BoxedModel = Box<dyn FakeNewsModel + Send>;
+
+/// Architecture tags [`build_model`] understands.
+///
+/// Only models whose entire inference-relevant state lives in the
+/// `ParamStore` are restorable. M3FEND is deliberately absent: its
+/// `DomainMemoryBank` is EMA state outside the store, so a checkpoint
+/// cannot yet reproduce a trained M3FEND faithfully (see ROADMAP).
+pub const SUPPORTED_ARCHS: &[&str] = &["TextCNN", "TextCNN-S", "BiGRU", "BiGRU-S", "MDFEND"];
+
+/// Construct a model of the named architecture, registering freshly
+/// initialised parameters in `store` (the caller then restores checkpoint
+/// values over them). The initialisation seed is irrelevant for restored
+/// models but kept deterministic.
+pub fn build_model(
+    arch: &str,
+    store: &mut ParamStore,
+    config: &ModelConfig,
+) -> Result<BoxedModel, CheckpointError> {
+    let mut rng = Prng::new(0xD7DB);
+    let model: BoxedModel = match arch {
+        "TextCNN" => Box::new(TextCnnModel::baseline(store, config, &mut rng)),
+        "TextCNN-S" => Box::new(TextCnnModel::student(store, config, &mut rng)),
+        "BiGRU" => Box::new(BiGruModel::baseline(store, config, &mut rng)),
+        "BiGRU-S" => Box::new(BiGruModel::student(store, config, &mut rng)),
+        "MDFEND" => Box::new(Mdfend::new(store, config, &mut rng)),
+        other => {
+            return Err(CheckpointError::Malformed(format!(
+                "unknown architecture tag {other:?} (supported: {SUPPORTED_ARCHS:?})"
+            )))
+        }
+    };
+    Ok(model)
+}
+
+/// Turn a decoded [`Checkpoint`] into a ready [`InferenceSession`] for its
+/// recorded architecture.
+pub fn session_from_checkpoint(
+    checkpoint: &Checkpoint,
+) -> Result<InferenceSession<BoxedModel>, CheckpointError> {
+    if !SUPPORTED_ARCHS.contains(&checkpoint.arch.as_str()) {
+        return Err(CheckpointError::Malformed(format!(
+            "unknown architecture tag {:?} (supported: {SUPPORTED_ARCHS:?})",
+            checkpoint.arch
+        )));
+    }
+    InferenceSession::from_checkpoint(checkpoint, |store, config| {
+        build_model(&checkpoint.arch, store, config).expect("arch membership checked above")
+    })
+}

@@ -1,0 +1,479 @@
+//! Versioned model checkpoints: `ParamStore` + `ModelConfig` + `Vocabulary`.
+//!
+//! # File format (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"DTDB"
+//! 4       4     format version (u32 LE)
+//! 8       8     payload length in bytes (u64 LE)
+//! 16      4     CRC-32 of the payload (u32 LE)
+//! 20      ...   payload
+//! ```
+//!
+//! The payload is, in order: the architecture tag (the constructor the loader
+//! must use to rebuild the model), the full [`ModelConfig`] including the
+//! vocabulary layout, and every parameter of the [`ParamStore`] (name,
+//! trainable flag, shape, and the raw IEEE-754 bit patterns of the values).
+//! Gradients are transient optimizer state and are not persisted; a loaded
+//! store starts with zero gradients.
+//!
+//! The header makes two failure modes loud before any tensor is built:
+//! a truncated file fails the payload-length check and a corrupted file
+//! fails the CRC, both with dedicated error variants.
+
+use crate::codec::{crc32, ByteReader, ByteWriter, CodecError};
+use dtdbd_data::Vocabulary;
+use dtdbd_models::ModelConfig;
+use dtdbd_tensor::{ParamStore, Tensor};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// File magic, `b"DTDB"`.
+pub const MAGIC: [u8; 4] = *b"DTDB";
+/// Current checkpoint format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a checkpoint failed to save or load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The file is shorter than its header promises.
+    Truncated {
+        /// Payload bytes promised by the header.
+        expected: u64,
+        /// Payload bytes actually present.
+        found: u64,
+    },
+    /// The payload's CRC-32 does not match the header.
+    Corrupted {
+        /// CRC recorded in the header.
+        expected: u32,
+        /// CRC of the bytes on disk.
+        found: u32,
+    },
+    /// The payload decoded but its structure is invalid.
+    Malformed(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            Self::BadMagic => write!(f, "not a DTDBD checkpoint (bad magic)"),
+            Self::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint format version {v} (supported: {FORMAT_VERSION})"
+                )
+            }
+            Self::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "truncated checkpoint: header promises {expected} payload bytes, found {found}"
+                )
+            }
+            Self::Corrupted { expected, found } => {
+                write!(
+                    f,
+                    "corrupted checkpoint: CRC {found:#010x}, header says {expected:#010x}"
+                )
+            }
+            Self::Malformed(msg) => write!(f, "malformed checkpoint payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<CodecError> for CheckpointError {
+    fn from(e: CodecError) -> Self {
+        Self::Malformed(e.to_string())
+    }
+}
+
+/// A fully decoded checkpoint.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Architecture tag naming the constructor that rebuilds the model
+    /// (e.g. `"TextCNN-S"`).
+    pub arch: String,
+    /// The model's configuration, including the vocabulary layout.
+    pub config: ModelConfig,
+    /// The model's parameters (gradients reset to zero).
+    pub params: ParamStore,
+}
+
+impl Checkpoint {
+    /// Assemble a checkpoint from live training state.
+    pub fn new(arch: impl Into<String>, config: &ModelConfig, params: &ParamStore) -> Self {
+        Self {
+            arch: arch.into(),
+            config: config.clone(),
+            params: params.clone(),
+        }
+    }
+
+    /// Serialize to bytes (header + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = ByteWriter::new();
+        payload.str(&self.arch);
+        encode_config(&mut payload, &self.config);
+        encode_params(&mut payload, &self.params);
+        let payload = payload.into_bytes();
+
+        let mut out = ByteWriter::new();
+        out.bytes(&MAGIC);
+        out.u32(FORMAT_VERSION);
+        out.u64(payload.len() as u64);
+        out.u32(crc32(&payload));
+        out.bytes(&payload);
+        out.into_bytes()
+    }
+
+    /// Decode from bytes, verifying magic, version, length and CRC.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.bytes(4).map_err(|_| CheckpointError::BadMagic)?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r
+            .u32()
+            .map_err(|_| CheckpointError::UnsupportedVersion(0))?;
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let declared_len = r.u64().map_err(|_| CheckpointError::Truncated {
+            expected: 0,
+            found: 0,
+        })?;
+        let declared_crc = r.u32().map_err(|_| CheckpointError::Truncated {
+            expected: declared_len,
+            found: 0,
+        })?;
+        if (r.remaining() as u64) < declared_len {
+            return Err(CheckpointError::Truncated {
+                expected: declared_len,
+                found: r.remaining() as u64,
+            });
+        }
+        if (r.remaining() as u64) > declared_len {
+            return Err(CheckpointError::Malformed(format!(
+                "{} trailing bytes after the payload",
+                r.remaining() as u64 - declared_len
+            )));
+        }
+        let payload = r.bytes(declared_len as usize)?;
+        let found_crc = crc32(payload);
+        if found_crc != declared_crc {
+            return Err(CheckpointError::Corrupted {
+                expected: declared_crc,
+                found: found_crc,
+            });
+        }
+
+        let mut p = ByteReader::new(payload);
+        let arch = p.str()?;
+        let config = decode_config(&mut p)?;
+        let params = decode_params(&mut p)?;
+        if !p.is_exhausted() {
+            return Err(CheckpointError::Malformed(format!(
+                "{} undecoded payload bytes",
+                p.remaining()
+            )));
+        }
+        Ok(Self {
+            arch,
+            config,
+            params,
+        })
+    }
+
+    /// Write the checkpoint to a file (atomically: a temp file in the same
+    /// directory is written first and then renamed over the target).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp-dtdbd");
+        fs::write(&tmp, self.to_bytes())?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and verify a checkpoint from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let bytes = fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Copy this checkpoint's parameter values into a freshly built model's
+    /// store, verifying that the layouts (names and shapes, in registration
+    /// order) agree. This is the restore half of the save→build→restore
+    /// loading protocol: the loader reconstructs the architecture from
+    /// [`Checkpoint::arch`] and [`Checkpoint::config`], which registers
+    /// randomly initialised parameters, then overwrites them here.
+    pub fn restore_into(&self, store: &mut ParamStore) -> Result<(), CheckpointError> {
+        if store.len() != self.params.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "parameter count mismatch: model registers {}, checkpoint holds {}",
+                store.len(),
+                self.params.len()
+            )));
+        }
+        for ((_, live), (_, saved)) in store.iter().zip(self.params.iter()) {
+            if live.name != saved.name || live.value.shape() != saved.value.shape() {
+                return Err(CheckpointError::Malformed(format!(
+                    "parameter layout mismatch: model has {} {:?}, checkpoint has {} {:?}",
+                    live.name,
+                    live.value.shape(),
+                    saved.name,
+                    saved.value.shape()
+                )));
+            }
+        }
+        store.copy_values_from(&self.params);
+        Ok(())
+    }
+}
+
+fn encode_vocab(w: &mut ByteWriter, vocab: &Vocabulary) {
+    w.u64(vocab.n_domains() as u64);
+    w.u64(vocab.n_topic_groups() as u64);
+    w.u64(vocab.shared_cues_per_class() as u64);
+    w.u64(vocab.domain_cues_per_class() as u64);
+    w.u64(vocab.topic_tokens_per_group() as u64);
+    w.u64(vocab.noise_tokens() as u64);
+}
+
+fn decode_vocab(r: &mut ByteReader<'_>) -> Result<Vocabulary, CheckpointError> {
+    Ok(Vocabulary::from_parts(
+        r.u64()? as usize,
+        r.u64()? as usize,
+        r.u64()? as usize,
+        r.u64()? as usize,
+        r.u64()? as usize,
+        r.u64()? as usize,
+    ))
+}
+
+fn encode_config(w: &mut ByteWriter, config: &ModelConfig) {
+    encode_vocab(w, &config.vocab);
+    w.u64(config.vocab_size as u64);
+    w.u64(config.seq_len as u64);
+    w.u64(config.n_domains as u64);
+    w.u64(config.emb_dim as u64);
+    w.u64(config.hidden as u64);
+    w.u64(config.feature_dim as u64);
+    w.f32(config.dropout);
+    w.u64(config.emb_seed);
+    w.u64(config.style_dim as u64);
+    w.u64(config.emotion_dim as u64);
+    w.u64(config.n_experts as u64);
+}
+
+fn decode_config(r: &mut ByteReader<'_>) -> Result<ModelConfig, CheckpointError> {
+    let vocab = decode_vocab(r)?;
+    Ok(ModelConfig {
+        vocab,
+        vocab_size: r.u64()? as usize,
+        seq_len: r.u64()? as usize,
+        n_domains: r.u64()? as usize,
+        emb_dim: r.u64()? as usize,
+        hidden: r.u64()? as usize,
+        feature_dim: r.u64()? as usize,
+        dropout: r.f32()?,
+        emb_seed: r.u64()?,
+        style_dim: r.u64()? as usize,
+        emotion_dim: r.u64()? as usize,
+        n_experts: r.u64()? as usize,
+    })
+}
+
+fn encode_params(w: &mut ByteWriter, params: &ParamStore) {
+    w.u64(params.len() as u64);
+    for (_, param) in params.iter() {
+        w.str(&param.name);
+        w.u8(u8::from(param.trainable));
+        w.u64(param.value.ndim() as u64);
+        for &dim in param.value.shape() {
+            w.u64(dim as u64);
+        }
+        w.f32_slice(param.value.data());
+    }
+}
+
+fn decode_params(r: &mut ByteReader<'_>) -> Result<ParamStore, CheckpointError> {
+    let count = r.u64()?;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        let name = r.str()?;
+        let trainable = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(CheckpointError::Malformed(format!(
+                    "parameter {name}: invalid trainable flag {other}"
+                )))
+            }
+        };
+        let ndim = r.u64()? as usize;
+        if ndim > 8 {
+            return Err(CheckpointError::Malformed(format!(
+                "parameter {name}: implausible rank {ndim}"
+            )));
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(r.u64()? as usize);
+        }
+        let data = r.f32_values()?;
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(CheckpointError::Malformed(format!(
+                "parameter {name}: shape {shape:?} needs {expected} values, payload has {}",
+                data.len()
+            )));
+        }
+        let value = Tensor::new(shape, data);
+        if trainable {
+            store.add(name, value);
+        } else {
+            store.add_frozen(name, value);
+        }
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdbd_data::{weibo21_spec, GeneratorConfig, NewsGenerator};
+
+    fn tiny_config() -> ModelConfig {
+        let ds =
+            NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(1, 0.01);
+        ModelConfig::tiny(&ds)
+    }
+
+    fn sample_store() -> ParamStore {
+        let mut store = ParamStore::new();
+        store.add(
+            "layer.weight",
+            Tensor::from_rows(&[vec![1.5, -2.25], vec![0.0, -0.0]]),
+        );
+        store.add_frozen(
+            "emb.table",
+            Tensor::from_vec(vec![f32::MIN_POSITIVE, 3.0e38]),
+        );
+        store
+    }
+
+    #[test]
+    fn byte_round_trip_preserves_everything() {
+        let config = tiny_config();
+        let store = sample_store();
+        let ckpt = Checkpoint::new("TextCNN-S", &config, &store);
+        let decoded = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(decoded.arch, "TextCNN-S");
+        assert_eq!(decoded.config.seq_len, config.seq_len);
+        assert_eq!(decoded.config.emb_seed, config.emb_seed);
+        assert_eq!(decoded.config.vocab.size(), config.vocab.size());
+        assert_eq!(decoded.params.len(), 2);
+        let (_, w) = decoded.params.iter().next().unwrap();
+        assert_eq!(w.name, "layer.weight");
+        assert!(w.trainable);
+        // Bit-exact, including the negative zero.
+        assert_eq!(w.value.data()[3].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = Checkpoint::new("x", &tiny_config(), &sample_store()).to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = Checkpoint::new("x", &tiny_config(), &sample_store()).to_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected_by_the_length_check() {
+        let bytes = Checkpoint::new("x", &tiny_config(), &sample_store()).to_bytes();
+        let cut = &bytes[..bytes.len() - 7];
+        assert!(matches!(
+            Checkpoint::from_bytes(cut),
+            Err(CheckpointError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bit_flips_are_detected_by_the_crc() {
+        let mut bytes = Checkpoint::new("x", &tiny_config(), &sample_store()).to_bytes();
+        let mid = 20 + (bytes.len() - 20) / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Corrupted { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = Checkpoint::new("x", &tiny_config(), &sample_store()).to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn restore_into_rejects_layout_mismatches() {
+        let config = tiny_config();
+        let ckpt = Checkpoint::new("x", &config, &sample_store());
+        // Wrong parameter count.
+        let mut empty = ParamStore::new();
+        assert!(ckpt.restore_into(&mut empty).is_err());
+        // Wrong shape under the same name.
+        let mut wrong = ParamStore::new();
+        wrong.add("layer.weight", Tensor::zeros(&[3, 3]));
+        wrong.add_frozen("emb.table", Tensor::zeros(&[2]));
+        assert!(ckpt.restore_into(&mut wrong).is_err());
+        // Matching layout restores the exact values.
+        let mut good = ParamStore::new();
+        good.add("layer.weight", Tensor::zeros(&[2, 2]));
+        good.add_frozen("emb.table", Tensor::zeros(&[2]));
+        ckpt.restore_into(&mut good).unwrap();
+        assert_eq!(good.value(good.iter().next().unwrap().0).data()[0], 1.5);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dtdbd-serve
+//!
+//! The deployment subsystem of the DTDBD reproduction: everything needed to
+//! take a student trained by `dtdbd-core` and answer prediction traffic with
+//! it. Three layers, each usable on its own:
+//!
+//! 1. **Checkpointing** ([`checkpoint`]) — a dependency-free, versioned
+//!    binary codec that persists a [`dtdbd_tensor::ParamStore`] together
+//!    with its [`dtdbd_models::ModelConfig`] and vocabulary layout, with
+//!    CRC-32 corruption detection and bit-exact `f32` round trips.
+//! 2. **Tape-free inference** ([`session`]) — [`InferenceSession`] runs
+//!    forward passes on [`dtdbd_tensor::Graph::inference`] graphs: no
+//!    autograd tape, and after the first request every activation buffer is
+//!    recycled through a [`dtdbd_tensor::BufferPool`], so the steady-state
+//!    hot path performs no activation allocation.
+//! 3. **Micro-batching server core** ([`server`]) — [`PredictServer`]
+//!    coalesces concurrent single-item requests into batches
+//!    (`max_batch_size` / `max_wait`) dispatched to a pool of worker
+//!    threads, each owning a private session.
+//!
+//! The typical round trip:
+//!
+//! ```text
+//! train (dtdbd-core)            serve (this crate)
+//! ------------------            -------------------------------------------
+//! train_model(&mut m, ...)  →   Checkpoint::new(m.name(), &cfg, &store)
+//!                                   .save("student.dtdbd")
+//!                               ...fresh process...
+//!                               let ckpt = Checkpoint::load("student.dtdbd")?;
+//!                               let server = PredictServer::start(cfg, |_|
+//!                                   session_from_checkpoint(&ckpt).unwrap());
+//!                               server.predict(&request)?.fake_prob
+//! ```
+
+pub mod builder;
+pub mod checkpoint;
+pub mod codec;
+pub mod server;
+pub mod session;
+
+pub use builder::{build_model, session_from_checkpoint, BoxedModel, SUPPORTED_ARCHS};
+pub use checkpoint::{Checkpoint, CheckpointError, FORMAT_VERSION, MAGIC};
+pub use server::{BatchingConfig, PredictServer, PredictionHandle};
+pub use session::{InferenceSession, Prediction};

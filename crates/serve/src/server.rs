@@ -1,0 +1,344 @@
+//! Dynamic micro-batching server core.
+//!
+//! Serving traffic arrives one item at a time, but the engine is far more
+//! efficient per item on a batch. [`PredictServer`] bridges the two: clients
+//! [`PredictServer::submit`] single requests into a shared queue, and a pool
+//! of worker threads coalesces them into batches — a worker that picks up a
+//! lone request lingers up to [`BatchingConfig::max_wait`] for companions,
+//! caps the batch at [`BatchingConfig::max_batch_size`], runs one tape-free
+//! forward pass, and fans the per-item [`Prediction`]s back out to the
+//! waiting clients.
+//!
+//! Shutdown is graceful: dropping the server stops intake, lets the workers
+//! drain every queued request, and joins them.
+
+use crate::session::{InferenceSession, Prediction};
+use dtdbd_data::{EncodedRequest, InferenceRequest, RequestEncoder, RequestError};
+use dtdbd_models::FakeNewsModel;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Queue-coalescing knobs.
+#[derive(Debug, Clone)]
+pub struct BatchingConfig {
+    /// Largest batch a worker will assemble.
+    pub max_batch_size: usize,
+    /// How long a worker holding a non-full batch waits for more requests.
+    pub max_wait: Duration,
+    /// Number of worker threads (each owns a full inference session).
+    pub workers: usize,
+}
+
+impl Default for BatchingConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_size: 32,
+            max_wait: Duration::from_millis(2),
+            workers: 2,
+        }
+    }
+}
+
+struct Job {
+    request: EncodedRequest,
+    reply: mpsc::Sender<Prediction>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+/// An in-flight prediction; resolve it with [`PredictionHandle::wait`].
+pub struct PredictionHandle {
+    reply: mpsc::Receiver<Prediction>,
+}
+
+impl PredictionHandle {
+    /// Block until the prediction is ready.
+    ///
+    /// # Panics
+    /// Panics if the serving worker died before answering.
+    pub fn wait(self) -> Prediction {
+        self.reply
+            .recv()
+            .expect("serving worker dropped the request")
+    }
+}
+
+/// A multi-threaded, micro-batching prediction server.
+pub struct PredictServer {
+    shared: Arc<Shared>,
+    encoder: RequestEncoder,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PredictServer {
+    /// Start `config.workers` worker threads. `factory` is called once per
+    /// worker (with the worker index) to build that worker's private
+    /// [`InferenceSession`]; sessions never share mutable state, so no lock
+    /// is held during a forward pass.
+    ///
+    /// # Panics
+    /// Panics if `config.workers` or `config.max_batch_size` is zero.
+    pub fn start<M, F>(config: BatchingConfig, mut factory: F) -> Self
+    where
+        M: FakeNewsModel + Send + 'static,
+        F: FnMut(usize) -> InferenceSession<M>,
+    {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.max_batch_size > 0, "max_batch_size must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let mut encoder = None;
+        let workers = (0..config.workers)
+            .map(|worker_id| {
+                let session = factory(worker_id);
+                encoder.get_or_insert_with(|| session.encoder().clone());
+                let shared = Arc::clone(&shared);
+                let config = config.clone();
+                thread::spawn(move || worker_loop(&shared, session, &config))
+            })
+            .collect();
+        Self {
+            shared,
+            encoder: encoder.expect("at least one worker"),
+            workers,
+        }
+    }
+
+    /// Validate and enqueue a request, returning a handle to the future
+    /// prediction. Callable from any number of client threads.
+    pub fn submit(&self, request: &InferenceRequest) -> Result<PredictionHandle, RequestError> {
+        let encoded = self.encoder.encode(request)?;
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("queue poisoned");
+            state.jobs.push_back(Job {
+                request: encoded,
+                reply: tx,
+            });
+        }
+        self.shared.available.notify_one();
+        Ok(PredictionHandle { reply: rx })
+    }
+
+    /// Submit and block for the answer.
+    pub fn predict(&self, request: &InferenceRequest) -> Result<Prediction, RequestError> {
+        Ok(self.submit(request)?.wait())
+    }
+
+    /// Requests currently queued (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// The encoder used to validate incoming requests.
+    pub fn encoder(&self) -> &RequestEncoder {
+        &self.encoder
+    }
+}
+
+impl Drop for PredictServer {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue poisoned");
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop<M: FakeNewsModel>(
+    shared: &Shared,
+    mut session: InferenceSession<M>,
+    config: &BatchingConfig,
+) {
+    loop {
+        let jobs = {
+            let mut state = shared.state.lock().expect("queue poisoned");
+            // Sleep until there is work (or we are told to stop and the
+            // queue has drained).
+            loop {
+                if !state.jobs.is_empty() {
+                    break;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.available.wait(state).expect("queue poisoned");
+            }
+            // Dynamic batching: hold the first request at most `max_wait`
+            // while companions trickle in, stopping early on a full batch.
+            if !config.max_wait.is_zero() {
+                let deadline = Instant::now() + config.max_wait;
+                while state.jobs.len() < config.max_batch_size && !state.shutdown {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (next, timeout) = shared
+                        .available
+                        .wait_timeout(state, deadline - now)
+                        .expect("queue poisoned");
+                    state = next;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let take = state.jobs.len().min(config.max_batch_size);
+            state.jobs.drain(..take).collect::<Vec<_>>()
+        };
+        if jobs.is_empty() {
+            continue;
+        }
+        let requests: Vec<EncodedRequest> = jobs.iter().map(|j| j.request.clone()).collect();
+        let predictions = session.predict_requests(&requests);
+        for (job, prediction) in jobs.into_iter().zip(predictions) {
+            // A client may have abandoned its handle; that is not an error.
+            let _ = job.reply.send(prediction);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdbd_data::{weibo21_spec, GeneratorConfig, MultiDomainDataset, NewsGenerator};
+    use dtdbd_models::{ModelConfig, TextCnnModel};
+    use dtdbd_tensor::rng::Prng;
+    use dtdbd_tensor::ParamStore;
+
+    fn dataset() -> MultiDomainDataset {
+        NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(8, 0.02)
+    }
+
+    fn start_server(ds: &MultiDomainDataset, config: BatchingConfig) -> PredictServer {
+        let cfg = ModelConfig::tiny(ds);
+        PredictServer::start(config, |worker_id| {
+            let mut store = ParamStore::new();
+            // Same seed per worker: all workers hold identical weights.
+            let _ = worker_id;
+            let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
+            InferenceSession::new(model, store)
+        })
+    }
+
+    fn request_for(ds: &MultiDomainDataset, idx: usize) -> InferenceRequest {
+        let item = &ds.items()[idx];
+        InferenceRequest::new(item.tokens.clone(), item.domain)
+    }
+
+    #[test]
+    fn serves_single_blocking_requests() {
+        let ds = dataset();
+        let server = start_server(&ds, BatchingConfig::default());
+        let prediction = server.predict(&request_for(&ds, 0)).unwrap();
+        assert!((0.0..=1.0).contains(&prediction.fake_prob));
+    }
+
+    #[test]
+    fn batched_answers_match_a_direct_session_exactly() {
+        let ds = dataset();
+        // One worker and a generous window force real coalescing.
+        let server = start_server(
+            &ds,
+            BatchingConfig {
+                max_batch_size: 16,
+                max_wait: Duration::from_millis(20),
+                workers: 1,
+            },
+        );
+        let n = 24usize;
+        let handles: Vec<_> = (0..n)
+            .map(|i| server.submit(&request_for(&ds, i)).unwrap())
+            .collect();
+        let served: Vec<Prediction> = handles.into_iter().map(PredictionHandle::wait).collect();
+
+        // Reference: the same items, one at a time, through a plain session.
+        let cfg = ModelConfig::tiny(&ds);
+        let mut store = ParamStore::new();
+        let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
+        let mut reference = InferenceSession::new(model, store);
+        for (i, batched) in served.iter().enumerate() {
+            let encoded = reference.encoder().encode(&request_for(&ds, i)).unwrap();
+            let single = &reference.predict_requests(&[encoded])[0];
+            assert!(
+                (batched.fake_prob - single.fake_prob).abs() <= 1e-6,
+                "item {i}: batched {} vs single {}",
+                batched.fake_prob,
+                single.fake_prob
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_at_submit_time() {
+        let ds = dataset();
+        let server = start_server(&ds, BatchingConfig::default());
+        let bad = InferenceRequest::new(vec![u32::MAX], 0);
+        assert!(matches!(
+            server.predict(&bad),
+            Err(RequestError::TokenOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn drop_drains_the_queue_before_stopping() {
+        let ds = dataset();
+        let server = start_server(
+            &ds,
+            BatchingConfig {
+                max_batch_size: 4,
+                max_wait: Duration::from_millis(1),
+                workers: 2,
+            },
+        );
+        let handles: Vec<_> = (0..40)
+            .map(|i| server.submit(&request_for(&ds, i % ds.len())).unwrap())
+            .collect();
+        drop(server); // must not strand any handle
+        for handle in handles {
+            let p = handle.wait();
+            assert!(p.fake_prob.is_finite());
+        }
+    }
+
+    #[test]
+    fn many_client_threads_share_the_server() {
+        let ds = Arc::new(dataset());
+        let server = Arc::new(start_server(&ds, BatchingConfig::default()));
+        let mut clients = Vec::new();
+        for t in 0..4 {
+            let server = Arc::clone(&server);
+            let ds = Arc::clone(&ds);
+            clients.push(thread::spawn(move || {
+                for i in 0..25 {
+                    let idx = (t * 25 + i) % ds.len();
+                    let p = server.predict(&request_for(&ds, idx)).unwrap();
+                    assert!((0.0..=1.0).contains(&p.fake_prob));
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+    }
+}

@@ -12,8 +12,20 @@
 //! gradient-reversal pseudo-op for domain-adversarial training, a pairwise
 //! squared-Euclidean-distance op for the unbiased-distribution knowledge of
 //! adversarial de-biasing distillation, and a fused softmax cross-entropy.
+//!
+//! # Tape-free inference
+//!
+//! A graph created with [`Graph::inference`] evaluates the same ops with the
+//! same arithmetic but records *no tape*: no op metadata, no input edges, no
+//! `requires_grad` propagation, and [`Graph::backward`] is rejected. Every
+//! activation buffer is drawn from a caller-owned [`BufferPool`] and handed
+//! back by an explicit [`Graph::finish`] call, so a long-lived serving
+//! process reuses the same scratch memory across requests instead of
+//! allocating per call. (Letting an inference graph fall out of scope
+//! without `finish` is safe but skips the recycling.)
 
 use crate::params::{ParamId, ParamStore};
+use crate::pool::BufferPool;
 use crate::rng::Prng;
 use crate::shape::{as_rows_cols, fmt_shape, numel};
 use crate::tensor::Tensor;
@@ -97,6 +109,11 @@ struct Node {
     inputs: Vec<usize>,
     param: Option<ParamId>,
     requires_grad: bool,
+    /// Whether `value`'s buffer was drawn from the scratch pool. Buffers
+    /// that arrived from outside (constants handed in by the caller) are
+    /// not recycled, so the pool's size stays bounded by the number of
+    /// pool-allocated buffers of one forward pass.
+    pooled: bool,
 }
 
 /// A per-forward-pass autodiff tape over a [`ParamStore`].
@@ -104,6 +121,10 @@ pub struct Graph<'s> {
     store: &'s mut ParamStore,
     nodes: Vec<Node>,
     training: bool,
+    /// `true` when the graph records a differentiable tape; `false` for
+    /// tape-free inference graphs.
+    tape: bool,
+    pool: Option<&'s mut BufferPool>,
     rng: Prng,
 }
 
@@ -115,13 +136,50 @@ impl<'s> Graph<'s> {
             store,
             nodes: Vec::with_capacity(256),
             training,
+            tape: true,
+            pool: None,
             rng: Prng::new(seed),
+        }
+    }
+
+    /// Create a tape-free inference graph: evaluation mode (dropout is the
+    /// identity), no gradient bookkeeping, and every activation buffer drawn
+    /// from `pool` — call [`Graph::finish`] when done to hand them back.
+    pub fn inference(store: &'s mut ParamStore, pool: &'s mut BufferPool) -> Self {
+        Self {
+            store,
+            nodes: Vec::with_capacity(256),
+            training: false,
+            tape: false,
+            pool: Some(pool),
+            rng: Prng::new(0),
         }
     }
 
     /// Whether the graph was created in training mode.
     pub fn is_training(&self) -> bool {
         self.training
+    }
+
+    /// `true` for tape-free inference graphs (no backward pass available).
+    pub fn is_inference(&self) -> bool {
+        !self.tape
+    }
+
+    /// Consume the graph, handing every activation buffer back to the pool
+    /// (inference graphs; a no-op for tape graphs). The serving hot path
+    /// calls this after copying out its results so the next request reuses
+    /// the same scratch memory. A graph is deliberately *not* recycled on
+    /// implicit drop: an explicit hand-back keeps borrow regions short for
+    /// the many call sites that read the store right after the forward pass.
+    pub fn finish(mut self) {
+        if let Some(pool) = self.pool.as_mut() {
+            for node in self.nodes.drain(..) {
+                if node.pooled {
+                    pool.give(node.value.into_data());
+                }
+            }
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -148,7 +206,7 @@ impl<'s> Graph<'s> {
         &mut self,
         value: Tensor,
         op: Op,
-        inputs: Vec<usize>,
+        inputs: &[usize],
         param: Option<ParamId>,
         requires_grad: bool,
     ) -> Var {
@@ -156,27 +214,106 @@ impl<'s> Graph<'s> {
             !value.has_non_finite(),
             "non-finite value produced by {op:?}"
         );
-        self.nodes.push(Node {
-            value,
-            op,
-            inputs,
-            param,
-            requires_grad,
-        });
+        let node = if self.tape {
+            Node {
+                value,
+                op,
+                inputs: inputs.to_vec(),
+                param,
+                requires_grad,
+                pooled: true,
+            }
+        } else {
+            // Tape-free: keep only the value; edges and op metadata would
+            // never be read (and are never allocated).
+            Node {
+                value,
+                op: Op::Leaf,
+                inputs: Vec::new(),
+                param: None,
+                requires_grad: false,
+                pooled: true,
+            }
+        };
+        self.nodes.push(node);
         Var(self.nodes.len() - 1)
     }
 
     fn any_requires_grad(&self, inputs: &[usize]) -> bool {
-        inputs.iter().any(|&i| self.nodes[i].requires_grad)
+        self.tape && inputs.iter().any(|&i| self.nodes[i].requires_grad)
+    }
+
+    /// A zero-filled scratch buffer of length `n`, recycled through the
+    /// buffer pool when the graph runs in inference mode.
+    fn alloc_zeroed(&mut self, n: usize) -> Vec<f32> {
+        match self.pool.as_mut() {
+            Some(pool) => pool.take_zeroed(n),
+            None => vec![0.0; n],
+        }
+    }
+
+    /// An empty scratch buffer with capacity for `n` values (no zero-fill;
+    /// for destinations that are fully written with `extend_from_slice`).
+    fn alloc_empty(&mut self, n: usize) -> Vec<f32> {
+        match self.pool.as_mut() {
+            Some(pool) => pool.take_empty(n),
+            None => Vec::with_capacity(n),
+        }
+    }
+
+    /// Scratch buffer initialised as a copy of node `x`'s value.
+    fn alloc_copy_of(&mut self, x: Var) -> Vec<f32> {
+        let n = self.nodes[x.0].value.numel();
+        let mut buf = self.alloc_empty(n);
+        buf.extend_from_slice(self.nodes[x.0].value.data());
+        buf
+    }
+
+    /// Unary elementwise op through the scratch allocator.
+    fn unary_map(&mut self, x: Var, op: Op, f: impl Fn(f32) -> f32) -> Var {
+        let n = self.nodes[x.0].value.numel();
+        let shape = self.nodes[x.0].value.shape().to_vec();
+        let mut out = self.alloc_zeroed(n);
+        for (o, &v) in out.iter_mut().zip(self.nodes[x.0].value.data()) {
+            *o = f(v);
+        }
+        let rg = self.tape && self.nodes[x.0].requires_grad;
+        self.push(Tensor::new(shape, out), op, &[x.0], None, rg)
+    }
+
+    /// Binary elementwise op (same shapes) through the scratch allocator.
+    fn binary_zip(&mut self, a: Var, b: Var, op: Op, f: impl Fn(f32, f32) -> f32) -> Var {
+        assert_eq!(
+            self.nodes[a.0].value.shape(),
+            self.nodes[b.0].value.shape(),
+            "elementwise op shape mismatch: {} vs {}",
+            fmt_shape(self.nodes[a.0].value.shape()),
+            fmt_shape(self.nodes[b.0].value.shape())
+        );
+        let n = self.nodes[a.0].value.numel();
+        let shape = self.nodes[a.0].value.shape().to_vec();
+        let mut out = self.alloc_zeroed(n);
+        for ((o, &x), &y) in out
+            .iter_mut()
+            .zip(self.nodes[a.0].value.data())
+            .zip(self.nodes[b.0].value.data())
+        {
+            *o = f(x, y);
+        }
+        let rg = self.any_requires_grad(&[a.0, b.0]);
+        self.push(Tensor::new(shape, out), op, &[a.0, b.0], None, rg)
     }
 
     // ------------------------------------------------------------------
     // Leaves
     // ------------------------------------------------------------------
 
-    /// Record a constant (no gradient flows into it).
+    /// Record a constant (no gradient flows into it). The buffer arrives
+    /// from the caller, so it is not recycled into the scratch pool.
     pub fn constant(&mut self, value: Tensor) -> Var {
-        self.push(value, Op::Leaf, vec![], None, false)
+        let v = self.push(value, Op::Leaf, &[], None, false);
+        self.nodes[v.0].pooled = false;
+        v
     }
 
     /// Record a scalar constant.
@@ -187,10 +324,12 @@ impl<'s> Graph<'s> {
     /// Record a parameter leaf. Gradient flows into the store unless the
     /// parameter is frozen.
     pub fn param(&mut self, id: ParamId) -> Var {
-        let p = self.store.get(id);
-        let value = p.value.clone();
-        let requires = p.trainable;
-        self.push(value, Op::Leaf, vec![], Some(id), requires)
+        let shape = self.store.value(id).shape().to_vec();
+        let n = self.store.value(id).numel();
+        let mut buf = self.alloc_empty(n);
+        buf.extend_from_slice(self.store.value(id).data());
+        let requires = self.tape && self.store.get(id).trainable;
+        self.push(Tensor::new(shape, buf), Op::Leaf, &[], Some(id), requires)
     }
 
     // ------------------------------------------------------------------
@@ -199,53 +338,45 @@ impl<'s> Graph<'s> {
 
     /// Elementwise addition of same-shape tensors.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.add(&self.nodes[b.0].value);
-        let rg = self.any_requires_grad(&[a.0, b.0]);
-        self.push(value, Op::Add, vec![a.0, b.0], None, rg)
+        self.binary_zip(a, b, Op::Add, |x, y| x + y)
     }
 
     /// Elementwise subtraction of same-shape tensors.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
-        let rg = self.any_requires_grad(&[a.0, b.0]);
-        self.push(value, Op::Sub, vec![a.0, b.0], None, rg)
+        self.binary_zip(a, b, Op::Sub, |x, y| x - y)
     }
 
     /// Elementwise product of same-shape tensors.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
-        let rg = self.any_requires_grad(&[a.0, b.0]);
-        self.push(value, Op::Mul, vec![a.0, b.0], None, rg)
+        self.binary_zip(a, b, Op::Mul, |x, y| x * y)
     }
 
     /// `x + bias` where `bias` has the length of `x`'s last dimension.
     pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
-        let xv = &self.nodes[x.0].value;
-        let bv = &self.nodes[bias.0].value;
-        let (rows, cols) = as_rows_cols(xv.shape());
+        let (rows, cols) = as_rows_cols(self.nodes[x.0].value.shape());
         assert_eq!(
-            bv.numel(),
+            self.nodes[bias.0].value.numel(),
             cols,
             "add_bias: bias {} does not match last dim of {}",
-            fmt_shape(bv.shape()),
-            fmt_shape(xv.shape())
+            fmt_shape(self.nodes[bias.0].value.shape()),
+            fmt_shape(self.nodes[x.0].value.shape())
         );
-        let mut data = xv.data().to_vec();
+        let shape = self.nodes[x.0].value.shape().to_vec();
+        let mut data = self.alloc_copy_of(x);
+        let bv = self.nodes[bias.0].value.data();
         for r in 0..rows {
             for c in 0..cols {
-                data[r * cols + c] += bv.data()[c];
+                data[r * cols + c] += bv[c];
             }
         }
-        let value = Tensor::new(xv.shape().to_vec(), data);
+        let value = Tensor::new(shape, data);
         let rg = self.any_requires_grad(&[x.0, bias.0]);
-        self.push(value, Op::AddBias, vec![x.0, bias.0], None, rg)
+        self.push(value, Op::AddBias, &[x.0, bias.0], None, rg)
     }
 
     /// Scalar affine map `a * x + b`.
     pub fn affine(&mut self, x: Var, a: f32, b: f32) -> Var {
-        let value = self.nodes[x.0].value.map(|v| a * v + b);
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::Affine { a }, vec![x.0], None, rg)
+        self.unary_map(x, Op::Affine { a }, |v| a * v + b)
     }
 
     /// Multiply by a scalar.
@@ -260,9 +391,17 @@ impl<'s> Graph<'s> {
 
     /// Matrix product of 2-D tensors.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        assert_eq!(self.nodes[a.0].value.ndim(), 2, "matmul lhs must be 2-D");
+        assert_eq!(self.nodes[b.0].value.ndim(), 2, "matmul rhs must be 2-D");
+        let m = self.nodes[a.0].value.shape()[0];
+        let n = self.nodes[b.0].value.shape()[1];
+        let mut out = self.alloc_zeroed(m * n);
+        self.nodes[a.0]
+            .value
+            .matmul_into(&self.nodes[b.0].value, &mut out);
+        let value = Tensor::new(vec![m, n], out);
         let rg = self.any_requires_grad(&[a.0, b.0]);
-        self.push(value, Op::Matmul, vec![a.0, b.0], None, rg)
+        self.push(value, Op::Matmul, &[a.0, b.0], None, rg)
     }
 
     // ------------------------------------------------------------------
@@ -271,44 +410,42 @@ impl<'s> Graph<'s> {
 
     /// Rectified linear unit.
     pub fn relu(&mut self, x: Var) -> Var {
-        let value = self.nodes[x.0].value.map(|v| v.max(0.0));
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::Relu, vec![x.0], None, rg)
+        self.unary_map(x, Op::Relu, |v| v.max(0.0))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let value = self.nodes[x.0].value.map(|v| 1.0 / (1.0 + (-v).exp()));
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::Sigmoid, vec![x.0], None, rg)
+        self.unary_map(x, Op::Sigmoid, |v| 1.0 / (1.0 + (-v).exp()))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let value = self.nodes[x.0].value.map(f32::tanh);
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::Tanh, vec![x.0], None, rg)
+        self.unary_map(x, Op::Tanh, f32::tanh)
     }
 
     /// Natural logarithm with an epsilon guard: `ln(x + eps)`.
     pub fn log_eps(&mut self, x: Var, eps: f32) -> Var {
-        let value = self.nodes[x.0].value.map(|v| (v + eps).ln());
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::LogEps { eps }, vec![x.0], None, rg)
+        self.unary_map(x, Op::LogEps { eps }, |v| (v + eps).ln())
     }
 
     /// Softmax over the last dimension.
     pub fn softmax(&mut self, x: Var) -> Var {
-        let value = rowwise_softmax(&self.nodes[x.0].value);
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::Softmax, vec![x.0], None, rg)
+        let n = self.nodes[x.0].value.numel();
+        let shape = self.nodes[x.0].value.shape().to_vec();
+        let mut out = self.alloc_zeroed(n);
+        rowwise_softmax_into(&self.nodes[x.0].value, &mut out);
+        let rg = self.tape && self.nodes[x.0].requires_grad;
+        self.push(Tensor::new(shape, out), Op::Softmax, &[x.0], None, rg)
     }
 
     /// Log-softmax over the last dimension.
     pub fn log_softmax(&mut self, x: Var) -> Var {
-        let value = rowwise_log_softmax(&self.nodes[x.0].value);
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::LogSoftmax, vec![x.0], None, rg)
+        let n = self.nodes[x.0].value.numel();
+        let shape = self.nodes[x.0].value.shape().to_vec();
+        let mut out = self.alloc_zeroed(n);
+        rowwise_log_softmax_into(&self.nodes[x.0].value, &mut out);
+        let rg = self.tape && self.nodes[x.0].requires_grad;
+        self.push(Tensor::new(shape, out), Op::LogSoftmax, &[x.0], None, rg)
     }
 
     // ------------------------------------------------------------------
@@ -317,23 +454,35 @@ impl<'s> Graph<'s> {
 
     /// Mean of all elements (scalar output).
     pub fn mean_all(&mut self, x: Var) -> Var {
-        let value = Tensor::scalar(self.nodes[x.0].value.mean());
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::MeanAll, vec![x.0], None, rg)
+        let v = self.nodes[x.0].value.mean();
+        let mut out = self.alloc_zeroed(1);
+        out[0] = v;
+        let rg = self.tape && self.nodes[x.0].requires_grad;
+        self.push(Tensor::new(vec![1], out), Op::MeanAll, &[x.0], None, rg)
     }
 
     /// Sum of all elements (scalar output).
     pub fn sum_all(&mut self, x: Var) -> Var {
-        let value = Tensor::scalar(self.nodes[x.0].value.sum());
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::SumAll, vec![x.0], None, rg)
+        let v = self.nodes[x.0].value.sum();
+        let mut out = self.alloc_zeroed(1);
+        out[0] = v;
+        let rg = self.tape && self.nodes[x.0].requires_grad;
+        self.push(Tensor::new(vec![1], out), Op::SumAll, &[x.0], None, rg)
     }
 
     /// Reshape preserving element order.
     pub fn reshape(&mut self, x: Var, new_shape: &[usize]) -> Var {
-        let value = self.nodes[x.0].value.reshape(new_shape);
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::Reshape, vec![x.0], None, rg)
+        assert_eq!(
+            numel(new_shape),
+            self.nodes[x.0].value.numel(),
+            "reshape {} -> {}",
+            fmt_shape(self.nodes[x.0].value.shape()),
+            fmt_shape(new_shape)
+        );
+        let data = self.alloc_copy_of(x);
+        let value = Tensor::new(new_shape.to_vec(), data);
+        let rg = self.tape && self.nodes[x.0].requires_grad;
+        self.push(value, Op::Reshape, &[x.0], None, rg)
     }
 
     /// Concatenate along the last dimension. All inputs must agree on their
@@ -350,7 +499,7 @@ impl<'s> Graph<'s> {
             widths.push(c);
         }
         let total: usize = widths.iter().sum();
-        let mut data = vec![0.0f32; rows * total];
+        let mut data = self.alloc_zeroed(rows * total);
         let mut col_off = 0usize;
         for (p, &w) in parts.iter().zip(widths.iter()) {
             let src = self.nodes[p.0].value.data();
@@ -365,7 +514,7 @@ impl<'s> Graph<'s> {
         let value = Tensor::new(out_shape, data);
         let idxs: Vec<usize> = parts.iter().map(|p| p.0).collect();
         let rg = self.any_requires_grad(&idxs);
-        self.push(value, Op::ConcatLast { widths }, idxs, None, rg)
+        self.push(value, Op::ConcatLast { widths }, &idxs, None, rg)
     }
 
     // ------------------------------------------------------------------
@@ -393,15 +542,17 @@ impl<'s> Graph<'s> {
             .collect();
         let value = Tensor::new(xv.shape().to_vec(), data);
         let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::Dropout { mask }, vec![x.0], None, rg)
+        self.push(value, Op::Dropout { mask }, &[x.0], None, rg)
     }
 
     /// Gradient reversal layer: identity on the forward pass, multiplies the
     /// gradient by `-lambda` on the backward pass.
     pub fn grad_reverse(&mut self, x: Var, lambda: f32) -> Var {
-        let value = self.nodes[x.0].value.clone();
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::GradReverse { lambda }, vec![x.0], None, rg)
+        let shape = self.nodes[x.0].value.shape().to_vec();
+        let data = self.alloc_copy_of(x);
+        let value = Tensor::new(shape, data);
+        let rg = self.tape && self.nodes[x.0].requires_grad;
+        self.push(value, Op::GradReverse { lambda }, &[x.0], None, rg)
     }
 
     // ------------------------------------------------------------------
@@ -412,25 +563,29 @@ impl<'s> Graph<'s> {
     /// has `batch * seq` entries; the output is `[batch, seq, emb]`.
     pub fn embedding(&mut self, table: ParamId, ids: &[u32], batch: usize, seq: usize) -> Var {
         assert_eq!(ids.len(), batch * seq, "embedding: ids length mismatch");
-        let tbl = self.store.value(table);
-        assert_eq!(tbl.ndim(), 2, "embedding table must be 2-D");
-        let vocab = tbl.shape()[0];
-        let emb = tbl.shape()[1];
-        let mut data = vec![0.0f32; batch * seq * emb];
+        assert_eq!(
+            self.store.value(table).ndim(),
+            2,
+            "embedding table must be 2-D"
+        );
+        let vocab = self.store.value(table).shape()[0];
+        let emb = self.store.value(table).shape()[1];
+        let mut data = self.alloc_zeroed(batch * seq * emb);
+        let tbl = self.store.value(table).data();
         for (r, &id) in ids.iter().enumerate() {
             let id = id as usize;
             assert!(id < vocab, "token id {id} out of vocabulary ({vocab})");
-            data[r * emb..(r + 1) * emb].copy_from_slice(&tbl.data()[id * emb..(id + 1) * emb]);
+            data[r * emb..(r + 1) * emb].copy_from_slice(&tbl[id * emb..(id + 1) * emb]);
         }
         let value = Tensor::new(vec![batch, seq, emb], data);
-        let requires = self.store.get(table).trainable;
+        let requires = self.tape && self.store.get(table).trainable;
+        // The ids are only needed to route gradients; skip the copy on
+        // tape-free graphs.
+        let op_ids = if self.tape { ids.to_vec() } else { Vec::new() };
         self.push(
             value,
-            Op::Embedding {
-                table,
-                ids: ids.to_vec(),
-            },
-            vec![],
+            Op::Embedding { table, ids: op_ids },
+            &[],
             None,
             requires,
         )
@@ -438,31 +593,37 @@ impl<'s> Graph<'s> {
 
     /// Select time step `t`: `[b, s, d] -> [b, d]`.
     pub fn select_time(&mut self, x: Var, t: usize) -> Var {
-        let xv = &self.nodes[x.0].value;
-        assert_eq!(xv.ndim(), 3, "select_time expects [b, s, d]");
-        let (b, s, d) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+        let (b, s, d) = {
+            let xv = &self.nodes[x.0].value;
+            assert_eq!(xv.ndim(), 3, "select_time expects [b, s, d]");
+            (xv.shape()[0], xv.shape()[1], xv.shape()[2])
+        };
         assert!(t < s, "select_time index {t} out of range {s}");
-        let mut data = vec![0.0f32; b * d];
+        let mut data = self.alloc_zeroed(b * d);
+        let xd = self.nodes[x.0].value.data();
         for i in 0..b {
             let off = i * s * d + t * d;
-            data[i * d..(i + 1) * d].copy_from_slice(&xv.data()[off..off + d]);
+            data[i * d..(i + 1) * d].copy_from_slice(&xd[off..off + d]);
         }
         let value = Tensor::new(vec![b, d], data);
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::SelectTime { t }, vec![x.0], None, rg)
+        let rg = self.tape && self.nodes[x.0].requires_grad;
+        self.push(value, Op::SelectTime { t }, &[x.0], None, rg)
     }
 
     /// Mean over the time dimension: `[b, s, d] -> [b, d]`.
     pub fn mean_over_time(&mut self, x: Var) -> Var {
-        let xv = &self.nodes[x.0].value;
-        assert_eq!(xv.ndim(), 3, "mean_over_time expects [b, s, d]");
-        let (b, s, d) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
-        let mut data = vec![0.0f32; b * d];
+        let (b, s, d) = {
+            let xv = &self.nodes[x.0].value;
+            assert_eq!(xv.ndim(), 3, "mean_over_time expects [b, s, d]");
+            (xv.shape()[0], xv.shape()[1], xv.shape()[2])
+        };
+        let mut data = self.alloc_zeroed(b * d);
+        let xd = self.nodes[x.0].value.data();
         for i in 0..b {
             for t in 0..s {
                 let off = i * s * d + t * d;
                 for j in 0..d {
-                    data[i * d + j] += xv.data()[off + j];
+                    data[i * d + j] += xd[off + j];
                 }
             }
             for j in 0..d {
@@ -470,34 +631,46 @@ impl<'s> Graph<'s> {
             }
         }
         let value = Tensor::new(vec![b, d], data);
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::MeanOverTime, vec![x.0], None, rg)
+        let rg = self.tape && self.nodes[x.0].requires_grad;
+        self.push(value, Op::MeanOverTime, &[x.0], None, rg)
     }
 
     /// Max over the time dimension: `[b, s, c] -> [b, c]` (max pooling over
     /// time, as in TextCNN).
     pub fn max_over_time(&mut self, x: Var) -> Var {
-        let xv = &self.nodes[x.0].value;
-        assert_eq!(xv.ndim(), 3, "max_over_time expects [b, s, c]");
-        let (b, s, c) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+        let (b, s, c) = {
+            let xv = &self.nodes[x.0].value;
+            assert_eq!(xv.ndim(), 3, "max_over_time expects [b, s, c]");
+            (xv.shape()[0], xv.shape()[1], xv.shape()[2])
+        };
         assert!(s > 0, "max_over_time over empty time dimension");
-        let mut data = vec![f32::NEG_INFINITY; b * c];
-        let mut argmax = vec![0usize; b * c];
+        let mut data = self.alloc_empty(b * c);
+        data.resize(b * c, f32::NEG_INFINITY);
+        // The argmax indices are only needed to route gradients; tape-free
+        // graphs skip the bookkeeping allocation.
+        let mut argmax = if self.tape {
+            vec![0usize; b * c]
+        } else {
+            Vec::new()
+        };
+        let xd = self.nodes[x.0].value.data();
         for i in 0..b {
             for t in 0..s {
                 let off = i * s * c + t * c;
                 for j in 0..c {
-                    let v = xv.data()[off + j];
+                    let v = xd[off + j];
                     if v > data[i * c + j] {
                         data[i * c + j] = v;
-                        argmax[i * c + j] = t;
+                        if !argmax.is_empty() {
+                            argmax[i * c + j] = t;
+                        }
                     }
                 }
             }
         }
         let value = Tensor::new(vec![b, c], data);
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::MaxOverTime { argmax }, vec![x.0], None, rg)
+        let rg = self.tape && self.nodes[x.0].requires_grad;
+        self.push(value, Op::MaxOverTime { argmax }, &[x.0], None, rg)
     }
 
     /// 1-D convolution over the time dimension.
@@ -507,21 +680,27 @@ impl<'s> Graph<'s> {
     /// * `bias`: `[out_channels]`
     /// * output: `[b, s - k + 1, out_channels]`
     pub fn conv1d(&mut self, x: Var, weight: Var, bias: Var) -> Var {
-        let xv = &self.nodes[x.0].value;
-        let wv = &self.nodes[weight.0].value;
-        let bv = &self.nodes[bias.0].value;
-        assert_eq!(xv.ndim(), 3, "conv1d input must be [b, s, d]");
-        assert_eq!(wv.ndim(), 3, "conv1d weight must be [oc, k, d]");
-        let (b, s, d) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
-        let (oc, k, dw) = (wv.shape()[0], wv.shape()[1], wv.shape()[2]);
-        assert_eq!(d, dw, "conv1d feature dimension mismatch");
-        assert_eq!(bv.numel(), oc, "conv1d bias length mismatch");
-        assert!(s >= k, "conv1d: sequence length {s} shorter than kernel {k}");
+        let (b, s, d, oc, k) = {
+            let xv = &self.nodes[x.0].value;
+            let wv = &self.nodes[weight.0].value;
+            let bv = &self.nodes[bias.0].value;
+            assert_eq!(xv.ndim(), 3, "conv1d input must be [b, s, d]");
+            assert_eq!(wv.ndim(), 3, "conv1d weight must be [oc, k, d]");
+            let (b, s, d) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+            let (oc, k, dw) = (wv.shape()[0], wv.shape()[1], wv.shape()[2]);
+            assert_eq!(d, dw, "conv1d feature dimension mismatch");
+            assert_eq!(bv.numel(), oc, "conv1d bias length mismatch");
+            assert!(
+                s >= k,
+                "conv1d: sequence length {s} shorter than kernel {k}"
+            );
+            (b, s, d, oc, k)
+        };
         let out_s = s - k + 1;
-        let mut data = vec![0.0f32; b * out_s * oc];
-        let xd = xv.data();
-        let wd = wv.data();
-        let bd = bv.data();
+        let mut data = self.alloc_zeroed(b * out_s * oc);
+        let xd = self.nodes[x.0].value.data();
+        let wd = self.nodes[weight.0].value.data();
+        let bd = self.nodes[bias.0].value.data();
         for i in 0..b {
             for t in 0..out_s {
                 for o in 0..oc {
@@ -539,7 +718,7 @@ impl<'s> Graph<'s> {
         }
         let value = Tensor::new(vec![b, out_s, oc], data);
         let rg = self.any_requires_grad(&[x.0, weight.0, bias.0]);
-        self.push(value, Op::Conv1d, vec![x.0, weight.0, bias.0], None, rg)
+        self.push(value, Op::Conv1d, &[x.0, weight.0, bias.0], None, rg)
     }
 
     // ------------------------------------------------------------------
@@ -550,11 +729,13 @@ impl<'s> Graph<'s> {
     /// feature matrix, producing the `[b, b]` correlation matrix `M` of
     /// Eq. (5) in the paper.
     pub fn pairwise_sq_dist(&mut self, x: Var) -> Var {
-        let xv = &self.nodes[x.0].value;
-        assert_eq!(xv.ndim(), 2, "pairwise_sq_dist expects [b, d]");
-        let (b, d) = (xv.shape()[0], xv.shape()[1]);
-        let mut data = vec![0.0f32; b * b];
-        let xd = xv.data();
+        let (b, d) = {
+            let xv = &self.nodes[x.0].value;
+            assert_eq!(xv.ndim(), 2, "pairwise_sq_dist expects [b, d]");
+            (xv.shape()[0], xv.shape()[1])
+        };
+        let mut data = self.alloc_zeroed(b * b);
+        let xd = self.nodes[x.0].value.data();
         for i in 0..b {
             for j in (i + 1)..b {
                 let mut acc = 0.0f32;
@@ -568,38 +749,49 @@ impl<'s> Graph<'s> {
         }
         let value = Tensor::new(vec![b, b], data);
         let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::PairwiseSqDist, vec![x.0], None, rg)
+        self.push(value, Op::PairwiseSqDist, &[x.0], None, rg)
     }
 
     /// Select a single column of a 2-D tensor as a `[rows, 1]` tensor.
     pub fn select_col(&mut self, x: Var, col: usize) -> Var {
-        let xv = &self.nodes[x.0].value;
-        assert_eq!(xv.ndim(), 2, "select_col expects a 2-D tensor");
-        let (r, c) = (xv.shape()[0], xv.shape()[1]);
+        let (r, c) = {
+            let xv = &self.nodes[x.0].value;
+            assert_eq!(xv.ndim(), 2, "select_col expects a 2-D tensor");
+            (xv.shape()[0], xv.shape()[1])
+        };
         assert!(col < c, "select_col {col} out of range {c}");
-        let data: Vec<f32> = (0..r).map(|i| xv.data()[i * c + col]).collect();
+        let mut data = self.alloc_zeroed(r);
+        let xd = self.nodes[x.0].value.data();
+        for (i, slot) in data.iter_mut().enumerate() {
+            *slot = xd[i * c + col];
+        }
         let value = Tensor::new(vec![r, 1], data);
-        let rg = self.nodes[x.0].requires_grad;
-        self.push(value, Op::SelectCol { col }, vec![x.0], None, rg)
+        let rg = self.tape && self.nodes[x.0].requires_grad;
+        self.push(value, Op::SelectCol { col }, &[x.0], None, rg)
     }
 
     /// Multiply each row of `x` (`[r, c]`) by the matching entry of the
     /// column vector `s` (`[r, 1]` or `[r]`).
     pub fn row_scale(&mut self, x: Var, s: Var) -> Var {
-        let xv = &self.nodes[x.0].value;
-        let sv = &self.nodes[s.0].value;
-        let (r, c) = as_rows_cols(xv.shape());
-        assert_eq!(sv.numel(), r, "row_scale: scale length mismatch");
-        let mut data = vec![0.0f32; r * c];
+        let (r, c) = as_rows_cols(self.nodes[x.0].value.shape());
+        assert_eq!(
+            self.nodes[s.0].value.numel(),
+            r,
+            "row_scale: scale length mismatch"
+        );
+        let shape = self.nodes[x.0].value.shape().to_vec();
+        let mut data = self.alloc_zeroed(r * c);
+        let xd = self.nodes[x.0].value.data();
+        let sd = self.nodes[s.0].value.data();
         for i in 0..r {
-            let w = sv.data()[i];
+            let w = sd[i];
             for j in 0..c {
-                data[i * c + j] = xv.data()[i * c + j] * w;
+                data[i * c + j] = xd[i * c + j] * w;
             }
         }
-        let value = Tensor::new(xv.shape().to_vec(), data);
+        let value = Tensor::new(shape, data);
         let rg = self.any_requires_grad(&[x.0, s.0]);
-        self.push(value, Op::RowScale, vec![x.0, s.0], None, rg)
+        self.push(value, Op::RowScale, &[x.0, s.0], None, rg)
     }
 
     /// Fused softmax cross-entropy with hard labels, averaged over the batch.
@@ -623,7 +815,7 @@ impl<'s> Graph<'s> {
                 labels: labels.to_vec(),
                 probs,
             },
-            vec![logits.0],
+            &[logits.0],
             None,
             rg,
         )
@@ -639,6 +831,10 @@ impl<'s> Graph<'s> {
     /// # Panics
     /// Panics if `loss` is not a single-element tensor.
     pub fn backward(&mut self, loss: Var) {
+        assert!(
+            self.tape,
+            "backward() on a tape-free inference graph; use Graph::new for training"
+        );
         assert_eq!(
             self.nodes[loss.0].value.numel(),
             1,
@@ -653,7 +849,9 @@ impl<'s> Graph<'s> {
             if !self.nodes[i].requires_grad {
                 continue;
             }
-            let Some(grad) = grads[i].take() else { continue };
+            let Some(grad) = grads[i].take() else {
+                continue;
+            };
             // Leaf parameters: flush into the store.
             if let Some(pid) = self.nodes[i].param {
                 if self.store.get(pid).trainable {
@@ -702,8 +900,9 @@ impl<'s> Graph<'s> {
                 let (rows, cols) = as_rows_cols(grad.shape());
                 let mut db = vec![0.0f32; cols];
                 for r in 0..rows {
-                    for c in 0..cols {
-                        db[c] += grad.data()[r * cols + c];
+                    let row = &grad.data()[r * cols..(r + 1) * cols];
+                    for (slot, &g) in db.iter_mut().zip(row) {
+                        *slot += g;
                     }
                 }
                 let bias_shape = self.nodes[inputs[1]].value.shape().to_vec();
@@ -946,7 +1145,8 @@ impl<'s> Graph<'s> {
                             continue;
                         }
                         for t in 0..d {
-                            dx[i2 * d + t] += 2.0 * g * (xv.data()[i2 * d + t] - xv.data()[j * d + t]);
+                            dx[i2 * d + t] +=
+                                2.0 * g * (xv.data()[i2 * d + t] - xv.data()[j * d + t]);
                         }
                     }
                 }
@@ -995,9 +1195,9 @@ impl<'s> Graph<'s> {
     }
 }
 
-fn rowwise_softmax(x: &Tensor) -> Tensor {
+fn rowwise_softmax_into(x: &Tensor, out: &mut [f32]) {
     let (rows, cols) = as_rows_cols(x.shape());
-    let mut out = vec![0.0f32; x.numel()];
+    debug_assert_eq!(out.len(), x.numel());
     for r in 0..rows {
         let row = &x.data()[r * cols..(r + 1) * cols];
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -1011,12 +1211,17 @@ fn rowwise_softmax(x: &Tensor) -> Tensor {
             out[r * cols + c] /= z;
         }
     }
+}
+
+fn rowwise_softmax(x: &Tensor) -> Tensor {
+    let mut out = vec![0.0f32; x.numel()];
+    rowwise_softmax_into(x, &mut out);
     Tensor::new(x.shape().to_vec(), out)
 }
 
-fn rowwise_log_softmax(x: &Tensor) -> Tensor {
+fn rowwise_log_softmax_into(x: &Tensor, out: &mut [f32]) {
     let (rows, cols) = as_rows_cols(x.shape());
-    let mut out = vec![0.0f32; x.numel()];
+    debug_assert_eq!(out.len(), x.numel());
     for r in 0..rows {
         let row = &x.data()[r * cols..(r + 1) * cols];
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -1025,7 +1230,6 @@ fn rowwise_log_softmax(x: &Tensor) -> Tensor {
             out[r * cols + c] = row[c] - logz;
         }
     }
-    Tensor::new(x.shape().to_vec(), out)
 }
 
 #[cfg(test)]
@@ -1096,7 +1300,10 @@ mod tests {
     fn softmax_rows_sum_to_one() {
         let mut store = ParamStore::new();
         let mut g = Graph::new(&mut store, false, 0);
-        let x = g.constant(Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0]]));
+        let x = g.constant(Tensor::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![0.0, 0.0, 0.0],
+        ]));
         let s = g.softmax(x);
         let v = g.value(s);
         assert!(approx(v.row(0).iter().sum::<f32>(), 1.0, 1e-6));
@@ -1111,14 +1318,21 @@ mod tests {
         let s = g.softmax(x);
         let ls = g.log_softmax(x);
         for j in 0..3 {
-            assert!(approx(g.value(s).at2(0, j).ln(), g.value(ls).at2(0, j), 1e-5));
+            assert!(approx(
+                g.value(s).at2(0, j).ln(),
+                g.value(ls).at2(0, j),
+                1e-5
+            ));
         }
     }
 
     #[test]
     fn cross_entropy_matches_manual_value() {
         let mut store = ParamStore::new();
-        let w = store.add("logits", Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 0.0]]));
+        let w = store.add(
+            "logits",
+            Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 0.0]]),
+        );
         let mut g = Graph::new(&mut store, false, 0);
         let l = g.param(w);
         let loss = g.cross_entropy_logits(l, &[1, 0]);
@@ -1222,7 +1436,11 @@ mod tests {
     fn pairwise_sq_dist_is_symmetric_with_zero_diagonal() {
         let mut store = ParamStore::new();
         let mut g = Graph::new(&mut store, false, 0);
-        let x = g.constant(Tensor::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![1.0, 1.0]]));
+        let x = g.constant(Tensor::from_rows(&[
+            vec![0.0, 0.0],
+            vec![3.0, 4.0],
+            vec![1.0, 1.0],
+        ]));
         let m = g.pairwise_sq_dist(x);
         let v = g.value(m);
         assert_eq!(v.shape(), &[3, 3]);
@@ -1296,6 +1514,122 @@ mod tests {
         let loss = g.sum_all(y);
         g.backward(loss);
         assert_eq!(store.grad(x).data(), &[2.0]);
+    }
+
+    #[test]
+    fn inference_graph_matches_tape_forward_exactly() {
+        use crate::pool::BufferPool;
+        let mut rng = Prng::new(41);
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::randn(&[4, 3], 0.5, &mut rng));
+        let b = store.add("b", Tensor::randn(&[3], 0.1, &mut rng));
+        let x = Tensor::randn(&[5, 4], 1.0, &mut rng);
+
+        fn forward(g: &mut Graph<'_>, x: &Tensor, w: ParamId, b: ParamId) -> Var {
+            let xv = g.constant(x.clone());
+            let wv = g.param(w);
+            let bv = g.param(b);
+            let h = g.matmul(xv, wv);
+            let h = g.add_bias(h, bv);
+            let h = g.tanh(h);
+            let h = g.dropout(h, 0.5); // must be identity in both eval modes
+            g.softmax(h)
+        }
+
+        let tape_out = {
+            let mut g = Graph::new(&mut store, false, 0);
+            let out = forward(&mut g, &x, w, b);
+            g.value(out).clone()
+        };
+        let mut pool = BufferPool::new();
+        let infer_out = {
+            let mut g = Graph::inference(&mut store, &mut pool);
+            assert!(g.is_inference());
+            let out = forward(&mut g, &x, w, b);
+            let value = g.value(out).clone();
+            g.finish();
+            value
+        };
+        // Same arithmetic, same order: the outputs are bit-identical.
+        assert_eq!(tape_out.data(), infer_out.data());
+        assert_eq!(tape_out.shape(), infer_out.shape());
+    }
+
+    #[test]
+    fn inference_graph_recycles_buffers_through_the_pool() {
+        use crate::pool::BufferPool;
+        let mut rng = Prng::new(43);
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::randn(&[6, 6], 0.5, &mut rng));
+        let x = Tensor::randn(&[2, 6], 1.0, &mut rng);
+        let mut pool = BufferPool::new();
+        let run = |store: &mut ParamStore, pool: &mut BufferPool| {
+            let mut g = Graph::inference(store, pool);
+            let xv = g.constant(x.clone());
+            let wv = g.param(w);
+            let h = g.matmul(xv, wv);
+            let h = g.relu(h);
+            let out = g.mean_all(h);
+            let value = g.value(out).item();
+            g.finish();
+            value
+        };
+        let first = run(&mut store, &mut pool);
+        let misses_after_first = pool.alloc_misses();
+        assert!(misses_after_first > 0, "first call must warm the pool");
+        assert!(
+            pool.idle_buffers() > 0,
+            "finish returns buffers to the pool"
+        );
+        let second = run(&mut store, &mut pool);
+        assert_eq!(first, second);
+        assert_eq!(
+            pool.alloc_misses(),
+            misses_after_first,
+            "steady state allocates no new activation buffers"
+        );
+        assert!(pool.reuse_hits() > 0);
+        // The free list is bounded: a forward that feeds in fresh constants
+        // every call (their buffers are caller-owned, not recycled) must not
+        // grow the pool request over request.
+        let stable = pool.idle_buffers();
+        for _ in 0..10 {
+            run(&mut store, &mut pool);
+        }
+        assert_eq!(
+            pool.idle_buffers(),
+            stable,
+            "pool must not accumulate constants' buffers"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tape-free")]
+    fn backward_on_inference_graph_panics() {
+        use crate::pool::BufferPool;
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![1.0, 2.0]));
+        let mut pool = BufferPool::new();
+        let mut g = Graph::inference(&mut store, &mut pool);
+        let wv = g.param(w);
+        let loss = g.sum_all(wv);
+        g.backward(loss);
+    }
+
+    #[test]
+    fn inference_graph_gives_frozen_and_trainable_params_no_gradients() {
+        use crate::pool::BufferPool;
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![3.0]));
+        let mut pool = BufferPool::new();
+        {
+            let mut g = Graph::inference(&mut store, &mut pool);
+            let wv = g.param(w);
+            let y = g.relu(wv);
+            assert_eq!(g.value(y).data(), &[3.0]);
+            g.finish();
+        }
+        assert_eq!(store.grad(w).data(), &[0.0]);
     }
 
     #[test]

@@ -29,10 +29,12 @@ pub mod init;
 pub mod losses;
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
 
 pub use graph::{Graph, Var};
 pub use params::{Param, ParamId, ParamStore};
+pub use pool::BufferPool;
 pub use tensor::Tensor;

@@ -37,7 +37,12 @@ pub fn soften(teacher_logits: &Tensor, tau: f32) -> Tensor {
 ///
 /// `teacher_logits` enters as a constant (no gradient flows into the
 /// teacher), matching the paper's frozen-teacher setting.
-pub fn kd_kl_loss(g: &mut Graph<'_>, student_logits: Var, teacher_logits: &Tensor, tau: f32) -> Var {
+pub fn kd_kl_loss(
+    g: &mut Graph<'_>,
+    student_logits: Var,
+    teacher_logits: &Tensor,
+    tau: f32,
+) -> Var {
     assert!(tau > 0.0, "temperature must be positive");
     let (batch, _classes) = as_rows_cols(g.value(student_logits).shape());
     assert_eq!(
@@ -85,7 +90,10 @@ pub fn add_distillation_loss(
     // both matrices are normalised by their own mean distance before the
     // softened KL. This makes the loss invariant to the overall feature
     // scale (teacher and student features live on different scales early in
-    // training) and keeps the row softmax well-conditioned.
+    // training) and keeps the row softmax well-conditioned. The student's
+    // normaliser is a stop-gradient: it enters as a constant scale, so no
+    // gradient flows through the mean-distance term (only through the
+    // distances themselves).
     let teacher_scale = 1.0 / m_t.mean().max(1e-6);
     let student_scale = 1.0 / g.value(m_s).mean().max(1e-6);
     let m_s = g.scale(m_s, student_scale);
@@ -195,7 +203,10 @@ mod tests {
             store.get_mut(s).value.axpy(-0.5, &grad);
         }
         assert!(losses[0] > 0.0);
-        assert!(losses.last().unwrap() < &(losses[0] * 0.5), "losses: {losses:?}");
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "losses: {losses:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Reusable scratch buffers for tape-free inference.
+//!
+//! A [`BufferPool`] is a free-list of `Vec<f32>` buffers. A [`crate::Graph`]
+//! created with [`crate::Graph::inference`] draws every activation buffer
+//! from the pool and hands all of them back when the caller invokes
+//! `Graph::finish`, so a serving process that runs one forward pass per
+//! request stops allocating activation memory once the pool has warmed up to
+//! the largest batch shape it has seen: the steady-state hot path only moves
+//! buffers between the free list and the graph's node arena. Buffers that
+//! entered the graph from outside (caller-owned constants) are never
+//! recycled, which keeps the free list bounded by the buffer count of a
+//! single forward pass.
+//!
+//! The pool intentionally has no size classes. Buffers are recycled
+//! most-recently-freed first and grown in place when a request needs more
+//! capacity than the reused buffer carries, which converges after a handful
+//! of calls for the fixed shapes of a serving workload.
+
+/// A free-list of `f32` buffers with reuse accounting.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<f32>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a zero-filled buffer of length `n`, reusing a free buffer when
+    /// one is available.
+    pub fn take_zeroed(&mut self, n: usize) -> Vec<f32> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.hits += 1;
+                buf.clear();
+                buf.resize(n, 0.0);
+                buf
+            }
+            None => {
+                self.misses += 1;
+                vec![0.0; n]
+            }
+        }
+    }
+
+    /// Take an *empty* buffer with capacity for at least `n` values, for
+    /// destinations that are filled with `extend_from_slice`/`resize` —
+    /// skips the zero-fill `take_zeroed` pays.
+    pub fn take_empty(&mut self, n: usize) -> Vec<f32> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.hits += 1;
+                buf.clear();
+                buf.reserve(n);
+                buf
+            }
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(n)
+            }
+        }
+    }
+
+    /// Return a buffer to the free list.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of buffers currently on the free list.
+    pub fn idle_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of `take_zeroed` calls served from the free list.
+    pub fn reuse_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of `take_zeroed` calls that had to allocate a fresh buffer.
+    pub fn alloc_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total `f32` capacity currently parked on the free list.
+    pub fn idle_capacity(&self) -> usize {
+        self.free.iter().map(Vec::capacity).sum()
+    }
+
+    /// Drop all pooled buffers (e.g. after serving an unusually large batch).
+    pub fn shrink(&mut self) {
+        self.free.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_pool_allocates_then_reuses() {
+        let mut pool = BufferPool::new();
+        let a = pool.take_zeroed(8);
+        assert_eq!(a.len(), 8);
+        assert_eq!(pool.alloc_misses(), 1);
+        assert_eq!(pool.reuse_hits(), 0);
+        pool.give(a);
+        let b = pool.take_zeroed(4);
+        assert_eq!(b.len(), 4);
+        assert!(b.capacity() >= 8, "reused buffer keeps its capacity");
+        assert_eq!(pool.reuse_hits(), 1);
+    }
+
+    #[test]
+    fn reused_buffers_are_zeroed() {
+        let mut pool = BufferPool::new();
+        let mut a = pool.take_zeroed(4);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        pool.give(a);
+        let b = pool.take_zeroed(6);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn shrink_empties_the_free_list() {
+        let mut pool = BufferPool::new();
+        pool.give(vec![0.0; 16]);
+        assert_eq!(pool.idle_buffers(), 1);
+        assert!(pool.idle_capacity() >= 16);
+        pool.shrink();
+        assert_eq!(pool.idle_buffers(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_not_pooled() {
+        let mut pool = BufferPool::new();
+        pool.give(Vec::new());
+        assert_eq!(pool.idle_buffers(), 0);
+    }
+}

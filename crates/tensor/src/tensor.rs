@@ -93,7 +93,9 @@ impl Tensor {
 
     /// Tensor with i.i.d. uniform entries in `[lo, hi)`.
     pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut Prng) -> Self {
-        let data = (0..shape::numel(shape)).map(|_| rng.uniform(lo, hi)).collect();
+        let data = (0..shape::numel(shape))
+            .map(|_| rng.uniform(lo, hi))
+            .collect();
         Self {
             shape: shape.to_vec(),
             data,
@@ -135,7 +137,12 @@ impl Tensor {
     /// # Panics
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() on tensor with {} elements", self.numel());
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with {} elements",
+            self.numel()
+        );
         self.data[0]
     }
 
@@ -269,12 +276,27 @@ impl Tensor {
     /// # Panics
     /// Panics if either operand is not 2-D or the inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, n) = (self.shape[0], other.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        self.matmul_into(other, &mut out);
+        Tensor::new(vec![m, n], out)
+    }
+
+    /// Matrix product written into a caller-provided (zeroed) buffer of
+    /// length `m * n`. This is the buffer-reuse kernel behind tape-free
+    /// inference: the serving hot path hands in recycled scratch buffers
+    /// instead of allocating a fresh output per call.
+    ///
+    /// # Panics
+    /// Panics if either operand is not 2-D, the inner dimensions disagree,
+    /// or `out` has the wrong length.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut [f32]) {
         assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D");
         assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
+        assert_eq!(out.len(), m * n, "matmul output buffer length mismatch");
         // i-k-j loop order keeps the inner loop contiguous over both the
         // output row and the rhs row, which the compiler can vectorize.
         for i in 0..m {
@@ -290,7 +312,6 @@ impl Tensor {
                 }
             }
         }
-        Tensor::new(vec![m, n], out)
     }
 
     /// Transpose of a 2-D tensor.
@@ -370,7 +391,8 @@ impl Tensor {
 
     fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(
-            self.shape, other.shape,
+            self.shape,
+            other.shape,
             "elementwise op shape mismatch: {} vs {}",
             shape::fmt_shape(&self.shape),
             shape::fmt_shape(&other.shape)
@@ -493,7 +515,10 @@ mod tests {
 
     #[test]
     fn stack_rows_builds_matrix() {
-        let rows = vec![Tensor::from_vec(vec![1.0, 2.0]), Tensor::from_vec(vec![3.0, 4.0])];
+        let rows = vec![
+            Tensor::from_vec(vec![1.0, 2.0]),
+            Tensor::from_vec(vec![3.0, 4.0]),
+        ];
         let m = Tensor::stack_rows(&rows);
         assert_eq!(m.shape(), &[2, 2]);
         assert_eq!(m.data(), &[1.0, 2.0, 3.0, 4.0]);

@@ -1,132 +1,174 @@
 //! Property-based tests for the tensor/autograd substrate.
+//!
+//! The workspace builds offline with zero external dependencies, so instead
+//! of an external property-testing framework these tests drive each property
+//! over many seeded random cases drawn from the crate's own [`Prng`]. Each
+//! property runs 64 deterministic cases; a failure message always includes
+//! the case seed so the exact input can be replayed.
 
 use dtdbd_tensor::losses::{kl_divergence_rows, pairwise_sq_dist_tensor, soften};
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::{Graph, ParamStore, Tensor};
-use proptest::prelude::*;
 
-fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-3.0f32..3.0, rows * cols)
+const CASES: u64 = 64;
+
+/// Random matrix with entries in `[-3, 3)`, the same input distribution the
+/// original proptest strategies used.
+fn small_matrix(rng: &mut Prng, rows: usize, cols: usize) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.uniform(-3.0, 3.0)).collect();
+    Tensor::new(vec![rows, cols], data)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Softmax rows always form a probability distribution.
-    #[test]
-    fn softmax_rows_are_distributions(data in small_matrix(4, 6)) {
-        let t = Tensor::new(vec![4, 6], data);
+/// Softmax rows always form a probability distribution.
+#[test]
+fn softmax_rows_are_distributions() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(case);
+        let t = small_matrix(&mut rng, 4, 6);
         let s = t.softmax_rows();
         for i in 0..4 {
             let sum: f32 = s.row(i).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(s.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!((sum - 1.0).abs() < 1e-4, "case {case}: row sum {sum}");
+            assert!(
+                s.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)),
+                "case {case}: entry outside [0, 1]"
+            );
         }
     }
+}
 
-    /// Matmul distributes over addition: (A + B) C = AC + BC.
-    #[test]
-    fn matmul_distributes_over_addition(
-        a in small_matrix(3, 4),
-        b in small_matrix(3, 4),
-        c in small_matrix(4, 2),
-    ) {
-        let a = Tensor::new(vec![3, 4], a);
-        let b = Tensor::new(vec![3, 4], b);
-        let c = Tensor::new(vec![4, 2], c);
+/// Matmul distributes over addition: (A + B) C = AC + BC.
+#[test]
+fn matmul_distributes_over_addition() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(1000 + case);
+        let a = small_matrix(&mut rng, 3, 4);
+        let b = small_matrix(&mut rng, 3, 4);
+        let c = small_matrix(&mut rng, 4, 2);
         let lhs = a.add(&b).matmul(&c);
         let rhs = a.matmul(&c).add(&b.matmul(&c));
         for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
-            prop_assert!((x - y).abs() < 1e-3);
+            assert!((x - y).abs() < 1e-3, "case {case}: {x} vs {y}");
         }
     }
+}
 
-    /// Transposing twice is the identity.
-    #[test]
-    fn transpose_is_involutive(data in small_matrix(5, 3)) {
-        let t = Tensor::new(vec![5, 3], data);
-        prop_assert_eq!(t.transpose2().transpose2(), t);
+/// Transposing twice is the identity.
+#[test]
+fn transpose_is_involutive() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(2000 + case);
+        let t = small_matrix(&mut rng, 5, 3);
+        assert_eq!(t.transpose2().transpose2(), t, "case {case}");
     }
+}
 
-    /// Pairwise squared distances are symmetric, non-negative, zero on the
-    /// diagonal, and satisfy the (squared-distance relaxed) identity of
-    /// indiscernibles.
-    #[test]
-    fn pairwise_distances_are_a_premetric(data in small_matrix(5, 4)) {
-        let x = Tensor::new(vec![5, 4], data);
+/// Pairwise squared distances are symmetric, non-negative, zero on the
+/// diagonal, and satisfy the (squared-distance relaxed) identity of
+/// indiscernibles.
+#[test]
+fn pairwise_distances_are_a_premetric() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(3000 + case);
+        let x = small_matrix(&mut rng, 5, 4);
         let m = pairwise_sq_dist_tensor(&x);
         for i in 0..5 {
-            prop_assert_eq!(m.at2(i, i), 0.0);
+            assert_eq!(m.at2(i, i), 0.0, "case {case}: diagonal");
             for j in 0..5 {
-                prop_assert!(m.at2(i, j) >= 0.0);
-                prop_assert!((m.at2(i, j) - m.at2(j, i)).abs() < 1e-5);
+                assert!(m.at2(i, j) >= 0.0, "case {case}: negative distance");
+                assert!(
+                    (m.at2(i, j) - m.at2(j, i)).abs() < 1e-5,
+                    "case {case}: asymmetry at ({i}, {j})"
+                );
             }
         }
     }
+}
 
-    /// KL divergence between softened distributions is non-negative and zero
-    /// iff the logits match.
-    #[test]
-    fn softened_kl_is_nonnegative(
-        a in small_matrix(3, 5),
-        b in small_matrix(3, 5),
-        tau in 1.0f32..8.0,
-    ) {
-        let la = Tensor::new(vec![3, 5], a);
-        let lb = Tensor::new(vec![3, 5], b);
+/// KL divergence between softened distributions is non-negative and zero
+/// iff the logits match.
+#[test]
+fn softened_kl_is_nonnegative() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(4000 + case);
+        let la = small_matrix(&mut rng, 3, 5);
+        let lb = small_matrix(&mut rng, 3, 5);
+        let tau = rng.uniform(1.0, 8.0);
         let pa = soften(&la, tau);
         let pb = soften(&lb, tau);
-        prop_assert!(kl_divergence_rows(&pa, &pb) >= -1e-5);
-        prop_assert!(kl_divergence_rows(&pa, &pa).abs() < 1e-5);
+        assert!(kl_divergence_rows(&pa, &pb) >= -1e-5, "case {case}");
+        assert!(kl_divergence_rows(&pa, &pa).abs() < 1e-5, "case {case}");
     }
+}
 
-    /// The autograd sum rule: d(sum(a*x))/dx == a for every coordinate.
-    #[test]
-    fn linear_gradient_is_exact(data in small_matrix(2, 6), a in -3.0f32..3.0) {
+/// The autograd sum rule: d(sum(a*x))/dx == a for every coordinate.
+#[test]
+fn linear_gradient_is_exact() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(5000 + case);
+        let data = small_matrix(&mut rng, 2, 6);
+        let a = rng.uniform(-3.0, 3.0);
         let mut store = ParamStore::new();
-        let x = store.add("x", Tensor::new(vec![2, 6], data));
+        let x = store.add("x", data);
         let mut g = Graph::new(&mut store, false, 0);
         let xv = g.param(x);
         let scaled = g.scale(xv, a);
         let loss = g.sum_all(scaled);
         g.backward(loss);
         for &gv in store.grad(x).data() {
-            prop_assert!((gv - a).abs() < 1e-5);
+            assert!((gv - a).abs() < 1e-5, "case {case}: grad {gv} vs {a}");
         }
     }
+}
 
-    /// Cross-entropy is minimised (towards 0) when the logits strongly favour
-    /// the true label.
-    #[test]
-    fn cross_entropy_decreases_with_margin(margin in 1.0f32..10.0) {
+/// Cross-entropy is minimised (towards 0) when the logits strongly favour
+/// the true label.
+#[test]
+fn cross_entropy_decreases_with_margin() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(6000 + case);
+        let margin = rng.uniform(1.0, 10.0);
         let mut store = ParamStore::new();
         let mut g = Graph::new(&mut store, false, 0);
         let weak = g.constant(Tensor::from_rows(&[vec![0.1, 0.0]]));
         let strong = g.constant(Tensor::from_rows(&[vec![margin, 0.0]]));
         let l_weak = g.cross_entropy_logits(weak, &[0]);
         let l_strong = g.cross_entropy_logits(strong, &[0]);
-        prop_assert!(g.value(l_strong).item() <= g.value(l_weak).item());
+        assert!(
+            g.value(l_strong).item() <= g.value(l_weak).item(),
+            "case {case}: margin {margin}"
+        );
     }
+}
 
-    /// Dropout in training mode preserves the expected mean.
-    #[test]
-    fn dropout_preserves_expectation(seed in 0u64..1000, p in 0.05f32..0.8) {
+/// Dropout in training mode preserves the expected mean.
+#[test]
+fn dropout_preserves_expectation() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(7000 + case);
+        let seed = rng.below(1000) as u64;
+        let p = rng.uniform(0.05, 0.8);
         let mut store = ParamStore::new();
         let mut g = Graph::new(&mut store, true, seed);
         let x = g.constant(Tensor::full(&[4000], 1.0));
         let d = g.dropout(x, p);
         let mean = g.value(d).mean();
-        prop_assert!((mean - 1.0).abs() < 0.15, "mean {} for p {}", mean, p);
+        assert!(
+            (mean - 1.0).abs() < 0.15,
+            "case {case}: mean {mean} for p {p}"
+        );
     }
+}
 
-    /// Prng::weighted never selects an index with zero weight.
-    #[test]
-    fn weighted_sampling_ignores_zero_weights(seed in 0u64..500) {
-        let mut rng = Prng::new(seed);
+/// Prng::weighted never selects an index with zero weight.
+#[test]
+fn weighted_sampling_ignores_zero_weights() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(8000 + case);
         let weights = [0.0f32, 0.4, 0.0, 0.6, 0.0];
         for _ in 0..50 {
             let idx = rng.weighted(&weights);
-            prop_assert!(idx == 1 || idx == 3);
+            assert!(idx == 1 || idx == 3, "case {case}: picked {idx}");
         }
     }
 }

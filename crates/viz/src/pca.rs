@@ -122,7 +122,12 @@ mod tests {
             let minor = rng.normal() * 0.5;
             // The dominant direction is (1, 1)/sqrt(2) in a 2-D space
             // embedded in 4 dimensions.
-            rows.push(Tensor::from_vec(vec![main + minor, main - minor, rng.normal() * 0.1, 0.0]));
+            rows.push(Tensor::from_vec(vec![
+                main + minor,
+                main - minor,
+                rng.normal() * 0.1,
+                0.0,
+            ]));
         }
         let data = Tensor::stack_rows(&rows);
         let proj = pca_project(&data, 1, 7);
@@ -147,10 +152,16 @@ mod tests {
         let mut rng = Prng::new(3);
         let data = Tensor::randn(&[150, 8], 1.0, &mut rng);
         let proj = pca_project(&data, 2, 5);
-        let dot: f32 = (0..150).map(|i| proj.at2(i, 0) * proj.at2(i, 1)).sum::<f32>() / 150.0;
+        let dot: f32 = (0..150)
+            .map(|i| proj.at2(i, 0) * proj.at2(i, 1))
+            .sum::<f32>()
+            / 150.0;
         let v0: f32 = (0..150).map(|i| proj.at2(i, 0).powi(2)).sum::<f32>() / 150.0;
         let v1: f32 = (0..150).map(|i| proj.at2(i, 1).powi(2)).sum::<f32>() / 150.0;
-        assert!(dot.abs() < 0.2 * (v0 * v1).sqrt(), "dot {dot} v0 {v0} v1 {v1}");
+        assert!(
+            dot.abs() < 0.2 * (v0 * v1).sqrt(),
+            "dot {dot} v0 {v0} v1 {v1}"
+        );
     }
 
     #[test]

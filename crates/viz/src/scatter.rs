@@ -56,8 +56,10 @@ pub fn render_scatter(embedding: &Tensor, classes: &[usize], config: &ScatterCon
     // counts[cell][class]
     let mut counts = vec![vec![0usize; n_classes]; config.width * config.height];
     for i in 0..n {
-        let cx = (((embedding.at2(i, 0) - min_x) / span_x) * (config.width - 1) as f32).round() as usize;
-        let cy = (((embedding.at2(i, 1) - min_y) / span_y) * (config.height - 1) as f32).round() as usize;
+        let cx =
+            (((embedding.at2(i, 0) - min_x) / span_x) * (config.width - 1) as f32).round() as usize;
+        let cy = (((embedding.at2(i, 1) - min_y) / span_y) * (config.height - 1) as f32).round()
+            as usize;
         counts[cy * config.width + cx][classes[i]] += 1;
     }
 
@@ -86,7 +88,11 @@ pub fn render_scatter(embedding: &Tensor, classes: &[usize], config: &ScatterCon
 /// Fraction of occupied grid cells whose points all come from a single
 /// class — a simple quantitative proxy for the "domain separation" the paper
 /// reads off Figure 2 (higher = more domain-pure regions).
-pub fn single_class_cell_fraction(embedding: &Tensor, classes: &[usize], config: &ScatterConfig) -> f64 {
+pub fn single_class_cell_fraction(
+    embedding: &Tensor,
+    classes: &[usize],
+    config: &ScatterConfig,
+) -> f64 {
     assert_eq!(embedding.shape()[0], classes.len());
     let n = classes.len();
     if n == 0 {
@@ -105,8 +111,10 @@ pub fn single_class_cell_fraction(embedding: &Tensor, classes: &[usize], config:
     let n_classes = classes.iter().copied().max().unwrap_or(0) + 1;
     let mut counts = vec![vec![0usize; n_classes]; config.width * config.height];
     for i in 0..n {
-        let cx = (((embedding.at2(i, 0) - min_x) / span_x) * (config.width - 1) as f32).round() as usize;
-        let cy = (((embedding.at2(i, 1) - min_y) / span_y) * (config.height - 1) as f32).round() as usize;
+        let cx =
+            (((embedding.at2(i, 0) - min_x) / span_x) * (config.width - 1) as f32).round() as usize;
+        let cy = (((embedding.at2(i, 1) - min_y) / span_y) * (config.height - 1) as f32).round()
+            as usize;
         counts[cy * config.width + cx][classes[i]] += 1;
     }
     let mut occupied = 0usize;
@@ -139,7 +147,10 @@ mod tests {
         let mut classes = Vec::new();
         for i in 0..40 {
             let (cx, cls) = if i % 2 == 0 { (-5.0, 0) } else { (5.0, 1) };
-            rows.push(Tensor::from_vec(vec![cx + 0.2 * rng.normal(), 0.2 * rng.normal()]));
+            rows.push(Tensor::from_vec(vec![
+                cx + 0.2 * rng.normal(),
+                0.2 * rng.normal(),
+            ]));
             classes.push(cls);
         }
         (Tensor::stack_rows(&rows), classes)

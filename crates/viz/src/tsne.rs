@@ -81,7 +81,11 @@ impl Tsne {
         let mut y = vec![0.0f32; n * 2];
         for i in 0..n {
             for c in 0..2 {
-                let base = if init.shape()[1] > c { init.at2(i, c) } else { 0.0 };
+                let base = if init.shape()[1] > c {
+                    init.at2(i, c)
+                } else {
+                    0.0
+                };
                 y[i * 2 + c] = 0.01 * base + 0.01 * rng.normal();
             }
         }
@@ -153,10 +157,18 @@ fn joint_probabilities(data: &Tensor, perplexity: f32) -> Vec<f32> {
             }
             if diff > 0.0 {
                 beta_min = beta;
-                beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+                beta = if beta_max.is_finite() {
+                    (beta + beta_max) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 beta_max = beta;
-                beta = if beta_min.is_finite() { (beta + beta_min) / 2.0 } else { beta / 2.0 };
+                beta = if beta_min.is_finite() {
+                    (beta + beta_min) / 2.0
+                } else {
+                    beta / 2.0
+                };
             }
         }
     }

@@ -17,7 +17,8 @@ use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
 
 fn main() {
-    let dataset = NewsGenerator::new(weibo21_spec(), GeneratorConfig::default()).generate_scaled(7, 0.25);
+    let dataset =
+        NewsGenerator::new(weibo21_spec(), GeneratorConfig::default()).generate_scaled(7, 0.25);
     let split = dataset.split(0.7, 0.1, 7);
     let config = ModelConfig::for_dataset(&split.train);
 
@@ -36,8 +37,13 @@ fn main() {
     let eval = evaluate(&model, &mut store, &split.test, 256);
     let stats = split.test.stats();
 
-    let mut table = TableBuilder::new("Per-domain bias audit (MDFEND)")
-        .header(["Domain", "%Fake in domain", "FNR", "FPR", "F1"]);
+    let mut table = TableBuilder::new("Per-domain bias audit (MDFEND)").header([
+        "Domain",
+        "%Fake in domain",
+        "FNR",
+        "FPR",
+        "F1",
+    ]);
     for (d, s) in eval.domains().iter().zip(stats.per_domain.iter()) {
         table.metric_row(&d.name, &[s.fake_pct(), d.fnr(), d.fpr(), d.f1()], 3);
     }

@@ -19,7 +19,8 @@ fn main() {
         seed: 42,
         epochs: Some(3),
     };
-    let dataset = NewsGenerator::new(english_spec(), GeneratorConfig::default()).generate_scaled(42, 0.12);
+    let dataset =
+        NewsGenerator::new(english_spec(), GeneratorConfig::default()).generate_scaled(42, 0.12);
     let split = dataset.split(0.7, 0.1, 42);
     println!(
         "english corpus sample: {} items, fake rates per domain: {:?}",

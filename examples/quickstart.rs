@@ -60,5 +60,7 @@ fn main() {
         bias.fped,
         bias.total()
     );
-    println!("note the spread of FNR/FPR across domains — that spread is the domain bias DTDBD removes.");
+    println!(
+        "note the spread of FNR/FPR across domains — that spread is the domain bias DTDBD removes."
+    );
 }

@@ -16,7 +16,8 @@ use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
 
 fn main() {
-    let dataset = NewsGenerator::new(weibo21_spec(), GeneratorConfig::default()).generate_scaled(42, 0.3);
+    let dataset =
+        NewsGenerator::new(weibo21_spec(), GeneratorConfig::default()).generate_scaled(42, 0.3);
     let split = dataset.split(0.7, 0.1, 42);
     let config = ModelConfig::for_dataset(&split.train);
     let tc = TrainConfig {
@@ -46,8 +47,14 @@ fn main() {
         train: tc.clone(),
         ..DatConfig::default()
     };
-    let (unbiased, _) =
-        train_unbiased_teacher(base, &mut unbiased_store, &config, &dat, &split.train, &mut Prng::new(13));
+    let (unbiased, _) = train_unbiased_teacher(
+        base,
+        &mut unbiased_store,
+        &config,
+        &dat,
+        &split.train,
+        &mut Prng::new(13),
+    );
 
     // DTDBD student.
     println!("== dual-teacher de-biasing distillation ==");
@@ -68,7 +75,10 @@ fn main() {
         &split.train,
         &split.val,
     );
-    println!("teacher weights per epoch (w_ADD, w_DKD): {:?}", report.weight_history);
+    println!(
+        "teacher weights per epoch (w_ADD, w_DKD): {:?}",
+        report.weight_history
+    );
     let student_eval = evaluate(&student, &mut student_store, &split.test, 256);
 
     let mut table = TableBuilder::new("Plain student vs DTDBD student (Chinese test set)")

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the DTDBD workspace (see ROADMAP.md).
+#
+# Runs, in order:
+#   1. release build of every crate, binary, bench and example target
+#   2. the full test suite
+#   3. formatting check
+#   4. clippy with warnings promoted to errors
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace --all-targets
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 gate passed"

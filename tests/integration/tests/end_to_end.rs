@@ -3,7 +3,9 @@
 //! training → dual-teacher distillation → feature visualization.
 
 use dtdbd_core::dat::{train_unbiased_teacher, DatConfig, DatMode};
-use dtdbd_core::{evaluate, extract_features, train_model, DistillConfig, DtdbdTrainer, TrainConfig};
+use dtdbd_core::{
+    evaluate, extract_features, train_model, DistillConfig, DtdbdTrainer, TrainConfig,
+};
 use dtdbd_integration::fixtures::small_chinese_split;
 use dtdbd_models::{FakeNewsModel, M3Fend, Mdfend, ModelConfig, TextCnnModel};
 use dtdbd_tensor::rng::Prng;
@@ -47,8 +49,14 @@ fn dtdbd_pipeline_reduces_bias_without_destroying_accuracy() {
         train: tc.clone(),
         ..DatConfig::default()
     };
-    let (unbiased, _) =
-        train_unbiased_teacher(base, &mut unbiased_store, &cfg, &dat, &split.train, &mut Prng::new(4));
+    let (unbiased, _) = train_unbiased_teacher(
+        base,
+        &mut unbiased_store,
+        &cfg,
+        &dat,
+        &split.train,
+        &mut Prng::new(4),
+    );
 
     // DTDBD student.
     let mut student_store = ParamStore::new();
@@ -149,8 +157,14 @@ fn dat_ie_training_trades_accuracy_for_fairness() {
         train: tc,
         ..DatConfig::default()
     };
-    let (teacher, _) =
-        train_unbiased_teacher(base, &mut adv_store, &cfg, &dat, &split.train, &mut Prng::new(7));
+    let (teacher, _) = train_unbiased_teacher(
+        base,
+        &mut adv_store,
+        &cfg,
+        &dat,
+        &split.train,
+        &mut Prng::new(7),
+    );
     let adv_eval = evaluate(teacher.base(), &mut adv_store, &split.test, 128);
 
     assert!(
@@ -184,7 +198,8 @@ fn feature_extraction_feeds_the_visualization_stack() {
     let embedding = tsne.embed(&features);
     assert_eq!(embedding.shape(), &[viz_set.len(), 2]);
     assert!(!embedding.has_non_finite());
-    let rendered = dtdbd_viz::render_scatter(&embedding, &domains, &dtdbd_viz::ScatterConfig::default());
+    let rendered =
+        dtdbd_viz::render_scatter(&embedding, &domains, &dtdbd_viz::ScatterConfig::default());
     assert!(rendered.lines().count() > 10);
     let _ = model.name();
 }
