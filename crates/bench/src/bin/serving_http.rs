@@ -1,0 +1,211 @@
+//! HTTP serving benchmark: client-observed latency and throughput through
+//! the full wire stack (TCP + HTTP/1.1 parsing + JSON codec + micro-batching
+//! core) at 1, 8 and 32 concurrent keep-alive connections.
+//!
+//! Trains a TextCNN-S student briefly, round-trips it through a checkpoint,
+//! binds the HTTP front-end on an ephemeral port, and drives it with
+//! persistent client connections. Results are printed as a table and
+//! written to `BENCH_http.json`.
+//!
+//! Run with: `cargo run --release -p dtdbd-bench --bin serving_http [--quick]`
+
+use dtdbd_bench::harness::{fmt_ns, percentile};
+use dtdbd_core::{train_model, TrainConfig};
+use dtdbd_data::{weibo21_spec, GeneratorConfig, InferenceRequest, NewsGenerator};
+use dtdbd_metrics::TableBuilder;
+use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
+use dtdbd_serve::http::HttpClient;
+use dtdbd_serve::{
+    json, session_from_checkpoint, BatchingConfig, Checkpoint, HttpConfig, HttpServer,
+    PredictServer,
+};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::ParamStore;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const CONCURRENCY: [usize; 3] = [1, 8, 32];
+
+struct LoadResult {
+    connections: usize,
+    requests: usize,
+    p50_ns: f64,
+    p99_ns: f64,
+    req_per_sec: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, requests_per_level) = if quick {
+        (0.04, 240usize)
+    } else {
+        (0.12, 960usize)
+    };
+
+    eprintln!("[serving_http] generating corpus and training the student (1 epoch)...");
+    let ds =
+        NewsGenerator::new(weibo21_spec(), GeneratorConfig::default()).generate_scaled(42, scale);
+    let split = ds.split(0.7, 0.1, 42);
+    let cfg = ModelConfig::for_dataset(&split.train);
+    let mut store = ParamStore::new();
+    let mut model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(1));
+    train_model(
+        &mut model,
+        &mut store,
+        &split.train,
+        &TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        },
+    );
+
+    let checkpoint = Checkpoint::new(model.name(), &cfg, &store);
+    let checkpoint = Checkpoint::from_bytes(&checkpoint.to_bytes()).expect("self round trip");
+
+    // Pre-rendered request bodies drawn from the held-out test set.
+    let bodies: Vec<String> = split
+        .test
+        .items()
+        .iter()
+        .map(|item| {
+            json::encode_request(&InferenceRequest {
+                tokens: item.tokens.clone(),
+                domain: item.domain,
+                style: Some(item.style.clone()),
+                emotion: Some(item.emotion.clone()),
+            })
+            .render()
+        })
+        .collect();
+
+    let batching = BatchingConfig {
+        max_batch_size: 32,
+        max_wait: Duration::from_millis(2),
+        workers: 2,
+    };
+    let predict = PredictServer::start(batching.clone(), |_| {
+        session_from_checkpoint(&checkpoint).expect("restore")
+    });
+    let server = HttpServer::start(
+        predict,
+        HttpConfig {
+            connection_workers: *CONCURRENCY.iter().max().expect("non-empty"),
+            backlog: 64,
+            ..HttpConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    eprintln!("[serving_http] listening on http://{addr}");
+
+    // Warm every worker's buffer pool before measuring.
+    {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        for body in bodies.iter().take(64) {
+            let response = client.post("/predict", body).expect("warmup");
+            assert_eq!(response.status, 200, "{}", response.body);
+        }
+    }
+
+    let results: Vec<LoadResult> = CONCURRENCY
+        .iter()
+        .map(|&connections| run_level(addr, &bodies, connections, requests_per_level))
+        .collect();
+
+    render_table(&results, &batching);
+    let json_out = render_json(&results, &batching);
+    std::fs::write("BENCH_http.json", &json_out).expect("write BENCH_http.json");
+    eprintln!("[serving_http] wrote BENCH_http.json");
+    server.shutdown();
+}
+
+/// Fire `total_requests` split across `connections` persistent clients and
+/// collect per-request wall-clock latencies.
+fn run_level(
+    addr: SocketAddr,
+    bodies: &[String],
+    connections: usize,
+    total_requests: usize,
+) -> LoadResult {
+    let per_client = total_requests / connections;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            let stream: Vec<String> = (0..per_client)
+                .map(|i| bodies[(c * per_client + i) % bodies.len()].clone())
+                .collect();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                let mut latencies = Vec::with_capacity(stream.len());
+                for body in &stream {
+                    let t0 = Instant::now();
+                    let response = client.post("/predict", body).expect("request");
+                    latencies.push(t0.elapsed().as_nanos() as f64);
+                    assert_eq!(response.status, 200, "{}", response.body);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut samples = Vec::with_capacity(connections * per_client);
+    for handle in handles {
+        samples.extend(handle.join().expect("client thread"));
+    }
+    let total = started.elapsed().as_secs_f64();
+    LoadResult {
+        connections,
+        requests: samples.len(),
+        p50_ns: percentile(&samples, 0.50),
+        p99_ns: percentile(&samples, 0.99),
+        req_per_sec: samples.len() as f64 / total,
+    }
+}
+
+fn render_table(results: &[LoadResult], batching: &BatchingConfig) {
+    let mut table = TableBuilder::new("Serving — HTTP/1.1 front-end (TextCNN-S, keep-alive)")
+        .header(["Concurrency", "Requests", "p50", "p99", "req/sec"]);
+    for r in results {
+        table.row([
+            format!("{} conn", r.connections),
+            format!("{}", r.requests),
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p99_ns),
+            format!("{:.0}", r.req_per_sec),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "(server: {} workers, max_batch_size {}, max_wait {:.1} ms)",
+        batching.workers,
+        batching.max_batch_size,
+        batching.max_wait.as_secs_f64() * 1e3
+    );
+}
+
+fn render_json(results: &[LoadResult], batching: &BatchingConfig) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"model\": \"TextCNN-S\",\n");
+    out.push_str("  \"transport\": \"http/1.1 keep-alive\",\n");
+    out.push_str(&format!(
+        "  \"server\": {{\"workers\": {}, \"max_batch_size\": {}, \"max_wait_ms\": {:.1}}},\n",
+        batching.workers,
+        batching.max_batch_size,
+        batching.max_wait.as_secs_f64() * 1e3
+    ));
+    out.push_str("  \"load_levels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"connections\": {}, \"requests\": {}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"req_per_sec\": {:.1}}}{}\n",
+            r.connections,
+            r.requests,
+            r.p50_ns / 1e3,
+            r.p99_ns / 1e3,
+            r.req_per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}

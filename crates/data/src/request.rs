@@ -80,6 +80,21 @@ pub enum RequestError {
     },
 }
 
+impl RequestError {
+    /// Stable machine-readable code for this rejection, as carried in the
+    /// `"error"` field of the HTTP front-end's JSON error bodies. These are
+    /// wire protocol: never renamed, only added to.
+    pub fn wire_code(&self) -> &'static str {
+        match self {
+            Self::EmptyTokens => "empty_tokens",
+            Self::TokenOutOfRange { .. } => "token_out_of_range",
+            Self::DomainOutOfRange { .. } => "domain_out_of_range",
+            Self::SideFeatureLength { .. } => "side_feature_length",
+            Self::SideFeatureNonFinite { .. } => "side_feature_non_finite",
+        }
+    }
+}
+
 impl fmt::Display for RequestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -315,6 +330,43 @@ mod tests {
             enc.encode(&bad_emotion),
             Err(RequestError::SideFeatureNonFinite { which: "emotion" })
         ));
+    }
+
+    #[test]
+    fn wire_codes_are_distinct_and_stable() {
+        let errors = [
+            RequestError::EmptyTokens,
+            RequestError::TokenOutOfRange {
+                token: 1,
+                vocab_size: 1,
+            },
+            RequestError::DomainOutOfRange {
+                domain: 1,
+                n_domains: 1,
+            },
+            RequestError::SideFeatureLength {
+                which: "style",
+                got: 1,
+                expected: 2,
+            },
+            RequestError::SideFeatureNonFinite { which: "emotion" },
+        ];
+        let codes: Vec<&str> = errors.iter().map(RequestError::wire_code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "empty_tokens",
+                "token_out_of_range",
+                "domain_out_of_range",
+                "side_feature_length",
+                "side_feature_non_finite",
+            ]
+        );
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 
     #[test]

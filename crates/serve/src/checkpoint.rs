@@ -347,7 +347,16 @@ fn decode_params(r: &mut ByteReader<'_>) -> Result<ParamStore, CheckpointError> 
             shape.push(r.u64()? as usize);
         }
         let data = r.f32_values()?;
-        let expected: usize = shape.iter().product();
+        // Checked product: corrupted dims must map to a typed error, not an
+        // overflow panic.
+        let expected: usize = shape
+            .iter()
+            .try_fold(1usize, |acc, &dim| acc.checked_mul(dim))
+            .ok_or_else(|| {
+                CheckpointError::Malformed(format!(
+                    "parameter {name}: shape {shape:?} overflows the element count"
+                ))
+            })?;
         if data.len() != expected {
             return Err(CheckpointError::Malformed(format!(
                 "parameter {name}: shape {shape:?} needs {expected} values, payload has {}",

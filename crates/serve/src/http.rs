@@ -1,0 +1,1356 @@
+//! Dependency-free HTTP/1.1 front-end for the micro-batching server.
+//!
+//! [`HttpServer`] puts a real wire in front of [`PredictServer`]: a
+//! `std::net::TcpListener` accept loop feeding a **bounded pool** of
+//! connection-handler threads (`connection_workers` threads behind a
+//! `backlog`-deep hand-off queue; when both are full the acceptor answers
+//! `503` instead of piling up threads). Each connection speaks HTTP/1.1 with
+//! keep-alive, parsed by the incremental [`RequestParser`] below.
+//!
+//! # Wire protocol
+//!
+//! | Endpoint | Body | Response |
+//! |----------|------|----------|
+//! | `POST /predict` | single request object, or `{"items": [...]}` | prediction object, or `{"count": n, "predictions": [...]}` |
+//! | `GET /healthz` | — | `{"status": "ok"}` |
+//! | `GET /stats` | — | queue depth, worker/pool counters, per-endpoint request counters |
+//!
+//! Request and prediction objects are specified in [`crate::json`]. Every
+//! error response carries `{"error": <code>, "message": <text>}`; statuses:
+//!
+//! * `400` — malformed request line/headers/body, invalid JSON, schema or
+//!   [`dtdbd_data::RequestError`] validation failure (the validation `code`
+//!   comes from [`dtdbd_data::RequestError::wire_code`]);
+//! * `404` / `405` — unknown path / wrong method (with an `Allow` header);
+//! * `408` — a request that did not arrive completely within
+//!   `request_timeout` (slow-loris guard for the bounded pool);
+//! * `413` / `431` — body over `max_body_bytes` / head over `max_head_bytes`;
+//! * `500` — a prediction worker died mid-request (the connection worker
+//!   survives and keeps serving);
+//! * `503` — connection pool saturated (sent before closing the socket).
+//!
+//! Responses are always `application/json`, always carry `Content-Length`,
+//! and honour HTTP/1.0-vs-1.1 keep-alive defaults plus `Connection: close`.
+//!
+//! Shutdown is graceful and runs on drop: intake stops, the acceptor and
+//! every connection worker is joined, and the wrapped [`PredictServer`] then
+//! drains its queue through its own [`PredictServer::shutdown`] sequence.
+
+use crate::json::{self, Json};
+use crate::server::PredictServer;
+use crate::session::Prediction;
+use dtdbd_data::EncodedRequest;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the HTTP listener.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`HttpServer::local_addr`]).
+    pub addr: String,
+    /// Size of the connection-handler thread pool.
+    pub connection_workers: usize,
+    /// Accepted connections that may wait for a free handler before the
+    /// acceptor starts answering `503`.
+    pub backlog: usize,
+    /// Largest request head (request line + headers) accepted; `431` beyond.
+    pub max_head_bytes: usize,
+    /// Largest declared body accepted; `413` beyond.
+    pub max_body_bytes: usize,
+    /// Per-read socket timeout; an idle keep-alive connection is closed
+    /// after this long.
+    pub read_timeout: Duration,
+    /// Overall deadline for one request to arrive completely (first byte to
+    /// final body byte). Guards the bounded pool against slow-loris clients
+    /// that keep each individual read under `read_timeout`; `408` beyond.
+    pub request_timeout: Duration,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            connection_workers: 8,
+            backlog: 32,
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A wire-level failure mapped to an HTTP status + stable error code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// HTTP status to answer with.
+    pub status: u16,
+    /// Stable machine-readable code (the JSON `"error"` field).
+    pub code: &'static str,
+    /// Human-readable detail (the JSON `"message"` field).
+    pub message: String,
+}
+
+impl WireError {
+    fn bad_request(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// A fully parsed request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method, verbatim (e.g. `"POST"`).
+    pub method: String,
+    /// Request target, verbatim (e.g. `"/predict?x=1"`).
+    pub target: String,
+    /// Headers in order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (exactly `Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl HttpRequest {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target without its query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+}
+
+/// One step of incremental parsing.
+#[derive(Debug)]
+pub enum ParseOutcome {
+    /// The buffered bytes do not yet hold a complete request.
+    NeedMore,
+    /// A complete request was parsed (and consumed from the buffer).
+    Request(Box<HttpRequest>),
+    /// The byte stream is not a parseable request; answer with the error and
+    /// close the connection.
+    Failed(WireError),
+}
+
+/// Incremental HTTP/1.1 request parser.
+///
+/// Feed it bytes as they arrive ([`RequestParser::feed`]) and poll it for
+/// requests ([`RequestParser::poll`]); it consumes exactly one request's
+/// bytes per `Request` outcome, so pipelined requests buffered together are
+/// handed out one at a time. The parser never panics on any byte sequence —
+/// the wire fuzz battery holds it to that.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    max_head_bytes: usize,
+    max_body_bytes: usize,
+}
+
+const HEAD_END: &[u8] = b"\r\n\r\n";
+
+impl RequestParser {
+    /// A parser enforcing the given head/body limits.
+    pub fn new(max_head_bytes: usize, max_body_bytes: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            max_head_bytes,
+            max_body_bytes,
+        }
+    }
+
+    /// Buffer freshly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (parsed requests are consumed).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to parse one complete request out of the buffered bytes.
+    pub fn poll(&mut self) -> ParseOutcome {
+        let head_len = match find_subsequence(&self.buf, HEAD_END) {
+            Some(i) => i,
+            None => {
+                if self.buf.len() > self.max_head_bytes {
+                    return ParseOutcome::Failed(WireError {
+                        status: 431,
+                        code: "headers_too_large",
+                        message: format!("request head exceeds {} bytes", self.max_head_bytes),
+                    });
+                }
+                return ParseOutcome::NeedMore;
+            }
+        };
+        if head_len > self.max_head_bytes {
+            return ParseOutcome::Failed(WireError {
+                status: 431,
+                code: "headers_too_large",
+                message: format!("request head exceeds {} bytes", self.max_head_bytes),
+            });
+        }
+        let (method, target, version, headers) = match parse_head(&self.buf[..head_len]) {
+            Ok(parts) => parts,
+            Err(e) => return ParseOutcome::Failed(e),
+        };
+        let content_length = match content_length(&headers) {
+            Ok(len) => len,
+            Err(e) => return ParseOutcome::Failed(e),
+        };
+        if content_length > self.max_body_bytes as u64 {
+            return ParseOutcome::Failed(WireError {
+                status: 413,
+                code: "body_too_large",
+                message: format!(
+                    "declared body of {content_length} bytes exceeds {}",
+                    self.max_body_bytes
+                ),
+            });
+        }
+        let body_start = head_len + HEAD_END.len();
+        let total = body_start + content_length as usize;
+        if self.buf.len() < total {
+            return ParseOutcome::NeedMore;
+        }
+        let body = self.buf[body_start..total].to_vec();
+        self.buf.drain(..total);
+        let keep_alive = keep_alive(version, &headers);
+        ParseOutcome::Request(Box::new(HttpRequest {
+            method,
+            target,
+            headers,
+            body,
+            keep_alive,
+        }))
+    }
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Version {
+    Http10,
+    Http11,
+}
+
+type Head = (String, String, Version, Vec<(String, String)>);
+
+fn parse_head(head: &[u8]) -> Result<Head, WireError> {
+    // The head must be ASCII: printable characters plus tab, with CRLF line
+    // separators. Reject anything else before string processing.
+    if head
+        .iter()
+        .any(|&b| !(b == b'\r' || b == b'\n' || b == b'\t' || (0x20..0x7F).contains(&b)))
+    {
+        return Err(WireError::bad_request(
+            "bad_head",
+            "request head contains non-ASCII or control bytes",
+        ));
+    }
+    let head = std::str::from_utf8(head).expect("checked ASCII above");
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let (method, target, version) = parse_request_line(request_line)?;
+    let mut headers = Vec::new();
+    for line in lines {
+        headers.push(parse_header_line(line)?);
+    }
+    Ok((method, target, version, headers))
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String, Version), WireError> {
+    let mut parts = line.split(' ');
+    let (method, target, version_text) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+        _ => {
+            return Err(WireError::bad_request(
+                "bad_request_line",
+                format!("malformed request line {line:?}"),
+            ))
+        }
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(WireError::bad_request(
+            "bad_request_line",
+            format!("invalid method {method:?}"),
+        ));
+    }
+    if !target.starts_with('/') {
+        return Err(WireError::bad_request(
+            "bad_request_line",
+            format!("request target {target:?} must start with '/'"),
+        ));
+    }
+    let version = match version_text {
+        "HTTP/1.1" => Version::Http11,
+        "HTTP/1.0" => Version::Http10,
+        other => {
+            return Err(WireError::bad_request(
+                "unsupported_version",
+                format!("unsupported protocol version {other:?}"),
+            ))
+        }
+    };
+    Ok((method.to_string(), target.to_string(), version))
+}
+
+fn parse_header_line(line: &str) -> Result<(String, String), WireError> {
+    let (name, value) = line.split_once(':').ok_or_else(|| {
+        WireError::bad_request("bad_header", format!("header line {line:?} has no ':'"))
+    })?;
+    let is_token_char = |b: u8| b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b);
+    if name.is_empty() || !name.bytes().all(is_token_char) {
+        return Err(WireError::bad_request(
+            "bad_header",
+            format!("invalid header name {name:?}"),
+        ));
+    }
+    Ok((name.to_ascii_lowercase(), value.trim().to_string()))
+}
+
+fn content_length(headers: &[(String, String)]) -> Result<u64, WireError> {
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(WireError::bad_request(
+            "unsupported_transfer_encoding",
+            "Transfer-Encoding is not supported; send a Content-Length body",
+        ));
+    }
+    let mut length: Option<u64> = None;
+    for (name, value) in headers {
+        if name != "content-length" {
+            continue;
+        }
+        let parsed: u64 = value
+            .parse()
+            .ok()
+            .filter(|_| !value.is_empty() && value.bytes().all(|b| b.is_ascii_digit()))
+            .ok_or_else(|| {
+                WireError::bad_request(
+                    "bad_content_length",
+                    format!("unparseable Content-Length {value:?}"),
+                )
+            })?;
+        match length {
+            Some(existing) if existing != parsed => {
+                return Err(WireError::bad_request(
+                    "bad_content_length",
+                    "conflicting Content-Length headers",
+                ))
+            }
+            _ => length = Some(parsed),
+        }
+    }
+    Ok(length.unwrap_or(0))
+}
+
+fn keep_alive(version: Version, headers: &[(String, String)]) -> bool {
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let has_token = |token: &str| {
+        connection
+            .as_deref()
+            .is_some_and(|v| v.split(',').any(|t| t.trim() == token))
+    };
+    match version {
+        Version::Http11 => !has_token("close"),
+        Version::Http10 => has_token("keep-alive"),
+    }
+}
+
+/// Per-endpoint and per-connection counters surfaced by `GET /stats`.
+#[derive(Debug, Default)]
+pub struct HttpStats {
+    connections: AtomicU64,
+    connections_rejected: AtomicU64,
+    predict_calls: AtomicU64,
+    items_predicted: AtomicU64,
+    healthz_calls: AtomicU64,
+    stats_calls: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+}
+
+impl HttpStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_response(&self, status: u16) {
+        match status {
+            200..=299 => Self::bump(&self.responses_2xx),
+            400..=499 => Self::bump(&self.responses_4xx),
+            _ => Self::bump(&self.responses_5xx),
+        }
+    }
+
+    fn render(&self, predict: &PredictServer) -> Json {
+        let serving = predict.stats();
+        let num = |v: u64| Json::Num(v as f64);
+        Json::Obj(vec![
+            ("queue_depth".into(), num(serving.queue_depth as u64)),
+            ("requests_served".into(), num(serving.requests_served)),
+            ("batches".into(), num(serving.batches)),
+            ("workers".into(), num(serving.workers as u64)),
+            (
+                "pool".into(),
+                Json::Obj(vec![
+                    ("reuse_hits".into(), num(serving.pool_reuse_hits)),
+                    ("alloc_misses".into(), num(serving.pool_alloc_misses)),
+                ]),
+            ),
+            (
+                "endpoints".into(),
+                Json::Obj(vec![
+                    (
+                        "predict".into(),
+                        num(self.predict_calls.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "healthz".into(),
+                        num(self.healthz_calls.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "stats".into(),
+                        num(self.stats_calls.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "http".into(),
+                Json::Obj(vec![
+                    (
+                        "connections".into(),
+                        num(self.connections.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "connections_rejected".into(),
+                        num(self.connections_rejected.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "items_predicted".into(),
+                        num(self.items_predicted.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "responses_2xx".into(),
+                        num(self.responses_2xx.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "responses_4xx".into(),
+                        num(self.responses_4xx.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "responses_5xx".into(),
+                        num(self.responses_5xx.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+struct Ctx {
+    predict: Arc<PredictServer>,
+    stats: HttpStats,
+    config: HttpConfig,
+    // Shared with the acceptor AND the connection workers: a busy
+    // keep-alive connection checks it between requests so shutdown is
+    // never blocked behind a client that keeps the wire warm.
+    shutdown: AtomicBool,
+}
+
+/// The HTTP listener wrapping a [`PredictServer`].
+pub struct HttpServer {
+    ctx: Arc<Ctx>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `config.addr` and start serving `predict` over HTTP.
+    pub fn start(predict: PredictServer, config: HttpConfig) -> io::Result<Self> {
+        assert!(config.connection_workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let ctx = Arc::new(Ctx {
+            predict: Arc::new(predict),
+            stats: HttpStats::default(),
+            config,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(ctx.config.backlog);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..ctx.config.connection_workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let ctx = Arc::clone(&ctx);
+                thread::spawn(move || loop {
+                    // Hold the lock only to pull the next connection.
+                    let stream = match rx.lock().expect("hand-off poisoned").recv() {
+                        Ok(stream) => stream,
+                        Err(_) => return, // acceptor gone and queue drained
+                    };
+                    handle_connection(stream, &ctx);
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let ctx = Arc::clone(&ctx);
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if ctx.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match stream {
+                        Ok(stream) => stream,
+                        Err(_) => continue,
+                    };
+                    HttpStats::bump(&ctx.stats.connections);
+                    // Bounded pool saturated (or every worker dead): shed
+                    // load with a 503 instead of spawning unbounded threads
+                    // or silently dropping the socket.
+                    if let Err(
+                        TrySendError::Full(mut stream) | TrySendError::Disconnected(mut stream),
+                    ) = tx.try_send(stream)
+                    {
+                        HttpStats::bump(&ctx.stats.connections_rejected);
+                        ctx.stats.count_response(503);
+                        let body = error_body("overloaded", "connection pool saturated");
+                        let _ = write_response(&mut stream, 503, &body, false, &[]);
+                    }
+                }
+                // Dropping `tx` here releases the workers' recv loops.
+            })
+        };
+
+        Ok(Self {
+            ctx,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The wrapped prediction server (e.g. to compare in-process answers
+    /// against wire answers in tests).
+    pub fn predict_server(&self) -> &PredictServer {
+        &self.ctx.predict
+    }
+
+    /// Stop accepting, join the acceptor and every connection worker, then
+    /// drain the wrapped [`PredictServer`] (its [`PredictServer::shutdown`]
+    /// runs when the last reference drops here). Dropping the listener calls
+    /// this too. Open keep-alive connections are released at their next
+    /// request boundary (busy clients get `Connection: close`) or within one
+    /// `read_timeout` (idle clients), so the join is bounded even under
+    /// sustained client traffic.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.ctx.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The acceptor blocks in accept(); a no-op connection wakes it so it
+        // can observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+        // After the handler threads are gone, `self.ctx` is (usually) the
+        // last reference: dropping it drains and joins the PredictServer.
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+    let _ = stream.set_read_timeout(Some(ctx.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new(ctx.config.max_head_bytes, ctx.config.max_body_bytes);
+    let mut chunk = [0u8; 8192];
+    // Overall per-request deadline, armed from the first buffered byte of
+    // each request. The per-read timeout alone would let a slow-loris
+    // client trickle one byte per read forever, pinning a pool worker.
+    let mut request_started: Option<Instant> = None;
+    loop {
+        match parser.poll() {
+            ParseOutcome::Request(request) => {
+                request_started = None;
+                let (status, body, extra) = route(&request, ctx);
+                ctx.stats.count_response(status);
+                // During shutdown the response still goes out, but with
+                // `Connection: close` so a busy keep-alive client cannot
+                // hold this worker (and the shutdown join) hostage.
+                let keep = request.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
+                if write_response(&mut stream, status, &body, keep, &extra).is_err() || !keep {
+                    return;
+                }
+            }
+            ParseOutcome::Failed(e) => {
+                ctx.stats.count_response(e.status);
+                let body = error_body(e.code, &e.message);
+                let _ = write_response(&mut stream, e.status, &body, false, &[]);
+                return;
+            }
+            ParseOutcome::NeedMore => {
+                // Between requests, an idle connection is released as soon
+                // as shutdown starts (at worst one read_timeout later).
+                if ctx.shutdown.load(Ordering::SeqCst) && parser.buffered() == 0 {
+                    return;
+                }
+                if parser.buffered() > 0 {
+                    let started = *request_started.get_or_insert_with(Instant::now);
+                    if started.elapsed() > ctx.config.request_timeout {
+                        ctx.stats.count_response(408);
+                        let body = error_body("request_timeout", "request took too long to arrive");
+                        let _ = write_response(&mut stream, 408, &body, false, &[]);
+                        return;
+                    }
+                }
+                match stream.read(&mut chunk) {
+                    Ok(0) => return, // peer closed
+                    Ok(n) => parser.feed(&chunk[..n]),
+                    Err(_) => return, // timeout or reset: close quietly
+                }
+            }
+        }
+    }
+}
+
+type Routed = (u16, String, Vec<(&'static str, &'static str)>);
+
+fn route(request: &HttpRequest, ctx: &Ctx) -> Routed {
+    match (request.method.as_str(), request.path()) {
+        ("POST", "/predict") => {
+            HttpStats::bump(&ctx.stats.predict_calls);
+            match handle_predict(&request.body, ctx) {
+                Ok(body) => (200, body, Vec::new()),
+                Err(e) => (e.status, error_body(e.code, &e.message), Vec::new()),
+            }
+        }
+        ("GET", "/healthz") => {
+            HttpStats::bump(&ctx.stats.healthz_calls);
+            (
+                200,
+                Json::Obj(vec![("status".into(), Json::Str("ok".into()))]).render(),
+                Vec::new(),
+            )
+        }
+        ("GET", "/stats") => {
+            HttpStats::bump(&ctx.stats.stats_calls);
+            (200, ctx.stats.render(&ctx.predict).render(), Vec::new())
+        }
+        (_, "/predict") => (
+            405,
+            error_body("method_not_allowed", "use POST /predict"),
+            vec![("Allow", "POST")],
+        ),
+        (_, "/healthz") => (
+            405,
+            error_body("method_not_allowed", "use GET /healthz"),
+            vec![("Allow", "GET")],
+        ),
+        (_, "/stats") => (
+            405,
+            error_body("method_not_allowed", "use GET /stats"),
+            vec![("Allow", "GET")],
+        ),
+        (_, path) => (
+            404,
+            error_body("not_found", &format!("no such endpoint {path:?}")),
+            Vec::new(),
+        ),
+    }
+}
+
+fn handle_predict(body: &[u8], ctx: &Ctx) -> Result<String, WireError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| WireError::bad_request("body_not_utf8", "request body is not valid UTF-8"))?;
+    let doc = json::parse(text)
+        .map_err(|e| WireError::bad_request("bad_json", format!("invalid JSON body: {e}")))?;
+    if let Some(items) = doc.get("items") {
+        // The batch envelope is as strict as single-request objects:
+        // anything next to "items" is a client mistake, not a batch.
+        if let Json::Obj(entries) = &doc {
+            if let Some((key, _)) = entries.iter().find(|(k, _)| k != "items") {
+                return Err(WireError::bad_request(
+                    "bad_request",
+                    format!("unknown batch field {key:?}"),
+                ));
+            }
+        }
+        let items = items
+            .as_array()
+            .ok_or_else(|| WireError::bad_request("bad_request", "\"items\" must be an array"))?;
+        if items.is_empty() {
+            return Err(WireError::bad_request(
+                "bad_request",
+                "\"items\" must not be empty",
+            ));
+        }
+        let encoded = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| encode_one(item, ctx, Some(i)))
+            .collect::<Result<Vec<EncodedRequest>, WireError>>()?;
+        let predictions = predict_all(encoded, ctx)?;
+        Ok(Json::Obj(vec![
+            ("count".into(), Json::Num(predictions.len() as f64)),
+            (
+                "predictions".into(),
+                Json::Arr(predictions.iter().map(json::encode_prediction).collect()),
+            ),
+        ])
+        .render())
+    } else {
+        let encoded = encode_one(&doc, ctx, None)?;
+        let prediction = predict_all(vec![encoded], ctx)?.remove(0);
+        Ok(json::encode_prediction(&prediction).render())
+    }
+}
+
+fn encode_one(item: &Json, ctx: &Ctx, index: Option<usize>) -> Result<EncodedRequest, WireError> {
+    let at = |msg: String| match index {
+        Some(i) => format!("item {i}: {msg}"),
+        None => msg,
+    };
+    let request =
+        json::decode_request(item).map_err(|msg| WireError::bad_request("bad_request", at(msg)))?;
+    ctx.predict
+        .encoder()
+        .encode(&request)
+        .map_err(|e| WireError::bad_request(e.wire_code(), at(e.to_string())))
+}
+
+fn predict_all(encoded: Vec<EncodedRequest>, ctx: &Ctx) -> Result<Vec<Prediction>, WireError> {
+    ctx.stats
+        .items_predicted
+        .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+    // Submit everything before waiting: a multi-item body becomes one
+    // coalesced batch on an idle server.
+    let handles: Vec<_> = encoded
+        .into_iter()
+        .map(|e| ctx.predict.submit_encoded(e))
+        .collect();
+    // try_wait: a crashed prediction worker must degrade to an error
+    // response, not take the connection worker down with it.
+    handles
+        .into_iter()
+        .map(|h| {
+            h.try_wait().ok_or(WireError {
+                status: 500,
+                code: "internal_error",
+                message: "prediction worker unavailable".to_string(),
+            })
+        })
+        .collect()
+}
+
+fn error_body(code: &str, message: &str) -> String {
+    Json::Obj(vec![
+        ("error".into(), Json::Str(code.to_string())),
+        ("message".into(), Json::Str(message.to_string())),
+    ])
+    .render()
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status_reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A minimal blocking HTTP/1.1 client with keep-alive, for tests, examples
+/// and the benchmark. Not a general-purpose client: it assumes the
+/// `Content-Length` framing this server always produces.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// A response as read by [`HttpClient`].
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers in order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, decoded as UTF-8.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parse the body as JSON.
+    pub fn json(&self) -> Result<Json, json::JsonError> {
+        json::parse(&self.body)
+    }
+}
+
+fn invalid_data(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+}
+
+impl HttpClient {
+    /// Open a keep-alive connection to the server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Issue one request and read its response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: dtdbd\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// `GET` a path.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST` a JSON body to a path.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 8192];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-response",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let head_len = loop {
+            if let Some(i) = find_subsequence(&self.buf, HEAD_END) {
+                break i;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8(self.buf[..head_len].to_vec())
+            .map_err(|_| invalid_data("non-UTF-8 response head"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| invalid_data("malformed status line"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| invalid_data("malformed response header"))?;
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let content_length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| invalid_data("response missing Content-Length"))?;
+        let body_start = head_len + HEAD_END.len();
+        while self.buf.len() < body_start + content_length {
+            self.fill()?;
+        }
+        let body = String::from_utf8(self.buf[body_start..body_start + content_length].to_vec())
+            .map_err(|_| invalid_data("non-UTF-8 response body"))?;
+        self.buf.drain(..body_start + content_length);
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::BatchingConfig;
+    use crate::session::InferenceSession;
+    use dtdbd_data::{weibo21_spec, GeneratorConfig, MultiDomainDataset, NewsGenerator};
+    use dtdbd_models::{ModelConfig, TextCnnModel};
+    use dtdbd_tensor::rng::Prng;
+    use dtdbd_tensor::ParamStore;
+
+    fn parse_bytes(bytes: &[u8]) -> ParseOutcome {
+        let mut parser = RequestParser::new(8 * 1024, 1024 * 1024);
+        parser.feed(bytes);
+        parser.poll()
+    }
+
+    fn assert_failed(bytes: &[u8], status: u16, code: &str) {
+        match parse_bytes(bytes) {
+            ParseOutcome::Failed(e) => {
+                assert_eq!((e.status, e.code), (status, code), "{:?}", e.message)
+            }
+            other => panic!("expected Failed({status}), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_complete_post_with_body() {
+        let outcome =
+            parse_bytes(b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody");
+        match outcome {
+            ParseOutcome::Request(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.target, "/predict");
+                assert_eq!(req.header("host"), Some("x"));
+                assert_eq!(req.body, b"body");
+                assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn requests_arrive_incrementally_byte_by_byte() {
+        let wire = b"GET /healthz HTTP/1.1\r\nHost: a\r\n\r\n";
+        let mut parser = RequestParser::new(1024, 1024);
+        for (i, byte) in wire.iter().enumerate() {
+            match parser.poll() {
+                ParseOutcome::NeedMore => {}
+                other => panic!("byte {i}: {other:?}"),
+            }
+            parser.feed(std::slice::from_ref(byte));
+        }
+        assert!(matches!(parser.poll(), ParseOutcome::Request(_)));
+        assert_eq!(parser.buffered(), 0, "request consumed");
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_one_at_a_time() {
+        let mut parser = RequestParser::new(1024, 1024);
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        match parser.poll() {
+            ParseOutcome::Request(r) => assert_eq!(r.target, "/a"),
+            other => panic!("{other:?}"),
+        }
+        match parser.poll() {
+            ParseOutcome::Request(r) => assert_eq!(r.target, "/b"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(parser.poll(), ParseOutcome::NeedMore));
+    }
+
+    #[test]
+    fn malformed_heads_map_to_400() {
+        assert_failed(b"NONSENSE\r\n\r\n", 400, "bad_request_line");
+        assert_failed(b"GET /x EXTRA HTTP/1.1\r\n\r\n", 400, "bad_request_line");
+        assert_failed(b"get /x HTTP/1.1\r\n\r\n", 400, "bad_request_line");
+        assert_failed(b"GET x HTTP/1.1\r\n\r\n", 400, "bad_request_line");
+        assert_failed(b"GET /x HTTP/2.0\r\n\r\n", 400, "unsupported_version");
+        assert_failed(b"GET /x HTTP/1.1\r\nNoColon\r\n\r\n", 400, "bad_header");
+        assert_failed(b"GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n", 400, "bad_header");
+        assert_failed(
+            b"GET /x HTTP/1.1\r\nContent-Length: two\r\n\r\n",
+            400,
+            "bad_content_length",
+        );
+        assert_failed(
+            b"GET /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+            400,
+            "bad_content_length",
+        );
+        assert_failed(
+            b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            400,
+            "unsupported_transfer_encoding",
+        );
+        assert_failed(b"GET /\xFF HTTP/1.1\r\n\r\n", 400, "bad_head");
+    }
+
+    #[test]
+    fn oversized_heads_and_bodies_map_to_431_and_413() {
+        let mut parser = RequestParser::new(64, 1024);
+        parser.feed(b"GET / HTTP/1.1\r\n");
+        parser.feed(&[b'a'; 100]);
+        match parser.poll() {
+            ParseOutcome::Failed(e) => assert_eq!(e.status, 431),
+            other => panic!("{other:?}"),
+        }
+
+        let mut parser = RequestParser::new(1024, 16);
+        parser.feed(b"POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+        match parser.poll() {
+            ParseOutcome::Failed(e) => assert_eq!(e.status, 413),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn keep_alive_follows_version_defaults_and_connection_header() {
+        let req = |bytes: &[u8]| match parse_bytes(bytes) {
+            ParseOutcome::Request(r) => r.keep_alive,
+            other => panic!("{other:?}"),
+        };
+        assert!(req(b"GET / HTTP/1.1\r\n\r\n"));
+        assert!(!req(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!req(b"GET / HTTP/1.0\r\n\r\n"));
+        assert!(req(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"));
+        assert!(!req(b"GET / HTTP/1.1\r\nConnection: TE, close\r\n\r\n"));
+    }
+
+    // --- end-to-end over a real socket -----------------------------------
+
+    fn dataset() -> MultiDomainDataset {
+        NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(8, 0.02)
+    }
+
+    fn start_http(ds: &MultiDomainDataset) -> HttpServer {
+        let cfg = ModelConfig::tiny(ds);
+        let predict = PredictServer::start(BatchingConfig::default(), |_| {
+            let mut store = ParamStore::new();
+            let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
+            InferenceSession::new(model, store)
+        });
+        HttpServer::start(predict, HttpConfig::default()).expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn healthz_stats_and_predict_respond_over_tcp() {
+        let ds = dataset();
+        let server = start_http(&ds);
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert_eq!(
+            health.json().unwrap().get("status").and_then(Json::as_str),
+            Some("ok")
+        );
+
+        let item = &ds.items()[0];
+        let body = json::encode_request(&dtdbd_data::InferenceRequest::new(
+            item.tokens.clone(),
+            item.domain,
+        ))
+        .render();
+        let predict = client.post("/predict", &body).unwrap();
+        assert_eq!(predict.status, 200, "{}", predict.body);
+        let prob = predict
+            .json()
+            .unwrap()
+            .get("fake_prob")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((0.0..=1.0).contains(&prob));
+
+        let stats = client.get("/stats").unwrap();
+        assert_eq!(stats.status, 200);
+        let doc = stats.json().unwrap();
+        assert_eq!(doc.get("requests_served").and_then(Json::as_u64), Some(1));
+        let endpoints = doc.get("endpoints").unwrap();
+        assert_eq!(endpoints.get("predict").and_then(Json::as_u64), Some(1));
+        assert_eq!(endpoints.get("healthz").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn batch_bodies_answer_in_request_order() {
+        let ds = dataset();
+        let server = start_http(&ds);
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        let items: Vec<Json> = ds.items()[..6]
+            .iter()
+            .map(|item| {
+                json::encode_request(&dtdbd_data::InferenceRequest::new(
+                    item.tokens.clone(),
+                    item.domain,
+                ))
+            })
+            .collect();
+        let body = Json::Obj(vec![("items".into(), Json::Arr(items))]).render();
+        let response = client.post("/predict", &body).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        let doc = response.json().unwrap();
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(6));
+        let predictions = doc.get("predictions").unwrap().as_array().unwrap();
+        assert_eq!(predictions.len(), 6);
+
+        // Same items, one at a time: per-item answers must not depend on
+        // their neighbours in the batch body.
+        for (i, expected) in predictions.iter().enumerate() {
+            let item = &ds.items()[i];
+            let single = client
+                .post(
+                    "/predict",
+                    &json::encode_request(&dtdbd_data::InferenceRequest::new(
+                        item.tokens.clone(),
+                        item.domain,
+                    ))
+                    .render(),
+                )
+                .unwrap();
+            assert_eq!(
+                single.json().unwrap().get("fake_prob"),
+                expected.get("fake_prob"),
+                "item {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_errors_have_the_documented_statuses() {
+        let ds = dataset();
+        let server = start_http(&ds);
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+        let missing = client.get("/nope").unwrap();
+        assert_eq!(missing.status, 404);
+
+        let wrong_method = client.get("/predict").unwrap();
+        assert_eq!(wrong_method.status, 405);
+        assert_eq!(wrong_method.header("allow"), Some("POST"));
+
+        let bad_json = client.post("/predict", "{not json").unwrap();
+        assert_eq!(bad_json.status, 400);
+        assert_eq!(
+            bad_json.json().unwrap().get("error").and_then(Json::as_str),
+            Some("bad_json")
+        );
+
+        // Data-layer validation failure surfaces its wire code.
+        let out_of_vocab = client
+            .post("/predict", r#"{"tokens": [4000000000], "domain": 0}"#)
+            .unwrap();
+        assert_eq!(out_of_vocab.status, 400);
+        assert_eq!(
+            out_of_vocab
+                .json()
+                .unwrap()
+                .get("error")
+                .and_then(Json::as_str),
+            Some("token_out_of_range")
+        );
+
+        // An invalid item inside a batch names its index.
+        let mixed = client
+            .post(
+                "/predict",
+                r#"{"items": [{"tokens": [1], "domain": 0}, {"tokens": [], "domain": 0}]}"#,
+            )
+            .unwrap();
+        assert_eq!(mixed.status, 400);
+        let doc = mixed.json().unwrap();
+        assert_eq!(
+            doc.get("error").and_then(Json::as_str),
+            Some("empty_tokens")
+        );
+        assert!(doc
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("item 1:"));
+
+        // The connection survives 4xx responses (keep-alive) — prove it by
+        // asking for health afterwards.
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+    }
+
+    #[test]
+    fn batch_envelopes_reject_unknown_sibling_fields() {
+        let ds = dataset();
+        let server = start_http(&ds);
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        let response = client
+            .post(
+                "/predict",
+                r#"{"items": [{"tokens": [1], "domain": 0}], "optoins": 1}"#,
+            )
+            .unwrap();
+        assert_eq!(response.status, 400, "{}", response.body);
+        assert!(response.body.contains("optoins"), "{}", response.body);
+    }
+
+    #[test]
+    fn shutdown_is_not_blocked_by_a_busy_keep_alive_client() {
+        let ds = dataset();
+        let server = start_http(&ds);
+        let addr = server.local_addr();
+        // A well-behaved client that hammers /healthz on one keep-alive
+        // connection until the server closes it.
+        let client = thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).expect("connect");
+            for _ in 0..100_000 {
+                if client.get("/healthz").is_err() {
+                    return true; // server closed on us: expected
+                }
+            }
+            false
+        });
+        thread::sleep(Duration::from_millis(50)); // let the loop get going
+        let t0 = Instant::now();
+        server.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "shutdown blocked behind a busy keep-alive client"
+        );
+        assert!(client.join().unwrap(), "client never saw the close");
+    }
+
+    #[test]
+    fn slow_loris_requests_hit_the_overall_deadline() {
+        let ds = dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let predict = PredictServer::start(BatchingConfig::default(), |_| {
+            let mut store = ParamStore::new();
+            let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
+            InferenceSession::new(model, store)
+        });
+        let server = HttpServer::start(
+            predict,
+            HttpConfig {
+                read_timeout: Duration::from_millis(500),
+                request_timeout: Duration::from_millis(100),
+                ..HttpConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Drip a never-finishing head, each write well inside read_timeout
+        // but the whole request far beyond request_timeout.
+        let _ = stream.write_all(b"POST /predict HTTP/1.1\r\n");
+        for _ in 0..10 {
+            thread::sleep(Duration::from_millis(30));
+            // Ignore write errors: the server closes once the deadline hits.
+            let _ = stream.write_all(b"X-Pad: a\r\n");
+        }
+        let mut response = Vec::new();
+        let _ = stream.read_to_end(&mut response);
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.starts_with("HTTP/1.1 408"), "{text:?}");
+    }
+
+    #[test]
+    fn dropping_the_listener_closes_the_port_and_drains() {
+        let ds = dataset();
+        let server = start_http(&ds);
+        let addr = server.local_addr();
+        assert_eq!(
+            HttpClient::connect(addr)
+                .unwrap()
+                .get("/healthz")
+                .unwrap()
+                .status,
+            200
+        );
+        drop(server);
+        // The port no longer accepts (either refused, or accepted by a
+        // dead listener that immediately closes — both mean no response).
+        let refused = match HttpClient::connect(addr) {
+            Err(_) => true,
+            Ok(mut client) => client.get("/healthz").is_err(),
+        };
+        assert!(refused, "listener still answering after drop");
+    }
+}

@@ -17,6 +17,12 @@
 //!    coalesces concurrent single-item requests into batches
 //!    (`max_batch_size` / `max_wait`) dispatched to a pool of worker
 //!    threads, each owning a private session.
+//! 4. **HTTP/1.1 front-end** ([`http`], with its JSON codec in [`json`]) —
+//!    [`HttpServer`] binds a `TcpListener` and serves `POST /predict`,
+//!    `GET /healthz` and `GET /stats` over real sockets: a bounded
+//!    connection-worker pool, incremental request parsing with hard
+//!    head/body limits, keep-alive, and JSON whose `f32` round trips are
+//!    bit-exact. See the [`http`] module docs for the full wire protocol.
 //!
 //! The typical round trip:
 //!
@@ -35,10 +41,13 @@
 pub mod builder;
 pub mod checkpoint;
 pub mod codec;
+pub mod http;
+pub mod json;
 pub mod server;
 pub mod session;
 
 pub use builder::{build_model, session_from_checkpoint, BoxedModel, SUPPORTED_ARCHS};
 pub use checkpoint::{Checkpoint, CheckpointError, FORMAT_VERSION, MAGIC};
-pub use server::{BatchingConfig, PredictServer, PredictionHandle};
+pub use http::{ClientResponse, HttpClient, HttpConfig, HttpServer};
+pub use server::{BatchingConfig, PredictServer, PredictionHandle, ServingStats};
 pub use session::{InferenceSession, Prediction};

@@ -9,13 +9,14 @@
 //! forward pass, and fans the per-item [`Prediction`]s back out to the
 //! waiting clients.
 //!
-//! Shutdown is graceful: dropping the server stops intake, lets the workers
-//! drain every queued request, and joins them.
+//! Shutdown is graceful: [`PredictServer::shutdown`] (also invoked by drop)
+//! stops intake, lets the workers drain every queued request, and joins them.
 
 use crate::session::{InferenceSession, Prediction};
 use dtdbd_data::{EncodedRequest, InferenceRequest, RequestEncoder, RequestError};
 use dtdbd_models::FakeNewsModel;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -52,9 +53,38 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Lock-free per-worker counters, written by the worker after every batch
+/// and summed on demand by [`PredictServer::stats`].
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    pool_reuse_hits: AtomicU64,
+    pool_alloc_misses: AtomicU64,
+}
+
 struct Shared {
     state: Mutex<QueueState>,
     available: Condvar,
+    counters: Vec<WorkerCounters>,
+}
+
+/// A point-in-time snapshot of the serving core's load and memory behaviour,
+/// aggregated over every worker (what `GET /stats` reports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Requests queued but not yet picked up by a worker.
+    pub queue_depth: usize,
+    /// Items predicted so far, over all workers.
+    pub requests_served: u64,
+    /// Forward passes run so far (each serves one coalesced batch).
+    pub batches: u64,
+    /// Scratch buffers recycled from the per-worker [`dtdbd_tensor::BufferPool`]s.
+    pub pool_reuse_hits: u64,
+    /// Scratch buffers freshly allocated (stops growing once pools are warm).
+    pub pool_alloc_misses: u64,
+    /// Number of worker threads.
+    pub workers: usize,
 }
 
 /// An in-flight prediction; resolve it with [`PredictionHandle::wait`].
@@ -68,9 +98,14 @@ impl PredictionHandle {
     /// # Panics
     /// Panics if the serving worker died before answering.
     pub fn wait(self) -> Prediction {
-        self.reply
-            .recv()
-            .expect("serving worker dropped the request")
+        self.try_wait().expect("serving worker dropped the request")
+    }
+
+    /// Block until the prediction is ready; `None` if the serving worker
+    /// died before answering (the non-panicking form the HTTP front-end
+    /// uses so a worker crash degrades to an error response).
+    pub fn try_wait(self) -> Option<Prediction> {
+        self.reply.recv().ok()
     }
 }
 
@@ -102,6 +137,9 @@ impl PredictServer {
                 shutdown: false,
             }),
             available: Condvar::new(),
+            counters: (0..config.workers)
+                .map(|_| WorkerCounters::default())
+                .collect(),
         });
         let mut encoder = None;
         let workers = (0..config.workers)
@@ -110,7 +148,7 @@ impl PredictServer {
                 encoder.get_or_insert_with(|| session.encoder().clone());
                 let shared = Arc::clone(&shared);
                 let config = config.clone();
-                thread::spawn(move || worker_loop(&shared, session, &config))
+                thread::spawn(move || worker_loop(&shared, session, &config, worker_id))
             })
             .collect();
         Self {
@@ -124,16 +162,19 @@ impl PredictServer {
     /// prediction. Callable from any number of client threads.
     pub fn submit(&self, request: &InferenceRequest) -> Result<PredictionHandle, RequestError> {
         let encoded = self.encoder.encode(request)?;
+        Ok(self.submit_encoded(encoded))
+    }
+
+    /// Enqueue an already-validated request (the HTTP front-end validates
+    /// whole batches up front and then submits them with this).
+    pub fn submit_encoded(&self, request: EncodedRequest) -> PredictionHandle {
         let (tx, rx) = mpsc::channel();
         {
             let mut state = self.shared.state.lock().expect("queue poisoned");
-            state.jobs.push_back(Job {
-                request: encoded,
-                reply: tx,
-            });
+            state.jobs.push_back(Job { request, reply: tx });
         }
         self.shared.available.notify_one();
-        Ok(PredictionHandle { reply: rx })
+        PredictionHandle { reply: rx }
     }
 
     /// Submit and block for the answer.
@@ -150,10 +191,36 @@ impl PredictServer {
     pub fn encoder(&self) -> &RequestEncoder {
         &self.encoder
     }
-}
 
-impl Drop for PredictServer {
-    fn drop(&mut self) {
+    /// Aggregate load and buffer-pool statistics over every worker.
+    pub fn stats(&self) -> ServingStats {
+        let queue_depth = self.queue_depth();
+        let mut stats = ServingStats {
+            queue_depth,
+            requests_served: 0,
+            batches: 0,
+            pool_reuse_hits: 0,
+            pool_alloc_misses: 0,
+            workers: self.shared.counters.len(),
+        };
+        for counters in &self.shared.counters {
+            stats.requests_served += counters.requests.load(Ordering::Relaxed);
+            stats.batches += counters.batches.load(Ordering::Relaxed);
+            stats.pool_reuse_hits += counters.pool_reuse_hits.load(Ordering::Relaxed);
+            stats.pool_alloc_misses += counters.pool_alloc_misses.load(Ordering::Relaxed);
+        }
+        stats
+    }
+
+    /// Gracefully stop the server: intake ends, every queued request is
+    /// drained and answered, and all worker threads are joined before this
+    /// returns. Dropping the server performs the same sequence; this method
+    /// only makes the drain point explicit.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
         {
             let mut state = self.shared.state.lock().expect("queue poisoned");
             state.shutdown = true;
@@ -165,10 +232,17 @@ impl Drop for PredictServer {
     }
 }
 
+impl Drop for PredictServer {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
 fn worker_loop<M: FakeNewsModel>(
     shared: &Shared,
     mut session: InferenceSession<M>,
     config: &BatchingConfig,
+    worker_id: usize,
 ) {
     loop {
         let jobs = {
@@ -211,6 +285,15 @@ fn worker_loop<M: FakeNewsModel>(
         }
         let requests: Vec<EncodedRequest> = jobs.iter().map(|j| j.request.clone()).collect();
         let predictions = session.predict_requests(&requests);
+        let counters = &shared.counters[worker_id];
+        counters
+            .requests
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        // Pool stats are cumulative per session, so publish absolute values.
+        let (hits, misses) = session.pool_stats();
+        counters.pool_reuse_hits.store(hits, Ordering::Relaxed);
+        counters.pool_alloc_misses.store(misses, Ordering::Relaxed);
         for (job, prediction) in jobs.into_iter().zip(predictions) {
             // A client may have abandoned its handle; that is not an error.
             let _ = job.reply.send(prediction);
@@ -319,6 +402,56 @@ mod tests {
             let p = handle.wait();
             assert!(p.fake_prob.is_finite());
         }
+    }
+
+    #[test]
+    fn shutdown_drains_every_outstanding_handle() {
+        let ds = dataset();
+        let server = start_server(
+            &ds,
+            BatchingConfig {
+                max_batch_size: 8,
+                max_wait: Duration::from_millis(1),
+                workers: 2,
+            },
+        );
+        let handles: Vec<_> = (0..30)
+            .map(|i| server.submit(&request_for(&ds, i % ds.len())).unwrap())
+            .collect();
+        server.shutdown(); // explicit drain; returns only once workers joined
+        for handle in handles {
+            assert!(handle.wait().fake_prob.is_finite());
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_worker_counters() {
+        let ds = dataset();
+        let server = start_server(&ds, BatchingConfig::default());
+        let n = 20usize;
+        let handles: Vec<_> = (0..n)
+            .map(|i| server.submit(&request_for(&ds, i % ds.len())).unwrap())
+            .collect();
+        for handle in handles {
+            handle.wait();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests_served, n as u64);
+        assert!(stats.batches >= 1 && stats.batches <= n as u64);
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.queue_depth, 0);
+        assert!(stats.pool_alloc_misses > 0, "first batch allocates");
+    }
+
+    #[test]
+    fn submit_encoded_skips_revalidation_but_serves_identically() {
+        let ds = dataset();
+        let server = start_server(&ds, BatchingConfig::default());
+        let request = request_for(&ds, 0);
+        let encoded = server.encoder().encode(&request).unwrap();
+        let via_encoded = server.submit_encoded(encoded).wait();
+        let via_raw = server.predict(&request).unwrap();
+        assert_eq!(via_encoded.fake_prob.to_bits(), via_raw.fake_prob.to_bits());
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Seeded wire-level fuzz battery for the HTTP parser and the JSON codec.
+//!
+//! Same in-tree pattern as `crates/tensor/tests/proptest_ops.rs`: each
+//! property drives many deterministic cases from the crate's own `Prng`, and
+//! every assertion message carries the case seed so a failure replays
+//! exactly. The invariant under test is the serving front-end's core safety
+//! promise: **arbitrary bytes — random garbage, or valid traffic with random
+//! mutations — must produce a clean typed outcome (a 4xx-mapped error or
+//! `NeedMore`), never a panic, an unbounded loop, or a success carrying
+//! state that was never sent.**
+
+use dtdbd_serve::http::{ParseOutcome, RequestParser};
+use dtdbd_serve::json::{self, Json};
+use dtdbd_tensor::rng::Prng;
+
+const CASES: u64 = 300;
+
+fn random_bytes(rng: &mut Prng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect()
+}
+
+/// Corrupt `bytes` with 1–4 random single-byte substitutions, insertions or
+/// deletions.
+fn mutate(rng: &mut Prng, bytes: &mut Vec<u8>) {
+    for _ in 0..1 + rng.below(4) {
+        if bytes.is_empty() {
+            bytes.push((rng.next_u64() & 0xFF) as u8);
+            continue;
+        }
+        let at = rng.below(bytes.len());
+        match rng.below(3) {
+            0 => bytes[at] = (rng.next_u64() & 0xFF) as u8,
+            1 => bytes.insert(at, (rng.next_u64() & 0xFF) as u8),
+            _ => {
+                bytes.remove(at);
+            }
+        }
+    }
+}
+
+fn valid_request_bytes(rng: &mut Prng) -> Vec<u8> {
+    let body = match rng.below(3) {
+        0 => String::new(),
+        1 => r#"{"tokens": [1, 2, 3], "domain": 0}"#.to_string(),
+        _ => format!(
+            r#"{{"items": [{{"tokens": [{}], "domain": 1}}]}}"#,
+            rng.below(50)
+        ),
+    };
+    let (method, path) = match rng.below(3) {
+        0 => ("POST", "/predict"),
+        1 => ("GET", "/healthz"),
+        _ => ("GET", "/stats"),
+    };
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Drive the parser over `bytes` split into random chunks, polling between
+/// feeds, until the input is exhausted and the parser makes no progress.
+/// Returns every terminal outcome observed. The loop is bounded, so a
+/// parser that stopped progressing would fail the test rather than hang.
+fn drive(rng: &mut Prng, bytes: &[u8], seed: u64) -> Vec<ParseOutcome> {
+    let mut parser = RequestParser::new(1024, 4096);
+    let mut outcomes = Vec::new();
+    let mut fed = 0usize;
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        assert!(
+            rounds <= bytes.len() * 2 + 64,
+            "case {seed}: parser made no progress (possible hang)"
+        );
+        match parser.poll() {
+            ParseOutcome::NeedMore => {
+                if fed == bytes.len() {
+                    return outcomes; // clean close: connection would EOF here
+                }
+                let chunk = 1 + rng.below(97.min(bytes.len() - fed));
+                parser.feed(&bytes[fed..fed + chunk]);
+                fed += chunk;
+            }
+            ParseOutcome::Request(request) => outcomes.push(ParseOutcome::Request(request)),
+            ParseOutcome::Failed(e) => {
+                outcomes.push(ParseOutcome::Failed(e));
+                return outcomes; // server closes after a wire error
+            }
+        }
+    }
+}
+
+#[test]
+fn http_parser_survives_pure_garbage() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(0x6172_6261 + case);
+        let len = rng.below(2048);
+        let bytes = random_bytes(&mut rng, len);
+        for outcome in drive(&mut rng, &bytes, case) {
+            match outcome {
+                ParseOutcome::Failed(e) => {
+                    assert!(
+                        (400..500).contains(&e.status),
+                        "case {case}: garbage mapped to non-4xx status {}",
+                        e.status
+                    );
+                }
+                // A complete request assembled from garbage is possible only
+                // if the garbage happened to be well-formed; accept it.
+                ParseOutcome::Request(_) => {}
+                ParseOutcome::NeedMore => unreachable!("drive() never returns NeedMore"),
+            }
+        }
+    }
+}
+
+#[test]
+fn http_parser_survives_mutated_valid_requests() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(0x6D75_7461 + case);
+        let mut bytes = valid_request_bytes(&mut rng);
+        mutate(&mut rng, &mut bytes);
+        for outcome in drive(&mut rng, &bytes, case) {
+            if let ParseOutcome::Failed(e) = outcome {
+                assert!(
+                    (400..500).contains(&e.status),
+                    "case {case}: mutation mapped to non-4xx status {} ({})",
+                    e.status,
+                    e.message
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn http_parser_accepts_unmutated_requests_under_any_chunking() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(0x6368_756E + case);
+        let bytes = valid_request_bytes(&mut rng);
+        let outcomes = drive(&mut rng, &bytes, case);
+        assert_eq!(
+            outcomes.len(),
+            1,
+            "case {case}: expected exactly one request"
+        );
+        match &outcomes[0] {
+            ParseOutcome::Request(request) => {
+                assert!(request.keep_alive, "case {case}");
+                assert!(
+                    request.target == "/predict"
+                        || request.target == "/healthz"
+                        || request.target == "/stats",
+                    "case {case}: target {:?}",
+                    request.target
+                );
+            }
+            other => panic!("case {case}: {other:?}"),
+        }
+    }
+}
+
+fn random_json(rng: &mut Prng, depth: usize) -> Json {
+    let choice = if depth >= 4 {
+        rng.below(4)
+    } else {
+        rng.below(6)
+    };
+    match choice {
+        0 => Json::Null,
+        1 => Json::Bool(rng.chance(0.5)),
+        2 => {
+            // Mix of integers, fractions and f32-shaped values.
+            match rng.below(3) {
+                0 => Json::Num(f64::from(rng.next_u64() as u32)),
+                1 => Json::Num(f64::from(rng.uniform(-1e6, 1e6))),
+                _ => Json::Num(f64::from(rng.next_f32())),
+            }
+        }
+        3 => {
+            let len = rng.below(12);
+            Json::Str(
+                (0..len)
+                    .map(|_| {
+                        let c = rng.next_u64() % 0xD7FF;
+                        char::from_u32(c as u32).unwrap_or('\u{FFFD}')
+                    })
+                    .collect(),
+            )
+        }
+        4 => Json::Arr(
+            (0..rng.below(5))
+                .map(|_| random_json(rng, depth + 1))
+                .collect(),
+        ),
+        _ => {
+            let mut entries: Vec<(String, Json)> = Vec::new();
+            for i in 0..rng.below(5) {
+                entries.push((format!("k{i}"), random_json(rng, depth + 1)));
+            }
+            Json::Obj(entries)
+        }
+    }
+}
+
+#[test]
+fn json_render_parse_round_trips_random_documents() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(0x6A73_6F6E + case);
+        let doc = random_json(&mut rng, 0);
+        let text = doc.render();
+        let back = json::parse(&text)
+            .unwrap_or_else(|e| panic!("case {case}: rendered {text:?} failed to parse: {e}"));
+        assert_eq!(back, doc, "case {case}: round trip changed the document");
+    }
+}
+
+#[test]
+fn json_parser_survives_mutated_documents() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(0x6D6A_736E + case);
+        let mut bytes = random_json(&mut rng, 0).render().into_bytes();
+        mutate(&mut rng, &mut bytes);
+        // Mutations may break UTF-8; the HTTP layer rejects those before the
+        // JSON parser ever runs, so only valid-UTF-8 mutants reach parse().
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            // Must terminate and must not panic; Ok/Err are both acceptable.
+            let _ = json::parse(text);
+        }
+    }
+}
+
+#[test]
+fn json_parser_survives_pure_garbage_strings() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(0x6761_7262 + case);
+        let len = rng.below(512);
+        let bytes = random_bytes(&mut rng, len);
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = json::parse(text);
+        }
+        // Also exercise the lossy decoding path clients might send.
+        let lossy = String::from_utf8_lossy(&bytes);
+        let _ = json::parse(&lossy);
+    }
+}
+
+#[test]
+fn mutated_request_objects_never_crash_the_schema_decoder() {
+    let valid = r#"{"tokens": [5, 6, 7], "domain": 2, "style": [0.1, 0.2], "emotion": [0.3]}"#;
+    for case in 0..CASES {
+        let mut rng = Prng::new(0x7363_686D + case);
+        let mut bytes = valid.as_bytes().to_vec();
+        mutate(&mut rng, &mut bytes);
+        let Ok(text) = std::str::from_utf8(&bytes) else {
+            continue;
+        };
+        let Ok(doc) = json::parse(text) else { continue };
+        // Whatever survived parsing must decode or error — never panic —
+        // and a successful decode must carry only values present in the text.
+        if let Ok(request) = json::decode_request(&doc) {
+            assert!(request.tokens.len() <= text.len(), "case {case}");
+        }
+    }
+}

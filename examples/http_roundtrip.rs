@@ -1,0 +1,173 @@
+//! Full deployment round trip over a real wire: train a student, persist it
+//! to a checkpoint file, load it back as a fresh serving process would, put
+//! the HTTP/1.1 front-end in front of the micro-batching server, and fire
+//! 1,000+ requests over TCP from concurrent keep-alive clients — verifying
+//! **zero connection errors** and wire probabilities **bit-identical** to
+//! the in-process tape-free inference path.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dtdbd-bench --example http_roundtrip
+//! ```
+
+use dtdbd_bench::harness::{fmt_ns, percentile};
+use dtdbd_core::{train_model, TrainConfig};
+use dtdbd_data::{weibo21_spec, GeneratorConfig, InferenceRequest, NewsGenerator};
+use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
+use dtdbd_serve::http::HttpClient;
+use dtdbd_serve::json::{self, Json};
+use dtdbd_serve::{
+    session_from_checkpoint, BatchingConfig, Checkpoint, HttpConfig, HttpServer, PredictServer,
+};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::ParamStore;
+use std::time::{Duration, Instant};
+
+fn main() {
+    // 1. Train a TextCNN-S student for one epoch.
+    let ds =
+        NewsGenerator::new(weibo21_spec(), GeneratorConfig::default()).generate_scaled(7, 0.08);
+    let split = ds.split(0.7, 0.1, 7);
+    let cfg = ModelConfig::for_dataset(&split.train);
+    let mut store = ParamStore::new();
+    let mut model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(3));
+    let report = train_model(
+        &mut model,
+        &mut store,
+        &split.train,
+        &TrainConfig {
+            epochs: 1,
+            verbose: true,
+            ..TrainConfig::default()
+        },
+    );
+    println!(
+        "trained {} for 1 epoch ({} steps, final loss {:.4})",
+        model.name(),
+        report.steps,
+        report.final_loss()
+    );
+
+    // 2. Save to disk, then load back — nothing survives except the file.
+    let path = std::env::temp_dir().join(format!("dtdbd-http-{}.dtdbd", std::process::id()));
+    Checkpoint::new(model.name(), &cfg, &store)
+        .save(&path)
+        .expect("save checkpoint");
+    let checkpoint = Checkpoint::load(&path).expect("load checkpoint");
+    std::fs::remove_file(&path).ok();
+    println!(
+        "checkpoint round trip: arch={} params={}",
+        checkpoint.arch,
+        checkpoint.params.len()
+    );
+
+    // 3. In-process reference answers through a plain restored session.
+    let n_requests = 1_000usize;
+    let requests: Vec<InferenceRequest> = (0..n_requests)
+        .map(|i| {
+            let item = &split.test.items()[i % split.test.len()];
+            InferenceRequest {
+                tokens: item.tokens.clone(),
+                domain: item.domain,
+                style: Some(item.style.clone()),
+                emotion: Some(item.emotion.clone()),
+            }
+        })
+        .collect();
+    let mut reference_session = session_from_checkpoint(&checkpoint).expect("restore");
+    let reference: Vec<f32> = requests
+        .iter()
+        .map(|request| {
+            let encoded = reference_session.encoder().encode(request).expect("valid");
+            reference_session.predict_requests(&[encoded])[0].fake_prob
+        })
+        .collect();
+
+    // 4. Serve the same requests over real TCP.
+    let predict = PredictServer::start(
+        BatchingConfig {
+            max_batch_size: 32,
+            max_wait: Duration::from_millis(2),
+            workers: 2,
+        },
+        |_| session_from_checkpoint(&checkpoint).expect("restore"),
+    );
+    let server = HttpServer::start(predict, HttpConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    println!("listening on http://{addr}");
+
+    let clients = 8usize;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let bodies: Vec<(usize, String)> = requests
+                .iter()
+                .enumerate()
+                .skip(c)
+                .step_by(clients)
+                .map(|(i, r)| (i, json::encode_request(r).render()))
+                .collect();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                let mut results = Vec::with_capacity(bodies.len());
+                let mut connection_errors = 0usize;
+                for (i, body) in bodies {
+                    let t0 = Instant::now();
+                    match client.post("/predict", &body) {
+                        Ok(response) if response.status == 200 => {
+                            let prob = response
+                                .json()
+                                .expect("valid JSON")
+                                .get("fake_prob")
+                                .and_then(Json::as_f64)
+                                .expect("fake_prob present")
+                                as f32;
+                            results.push((i, prob, t0.elapsed().as_nanos() as f64));
+                        }
+                        Ok(response) => panic!("request {i}: HTTP {}", response.status),
+                        Err(_) => connection_errors += 1,
+                    }
+                }
+                (results, connection_errors)
+            })
+        })
+        .collect();
+    let mut served = vec![0.0f32; n_requests];
+    let mut latencies = Vec::with_capacity(n_requests);
+    let mut connection_errors = 0usize;
+    for handle in handles {
+        let (results, errors) = handle.join().expect("client thread");
+        connection_errors += errors;
+        for (i, prob, ns) in results {
+            served[i] = prob;
+            latencies.push(ns);
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // 5. Verdict: zero connection errors, bit-identical probabilities.
+    assert_eq!(connection_errors, 0, "connection errors over the wire");
+    assert_eq!(latencies.len(), n_requests, "every request must answer");
+    let mismatches = reference
+        .iter()
+        .zip(served.iter())
+        .filter(|(r, s)| r.to_bits() != s.to_bits())
+        .count();
+    println!(
+        "served {n_requests} requests over TCP in {elapsed:.2}s ({:.0} req/sec) \
+         | latency p50 {} p99 {} | connection errors: {connection_errors}",
+        n_requests as f64 / elapsed,
+        fmt_ns(percentile(&latencies, 0.50)),
+        fmt_ns(percentile(&latencies, 0.99)),
+    );
+    assert_eq!(
+        mismatches, 0,
+        "{mismatches} wire probabilities differ from the in-process path"
+    );
+    println!("round trip OK: train -> save -> load -> HTTP serve is bit-exact.");
+
+    // 6. Graceful teardown: the listener joins its threads, then drains the
+    //    micro-batching core.
+    server.shutdown();
+    println!("shutdown complete: listener joined, queue drained.");
+}

@@ -3,9 +3,11 @@
 #
 # Runs, in order:
 #   1. release build of every crate, binary, bench and example target
-#   2. the full test suite
-#   3. formatting check
-#   4. clippy with warnings promoted to errors
+#   2. the full test suite (dtdbd-integration is a workspace member, so the
+#      cross-crate scenarios and the HTTP wire battery run here)
+#   3. the http_roundtrip end-to-end example (real TCP serving)
+#   4. formatting check
+#   5. clippy with warnings promoted to errors
 #
 # Usage: scripts/ci.sh
 
@@ -15,8 +17,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --workspace --all-targets
 
-echo "==> cargo test -q"
+echo "==> cargo test -q (includes dtdbd-integration: cross-crate scenarios + HTTP wire battery)"
 cargo test -q --workspace
+
+echo "==> http_roundtrip example (train -> checkpoint -> serve over TCP)"
+cargo run --release -q -p dtdbd-bench --example http_roundtrip
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
