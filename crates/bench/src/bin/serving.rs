@@ -17,13 +17,22 @@ use dtdbd_core::{train_model, TrainConfig};
 use dtdbd_data::{weibo21_spec, GeneratorConfig, InferenceRequest, NewsGenerator};
 use dtdbd_metrics::TableBuilder;
 use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
-use dtdbd_serve::{session_from_checkpoint, BatchingConfig, Checkpoint, PredictServer};
+use dtdbd_serve::{session_from_checkpoint, BatchingConfig, Checkpoint, ServerBuilder};
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+
+/// Batch-64 items/sec of the PR 1 serving baseline (the committed
+/// BENCH_serving.json before the blocked/parallel kernel overhaul), kept to
+/// report the speedup of the new compute layer.
+const PR1_BATCH64_ITEMS_PER_SEC: f64 = 4980.3;
+
+/// Intra-op threads used by the measured sessions (clamped to the host's
+/// cores inside the kernels; predictions are bit-identical regardless).
+const INTRA_THREADS: usize = 4;
 
 struct BatchResult {
     batch_size: usize,
@@ -42,6 +51,7 @@ struct ServerResult {
     p50_ns: f64,
     p99_ns: f64,
     items_per_sec: f64,
+    cache_hits: u64,
 }
 
 fn main() {
@@ -92,17 +102,47 @@ fn main() {
         })
         .collect();
 
+    assert_thread_parity(&checkpoint, &requests);
+
     let batch_results: Vec<BatchResult> = BATCH_SIZES
         .iter()
         .map(|&bs| bench_direct_batches(&checkpoint, &requests, bs, iters_budget))
         .collect();
 
-    let server_result = bench_server(&checkpoint, &requests, server_requests);
+    // Cache disabled: comparable to the PR 1 baseline. The cached run then
+    // shows what recurring traffic gains from the prediction cache.
+    let server_result = bench_server(&checkpoint, &requests, server_requests, 0);
+    let server_cached = bench_server(&checkpoint, &requests, server_requests, 4096);
 
-    render_table(&batch_results, &server_result);
-    let json = render_json(&checkpoint, &batch_results, &server_result);
+    render_table(&batch_results, &server_result, &server_cached);
+    let json = render_json(&checkpoint, &batch_results, &server_result, &server_cached);
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
     eprintln!("[serving] wrote BENCH_serving.json");
+}
+
+/// The determinism contract, checked on the deployed artifact: predictions
+/// are bit-identical at every intra-op thread count.
+fn assert_thread_parity(checkpoint: &Checkpoint, requests: &[InferenceRequest]) {
+    let mut reference: Option<Vec<u32>> = None;
+    for threads in [1usize, 2, INTRA_THREADS, 8] {
+        let mut session = session_from_checkpoint(checkpoint).expect("restore");
+        session.set_threads(threads);
+        let encoded: Vec<_> = requests
+            .iter()
+            .take(64)
+            .map(|r| session.encoder().encode(r).expect("valid request"))
+            .collect();
+        let bits: Vec<u32> = session
+            .predict_requests(&encoded)
+            .iter()
+            .map(|p| p.fake_prob.to_bits())
+            .collect();
+        match &reference {
+            None => reference = Some(bits),
+            Some(want) => assert_eq!(want, &bits, "thread parity violated at {threads}"),
+        }
+    }
+    eprintln!("[serving] thread parity OK (1/2/4/8 threads, bit-exact)");
 }
 
 /// Latency of direct `predict_batch` calls at a fixed batch size.
@@ -113,6 +153,7 @@ fn bench_direct_batches(
     iters: usize,
 ) -> BatchResult {
     let mut session = session_from_checkpoint(checkpoint).expect("restore");
+    session.set_threads(INTRA_THREADS);
     let encoded: Vec<_> = requests
         .iter()
         .map(|r| session.encoder().encode(r).expect("valid request"))
@@ -149,6 +190,7 @@ fn bench_server(
     checkpoint: &Checkpoint,
     requests: &[InferenceRequest],
     total_requests: usize,
+    cache_capacity: usize,
 ) -> ServerResult {
     let config = BatchingConfig {
         max_batch_size: 32,
@@ -156,9 +198,13 @@ fn bench_server(
         workers: 2,
     };
     let clients = 4usize;
-    let server = Arc::new(PredictServer::start(config.clone(), |_| {
-        session_from_checkpoint(checkpoint).expect("restore")
-    }));
+    let server = Arc::new(
+        ServerBuilder::new()
+            .batching(config.clone())
+            .threads(INTRA_THREADS)
+            .cache_capacity(cache_capacity)
+            .start(|_| session_from_checkpoint(checkpoint).expect("restore")),
+    );
 
     let per_client = total_requests / clients;
     let started = Instant::now();
@@ -185,6 +231,7 @@ fn bench_server(
         samples.extend(handle.join().expect("client thread"));
     }
     let total = started.elapsed().as_secs_f64();
+    let cache_hits = server.stats().cache.hits;
     ServerResult {
         requests: samples.len(),
         clients,
@@ -194,10 +241,11 @@ fn bench_server(
         p50_ns: percentile(&samples, 0.50),
         p99_ns: percentile(&samples, 0.99),
         items_per_sec: samples.len() as f64 / total,
+        cache_hits,
     }
 }
 
-fn render_table(batches: &[BatchResult], server: &ServerResult) {
+fn render_table(batches: &[BatchResult], server: &ServerResult, cached: &ServerResult) {
     let mut table = TableBuilder::new("Serving — tape-free batched inference (TextCNN-S)")
         .header(["Mode", "p50", "p99", "items/sec"]);
     for b in batches {
@@ -217,10 +265,30 @@ fn render_table(batches: &[BatchResult], server: &ServerResult) {
         fmt_ns(server.p99_ns),
         format!("{:.0}", server.items_per_sec),
     ]);
+    table.row([
+        format!("server + cache ({} hits)", cached.cache_hits),
+        fmt_ns(cached.p50_ns),
+        fmt_ns(cached.p99_ns),
+        format!("{:.0}", cached.items_per_sec),
+    ]);
     println!("{}", table.render());
+    let batch64 = batches.iter().find(|b| b.batch_size == 64);
+    if let Some(b) = batch64 {
+        println!(
+            "(batch-64: {:.0} items/sec, {:.2}x over the PR 1 baseline of {:.0})",
+            b.items_per_sec,
+            b.items_per_sec / PR1_BATCH64_ITEMS_PER_SEC,
+            PR1_BATCH64_ITEMS_PER_SEC
+        );
+    }
 }
 
-fn render_json(checkpoint: &Checkpoint, batches: &[BatchResult], server: &ServerResult) -> String {
+fn render_json(
+    checkpoint: &Checkpoint,
+    batches: &[BatchResult],
+    server: &ServerResult,
+    cached: &ServerResult,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"model\": \"{}\",\n", checkpoint.arch));
@@ -228,6 +296,8 @@ fn render_json(checkpoint: &Checkpoint, batches: &[BatchResult], server: &Server
         "  \"checkpoint_bytes\": {},\n",
         checkpoint.to_bytes().len()
     ));
+    out.push_str(&format!("  \"intra_op_threads\": {INTRA_THREADS},\n"));
+    out.push_str("  \"thread_parity\": true,\n");
     out.push_str("  \"batch_latency\": [\n");
     for (i, b) in batches.iter().enumerate() {
         out.push_str(&format!(
@@ -242,7 +312,7 @@ fn render_json(checkpoint: &Checkpoint, batches: &[BatchResult], server: &Server
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"server\": {{\"requests\": {}, \"clients\": {}, \"workers\": {}, \"max_batch_size\": {}, \"max_wait_ms\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"items_per_sec\": {:.1}}}\n",
+        "  \"server\": {{\"requests\": {}, \"clients\": {}, \"workers\": {}, \"max_batch_size\": {}, \"max_wait_ms\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"items_per_sec\": {:.1}}},\n",
         server.requests,
         server.clients,
         server.workers,
@@ -251,6 +321,21 @@ fn render_json(checkpoint: &Checkpoint, batches: &[BatchResult], server: &Server
         server.p50_ns / 1e3,
         server.p99_ns / 1e3,
         server.items_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"server_cached\": {{\"requests\": {}, \"cache_hits\": {}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"items_per_sec\": {:.1}}},\n",
+        cached.requests,
+        cached.cache_hits,
+        cached.p50_ns / 1e3,
+        cached.p99_ns / 1e3,
+        cached.items_per_sec
+    ));
+    let batch64_speedup = batches
+        .iter()
+        .find(|b| b.batch_size == 64)
+        .map_or(0.0, |b| b.items_per_sec / PR1_BATCH64_ITEMS_PER_SEC);
+    out.push_str(&format!(
+        "  \"baseline_pr1\": {{\"batch64_items_per_sec\": {PR1_BATCH64_ITEMS_PER_SEC}, \"speedup_batch64\": {batch64_speedup:.2}}}\n"
     ));
     out.push_str("}\n");
     out

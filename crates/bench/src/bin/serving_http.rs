@@ -17,7 +17,7 @@ use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
 use dtdbd_serve::http::HttpClient;
 use dtdbd_serve::{
     json, session_from_checkpoint, BatchingConfig, Checkpoint, HttpConfig, HttpServer,
-    PredictServer,
+    ServerBuilder,
 };
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
@@ -25,6 +25,13 @@ use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 const CONCURRENCY: [usize; 3] = [1, 8, 32];
+
+/// 32-connection req/sec of the PR 2 baseline (the committed BENCH_http.json
+/// before the blocked/parallel kernel overhaul + prediction cache).
+const PR2_C32_REQ_PER_SEC: f64 = 2562.1;
+
+/// Intra-op threads of each prediction worker.
+const INTRA_THREADS: usize = 4;
 
 struct LoadResult {
     connections: usize,
@@ -83,9 +90,16 @@ fn main() {
         max_wait: Duration::from_millis(2),
         workers: 2,
     };
-    let predict = PredictServer::start(batching.clone(), |_| {
-        session_from_checkpoint(&checkpoint).expect("restore")
-    });
+    // Cache disabled: the request stream replays the same bodies, so the
+    // default prediction cache would answer most requests without a forward
+    // pass and the speedup over the PR 2 baseline would conflate cache hits
+    // with kernel gains. BENCH_serving.json's "server_cached" entry records
+    // the cache win separately.
+    let predict = ServerBuilder::new()
+        .batching(batching.clone())
+        .threads(INTRA_THREADS)
+        .cache_capacity(0)
+        .start(|_| session_from_checkpoint(&checkpoint).expect("restore"));
     let server = HttpServer::start(
         predict,
         HttpConfig {
@@ -175,11 +189,20 @@ fn render_table(results: &[LoadResult], batching: &BatchingConfig) {
     }
     println!("{}", table.render());
     println!(
-        "(server: {} workers, max_batch_size {}, max_wait {:.1} ms)",
+        "(server: {} workers, {} intra-op threads, max_batch_size {}, max_wait {:.1} ms)",
         batching.workers,
+        INTRA_THREADS,
         batching.max_batch_size,
         batching.max_wait.as_secs_f64() * 1e3
     );
+    if let Some(c32) = results.iter().find(|r| r.connections == 32) {
+        println!(
+            "(32 connections: {:.0} req/sec, {:.2}x over the PR 2 baseline of {:.0})",
+            c32.req_per_sec,
+            c32.req_per_sec / PR2_C32_REQ_PER_SEC,
+            PR2_C32_REQ_PER_SEC
+        );
+    }
 }
 
 fn render_json(results: &[LoadResult], batching: &BatchingConfig) -> String {
@@ -188,7 +211,7 @@ fn render_json(results: &[LoadResult], batching: &BatchingConfig) -> String {
     out.push_str("  \"model\": \"TextCNN-S\",\n");
     out.push_str("  \"transport\": \"http/1.1 keep-alive\",\n");
     out.push_str(&format!(
-        "  \"server\": {{\"workers\": {}, \"max_batch_size\": {}, \"max_wait_ms\": {:.1}}},\n",
+        "  \"server\": {{\"workers\": {}, \"intra_op_threads\": {INTRA_THREADS}, \"max_batch_size\": {}, \"max_wait_ms\": {:.1}}},\n",
         batching.workers,
         batching.max_batch_size,
         batching.max_wait.as_secs_f64() * 1e3
@@ -205,7 +228,14 @@ fn render_json(results: &[LoadResult], batching: &BatchingConfig) -> String {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n");
+    out.push_str("  ],\n");
+    let c32_speedup = results
+        .iter()
+        .find(|r| r.connections == 32)
+        .map_or(0.0, |r| r.req_per_sec / PR2_C32_REQ_PER_SEC);
+    out.push_str(&format!(
+        "  \"baseline_pr2\": {{\"c32_req_per_sec\": {PR2_C32_REQ_PER_SEC}, \"speedup_c32\": {c32_speedup:.2}}}\n"
+    ));
     out.push_str("}\n");
     out
 }

@@ -140,6 +140,18 @@ impl EncodedRequest {
     pub fn domain(&self) -> usize {
         self.domain
     }
+
+    /// The shaped style side-features (`STYLE_DIM` values, zeros when the
+    /// request carried none).
+    pub fn style(&self) -> &[f32] {
+        &self.style
+    }
+
+    /// The shaped emotion side-features (`EMOTION_DIM` values, zeros when
+    /// the request carried none).
+    pub fn emotion(&self) -> &[f32] {
+        &self.emotion
+    }
 }
 
 /// Validates and shapes raw requests for a particular corpus geometry.

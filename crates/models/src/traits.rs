@@ -98,27 +98,63 @@ pub trait FakeNewsModel {
     /// Tape-free inference: run the forward pass on a [`Graph::inference`]
     /// graph (no gradient bookkeeping, scratch buffers drawn from — and
     /// returned to — `pool`) and copy the outputs into an owned
-    /// [`InferenceOutput`].
+    /// [`InferenceOutput`]. Single-threaded.
     ///
     /// The default implementation reuses [`FakeNewsModel::forward`], so every
     /// model in the zoo serves requests without model-specific code; a model
-    /// may override it with a hand-fused path later.
+    /// may override it with a hand-fused path later (and should then also
+    /// override [`FakeNewsModel::infer_with_threads`] if the fused path is to
+    /// serve at `threads > 1`).
     fn infer(
         &self,
         store: &mut ParamStore,
         pool: &mut BufferPool,
         batch: &Batch,
     ) -> InferenceOutput {
-        let mut g = Graph::inference(store, pool);
-        let out = self.forward(&mut g, batch);
-        let result = InferenceOutput {
-            logits: g.value(out.logits).clone(),
-            features: g.value(out.features).clone(),
-            domain_logits: out.domain_logits.map(|d| g.value(d).clone()),
-        };
-        g.finish();
-        result
+        run_default_infer(self, store, pool, batch, 1)
     }
+
+    /// [`FakeNewsModel::infer`] with an explicit intra-op thread count for
+    /// the compute kernels. Outputs are bit-identical at any `threads`
+    /// setting (the kernels' determinism contract); the knob only changes
+    /// throughput. At `threads <= 1` this delegates to
+    /// [`FakeNewsModel::infer`], so an overridden hand-fused `infer` keeps
+    /// serving the default deployment.
+    fn infer_with_threads(
+        &self,
+        store: &mut ParamStore,
+        pool: &mut BufferPool,
+        batch: &Batch,
+        threads: usize,
+    ) -> InferenceOutput {
+        if threads <= 1 {
+            self.infer(store, pool, batch)
+        } else {
+            run_default_infer(self, store, pool, batch, threads)
+        }
+    }
+}
+
+/// The shared default inference path behind [`FakeNewsModel::infer`] /
+/// [`FakeNewsModel::infer_with_threads`]: a tape-free graph with the given
+/// intra-op thread count over the model's own `forward`.
+fn run_default_infer<M: FakeNewsModel + ?Sized>(
+    model: &M,
+    store: &mut ParamStore,
+    pool: &mut BufferPool,
+    batch: &Batch,
+    threads: usize,
+) -> InferenceOutput {
+    let mut g = Graph::inference(store, pool);
+    g.set_threads(threads);
+    let out = model.forward(&mut g, batch);
+    let result = InferenceOutput {
+        logits: g.value(out.logits).clone(),
+        features: g.value(out.features).clone(),
+        domain_logits: out.domain_logits.map(|d| g.value(d).clone()),
+    };
+    g.finish();
+    result
 }
 
 impl<T: FakeNewsModel + ?Sized> FakeNewsModel for Box<T> {
@@ -157,6 +193,16 @@ impl<T: FakeNewsModel + ?Sized> FakeNewsModel for Box<T> {
         batch: &Batch,
     ) -> InferenceOutput {
         (**self).infer(store, pool, batch)
+    }
+
+    fn infer_with_threads(
+        &self,
+        store: &mut ParamStore,
+        pool: &mut BufferPool,
+        batch: &Batch,
+        threads: usize,
+    ) -> InferenceOutput {
+        (**self).infer_with_threads(store, pool, batch, threads)
     }
 }
 

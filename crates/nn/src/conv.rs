@@ -1,4 +1,15 @@
 //! TextCNN-style convolutional sequence encoders (Kim, 2014).
+//!
+//! The convolution itself runs as **im2row → blocked GEMM**: the graph op
+//! behind [`dtdbd_tensor::Graph::conv1d`] unfolds the `[b, s, d]` input into
+//! a `[b·(s-k+1), k·d]` row matrix (each window one contiguous memcpy,
+//! because windows are contiguous in a row-major `[s, d]` layout), seeds the
+//! output with the bias, and accumulates the `[oc, k·d]` weight through the
+//! fused `A·Bᵀ` kernel. Per output element the arithmetic order is exactly
+//! the naive nested-loop order (`bias + Σ x·w` over ascending `(ki, j)`),
+//! so the GEMM form is bit-identical to a direct convolution — and, by the
+//! kernels' determinism contract, bit-identical at any intra-op thread
+//! count. `conv_matches_naive_reference_bit_for_bit` below pins both.
 
 use dtdbd_tensor::init;
 use dtdbd_tensor::rng::Prng;
@@ -201,6 +212,62 @@ mod tests {
             "rel err {}",
             report.max_rel_error
         );
+    }
+
+    #[test]
+    fn conv_matches_naive_reference_bit_for_bit() {
+        // Direct nested-loop convolution, the pre-im2row arithmetic.
+        fn naive_conv1d(
+            x: &[f32],
+            w: &[f32],
+            bias: &[f32],
+            (b, s, d): (usize, usize, usize),
+            (oc, k): (usize, usize),
+        ) -> Vec<f32> {
+            let out_s = s - k + 1;
+            let mut out = vec![0.0f32; b * out_s * oc];
+            for i in 0..b {
+                for t in 0..out_s {
+                    for o in 0..oc {
+                        let mut acc = bias[o];
+                        for ki in 0..k {
+                            let x_off = i * s * d + (t + ki) * d;
+                            let w_off = o * k * d + ki * d;
+                            for j in 0..d {
+                                acc += x[x_off + j] * w[w_off + j];
+                            }
+                        }
+                        out[i * out_s * oc + t * oc + o] = acc;
+                    }
+                }
+            }
+            out
+        }
+
+        let mut rng = Prng::new(6);
+        for (b, s, d, oc, k) in [(1, 3, 1, 1, 2), (3, 11, 5, 7, 3), (4, 16, 8, 6, 5)] {
+            let x = Tensor::randn(&[b, s, d], 1.0, &mut rng);
+            let w = Tensor::randn(&[oc, k, d], 0.5, &mut rng);
+            let bias = Tensor::randn(&[oc], 0.2, &mut rng);
+            let want = naive_conv1d(x.data(), w.data(), bias.data(), (b, s, d), (oc, k));
+            for threads in [1usize, 2, 4] {
+                let mut store = ParamStore::new();
+                let mut g = Graph::new(&mut store, false, 0);
+                g.set_threads(threads);
+                let xv = g.constant(x.clone());
+                let wv = g.constant(w.clone());
+                let bv = g.constant(bias.clone());
+                let y = g.conv1d(xv, wv, bv);
+                assert_eq!(g.value(y).shape(), &[b, s - k + 1, oc]);
+                for (i, (a, e)) in g.value(y).data().iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        e.to_bits(),
+                        "({b},{s},{d},{oc},{k}) t={threads} elem {i}: {a} vs {e}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! which concrete type is inside.
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::server::{BatchingConfig, PredictServer};
 use crate::session::InferenceSession;
 use dtdbd_models::{BiGruModel, FakeNewsModel, Mdfend, ModelConfig, TextCnnModel};
 use dtdbd_tensor::rng::Prng;
@@ -62,4 +63,107 @@ pub fn session_from_checkpoint(
     InferenceSession::from_checkpoint(checkpoint, |store, config| {
         build_model(&checkpoint.arch, store, config).expect("arch membership checked above")
     })
+}
+
+/// Fluent construction of a tuned [`PredictServer`].
+///
+/// [`PredictServer::start`] covers the default deployment; the builder adds
+/// the performance knobs introduced with the blocked/parallel kernels:
+///
+/// * **`threads`** — intra-op parallelism of each worker's compute kernels.
+///   Predictions are bit-identical at any setting (the kernels' determinism
+///   contract), so this is purely a throughput knob.
+/// * **`cache_capacity`** — bound of the content-hash → prediction LRU in
+///   front of the micro-batch queue (0 disables caching).
+///
+/// ```no_run
+/// # use dtdbd_serve::{Checkpoint, ServerBuilder};
+/// # fn demo(checkpoint: &Checkpoint) -> Result<(), dtdbd_serve::CheckpointError> {
+/// let server = ServerBuilder::new()
+///     .workers(2)
+///     .threads(4)
+///     .cache_capacity(8192)
+///     .start_from_checkpoint(checkpoint)?;
+/// # drop(server); Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerBuilder {
+    batching: BatchingConfig,
+    threads: usize,
+    cache_capacity: usize,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerBuilder {
+    /// A builder with [`BatchingConfig::default`] and the default tuning
+    /// (1 intra-op thread, 1024-entry prediction cache).
+    pub fn new() -> Self {
+        Self {
+            batching: BatchingConfig::default(),
+            threads: 1,
+            cache_capacity: crate::server::DEFAULT_CACHE_CAPACITY,
+        }
+    }
+
+    /// Replace the whole queue-coalescing configuration.
+    pub fn batching(mut self, config: BatchingConfig) -> Self {
+        self.batching = config;
+        self
+    }
+
+    /// Number of prediction worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.batching.workers = workers;
+        self
+    }
+
+    /// Largest batch a worker will assemble.
+    pub fn max_batch_size(mut self, max_batch_size: usize) -> Self {
+        self.batching.max_batch_size = max_batch_size;
+        self
+    }
+
+    /// How long a worker holding a non-full batch waits for companions.
+    pub fn max_wait(mut self, max_wait: std::time::Duration) -> Self {
+        self.batching.max_wait = max_wait;
+        self
+    }
+
+    /// Intra-op threads of each worker's compute kernels (clamped to ≥ 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Bound of the prediction cache in entries; 0 disables caching.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Start the server with a per-worker session factory.
+    pub fn start<M, F>(self, factory: F) -> PredictServer
+    where
+        M: FakeNewsModel + Send + 'static,
+        F: FnMut(usize) -> InferenceSession<M>,
+    {
+        PredictServer::start_tuned(self.batching, self.threads, self.cache_capacity, factory)
+    }
+
+    /// Start the server with every worker restoring the same checkpoint.
+    pub fn start_from_checkpoint(
+        self,
+        checkpoint: &Checkpoint,
+    ) -> Result<PredictServer, CheckpointError> {
+        // Restore once up front so a bad checkpoint fails fast instead of
+        // panicking inside a worker factory.
+        let probe = session_from_checkpoint(checkpoint)?;
+        drop(probe);
+        Ok(self.start(|_| session_from_checkpoint(checkpoint).expect("checkpoint probed above")))
+    }
 }

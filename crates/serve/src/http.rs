@@ -416,11 +416,22 @@ impl HttpStats {
             ("requests_served".into(), num(serving.requests_served)),
             ("batches".into(), num(serving.batches)),
             ("workers".into(), num(serving.workers as u64)),
+            ("threads".into(), num(serving.threads as u64)),
             (
                 "pool".into(),
                 Json::Obj(vec![
                     ("reuse_hits".into(), num(serving.pool_reuse_hits)),
                     ("alloc_misses".into(), num(serving.pool_alloc_misses)),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), num(serving.cache.hits)),
+                    ("misses".into(), num(serving.cache.misses)),
+                    ("evictions".into(), num(serving.cache.evictions)),
+                    ("entries".into(), num(serving.cache.entries as u64)),
+                    ("capacity".into(), num(serving.cache.capacity as u64)),
                 ]),
             ),
             (
@@ -1150,6 +1161,25 @@ mod tests {
         let endpoints = doc.get("endpoints").unwrap();
         assert_eq!(endpoints.get("predict").and_then(Json::as_u64), Some(1));
         assert_eq!(endpoints.get("healthz").and_then(Json::as_u64), Some(1));
+        // Kernel/cache tuning is visible on the wire.
+        assert!(doc.get("threads").and_then(Json::as_u64).unwrap() >= 1);
+        let cache = doc.get("cache").unwrap();
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1));
+        assert!(cache.get("capacity").and_then(Json::as_u64).unwrap() > 0);
+        // The same item again is a cache hit, bit-identical on the wire.
+        let again = client.post("/predict", &body).unwrap();
+        assert_eq!(again.status, 200);
+        let again_prob = again
+            .json()
+            .unwrap()
+            .get("fake_prob")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!(again_prob.to_bits(), prob.to_bits());
+        let doc = client.get("/stats").unwrap().json().unwrap();
+        let cache = doc.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

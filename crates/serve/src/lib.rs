@@ -39,6 +39,7 @@
 //! ```
 
 pub mod builder;
+pub mod cache;
 pub mod checkpoint;
 pub mod codec;
 pub mod http;
@@ -46,7 +47,10 @@ pub mod json;
 pub mod server;
 pub mod session;
 
-pub use builder::{build_model, session_from_checkpoint, BoxedModel, SUPPORTED_ARCHS};
+pub use builder::{
+    build_model, session_from_checkpoint, BoxedModel, ServerBuilder, SUPPORTED_ARCHS,
+};
+pub use cache::{CacheKey, CacheStats, PredictionCache};
 pub use checkpoint::{Checkpoint, CheckpointError, FORMAT_VERSION, MAGIC};
 pub use http::{ClientResponse, HttpClient, HttpConfig, HttpServer};
 pub use server::{BatchingConfig, PredictServer, PredictionHandle, ServingStats};

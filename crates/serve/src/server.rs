@@ -9,9 +9,17 @@
 //! forward pass, and fans the per-item [`Prediction`]s back out to the
 //! waiting clients.
 //!
+//! In front of the queue sits a bounded **prediction cache**
+//! ([`crate::cache::PredictionCache`]): a request whose canonical content
+//! was answered before resolves immediately — bit-identical to a fresh
+//! forward pass, because the engine is deterministic — without touching the
+//! queue or a worker. Tune it (and the per-worker intra-op `threads` knob)
+//! through [`crate::ServerBuilder`].
+//!
 //! Shutdown is graceful: [`PredictServer::shutdown`] (also invoked by drop)
 //! stops intake, lets the workers drain every queued request, and joins them.
 
+use crate::cache::{CacheKey, CacheStats, PredictionCache};
 use crate::session::{InferenceSession, Prediction};
 use dtdbd_data::{EncodedRequest, InferenceRequest, RequestEncoder, RequestError};
 use dtdbd_models::FakeNewsModel;
@@ -21,6 +29,10 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Prediction-cache bound [`PredictServer::start`] uses; `ServerBuilder`
+/// overrides it (0 disables the cache).
+pub(crate) const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
 /// Queue-coalescing knobs.
 #[derive(Debug, Clone)]
@@ -45,6 +57,9 @@ impl Default for BatchingConfig {
 
 struct Job {
     request: EncodedRequest,
+    /// Cache key of the request, carried so the worker can populate the
+    /// cache after predicting. `None` when the cache is disabled.
+    key: Option<CacheKey>,
     reply: mpsc::Sender<Prediction>,
 }
 
@@ -67,6 +82,10 @@ struct Shared {
     state: Mutex<QueueState>,
     available: Condvar,
     counters: Vec<WorkerCounters>,
+    /// Content-hash → prediction LRU in front of the queue; `None` when
+    /// disabled. Locked briefly on submit (lookup) and once per batch
+    /// (insert) — never across a forward pass.
+    cache: Option<Mutex<PredictionCache>>,
 }
 
 /// A point-in-time snapshot of the serving core's load and memory behaviour,
@@ -75,7 +94,7 @@ struct Shared {
 pub struct ServingStats {
     /// Requests queued but not yet picked up by a worker.
     pub queue_depth: usize,
-    /// Items predicted so far, over all workers.
+    /// Items answered so far: worker forward passes plus cache hits.
     pub requests_served: u64,
     /// Forward passes run so far (each serves one coalesced batch).
     pub batches: u64,
@@ -85,6 +104,10 @@ pub struct ServingStats {
     pub pool_alloc_misses: u64,
     /// Number of worker threads.
     pub workers: usize,
+    /// Intra-op threads each worker's compute kernels may use.
+    pub threads: usize,
+    /// Prediction-cache counters (all zeros when the cache is disabled).
+    pub cache: CacheStats,
 }
 
 /// An in-flight prediction; resolve it with [`PredictionHandle::wait`].
@@ -113,24 +136,45 @@ impl PredictionHandle {
 pub struct PredictServer {
     shared: Arc<Shared>,
     encoder: RequestEncoder,
+    threads: usize,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl PredictServer {
-    /// Start `config.workers` worker threads. `factory` is called once per
-    /// worker (with the worker index) to build that worker's private
-    /// [`InferenceSession`]; sessions never share mutable state, so no lock
-    /// is held during a forward pass.
+    /// Start `config.workers` worker threads with the default tuning: one
+    /// intra-op thread per worker and a [`DEFAULT_CACHE_CAPACITY`]-entry
+    /// prediction cache. `factory` is called once per worker (with the
+    /// worker index) to build that worker's private [`InferenceSession`];
+    /// sessions never share mutable state, so no lock is held during a
+    /// forward pass. Use [`crate::ServerBuilder`] to tune the cache bound
+    /// and intra-op threads.
     ///
     /// # Panics
     /// Panics if `config.workers` or `config.max_batch_size` is zero.
-    pub fn start<M, F>(config: BatchingConfig, mut factory: F) -> Self
+    pub fn start<M, F>(config: BatchingConfig, factory: F) -> Self
+    where
+        M: FakeNewsModel + Send + 'static,
+        F: FnMut(usize) -> InferenceSession<M>,
+    {
+        Self::start_tuned(config, 1, DEFAULT_CACHE_CAPACITY, factory)
+    }
+
+    /// [`PredictServer::start`] with explicit intra-op `threads` per worker
+    /// and prediction-cache capacity (0 disables the cache). This is what
+    /// [`crate::ServerBuilder`] calls.
+    pub(crate) fn start_tuned<M, F>(
+        config: BatchingConfig,
+        threads: usize,
+        cache_capacity: usize,
+        mut factory: F,
+    ) -> Self
     where
         M: FakeNewsModel + Send + 'static,
         F: FnMut(usize) -> InferenceSession<M>,
     {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.max_batch_size > 0, "max_batch_size must be positive");
+        let threads = threads.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -140,11 +184,13 @@ impl PredictServer {
             counters: (0..config.workers)
                 .map(|_| WorkerCounters::default())
                 .collect(),
+            cache: (cache_capacity > 0).then(|| Mutex::new(PredictionCache::new(cache_capacity))),
         });
         let mut encoder = None;
         let workers = (0..config.workers)
             .map(|worker_id| {
-                let session = factory(worker_id);
+                let mut session = factory(worker_id);
+                session.set_threads(threads);
                 encoder.get_or_insert_with(|| session.encoder().clone());
                 let shared = Arc::clone(&shared);
                 let config = config.clone();
@@ -154,6 +200,7 @@ impl PredictServer {
         Self {
             shared,
             encoder: encoder.expect("at least one worker"),
+            threads,
             workers,
         }
     }
@@ -166,12 +213,29 @@ impl PredictServer {
     }
 
     /// Enqueue an already-validated request (the HTTP front-end validates
-    /// whole batches up front and then submits them with this).
+    /// whole batches up front and then submits them with this). A request
+    /// whose content is in the prediction cache resolves immediately —
+    /// bit-identical to a fresh forward pass — without entering the queue.
     pub fn submit_encoded(&self, request: EncodedRequest) -> PredictionHandle {
         let (tx, rx) = mpsc::channel();
+        let key = match self.shared.cache.as_ref() {
+            Some(cache) => {
+                let key = CacheKey::of(&request);
+                if let Some(hit) = cache.lock().expect("cache poisoned").get(&key) {
+                    let _ = tx.send(hit);
+                    return PredictionHandle { reply: rx };
+                }
+                Some(key)
+            }
+            None => None,
+        };
         {
             let mut state = self.shared.state.lock().expect("queue poisoned");
-            state.jobs.push_back(Job { request, reply: tx });
+            state.jobs.push_back(Job {
+                request,
+                key,
+                reply: tx,
+            });
         }
         self.shared.available.notify_one();
         PredictionHandle { reply: rx }
@@ -192,16 +256,25 @@ impl PredictServer {
         &self.encoder
     }
 
-    /// Aggregate load and buffer-pool statistics over every worker.
+    /// Aggregate load, buffer-pool and prediction-cache statistics over
+    /// every worker.
     pub fn stats(&self) -> ServingStats {
         let queue_depth = self.queue_depth();
+        let cache = self
+            .shared
+            .cache
+            .as_ref()
+            .map(|c| c.lock().expect("cache poisoned").stats())
+            .unwrap_or_default();
         let mut stats = ServingStats {
             queue_depth,
-            requests_served: 0,
+            requests_served: cache.hits,
             batches: 0,
             pool_reuse_hits: 0,
             pool_alloc_misses: 0,
             workers: self.shared.counters.len(),
+            threads: self.threads,
+            cache,
         };
         for counters in &self.shared.counters {
             stats.requests_served += counters.requests.load(Ordering::Relaxed);
@@ -294,6 +367,17 @@ fn worker_loop<M: FakeNewsModel>(
         let (hits, misses) = session.pool_stats();
         counters.pool_reuse_hits.store(hits, Ordering::Relaxed);
         counters.pool_alloc_misses.store(misses, Ordering::Relaxed);
+        // Populate the prediction cache before fanning out, one lock for the
+        // whole batch. Duplicate in-flight requests may both reach here;
+        // the second insert overwrites with bit-identical content.
+        if let Some(cache) = shared.cache.as_ref() {
+            let mut cache = cache.lock().expect("cache poisoned");
+            for (job, prediction) in jobs.iter().zip(predictions.iter()) {
+                if let Some(key) = &job.key {
+                    cache.insert(key.clone(), prediction.clone());
+                }
+            }
+        }
         for (job, prediction) in jobs.into_iter().zip(predictions) {
             // A client may have abandoned its handle; that is not an error.
             let _ = job.reply.send(prediction);
@@ -452,6 +536,60 @@ mod tests {
         let via_encoded = server.submit_encoded(encoded).wait();
         let via_raw = server.predict(&request).unwrap();
         assert_eq!(via_encoded.fake_prob.to_bits(), via_raw.fake_prob.to_bits());
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_to_the_miss_path_and_counted() {
+        let ds = dataset();
+        let server = start_server(&ds, BatchingConfig::default());
+        let request = request_for(&ds, 0);
+        let miss = server.predict(&request).unwrap();
+        let hit = server.predict(&request).unwrap();
+        assert_eq!(miss.fake_prob.to_bits(), hit.fake_prob.to_bits());
+        assert_eq!(miss.logits[0].to_bits(), hit.logits[0].to_bits());
+        assert_eq!(miss.logits[1].to_bits(), hit.logits[1].to_bits());
+        let stats = server.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.cache.entries, 1);
+        assert_eq!(stats.requests_served, 2, "hits count as served requests");
+        // A different item misses again.
+        server.predict(&request_for(&ds, 1)).unwrap();
+        assert_eq!(server.stats().cache.misses, 2);
+    }
+
+    #[test]
+    fn builder_can_disable_the_cache_and_raise_threads() {
+        use crate::builder::ServerBuilder;
+        let ds = dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let build = |threads: usize, cache: usize| {
+            ServerBuilder::new()
+                .workers(1)
+                .threads(threads)
+                .cache_capacity(cache)
+                .start(|_| {
+                    let mut store = ParamStore::new();
+                    let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
+                    InferenceSession::new(model, store)
+                })
+        };
+        let uncached = build(1, 0);
+        let request = request_for(&ds, 0);
+        let first = uncached.predict(&request).unwrap();
+        let second = uncached.predict(&request).unwrap();
+        assert_eq!(first.fake_prob.to_bits(), second.fake_prob.to_bits());
+        let stats = uncached.stats();
+        assert_eq!(stats.cache.capacity, 0, "cache disabled");
+        assert_eq!(stats.cache.hits, 0);
+        assert_eq!(stats.requests_served, 2);
+        drop(uncached);
+
+        // Intra-op threads change throughput, never bits.
+        let threaded = build(4, 0);
+        let parallel = threaded.predict(&request).unwrap();
+        assert_eq!(threaded.stats().threads, 4);
+        assert_eq!(first.fake_prob.to_bits(), parallel.fake_prob.to_bits());
     }
 
     #[test]

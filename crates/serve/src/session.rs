@@ -37,6 +37,7 @@ pub struct InferenceSession<M> {
     pool: BufferPool,
     encoder: RequestEncoder,
     requests_served: u64,
+    threads: usize,
 }
 
 impl<M: FakeNewsModel> InferenceSession<M> {
@@ -50,7 +51,20 @@ impl<M: FakeNewsModel> InferenceSession<M> {
             pool: BufferPool::new(),
             encoder,
             requests_served: 0,
+            threads: 1,
         }
+    }
+
+    /// Set the intra-op thread count the compute kernels may use per forward
+    /// pass (clamped to at least 1). Predictions are bit-identical at any
+    /// setting; the knob only changes throughput.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Intra-op thread count of this session's forward passes.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Rebuild a model from a checkpoint: `build` constructs the
@@ -90,7 +104,9 @@ impl<M: FakeNewsModel> InferenceSession<M> {
 
     /// Run tape-free inference on a pre-assembled batch.
     pub fn predict_batch(&mut self, batch: &Batch) -> Vec<Prediction> {
-        let output = self.model.infer(&mut self.store, &mut self.pool, batch);
+        let output =
+            self.model
+                .infer_with_threads(&mut self.store, &mut self.pool, batch, self.threads);
         self.requests_served += batch.batch_size as u64;
         let probs = output.logits.softmax_rows();
         let domain_scores = output.domain_scores();

@@ -24,6 +24,7 @@
 //! allocating per call. (Letting an inference graph fall out of scope
 //! without `finish` is safe but skips the recycling.)
 
+use crate::kernels;
 use crate::params::{ParamId, ParamStore};
 use crate::pool::BufferPool;
 use crate::rng::Prng;
@@ -126,6 +127,11 @@ pub struct Graph<'s> {
     tape: bool,
     pool: Option<&'s mut BufferPool>,
     rng: Prng,
+    /// Intra-op parallelism: how many threads the compute kernels (GEMM,
+    /// conv, gather, elementwise, softmax) may fan out to. Results are
+    /// bit-identical at any setting (see [`crate::kernels`]); this is purely
+    /// a throughput knob. Defaults to 1.
+    threads: usize,
 }
 
 impl<'s> Graph<'s> {
@@ -139,6 +145,7 @@ impl<'s> Graph<'s> {
             tape: true,
             pool: None,
             rng: Prng::new(seed),
+            threads: 1,
         }
     }
 
@@ -153,7 +160,19 @@ impl<'s> Graph<'s> {
             tape: false,
             pool: Some(pool),
             rng: Prng::new(0),
+            threads: 1,
         }
+    }
+
+    /// Set the intra-op thread count for this graph's kernels (clamped to at
+    /// least 1). Outputs are bit-identical at any setting.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Intra-op thread count kernels launched from this graph may use.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Whether the graph was created in training mode.
@@ -261,6 +280,16 @@ impl<'s> Graph<'s> {
         }
     }
 
+    /// A length-`n` scratch buffer with arbitrary contents, for destinations
+    /// every element of which is overwritten (skips `alloc_zeroed`'s memset
+    /// on the pooled steady state).
+    fn alloc_for_overwrite(&mut self, n: usize) -> Vec<f32> {
+        match self.pool.as_mut() {
+            Some(pool) => pool.take_for_overwrite(n),
+            None => vec![0.0; n],
+        }
+    }
+
     /// Scratch buffer initialised as a copy of node `x`'s value.
     fn alloc_copy_of(&mut self, x: Var) -> Vec<f32> {
         let n = self.nodes[x.0].value.numel();
@@ -269,20 +298,19 @@ impl<'s> Graph<'s> {
         buf
     }
 
-    /// Unary elementwise op through the scratch allocator.
-    fn unary_map(&mut self, x: Var, op: Op, f: impl Fn(f32) -> f32) -> Var {
+    /// Unary elementwise op through the scratch allocator (parallel chunks
+    /// when the graph's `threads` knob allows).
+    fn unary_map(&mut self, x: Var, op: Op, f: impl Fn(f32) -> f32 + Sync) -> Var {
         let n = self.nodes[x.0].value.numel();
         let shape = self.nodes[x.0].value.shape().to_vec();
-        let mut out = self.alloc_zeroed(n);
-        for (o, &v) in out.iter_mut().zip(self.nodes[x.0].value.data()) {
-            *o = f(v);
-        }
+        let mut out = self.alloc_for_overwrite(n);
+        kernels::map_into(&mut out, self.nodes[x.0].value.data(), self.threads, &f);
         let rg = self.tape && self.nodes[x.0].requires_grad;
         self.push(Tensor::new(shape, out), op, &[x.0], None, rg)
     }
 
     /// Binary elementwise op (same shapes) through the scratch allocator.
-    fn binary_zip(&mut self, a: Var, b: Var, op: Op, f: impl Fn(f32, f32) -> f32) -> Var {
+    fn binary_zip(&mut self, a: Var, b: Var, op: Op, f: impl Fn(f32, f32) -> f32 + Sync) -> Var {
         assert_eq!(
             self.nodes[a.0].value.shape(),
             self.nodes[b.0].value.shape(),
@@ -292,16 +320,24 @@ impl<'s> Graph<'s> {
         );
         let n = self.nodes[a.0].value.numel();
         let shape = self.nodes[a.0].value.shape().to_vec();
-        let mut out = self.alloc_zeroed(n);
-        for ((o, &x), &y) in out
-            .iter_mut()
-            .zip(self.nodes[a.0].value.data())
-            .zip(self.nodes[b.0].value.data())
-        {
-            *o = f(x, y);
-        }
+        let mut out = self.alloc_for_overwrite(n);
+        kernels::zip_into(
+            &mut out,
+            self.nodes[a.0].value.data(),
+            self.nodes[b.0].value.data(),
+            self.threads,
+            &f,
+        );
         let rg = self.any_requires_grad(&[a.0, b.0]);
         self.push(Tensor::new(shape, out), op, &[a.0, b.0], None, rg)
+    }
+
+    /// Hand a finished scratch buffer (e.g. a GEMM pack panel or an im2row
+    /// expansion) back to the pool so the next op reuses it.
+    fn release_scratch(&mut self, scratch: Vec<f32>) {
+        if let Some(pool) = self.pool.as_mut() {
+            pool.give(scratch);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -389,16 +425,42 @@ impl<'s> Graph<'s> {
         self.affine(x, -1.0, 1.0)
     }
 
-    /// Matrix product of 2-D tensors.
+    /// Matrix product of 2-D tensors, through the cache-blocked parallel
+    /// GEMM; the pack scratch is recycled through the buffer pool on
+    /// inference graphs so the serving hot path stays allocation-free.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         assert_eq!(self.nodes[a.0].value.ndim(), 2, "matmul lhs must be 2-D");
         assert_eq!(self.nodes[b.0].value.ndim(), 2, "matmul rhs must be 2-D");
-        let m = self.nodes[a.0].value.shape()[0];
+        let (m, k) = {
+            let s = self.nodes[a.0].value.shape();
+            (s[0], s[1])
+        };
         let n = self.nodes[b.0].value.shape()[1];
         let mut out = self.alloc_zeroed(m * n);
-        self.nodes[a.0]
-            .value
-            .matmul_into(&self.nodes[b.0].value, &mut out);
+        // The kernel only packs (and touches scratch) for tall products;
+        // skip the buffer request otherwise so small serving matmuls don't
+        // churn the pool.
+        let mut scratch = if kernels::gemm_packs(m) {
+            self.alloc_for_overwrite(kernels::packed_len(k, n))
+        } else {
+            Vec::new()
+        };
+        assert_eq!(
+            self.nodes[b.0].value.shape()[0],
+            k,
+            "matmul inner dimension mismatch"
+        );
+        kernels::gemm_into(
+            m,
+            k,
+            n,
+            self.nodes[a.0].value.data(),
+            self.nodes[b.0].value.data(),
+            &mut out,
+            self.threads,
+            &mut scratch,
+        );
+        self.release_scratch(scratch);
         let value = Tensor::new(vec![m, n], out);
         let rg = self.any_requires_grad(&[a.0, b.0]);
         self.push(value, Op::Matmul, &[a.0, b.0], None, rg)
@@ -428,12 +490,21 @@ impl<'s> Graph<'s> {
         self.unary_map(x, Op::LogEps { eps }, |v| (v + eps).ln())
     }
 
-    /// Softmax over the last dimension.
+    /// Softmax over the last dimension (rows fan out across the intra-op
+    /// pool; per-row arithmetic is unchanged, so results are bit-identical
+    /// at any thread count).
     pub fn softmax(&mut self, x: Var) -> Var {
         let n = self.nodes[x.0].value.numel();
         let shape = self.nodes[x.0].value.shape().to_vec();
-        let mut out = self.alloc_zeroed(n);
-        rowwise_softmax_into(&self.nodes[x.0].value, &mut out);
+        let (rows, cols) = as_rows_cols(&shape);
+        let mut out = self.alloc_for_overwrite(n);
+        kernels::softmax_rows_into(
+            rows,
+            cols,
+            self.nodes[x.0].value.data(),
+            &mut out,
+            self.threads,
+        );
         let rg = self.tape && self.nodes[x.0].requires_grad;
         self.push(Tensor::new(shape, out), Op::Softmax, &[x.0], None, rg)
     }
@@ -442,8 +513,15 @@ impl<'s> Graph<'s> {
     pub fn log_softmax(&mut self, x: Var) -> Var {
         let n = self.nodes[x.0].value.numel();
         let shape = self.nodes[x.0].value.shape().to_vec();
-        let mut out = self.alloc_zeroed(n);
-        rowwise_log_softmax_into(&self.nodes[x.0].value, &mut out);
+        let (rows, cols) = as_rows_cols(&shape);
+        let mut out = self.alloc_for_overwrite(n);
+        kernels::log_softmax_rows_into(
+            rows,
+            cols,
+            self.nodes[x.0].value.data(),
+            &mut out,
+            self.threads,
+        );
         let rg = self.tape && self.nodes[x.0].requires_grad;
         self.push(Tensor::new(shape, out), Op::LogSoftmax, &[x.0], None, rg)
     }
@@ -570,13 +648,17 @@ impl<'s> Graph<'s> {
         );
         let vocab = self.store.value(table).shape()[0];
         let emb = self.store.value(table).shape()[1];
-        let mut data = self.alloc_zeroed(batch * seq * emb);
-        let tbl = self.store.value(table).data();
-        for (r, &id) in ids.iter().enumerate() {
-            let id = id as usize;
-            assert!(id < vocab, "token id {id} out of vocabulary ({vocab})");
-            data[r * emb..(r + 1) * emb].copy_from_slice(&tbl[id * emb..(id + 1) * emb]);
+        let mut data = self.alloc_for_overwrite(batch * seq * emb);
+        if let Some(&id) = ids.iter().find(|&&id| id as usize >= vocab) {
+            panic!("token id {id} out of vocabulary ({vocab})");
         }
+        kernels::gather_rows(
+            self.store.value(table).data(),
+            emb,
+            ids,
+            &mut data,
+            self.threads,
+        );
         let value = Tensor::new(vec![batch, seq, emb], data);
         let requires = self.tape && self.store.get(table).trainable;
         // The ids are only needed to route gradients; skip the copy on
@@ -673,7 +755,14 @@ impl<'s> Graph<'s> {
         self.push(value, Op::MaxOverTime { argmax }, &[x.0], None, rg)
     }
 
-    /// 1-D convolution over the time dimension.
+    /// 1-D convolution over the time dimension, computed as
+    /// im2row → blocked GEMM: the `[b, s, d]` input unfolds into a
+    /// `[b·(s-k+1), k·d]` row matrix (each row one contiguous memcpy), the
+    /// output is seeded with the bias, and [`kernels::gemm_abt_into`]
+    /// accumulates against the `[oc, k·d]` weight. Per output element the
+    /// arithmetic is `bias + Σ x·w` over ascending `(ki, j)` — exactly the
+    /// naive nested-loop order, so the rewrite is bit-identical to it (and
+    /// to itself at any thread count).
     ///
     /// * `x`: `[b, s, d]`
     /// * `weight`: `[out_channels, k, d]`
@@ -697,25 +786,33 @@ impl<'s> Graph<'s> {
             (b, s, d, oc, k)
         };
         let out_s = s - k + 1;
-        let mut data = self.alloc_zeroed(b * out_s * oc);
-        let xd = self.nodes[x.0].value.data();
-        let wd = self.nodes[weight.0].value.data();
-        let bd = self.nodes[bias.0].value.data();
-        for i in 0..b {
-            for t in 0..out_s {
-                for o in 0..oc {
-                    let mut acc = bd[o];
-                    for ki in 0..k {
-                        let x_off = i * s * d + (t + ki) * d;
-                        let w_off = o * k * d + ki * d;
-                        for j in 0..d {
-                            acc += xd[x_off + j] * wd[w_off + j];
-                        }
-                    }
-                    data[i * out_s * oc + t * oc + o] = acc;
-                }
+        let rows = b * out_s;
+        let width = k * d;
+        let threads = self.threads;
+        let mut data = self.alloc_for_overwrite(rows * oc);
+        let mut unfolded = self.alloc_for_overwrite(rows * width);
+        let mut scratch = self.alloc_for_overwrite(kernels::packed_len(width, oc));
+        {
+            let xd = self.nodes[x.0].value.data();
+            let wd = self.nodes[weight.0].value.data();
+            let bd = self.nodes[bias.0].value.data();
+            kernels::im2row(xd, b, s, d, k, &mut unfolded, threads);
+            for row in data.chunks_exact_mut(oc) {
+                row.copy_from_slice(bd);
             }
+            kernels::gemm_abt_into(
+                rows,
+                width,
+                oc,
+                &unfolded,
+                wd,
+                &mut data,
+                threads,
+                &mut scratch,
+            );
         }
+        self.release_scratch(unfolded);
+        self.release_scratch(scratch);
         let value = Tensor::new(vec![b, out_s, oc], data);
         let rg = self.any_requires_grad(&[x.0, weight.0, bias.0]);
         self.push(value, Op::Conv1d, &[x.0, weight.0, bias.0], None, rg)
@@ -913,10 +1010,12 @@ impl<'s> Graph<'s> {
                 self.accumulate(grads, inputs[0], grad.scale(*a));
             }
             Op::Matmul => {
+                // Fused-transpose GEMMs: bit-identical to the explicit
+                // `grad·bᵀ` / `aᵀ·grad` products, minus the transpose copies.
                 let a = &self.nodes[inputs[0]].value;
                 let b = &self.nodes[inputs[1]].value;
-                let da = grad.matmul(&b.transpose2());
-                let db = a.transpose2().matmul(grad);
+                let da = grad.matmul_transb(b);
+                let db = a.matmul_transa(grad);
                 self.accumulate(grads, inputs[0], da);
                 self.accumulate(grads, inputs[1], db);
             }
@@ -1195,41 +1294,11 @@ impl<'s> Graph<'s> {
     }
 }
 
-fn rowwise_softmax_into(x: &Tensor, out: &mut [f32]) {
-    let (rows, cols) = as_rows_cols(x.shape());
-    debug_assert_eq!(out.len(), x.numel());
-    for r in 0..rows {
-        let row = &x.data()[r * cols..(r + 1) * cols];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut z = 0.0f32;
-        for c in 0..cols {
-            let e = (row[c] - m).exp();
-            out[r * cols + c] = e;
-            z += e;
-        }
-        for c in 0..cols {
-            out[r * cols + c] /= z;
-        }
-    }
-}
-
 fn rowwise_softmax(x: &Tensor) -> Tensor {
-    let mut out = vec![0.0f32; x.numel()];
-    rowwise_softmax_into(x, &mut out);
-    Tensor::new(x.shape().to_vec(), out)
-}
-
-fn rowwise_log_softmax_into(x: &Tensor, out: &mut [f32]) {
     let (rows, cols) = as_rows_cols(x.shape());
-    debug_assert_eq!(out.len(), x.numel());
-    for r in 0..rows {
-        let row = &x.data()[r * cols..(r + 1) * cols];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let logz = row.iter().map(|v| (v - m).exp()).sum::<f32>().ln() + m;
-        for c in 0..cols {
-            out[r * cols + c] = row[c] - logz;
-        }
-    }
+    let mut out = vec![0.0f32; x.numel()];
+    kernels::softmax_rows_into(rows, cols, x.data(), &mut out, 1);
+    Tensor::new(x.shape().to_vec(), out)
 }
 
 #[cfg(test)]
@@ -1630,6 +1699,41 @@ mod tests {
             g.finish();
         }
         assert_eq!(store.grad(w).data(), &[0.0]);
+    }
+
+    #[test]
+    fn forward_is_bit_identical_at_any_thread_count() {
+        let mut rng = Prng::new(77);
+        let mut store = ParamStore::new();
+        let emb = store.add("emb", Tensor::randn(&[50, 16], 0.5, &mut rng));
+        let w = store.add("w", Tensor::randn(&[8 * 16, 32], 0.3, &mut rng));
+        let cw = store.add("cw", Tensor::randn(&[6, 3, 16], 0.4, &mut rng));
+        let cb = store.add("cb", Tensor::randn(&[6], 0.1, &mut rng));
+        let ids: Vec<u32> = (0..4 * 8).map(|i| (i * 7 % 50) as u32).collect();
+
+        let run = |store: &mut ParamStore, threads: usize| {
+            let mut g = Graph::new(store, false, 0);
+            g.set_threads(threads);
+            assert_eq!(g.threads(), threads.max(1));
+            let e = g.embedding(emb, &ids, 4, 8);
+            let cwv = g.param(cw);
+            let cbv = g.param(cb);
+            let conv = g.conv1d(e, cwv, cbv);
+            let conv = g.relu(conv);
+            let pooled = g.max_over_time(conv);
+            let flat = g.reshape(e, &[4, 8 * 16]);
+            let wv = g.param(w);
+            let h = g.matmul(flat, wv);
+            let h = g.tanh(h);
+            let s = g.softmax(h);
+            let mut bits: Vec<u32> = g.value(s).data().iter().map(|v| v.to_bits()).collect();
+            bits.extend(g.value(pooled).data().iter().map(|v| v.to_bits()));
+            bits
+        };
+        let serial = run(&mut store, 1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run(&mut store, threads), serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,901 @@
+//! Cache-blocked, parallel compute kernels.
+//!
+//! This module is the compute layer behind [`crate::Tensor`] and
+//! [`crate::Graph`]: GEMM (plain, `A·Bᵀ` and `Aᵀ·B` variants), im2row for
+//! 1-D convolution, tiled transpose, elementwise maps, row-wise softmax and
+//! embedding gather. All kernels share two contracts:
+//!
+//! * **Accumulation order is fixed.** Every output element is produced by a
+//!   single accumulator that walks the contraction dimension in ascending
+//!   order, starting from the value already in the output buffer. The
+//!   blocked GEMM is therefore *bit-identical* to the naive i-k-j reference
+//!   ([`gemm_reference`]) for any tiling, and — because parallelism only
+//!   partitions output rows across threads — bit-identical at any thread
+//!   count. The property battery in `crates/tensor/tests/gemm_parity.rs`
+//!   holds the kernels to this.
+//! * **No hidden allocation.** Kernels that need scratch (the packed RHS
+//!   panel of the GEMMs, the im2row buffer) take a caller-provided `Vec`
+//!   that the serving path recycles through a [`crate::BufferPool`].
+//!
+//! The GEMM tiling: the RHS is packed once into row-panels of [`NR`]
+//! columns (`panel[p * NR + c] = b[p][j0 + c]`), so the micro-kernel streams
+//! both operands contiguously; the micro-kernel computes an [`MR`]`×`[`NR`]
+//! block of outputs in registers (`4 × 16` = eight 8-lane vectors on AVX2).
+//!
+//! On x86-64 the inner kernels are compiled twice — baseline SSE2 and an
+//! AVX2 variant selected once at runtime via `is_x86_feature_detected!`.
+//! The AVX2 path only widens the vectors; multiplies and adds stay separate
+//! instructions (Rust never contracts `a * b + c` into a fused
+//! multiply-add), so both paths execute the identical rounding sequence and
+//! the bit-exactness contract holds across ISAs as well as thread counts.
+
+use crate::par::{self, SendMutPtr};
+use std::ops::Range;
+
+/// Rows of the register-blocked GEMM micro-kernel (all ISA tiers; the
+/// AVX-512 tier widens each block to two panels instead of adding rows —
+/// taller accumulator sets spill under LLVM's current codegen).
+pub const MR: usize = 4;
+/// Upper bound on micro-kernel rows: sizes the stack-resident packed A
+/// block and the per-thread row-chunk minimum, leaving headroom for a
+/// future taller tier. No current tier runs blocks this tall.
+pub const MR512: usize = 8;
+/// Columns of the register-blocked GEMM micro-kernel (packed panel width).
+pub const NR: usize = 16;
+
+/// Minimum FLOP count (2·m·k·n) before a GEMM fans out to the pool.
+const PAR_MIN_FLOPS: usize = 128 * 1024;
+/// Minimum elements per chunk for elementwise / copy kernels.
+const PAR_MIN_ELEMS: usize = 8192;
+
+/// Scratch length needed to pack a `k × n` RHS (or its transpose).
+pub fn packed_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * k * NR
+}
+
+/// Reference GEMM: `out += A·B` with the plain i-k-j loop. This is the
+/// arithmetic the blocked kernels are bit-compared against.
+pub fn gemm_reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// The pre-overhaul kernel, kept verbatim as the benchmark baseline: the
+/// `a == 0.0` "sparsity" check costs a mispredicted branch per element on
+/// dense data and blocks the compiler from keeping the output row in
+/// registers across `p` iterations.
+pub fn gemm_naive_branchy(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Pack `B` (`k × n`, row-major) into NR-column row-panels.
+fn pack_b(k: usize, n: usize, b: &[f32], packed: &mut [f32], threads: usize) {
+    let panels = n.div_ceil(NR);
+    let min_panels = (PAR_MIN_ELEMS / (k * NR).max(1)).max(1);
+    let ptr = SendMutPtr(packed.as_mut_ptr());
+    par::for_each_chunk(panels, min_panels, threads, &|range: Range<usize>| {
+        let dst = unsafe { ptr.slice_mut(range.start * k * NR..range.end * k * NR) };
+        for (pi, jb) in range.enumerate() {
+            let j0 = jb * NR;
+            let jw = NR.min(n - j0);
+            let panel = &mut dst[pi * k * NR..(pi + 1) * k * NR];
+            for p in 0..k {
+                let row = &b[p * n + j0..p * n + j0 + jw];
+                let lane = &mut panel[p * NR..p * NR + NR];
+                lane[..jw].copy_from_slice(row);
+                lane[jw..].fill(0.0);
+            }
+        }
+    });
+}
+
+/// Pack `Bᵀ` where `B` is `n × k` row-major (so the packed logical matrix is
+/// `k × n`): `panel[p * NR + c] = b[(j0 + c) * k + p]`.
+fn pack_bt(k: usize, n: usize, b: &[f32], packed: &mut [f32], threads: usize) {
+    let panels = n.div_ceil(NR);
+    let min_panels = (PAR_MIN_ELEMS / (k * NR).max(1)).max(1);
+    let ptr = SendMutPtr(packed.as_mut_ptr());
+    par::for_each_chunk(panels, min_panels, threads, &|range: Range<usize>| {
+        let dst = unsafe { ptr.slice_mut(range.start * k * NR..range.end * k * NR) };
+        for (pi, jb) in range.enumerate() {
+            let j0 = jb * NR;
+            let jw = NR.min(n - j0);
+            let panel = &mut dst[pi * k * NR..(pi + 1) * k * NR];
+            for c in 0..NR {
+                if c < jw {
+                    let col = &b[(j0 + c) * k..(j0 + c) * k + k];
+                    for p in 0..k {
+                        panel[p * NR + c] = col[p];
+                    }
+                } else {
+                    for p in 0..k {
+                        panel[p * NR + c] = 0.0;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// `MRK × NR` register-blocked block over one `kc`-length contraction
+/// slice: accumulators load from `out`, walk the slice in ascending order,
+/// and store back once. `MRK` is a const so each ISA tier picks the tallest
+/// block its register file holds; per-element arithmetic order is
+/// independent of `MRK`. The A block arrives packed and interleaved
+/// (`apack[p * MRK + r]`), so each `p` step touches one A cache line
+/// instead of `MRK` strided rows.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel<const MRK: usize, const JP: usize>(
+    kc: usize,
+    n: usize,
+    apack: &[f32],
+    panel: &[f32],
+    bstride: usize,
+    pstep: usize,
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+) {
+    let mut acc = [[[0.0f32; NR]; JP]; MRK];
+    for (r, acc_row) in acc.iter_mut().enumerate() {
+        for (j, acc_panel) in acc_row.iter_mut().enumerate() {
+            let off = (i0 + r) * n + j0 + j * NR;
+            acc_panel.copy_from_slice(&out[off..off + NR]);
+        }
+    }
+    for p in 0..kc {
+        let a_lane = &apack[p * MRK..p * MRK + MRK];
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let av = a_lane[r];
+            for (j, acc_panel) in acc_row.iter_mut().enumerate() {
+                let b_lane = &panel[p * bstride + j * pstep..p * bstride + j * pstep + NR];
+                for c in 0..NR {
+                    acc_panel[c] += av * b_lane[c];
+                }
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        for (j, acc_panel) in acc_row.iter().enumerate() {
+            let off = (i0 + r) * n + j0 + j * NR;
+            out[off..off + NR].copy_from_slice(acc_panel);
+        }
+    }
+}
+
+/// Edge block (`mr < MRK` rows and/or `jw < NR` columns): scalar
+/// accumulators with the same ascending-contraction order, reading the
+/// interleaved A block.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn edge_kernel<const MRK: usize>(
+    kc: usize,
+    n: usize,
+    apack: &[f32],
+    mr: usize,
+    panel: &[f32],
+    bstride: usize,
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+    jw: usize,
+) {
+    for r in 0..mr {
+        for c in 0..jw {
+            let mut acc = out[(i0 + r) * n + j0 + c];
+            for p in 0..kc {
+                acc += apack[p * MRK + r] * panel[p * bstride + c];
+            }
+            out[(i0 + r) * n + j0 + c] = acc;
+        }
+    }
+}
+
+/// Run the blocked kernel over a strip of output rows. `out_rows` covers
+/// exactly `rows` (local row 0 = global row `rows.start`).
+#[inline(always)]
+fn macro_kernel_impl<const MRK: usize, const JP: usize>(
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &BSource<'_>,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+) {
+    let m_local = rows.len();
+    let a_rows = &a[rows.start * k..rows.end * k];
+    let panels = n.div_ceil(NR);
+    // Interleaved A block on the stack: apack[p * MRK + r] = A[i + r][p0 + p].
+    // KC-blocking bounds it; between KC slices the accumulators round-trip
+    // through `out`, which is exact, so the contraction order per element is
+    // still plain ascending k.
+    let mut apack = [0.0f32; KC * MR512];
+    let mut p0 = 0usize;
+    while p0 < k {
+        let kc = KC.min(k - p0);
+        let mut i = 0usize;
+        while i < m_local {
+            let mr = MRK.min(m_local - i);
+            for p in 0..kc {
+                for r in 0..mr {
+                    apack[p * MRK + r] = a_rows[(i + r) * k + p0 + p];
+                }
+            }
+            let mut jb = 0usize;
+            while jb < panels {
+                let j0 = jb * NR;
+                let (panel, bstride, pstep) = b.panel(k, n, jb, j0);
+                let panel = &panel[p0 * bstride..];
+                // A JP-wide block needs JP full panels; otherwise fall back
+                // to one panel (full or edge) at a time.
+                if mr == MRK && JP > 1 && j0 + JP * NR <= n {
+                    micro_kernel::<MRK, JP>(kc, n, &apack, panel, bstride, pstep, out_rows, i, j0);
+                    jb += JP;
+                    continue;
+                }
+                let jw = NR.min(n - j0);
+                if mr == MRK && jw == NR {
+                    micro_kernel::<MRK, 1>(kc, n, &apack, panel, bstride, pstep, out_rows, i, j0);
+                } else {
+                    edge_kernel::<MRK>(kc, n, &apack, mr, panel, bstride, out_rows, i, j0, jw);
+                }
+                jb += 1;
+            }
+            i += mr;
+        }
+        p0 += kc;
+    }
+}
+
+/// Contraction-dimension block length: bounds the stack-resident A block
+/// (`KC × MR512` floats) and keeps one B panel slice plus the A block in L1.
+const KC: usize = 256;
+
+/// Where the micro-kernel reads its RHS panels from: a packed buffer
+/// (lane stride [`NR`]) or the original row-major `B` (lane stride `n`).
+/// Both hand the kernel identical values in identical order; packing only
+/// changes memory locality, direct access skips the pack cost — the right
+/// choice for small-`m` products where packing is a large fraction of the
+/// work.
+enum BSource<'a> {
+    Packed(&'a [f32]),
+    Direct(&'a [f32]),
+}
+
+impl BSource<'_> {
+    /// Panel view starting at panel `jb`: `(slice, bstride, pstep)` such
+    /// that lane `c` of panel `jb + j` at contraction row `p` lives at
+    /// `slice[p * bstride + j * pstep + c]`.
+    #[inline(always)]
+    fn panel(&self, k: usize, n: usize, jb: usize, j0: usize) -> (&[f32], usize, usize) {
+        match self {
+            BSource::Packed(packed) => (&packed[jb * k * NR..], NR, k * NR),
+            BSource::Direct(b) => (&b[j0..], n, NR),
+        }
+    }
+}
+
+/// The strip kernel compiled with AVX2 codegen (wider vectors, same
+/// mul-then-add rounding sequence — see the module docs).
+///
+/// # Safety
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn macro_kernel_avx2(
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &BSource<'_>,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+) {
+    macro_kernel_impl::<MR, 1>(k, n, a, b, rows, out_rows);
+}
+
+/// The strip kernel compiled with AVX-512 codegen, running [`MR`]-row
+/// blocks over two panels at a time (eight accumulator vectors — taller
+/// row blocks spill under LLVM's current codegen, wider wins instead).
+///
+/// # Safety
+/// The caller must have verified AVX-512F support at runtime.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512f")]
+unsafe fn macro_kernel_avx512(
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &BSource<'_>,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+) {
+    macro_kernel_impl::<MR, 2>(k, n, a, b, rows, out_rows);
+}
+
+/// `true` once AVX2 has been detected at runtime (std caches the CPUID
+/// probe, so this is a load after the first call).
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[inline]
+fn have_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// `true` once AVX-512F has been detected at runtime.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[inline]
+fn have_avx512() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+}
+
+fn macro_kernel(
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &BSource<'_>,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if have_avx512() {
+            // SAFETY: AVX-512F support was just detected.
+            return unsafe { macro_kernel_avx512(k, n, a, b, rows, out_rows) };
+        }
+        if have_avx2() {
+            // SAFETY: AVX2 support was just detected.
+            return unsafe { macro_kernel_avx2(k, n, a, b, rows, out_rows) };
+        }
+    }
+    macro_kernel_impl::<MR, 1>(k, n, a, b, rows, out_rows);
+}
+
+fn run_blocked(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &BSource<'_>,
+    out: &mut [f32],
+    threads: usize,
+) {
+    let threads = effective_threads(threads, 2 * m * k * n);
+    let ptr = SendMutPtr(out.as_mut_ptr());
+    par::for_each_chunk(m, MR512, threads, &|rows: Range<usize>| {
+        let out_rows = unsafe { ptr.slice_mut(rows.start * n..rows.end * n) };
+        macro_kernel(k, n, a, b, rows, out_rows);
+    });
+}
+
+/// Packing `B` costs one extra pass over its `k·n` values; it pays off once
+/// the panels are re-read by enough output row blocks. Below this many row
+/// blocks the kernel reads `B` directly instead.
+const PACK_MIN_ROW_BLOCKS: usize = 16;
+
+/// Whether [`gemm_into`] will pack its RHS (and therefore touch the scratch
+/// buffer) for an `m`-row product. Callers that recycle scratch through a
+/// pool can skip requesting a buffer when this is `false`.
+pub fn gemm_packs(m: usize) -> bool {
+    m >= PACK_MIN_ROW_BLOCKS * MR512
+}
+
+/// Clamp a thread request to what can actually help: never more threads
+/// than hardware cores (oversubscribing a compute-bound kernel only adds
+/// handshake latency), and only one when the job is too small to amortise
+/// the pool wake-up. Results are unaffected either way.
+fn effective_threads(threads: usize, flops: usize) -> usize {
+    if flops < PAR_MIN_FLOPS {
+        return 1;
+    }
+    threads.min(par::max_threads()).max(1)
+}
+
+/// Blocked parallel GEMM: `out += A·B` with `A: m × k`, `B: k × n`.
+/// Bit-identical to [`gemm_reference`] at any thread count. `scratch` holds
+/// the packed RHS ([`packed_len`]`(k, n)` values) and is resized as needed —
+/// pass a recycled buffer to keep the hot path allocation-free.
+///
+/// # Panics
+/// Panics if a slice length disagrees with the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    threads: usize,
+    scratch: &mut Vec<f32>,
+) {
+    assert_eq!(a.len(), m * k, "gemm: lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm: output length mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if !gemm_packs(m) {
+        run_blocked(m, k, n, a, &BSource::Direct(b), out, threads);
+        return;
+    }
+    ensure_len(scratch, packed_len(k, n));
+    pack_b(k, n, b, scratch, threads);
+    run_blocked(m, k, n, a, &BSource::Packed(scratch), out, threads);
+}
+
+/// Grow `scratch` to at least `n` values without zero-filling what a pack
+/// is about to overwrite anyway (the packs write every slot, padding
+/// included).
+fn ensure_len(scratch: &mut Vec<f32>, n: usize) {
+    if scratch.len() < n {
+        scratch.resize(n, 0.0);
+    }
+}
+
+/// Blocked parallel `out += A·Bᵀ` with `A: m × k`, `B: n × k` — the fused
+/// variant that spares `Linear` backward and attention-style scores a
+/// materialised [`crate::Tensor::transpose2`] copy. Bit-identical to
+/// `gemm_reference(m, k, n, a, transpose(b), out)` at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_abt_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    threads: usize,
+    scratch: &mut Vec<f32>,
+) {
+    assert_eq!(a.len(), m * k, "gemm_abt: lhs length mismatch");
+    assert_eq!(b.len(), n * k, "gemm_abt: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_abt: output length mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    ensure_len(scratch, packed_len(k, n));
+    pack_bt(k, n, b, scratch, threads);
+    run_blocked(m, k, n, a, &BSource::Packed(scratch), out, threads);
+}
+
+/// Parallel `out += Aᵀ·B` with `A: r × m`, `B: r × n`, `out: m × n`, computed
+/// as a sequence of rank-1 updates (no packing needed — both operand rows
+/// stream contiguously). Per output element the contraction walks `r` in
+/// ascending order, so the result is bit-identical to
+/// `gemm_reference(m, r, n, transpose(a), b, out)` at any thread count.
+pub fn gemm_atb_into(
+    r: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    threads: usize,
+) {
+    assert_eq!(a.len(), r * m, "gemm_atb: lhs length mismatch");
+    assert_eq!(b.len(), r * n, "gemm_atb: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_atb: output length mismatch");
+    if m == 0 || n == 0 || r == 0 {
+        return;
+    }
+    let threads = effective_threads(threads, 2 * r * m * n);
+    let ptr = SendMutPtr(out.as_mut_ptr());
+    par::for_each_chunk(m, 1, threads, &|p_range: Range<usize>| {
+        let out_rows = unsafe { ptr.slice_mut(p_range.start * n..p_range.end * n) };
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        if have_avx2() {
+            // SAFETY: AVX2 support was just detected.
+            return unsafe { atb_strip_avx2(r, m, n, a, b, p_range, out_rows) };
+        }
+        atb_strip(r, m, n, a, b, p_range, out_rows);
+    });
+}
+
+/// Rank-1-update strip of `Aᵀ·B` over output rows `p_range`.
+#[inline(always)]
+fn atb_strip(
+    r: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    p_range: Range<usize>,
+    out_rows: &mut [f32],
+) {
+    for i in 0..r {
+        let b_row = &b[i * n..(i + 1) * n];
+        for (p_local, p) in p_range.clone().enumerate() {
+            let av = a[i * m + p];
+            let out_row = &mut out_rows[p_local * n..(p_local + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// [`atb_strip`] with AVX2 codegen (same rounding sequence; see module docs).
+///
+/// # Safety
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn atb_strip_avx2(
+    r: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    p_range: Range<usize>,
+    out_rows: &mut [f32],
+) {
+    atb_strip(r, m, n, a, b, p_range, out_rows);
+}
+
+/// im2row for 1-D convolution over time: a `[b, s, d]` input and kernel
+/// width `kw` become a `[b·(s-kw+1), kw·d]` row matrix, each row the
+/// flattened window `x[i, t..t+kw, :]` (contiguous in the row-major input,
+/// so every row is one memcpy). The convolution then becomes
+/// [`gemm_abt_into`] against the `[oc, kw·d]` weight.
+pub fn im2row(x: &[f32], b: usize, s: usize, d: usize, kw: usize, out: &mut [f32], threads: usize) {
+    assert_eq!(x.len(), b * s * d, "im2row: input length mismatch");
+    assert!(kw >= 1 && kw <= s, "im2row: kernel width out of range");
+    let out_s = s - kw + 1;
+    let rows = b * out_s;
+    let width = kw * d;
+    assert_eq!(out.len(), rows * width, "im2row: output length mismatch");
+    let min_rows = (PAR_MIN_ELEMS / width.max(1)).max(1);
+    let ptr = SendMutPtr(out.as_mut_ptr());
+    par::for_each_chunk(rows, min_rows, threads, &|range: Range<usize>| {
+        let dst = unsafe { ptr.slice_mut(range.start * width..range.end * width) };
+        for (ri, row) in range.enumerate() {
+            let (i, t) = (row / out_s, row % out_s);
+            let src = &x[i * s * d + t * d..i * s * d + t * d + width];
+            dst[ri * width..(ri + 1) * width].copy_from_slice(src);
+        }
+    });
+}
+
+/// Cache-blocked transpose of a `rows × cols` row-major matrix into `dst`
+/// (`cols × rows`). Tiled in 32×32 blocks so both source reads and
+/// destination writes stay within a few cache lines per tile.
+pub fn transpose_into(rows: usize, cols: usize, src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), rows * cols, "transpose: source length mismatch");
+    assert_eq!(
+        dst.len(),
+        rows * cols,
+        "transpose: destination length mismatch"
+    );
+    const TILE: usize = 32;
+    let mut i0 = 0usize;
+    while i0 < rows {
+        let i1 = (i0 + TILE).min(rows);
+        let mut j0 = 0usize;
+        while j0 < cols {
+            let j1 = (j0 + TILE).min(cols);
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    dst[j * rows + i] = src[i * cols + j];
+                }
+            }
+            j0 = j1;
+        }
+        i0 = i1;
+    }
+}
+
+/// Parallel elementwise map `dst[i] = f(src[i])`.
+pub fn map_into(dst: &mut [f32], src: &[f32], threads: usize, f: &(impl Fn(f32) -> f32 + Sync)) {
+    assert_eq!(dst.len(), src.len(), "map: length mismatch");
+    let ptr = SendMutPtr(dst.as_mut_ptr());
+    par::for_each_chunk(src.len(), PAR_MIN_ELEMS, threads, &|range: Range<usize>| {
+        let out = unsafe { ptr.slice_mut(range.clone()) };
+        for (o, &v) in out.iter_mut().zip(&src[range]) {
+            *o = f(v);
+        }
+    });
+}
+
+/// Parallel elementwise zip `dst[i] = f(a[i], b[i])`.
+pub fn zip_into(
+    dst: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    threads: usize,
+    f: &(impl Fn(f32, f32) -> f32 + Sync),
+) {
+    assert_eq!(dst.len(), a.len(), "zip: length mismatch");
+    assert_eq!(a.len(), b.len(), "zip: length mismatch");
+    let ptr = SendMutPtr(dst.as_mut_ptr());
+    par::for_each_chunk(a.len(), PAR_MIN_ELEMS, threads, &|range: Range<usize>| {
+        let out = unsafe { ptr.slice_mut(range.clone()) };
+        for ((o, &x), &y) in out.iter_mut().zip(&a[range.clone()]).zip(&b[range]) {
+            *o = f(x, y);
+        }
+    });
+}
+
+/// Parallel row-wise softmax (numerically stabilised). Each row is one
+/// task, so chunking never changes the per-row arithmetic.
+pub fn softmax_rows_into(rows: usize, cols: usize, src: &[f32], dst: &mut [f32], threads: usize) {
+    rowwise(rows, cols, src, dst, threads, |row, out| {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for (o, &v) in out.iter_mut().zip(row.iter()) {
+            let e = (v - m).exp();
+            *o = e;
+            z += e;
+        }
+        for o in out.iter_mut() {
+            *o /= z;
+        }
+    });
+}
+
+/// Parallel row-wise log-softmax.
+pub fn log_softmax_rows_into(
+    rows: usize,
+    cols: usize,
+    src: &[f32],
+    dst: &mut [f32],
+    threads: usize,
+) {
+    rowwise(rows, cols, src, dst, threads, |row, out| {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let logz = row.iter().map(|v| (v - m).exp()).sum::<f32>().ln() + m;
+        for (o, &v) in out.iter_mut().zip(row.iter()) {
+            *o = v - logz;
+        }
+    });
+}
+
+fn rowwise(
+    rows: usize,
+    cols: usize,
+    src: &[f32],
+    dst: &mut [f32],
+    threads: usize,
+    f: impl Fn(&[f32], &mut [f32]) + Sync,
+) {
+    assert_eq!(src.len(), rows * cols, "rowwise: source length mismatch");
+    assert_eq!(
+        dst.len(),
+        rows * cols,
+        "rowwise: destination length mismatch"
+    );
+    if cols == 0 {
+        return;
+    }
+    let min_rows = (PAR_MIN_ELEMS / cols).max(1);
+    let ptr = SendMutPtr(dst.as_mut_ptr());
+    par::for_each_chunk(rows, min_rows, threads, &|range: Range<usize>| {
+        let out = unsafe { ptr.slice_mut(range.start * cols..range.end * cols) };
+        for (ri, r) in range.enumerate() {
+            f(
+                &src[r * cols..(r + 1) * cols],
+                &mut out[ri * cols..(ri + 1) * cols],
+            );
+        }
+    });
+}
+
+/// Parallel embedding gather: `dst` row `r` becomes table row `ids[r]`.
+/// Every id must already be validated against the table's row count.
+pub fn gather_rows(table: &[f32], emb: usize, ids: &[u32], dst: &mut [f32], threads: usize) {
+    assert_eq!(dst.len(), ids.len() * emb, "gather: destination mismatch");
+    let min_rows = (PAR_MIN_ELEMS / emb.max(1)).max(1);
+    let ptr = SendMutPtr(dst.as_mut_ptr());
+    par::for_each_chunk(ids.len(), min_rows, threads, &|range: Range<usize>| {
+        let out = unsafe { ptr.slice_mut(range.start * emb..range.end * emb) };
+        for (ri, r) in range.enumerate() {
+            let id = ids[r] as usize;
+            out[ri * emb..(ri + 1) * emb].copy_from_slice(&table[id * emb..(id + 1) * emb]);
+        }
+    });
+}
+
+/// Dot product with eight parallel accumulation lanes: faster than a single
+/// serial chain (independent FMA chains) and lower worst-case float error
+/// (each lane sums an eighth of the terms).
+pub fn dot_chunked(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 8];
+    let n8 = a.len() - a.len() % 8;
+    for (xa, xb) in a[..n8].chunks_exact(8).zip(b[..n8].chunks_exact(8)) {
+        for c in 0..8 {
+            lanes[c] += xa[c] * xb[c];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (xa, xb) in a[n8..].iter().zip(&b[n8..]) {
+        tail += xa * xb;
+    }
+    lanes.iter().sum::<f32>() + tail
+}
+
+/// Sum of squares with eight accumulation lanes (see [`dot_chunked`]).
+pub fn sum_squares_chunked(a: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let n8 = a.len() - a.len() % 8;
+    for xa in a[..n8].chunks_exact(8) {
+        for c in 0..8 {
+            lanes[c] += xa[c] * xa[c];
+        }
+    }
+    let mut tail = 0.0f32;
+    for xa in &a[n8..] {
+        tail += xa * xa;
+    }
+    lanes.iter().sum::<f32>() + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    fn randn(n: usize, rng: &mut Prng) -> Vec<f32> {
+        (0..n).map(|_| rng.normal_with(0.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn blocked_gemm_matches_reference_bits_on_mixed_shapes() {
+        let mut rng = Prng::new(11);
+        for &(m, k, n) in &[(1, 1, 1), (4, 8, 8), (5, 9, 17), (13, 31, 7), (64, 33, 40)] {
+            let a = randn(m * k, &mut rng);
+            let b = randn(k * n, &mut rng);
+            let mut want = vec![0.0f32; m * n];
+            gemm_reference(m, k, n, &a, &b, &mut want);
+            for threads in [1usize, 2, 5] {
+                let mut got = vec![0.0f32; m * n];
+                let mut scratch = Vec::new();
+                gemm_into(m, k, n, &a, &b, &mut got, threads, &mut scratch);
+                assert!(
+                    want.iter()
+                        .zip(&got)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "({m},{k},{n}) threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_into_existing_output() {
+        let mut rng = Prng::new(12);
+        let (m, k, n) = (6, 10, 9);
+        let a = randn(m * k, &mut rng);
+        let b = randn(k * n, &mut rng);
+        let seed = randn(m * n, &mut rng);
+        let mut want = seed.clone();
+        gemm_reference(m, k, n, &a, &b, &mut want);
+        let mut got = seed;
+        gemm_into(m, k, n, &a, &b, &mut got, 3, &mut Vec::new());
+        assert!(want
+            .iter()
+            .zip(&got)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn abt_and_atb_match_explicit_transposes() {
+        let mut rng = Prng::new(13);
+        let (m, k, n) = (7, 12, 5);
+        let a = randn(m * k, &mut rng);
+        let b_nk = randn(n * k, &mut rng); // B for A·Bᵀ
+        let mut bt = vec![0.0f32; n * k];
+        transpose_into(n, k, &b_nk, &mut bt); // k × n
+        let mut want = vec![0.0f32; m * n];
+        gemm_reference(m, k, n, &a, &bt, &mut want);
+        let mut got = vec![0.0f32; m * n];
+        gemm_abt_into(m, k, n, &a, &b_nk, &mut got, 2, &mut Vec::new());
+        assert!(want
+            .iter()
+            .zip(&got)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+
+        let (r, m2, n2) = (9, 6, 8);
+        let a_rm = randn(r * m2, &mut rng);
+        let b_rn = randn(r * n2, &mut rng);
+        let mut at = vec![0.0f32; r * m2];
+        transpose_into(r, m2, &a_rm, &mut at); // m2 × r
+        let mut want2 = vec![0.0f32; m2 * n2];
+        gemm_reference(m2, r, n2, &at, &b_rn, &mut want2);
+        let mut got2 = vec![0.0f32; m2 * n2];
+        gemm_atb_into(r, m2, n2, &a_rm, &b_rn, &mut got2, 2);
+        assert!(want2
+            .iter()
+            .zip(&got2)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn zero_inner_dimension_leaves_output_untouched() {
+        let mut out = vec![3.0f32; 6];
+        gemm_into(2, 0, 3, &[], &[], &mut out, 4, &mut Vec::new());
+        assert_eq!(out, vec![3.0; 6]);
+    }
+
+    #[test]
+    fn im2row_flattens_windows() {
+        // b=1, s=4, d=2, kw=2: rows are [x0 x1], [x1 x2], [x2 x3].
+        let x: Vec<f32> = (0..8).map(|v| v as f32).collect();
+        let mut rows = vec![0.0f32; 3 * 4];
+        im2row(&x, 1, 4, 2, 2, &mut rows, 1);
+        assert_eq!(
+            rows,
+            vec![0.0, 1.0, 2.0, 3.0, 2.0, 3.0, 4.0, 5.0, 4.0, 5.0, 6.0, 7.0]
+        );
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let mut rng = Prng::new(14);
+        for &(r, c) in &[(1, 1), (3, 5), (33, 31), (64, 40)] {
+            let src = randn(r * c, &mut rng);
+            let mut t = vec![0.0f32; r * c];
+            transpose_into(r, c, &src, &mut t);
+            let mut back = vec![0.0f32; r * c];
+            transpose_into(c, r, &t, &mut back);
+            assert_eq!(src, back, "({r},{c})");
+        }
+    }
+
+    #[test]
+    fn chunked_dot_matches_exact_sum_closely() {
+        let mut rng = Prng::new(15);
+        let a = randn(1003, &mut rng);
+        let b = randn(1003, &mut rng);
+        let exact: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| f64::from(x) * f64::from(y))
+            .sum();
+        let got = dot_chunked(&a, &b);
+        assert!((f64::from(got) - exact).abs() < 1e-3, "{got} vs {exact}");
+        let ss = sum_squares_chunked(&a);
+        let exact_ss: f64 = a.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+        assert!((f64::from(ss) - exact_ss).abs() < 1e-2);
+    }
+
+    #[test]
+    fn parallel_elementwise_and_softmax_match_serial_bits() {
+        let mut rng = Prng::new(16);
+        let src = randn(40_000, &mut rng);
+        let mut serial = vec![0.0f32; src.len()];
+        map_into(&mut serial, &src, 1, &|v| v.tanh());
+        let mut parallel = vec![0.0f32; src.len()];
+        map_into(&mut parallel, &src, 8, &|v| v.tanh());
+        assert_eq!(serial, parallel);
+
+        let (rows, cols) = (500, 80);
+        let mut s1 = vec![0.0f32; rows * cols];
+        let mut s8 = vec![0.0f32; rows * cols];
+        softmax_rows_into(rows, cols, &src, &mut s1, 1);
+        softmax_rows_into(rows, cols, &src, &mut s8, 8);
+        assert_eq!(s1, s8);
+    }
+}

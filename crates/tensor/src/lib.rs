@@ -26,8 +26,10 @@
 pub mod gradcheck;
 pub mod graph;
 pub mod init;
+pub mod kernels;
 pub mod losses;
 pub mod optim;
+pub mod par;
 pub mod params;
 pub mod pool;
 pub mod rng;

@@ -65,6 +65,30 @@ impl BufferPool {
         }
     }
 
+    /// Take a buffer of exactly length `n` whose contents are arbitrary
+    /// (stale values from its previous life), for destinations every element
+    /// of which the caller overwrites — e.g. an im2row expansion. In steady
+    /// state (same `n` as the recycled buffer's length) this costs nothing;
+    /// `take_zeroed` would pay a full memset that the caller immediately
+    /// overwrites.
+    pub fn take_for_overwrite(&mut self, n: usize) -> Vec<f32> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.hits += 1;
+                if buf.len() > n {
+                    buf.truncate(n);
+                } else if buf.len() < n {
+                    buf.resize(n, 0.0);
+                }
+                buf
+            }
+            None => {
+                self.misses += 1;
+                vec![0.0; n]
+            }
+        }
+    }
+
     /// Return a buffer to the free list.
     pub fn give(&mut self, buf: Vec<f32>) {
         if buf.capacity() > 0 {
@@ -124,6 +148,24 @@ mod tests {
         pool.give(a);
         let b = pool.take_zeroed(6);
         assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn take_for_overwrite_keeps_stale_contents_at_matching_length() {
+        let mut pool = BufferPool::new();
+        let mut a = pool.take_zeroed(4);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        pool.give(a);
+        let b = pool.take_for_overwrite(4);
+        assert_eq!(b.len(), 4);
+        assert!(b.iter().all(|&v| v == 7.0), "no redundant zeroing");
+        pool.give(b);
+        // Growing still zero-fills the new tail; shrinking truncates.
+        let c = pool.take_for_overwrite(6);
+        assert_eq!(c.len(), 6);
+        assert!(c[4..].iter().all(|&v| v == 0.0));
+        pool.give(c);
+        assert_eq!(pool.take_for_overwrite(2).len(), 2);
     }
 
     #[test]

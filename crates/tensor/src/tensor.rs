@@ -1,5 +1,6 @@
 //! Dense row-major tensors of `f32`.
 
+use crate::kernels;
 use crate::rng::Prng;
 use crate::shape;
 
@@ -253,22 +254,21 @@ impl Tensor {
         self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
     }
 
-    /// Euclidean norm of the flattened tensor.
+    /// Euclidean norm of the flattened tensor. Accumulated in eight lanes
+    /// (see [`kernels::sum_squares_chunked`]) for speed and lower float
+    /// error than a single serial chain.
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+        kernels::sum_squares_chunked(&self.data).sqrt()
     }
 
-    /// Dot product of two tensors viewed as flat vectors.
+    /// Dot product of two tensors viewed as flat vectors, accumulated in
+    /// eight lanes (see [`kernels::dot_chunked`]).
     ///
     /// # Panics
     /// Panics if element counts differ.
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.numel(), other.numel(), "dot length mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a * b)
-            .sum()
+        kernels::dot_chunked(&self.data, &other.data)
     }
 
     /// Matrix product of two 2-D tensors: `[m, k] x [k, n] -> [m, n]`.
@@ -282,10 +282,12 @@ impl Tensor {
         Tensor::new(vec![m, n], out)
     }
 
-    /// Matrix product written into a caller-provided (zeroed) buffer of
-    /// length `m * n`. This is the buffer-reuse kernel behind tape-free
+    /// Matrix product accumulated into a caller-provided (zeroed) buffer of
+    /// length `m * n`. This is the buffer-reuse entry point behind tape-free
     /// inference: the serving hot path hands in recycled scratch buffers
-    /// instead of allocating a fresh output per call.
+    /// instead of allocating a fresh output per call. Runs the cache-blocked
+    /// kernel single-threaded; [`crate::Graph::matmul`] reaches the same
+    /// kernel with its intra-op `threads` knob and pooled pack scratch.
     ///
     /// # Panics
     /// Panics if either operand is not 2-D, the inner dimensions disagree,
@@ -297,24 +299,54 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
         assert_eq!(out.len(), m * n, "matmul output buffer length mismatch");
-        // i-k-j loop order keeps the inner loop contiguous over both the
-        // output row and the rhs row, which the compiler can vectorize.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::gemm_into(m, k, n, &self.data, &other.data, out, 1, &mut Vec::new());
     }
 
-    /// Transpose of a 2-D tensor.
+    /// Fused `self · otherᵀ` for a `[m, k]` lhs and `[n, k]` rhs — what
+    /// `Linear` backward and attention-style score products use instead of
+    /// materialising a [`Tensor::transpose2`] copy. Bit-identical to
+    /// `self.matmul(&other.transpose2())`.
+    ///
+    /// # Panics
+    /// Panics if either operand is not 2-D or the contraction dims disagree.
+    pub fn matmul_transb(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_transb lhs must be 2-D");
+        assert_eq!(other.ndim(), 2, "matmul_transb rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_transb contraction mismatch: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        kernels::gemm_abt_into(
+            m,
+            k,
+            n,
+            &self.data,
+            &other.data,
+            &mut out,
+            1,
+            &mut Vec::new(),
+        );
+        Tensor::new(vec![m, n], out)
+    }
+
+    /// Fused `selfᵀ · other` for a `[r, m]` lhs and `[r, n]` rhs.
+    /// Bit-identical to `self.transpose2().matmul(other)`.
+    ///
+    /// # Panics
+    /// Panics if either operand is not 2-D or the leading dims disagree.
+    pub fn matmul_transa(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_transa lhs must be 2-D");
+        assert_eq!(other.ndim(), 2, "matmul_transa rhs must be 2-D");
+        let (r, m) = (self.shape[0], self.shape[1]);
+        let (r2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(r, r2, "matmul_transa contraction mismatch: {r} vs {r2}");
+        let mut out = vec![0.0f32; m * n];
+        kernels::gemm_atb_into(r, m, n, &self.data, &other.data, &mut out, 1);
+        Tensor::new(vec![m, n], out)
+    }
+
+    /// Transpose of a 2-D tensor (cache-blocked 32×32 tiles instead of
+    /// strided single-element writes).
     ///
     /// # Panics
     /// Panics if the tensor is not 2-D.
@@ -322,11 +354,7 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "transpose2 expects a 2-D tensor");
         let (r, c) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; r * c];
-        for i in 0..r {
-            for j in 0..c {
-                out[j * r + i] = self.data[i * c + j];
-            }
-        }
+        kernels::transpose_into(r, c, &self.data, &mut out);
         Tensor::new(vec![c, r], out)
     }
 
@@ -486,6 +514,24 @@ mod tests {
         let t = a.transpose2();
         assert_eq!(t.shape(), &[3, 2]);
         assert_eq!(t.transpose2(), a);
+    }
+
+    #[test]
+    fn fused_transpose_matmuls_match_explicit_transposes_bitwise() {
+        let mut rng = Prng::new(9);
+        let a = Tensor::randn(&[5, 7], 1.0, &mut rng);
+        let b = Tensor::randn(&[6, 7], 1.0, &mut rng);
+        let fused = a.matmul_transb(&b);
+        let explicit = a.matmul(&b.transpose2());
+        assert_eq!(fused.shape(), &[5, 6]);
+        assert_eq!(fused.data(), explicit.data());
+
+        let c = Tensor::randn(&[7, 4], 1.0, &mut rng);
+        let d = Tensor::randn(&[7, 3], 1.0, &mut rng);
+        let fused = c.matmul_transa(&d);
+        let explicit = c.transpose2().matmul(&d);
+        assert_eq!(fused.shape(), &[4, 3]);
+        assert_eq!(fused.data(), explicit.data());
     }
 
     #[test]

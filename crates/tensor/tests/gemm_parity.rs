@@ -1,0 +1,161 @@
+//! Seeded property battery for the blocked/parallel GEMM kernels.
+//!
+//! The kernel contract (see `dtdbd_tensor::kernels`) is that the blocked,
+//! packed, register-tiled, row-partitioned GEMM is **bit-identical** to the
+//! naive i-k-j reference — for any shape, any thread count, and for the
+//! fused `A·Bᵀ` / `Aᵀ·B` variants against their explicit-transpose
+//! references. This battery drives that contract across adversarial shapes
+//! (degenerate dims, odd primes, tile-boundary ±1, tall/skinny) and random
+//! seeded shapes, at thread counts 1 / 2 / 8.
+
+use dtdbd_tensor::kernels::{
+    gemm_abt_into, gemm_atb_into, gemm_into, gemm_reference, transpose_into, MR, NR,
+};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::Tensor;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Adversarial shape list: every dimension degenerate case, odd primes,
+/// the micro-kernel tile boundaries ±1, and extreme aspect ratios.
+fn adversarial_shapes() -> Vec<(usize, usize, usize)> {
+    let mut shapes = vec![
+        (1, 1, 1),
+        (1, 1, 2),
+        (2, 1, 1),
+        (1, 7, 1),
+        (3, 0, 5), // k = 0: output must stay untouched
+        (7, 5, 3),
+        (13, 17, 19), // odd primes
+        (31, 37, 41),
+        (1, 613, 1),  // long contraction
+        (257, 3, 2),  // tall/skinny
+        (2, 3, 257),  // short/wide
+        (64, 48, 64), // square-ish serving shape
+    ];
+    // Tile boundaries ±1 for the MR×NR micro-kernel.
+    for m in [MR - 1, MR, MR + 1, 2 * MR + 1] {
+        for n in [NR - 1, NR, NR + 1, 2 * NR + 1] {
+            shapes.push((m, 9, n));
+        }
+    }
+    shapes
+}
+
+fn randn(n: usize, rng: &mut Prng) -> Vec<f32> {
+    (0..n).map(|_| rng.normal_with(0.0, 1.0)).collect()
+}
+
+fn assert_bits_eq(want: &[f32], got: &[f32], what: &str) {
+    assert_eq!(want.len(), got.len(), "{what}: length");
+    for (i, (w, g)) in want.iter().zip(got).enumerate() {
+        assert_eq!(
+            w.to_bits(),
+            g.to_bits(),
+            "{what}: element {i} differs ({w} vs {g})"
+        );
+    }
+}
+
+#[test]
+fn blocked_gemm_is_bit_identical_to_reference_on_adversarial_shapes() {
+    let mut rng = Prng::new(0xB10C);
+    for (m, k, n) in adversarial_shapes() {
+        let a = randn(m * k, &mut rng);
+        let b = randn(k * n, &mut rng);
+        let seed = randn(m * n, &mut rng); // kernels accumulate into out
+        let mut want = seed.clone();
+        gemm_reference(m, k, n, &a, &b, &mut want);
+        for threads in THREAD_COUNTS {
+            let mut got = seed.clone();
+            let mut scratch = Vec::new();
+            gemm_into(m, k, n, &a, &b, &mut got, threads, &mut scratch);
+            assert_bits_eq(&want, &got, &format!("gemm ({m},{k},{n}) t={threads}"));
+        }
+    }
+}
+
+#[test]
+fn fused_transpose_gemms_are_bit_identical_to_explicit_transposes() {
+    let mut rng = Prng::new(0xAB7);
+    for (m, k, n) in adversarial_shapes() {
+        // A·Bᵀ with B stored [n, k].
+        let a = randn(m * k, &mut rng);
+        let b_nk = randn(n * k, &mut rng);
+        let mut bt = vec![0.0f32; n * k];
+        transpose_into(n, k, &b_nk, &mut bt);
+        let mut want = vec![0.0f32; m * n];
+        gemm_reference(m, k, n, &a, &bt, &mut want);
+        for threads in THREAD_COUNTS {
+            let mut got = vec![0.0f32; m * n];
+            gemm_abt_into(m, k, n, &a, &b_nk, &mut got, threads, &mut Vec::new());
+            assert_bits_eq(&want, &got, &format!("abt ({m},{k},{n}) t={threads}"));
+        }
+
+        // Aᵀ·B with A stored [k, m] (contraction over k).
+        let a_km = randn(k * m, &mut rng);
+        let b_kn = randn(k * n, &mut rng);
+        let mut at = vec![0.0f32; k * m];
+        transpose_into(k, m, &a_km, &mut at);
+        let mut want = vec![0.0f32; m * n];
+        gemm_reference(m, k, n, &at, &b_kn, &mut want);
+        for threads in THREAD_COUNTS {
+            let mut got = vec![0.0f32; m * n];
+            gemm_atb_into(k, m, n, &a_km, &b_kn, &mut got, threads);
+            assert_bits_eq(&want, &got, &format!("atb ({m},{k},{n}) t={threads}"));
+        }
+    }
+}
+
+#[test]
+fn seeded_random_shapes_stay_bit_identical_across_thread_counts() {
+    let mut rng = Prng::new(0x5EED);
+    for case in 0..40u64 {
+        let mut dim = |hi: usize| 1 + (rng.uniform(0.0, hi as f32) as usize);
+        let (m, k, n) = (dim(80), dim(80), dim(80));
+        let a = randn(m * k, &mut rng);
+        let b = randn(k * n, &mut rng);
+        let mut want = vec![0.0f32; m * n];
+        gemm_reference(m, k, n, &a, &b, &mut want);
+        let mut first_bits: Option<Vec<u32>> = None;
+        for threads in THREAD_COUNTS {
+            let mut got = vec![0.0f32; m * n];
+            gemm_into(m, k, n, &a, &b, &mut got, threads, &mut Vec::new());
+            assert_bits_eq(
+                &want,
+                &got,
+                &format!("case {case} ({m},{k},{n}) t={threads}"),
+            );
+            let bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            match &first_bits {
+                None => first_bits = Some(bits),
+                Some(reference) => assert_eq!(reference, &bits, "case {case} thread variance"),
+            }
+        }
+    }
+}
+
+#[test]
+fn tensor_matmul_agrees_with_graph_matmul_at_any_thread_count() {
+    use dtdbd_tensor::{BufferPool, Graph, ParamStore};
+    let mut rng = Prng::new(0x717);
+    let x = Tensor::randn(&[9, 33], 1.0, &mut rng);
+    let w = Tensor::randn(&[33, 17], 1.0, &mut rng);
+    let direct = x.matmul(&w);
+    let mut store = ParamStore::new();
+    let wid = store.add("w", w);
+    for threads in THREAD_COUNTS {
+        let mut pool = BufferPool::new();
+        let mut g = Graph::inference(&mut store, &mut pool);
+        g.set_threads(threads);
+        let xv = g.constant(x.clone());
+        let wv = g.param(wid);
+        let y = g.matmul(xv, wv);
+        assert_bits_eq(
+            direct.data(),
+            g.value(y).data(),
+            &format!("graph matmul t={threads}"),
+        );
+        g.finish();
+    }
+}

@@ -13,7 +13,7 @@ use dtdbd_bench::harness::{fmt_ns, percentile};
 use dtdbd_core::{train_model, TrainConfig};
 use dtdbd_data::{weibo21_spec, GeneratorConfig, InferenceRequest, NewsGenerator};
 use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
-use dtdbd_serve::{session_from_checkpoint, BatchingConfig, Checkpoint, PredictServer};
+use dtdbd_serve::{session_from_checkpoint, BatchingConfig, Checkpoint, ServerBuilder};
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::{Graph, ParamStore};
 use std::sync::Arc;
@@ -84,15 +84,21 @@ fn main() {
         })
         .collect();
 
-    // 5. Serve the same items through the micro-batching server.
-    let server = Arc::new(PredictServer::start(
-        BatchingConfig {
-            max_batch_size: 32,
-            max_wait: Duration::from_millis(2),
-            workers: 2,
-        },
-        |_| session_from_checkpoint(&checkpoint).expect("rebuild model"),
-    ));
+    // 5. Serve the same items through the micro-batching server: 2 workers,
+    //    4 intra-op kernel threads each (bit-identical to any other thread
+    //    count), and the default prediction cache in front of the queue —
+    //    the request stream repeats items, exactly the traffic shape the
+    //    cache exists for.
+    let server = Arc::new(
+        ServerBuilder::new()
+            .batching(BatchingConfig {
+                max_batch_size: 32,
+                max_wait: Duration::from_millis(2),
+                workers: 2,
+            })
+            .threads(4)
+            .start(|_| session_from_checkpoint(&checkpoint).expect("rebuild model")),
+    );
     let clients = 4usize;
     let started = Instant::now();
     let handles: Vec<_> = (0..clients)
@@ -148,6 +154,16 @@ fn main() {
         n_requests as f64 / elapsed,
         fmt_ns(percentile(&latencies, 0.50)),
         fmt_ns(percentile(&latencies, 0.99)),
+    );
+    let stats = server.stats();
+    println!(
+        "server stats: {} served | {} batches | {} intra-op threads | cache {} hits / {} misses ({} entries)",
+        stats.requests_served,
+        stats.batches,
+        stats.threads,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.entries,
     );
     println!("max |batched - unbatched| fake-probability gap: {worst:.2e}");
     assert!(

@@ -5,9 +5,13 @@
 #   1. release build of every crate, binary, bench and example target
 #   2. the full test suite (dtdbd-integration is a workspace member, so the
 #      cross-crate scenarios and the HTTP wire battery run here)
-#   3. the http_roundtrip end-to-end example (real TCP serving)
-#   4. formatting check
-#   5. clippy with warnings promoted to errors
+#   3. kernel-parity smoke: the blocked/parallel GEMM must stay bit-identical
+#      to the naive reference on a fixed seed (threads 1/2/4)
+#   4. the kernels micro-benchmark in its ~2 s smoke configuration, so a
+#      regression in the compute hot path shows up in the gate output
+#   5. the http_roundtrip end-to-end example (real TCP serving)
+#   6. formatting check
+#   7. clippy with warnings promoted to errors
 #
 # Usage: scripts/ci.sh
 
@@ -19,6 +23,12 @@ cargo build --release --workspace --all-targets
 
 echo "==> cargo test -q (includes dtdbd-integration: cross-crate scenarios + HTTP wire battery)"
 cargo test -q --workspace
+
+echo "==> kernel parity smoke (blocked/parallel GEMM vs naive reference, fixed seed)"
+cargo run --release -q -p dtdbd-bench --bin kernels -- --parity-smoke
+
+echo "==> kernels bench (quick smoke: naive vs blocked vs blocked+parallel GFLOP/s)"
+cargo run --release -q -p dtdbd-bench --bin kernels -- --quick
 
 echo "==> http_roundtrip example (train -> checkpoint -> serve over TCP)"
 cargo run --release -q -p dtdbd-bench --example http_roundtrip
