@@ -1,0 +1,256 @@
+//! Sharded-serving benchmark: per-worker resident parameter bytes and
+//! throughput, replica vs sharded, at 1/2/4/8 workers.
+//!
+//! A replica deployment gives every `PredictServer` worker a full copy of
+//! the model, and the frozen embedding table dominates those bytes — so
+//! per-worker memory caps the worker count. Sharded serving holds the table
+//! once, in a process-wide `ShardStore` of row-range shards, and workers
+//! gather from the shared shards. This bench measures what that buys:
+//!
+//! * **memory** — bytes a deployment must budget per worker: the private
+//!   store plus (sharded mode) each worker's amortised share of the shard
+//!   pool (`pool_bytes / workers`, since the pool is resident once however
+//!   many workers reference it);
+//! * **throughput** — client-observed items/sec through the micro-batching
+//!   server under concurrent traffic, cache off, so any gather overhead of
+//!   the sharded path shows up undiluted;
+//! * **parity** — every sharded configuration is bit-compared against the
+//!   replica server's predictions before it is timed.
+//!
+//! The headline rows pair `shards = workers`, the deployment shape where
+//! the amortised table share shrinks in proportion to the shard count.
+//!
+//! Results are printed as a table and written to `BENCH_sharding.json`.
+//!
+//! Run with: `cargo run --release -p dtdbd-bench --bin sharding [--quick]`
+
+use dtdbd_data::{weibo21_spec, GeneratorConfig, InferenceRequest, NewsGenerator};
+use dtdbd_metrics::TableBuilder;
+use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
+use dtdbd_serve::{Checkpoint, PredictServer, ServerBuilder};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::ParamStore;
+use std::sync::Arc;
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Row {
+    workers: usize,
+    shards: usize,
+    replica_items_per_sec: f64,
+    sharded_items_per_sec: f64,
+    /// Bytes per worker a replica deployment must budget (full model).
+    replica_bytes_per_worker: u64,
+    /// Private store bytes of a sharded worker (table dropped).
+    sharded_private_bytes: u64,
+    /// Shard pool bytes, resident once per process.
+    shard_pool_bytes: u64,
+}
+
+impl Row {
+    /// Sharded per-worker budget: private bytes + amortised pool share.
+    fn sharded_bytes_per_worker(&self) -> u64 {
+        self.sharded_private_bytes + self.shard_pool_bytes / self.workers as u64
+    }
+
+    fn throughput_cost_pct(&self) -> f64 {
+        (1.0 - self.sharded_items_per_sec / self.replica_items_per_sec) * 100.0
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, total_requests) = if quick {
+        (0.03, 400usize)
+    } else {
+        (0.10, 1500usize)
+    };
+
+    eprintln!("[sharding] generating corpus and building the deployable checkpoint...");
+    let ds =
+        NewsGenerator::new(weibo21_spec(), GeneratorConfig::default()).generate_scaled(42, scale);
+    let cfg = ModelConfig::for_dataset(&ds);
+    let mut store = ParamStore::new();
+    let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(1));
+    let checkpoint = Checkpoint::new(model.name(), &cfg, &store);
+    let checkpoint = Checkpoint::from_bytes(&checkpoint.to_bytes()).expect("self round trip");
+
+    let requests: Vec<InferenceRequest> = ds
+        .items()
+        .iter()
+        .take(512)
+        .map(|item| InferenceRequest {
+            tokens: item.tokens.clone(),
+            domain: item.domain,
+            style: Some(item.style.clone()),
+            emotion: Some(item.emotion.clone()),
+        })
+        .collect();
+
+    let rows: Vec<Row> = WORKER_COUNTS
+        .iter()
+        .map(|&workers| bench_pair(&checkpoint, &requests, workers, total_requests))
+        .collect();
+
+    render_table(&rows);
+    let json = render_json(&checkpoint, &rows);
+    std::fs::write("BENCH_sharding.json", &json).expect("write BENCH_sharding.json");
+    eprintln!("[sharding] wrote BENCH_sharding.json");
+}
+
+/// Start a server (replica or sharded) for the worker count.
+fn start(checkpoint: &Checkpoint, workers: usize, shards: usize) -> PredictServer {
+    ServerBuilder::new()
+        .workers(workers)
+        .shards(shards)
+        .cache_capacity(0)
+        .try_start_from_checkpoint(checkpoint)
+        .expect("valid bench configuration")
+}
+
+fn bench_pair(
+    checkpoint: &Checkpoint,
+    requests: &[InferenceRequest],
+    workers: usize,
+    total_requests: usize,
+) -> Row {
+    // Parity first: the sharded server must reproduce the replica bits.
+    let replica = start(checkpoint, workers, 0);
+    let sharded = start(checkpoint, workers, workers);
+    for request in requests.iter().take(64) {
+        let a = replica.predict(request).expect("valid request");
+        let b = sharded.predict(request).expect("valid request");
+        assert_eq!(
+            a.fake_prob.to_bits(),
+            b.fake_prob.to_bits(),
+            "{workers} workers: sharded prediction diverged from replica"
+        );
+    }
+    let replica_bytes_per_worker = replica.stats().resident_param_bytes_per_worker;
+    let sharded_stats = sharded.stats();
+    let (sharded_private_bytes, shard_pool_bytes) = (
+        sharded_stats.resident_param_bytes_per_worker,
+        sharded_stats.shard_pool_bytes,
+    );
+
+    let replica_items_per_sec = measure(replica, requests, total_requests);
+    let sharded_items_per_sec = measure(sharded, requests, total_requests);
+    eprintln!(
+        "[sharding] {workers}w: replica {replica_items_per_sec:.0} items/s, \
+         sharded {sharded_items_per_sec:.0} items/s"
+    );
+    Row {
+        workers,
+        shards: workers,
+        replica_items_per_sec,
+        sharded_items_per_sec,
+        replica_bytes_per_worker,
+        sharded_private_bytes,
+        shard_pool_bytes,
+    }
+}
+
+/// Client-observed throughput under 4 concurrent submitters (consumes the
+/// server so each measurement starts from a fresh queue).
+fn measure(server: PredictServer, requests: &[InferenceRequest], total_requests: usize) -> f64 {
+    let server = Arc::new(server);
+    let clients = 4usize;
+    let per_client = total_requests / clients;
+    // Warmup: fill every worker's buffer pool.
+    for request in requests.iter().take(8) {
+        server.predict(request).expect("valid request");
+    }
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let stream: Vec<InferenceRequest> = (0..per_client)
+                .map(|i| requests[(c * per_client + i) % requests.len()].clone())
+                .collect();
+            std::thread::spawn(move || {
+                for request in &stream {
+                    let p = server.predict(request).expect("valid request");
+                    assert!(p.fake_prob.is_finite());
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    (clients * per_client) as f64 / elapsed
+}
+
+fn render_table(rows: &[Row]) {
+    let mut table = TableBuilder::new("Sharded serving — replica vs shared embedding shards")
+        .header([
+            "Workers",
+            "Shards",
+            "replica KiB/worker",
+            "sharded KiB/worker",
+            "replica items/s",
+            "sharded items/s",
+            "cost %",
+        ]);
+    for r in rows {
+        table.row([
+            r.workers.to_string(),
+            r.shards.to_string(),
+            format!("{:.0}", r.replica_bytes_per_worker as f64 / 1024.0),
+            format!("{:.0}", r.sharded_bytes_per_worker() as f64 / 1024.0),
+            format!("{:.0}", r.replica_items_per_sec),
+            format!("{:.0}", r.sharded_items_per_sec),
+            format!("{:+.1}", r.throughput_cost_pct()),
+        ]);
+    }
+    println!("{}", table.render());
+    if let Some(r) = rows.last() {
+        println!(
+            "(at {} workers the replica fleet holds {:.0} KiB of parameters; \
+             sharded holds {:.0} KiB: {:.0} KiB private + one {:.0} KiB shard pool)",
+            r.workers,
+            (r.replica_bytes_per_worker * r.workers as u64) as f64 / 1024.0,
+            (r.sharded_private_bytes * r.workers as u64 + r.shard_pool_bytes) as f64 / 1024.0,
+            (r.sharded_private_bytes * r.workers as u64) as f64 / 1024.0,
+            r.shard_pool_bytes as f64 / 1024.0,
+        );
+    }
+}
+
+fn render_json(checkpoint: &Checkpoint, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"model\": \"{}\",\n", checkpoint.arch));
+    out.push_str(&format!(
+        "  \"checkpoint_bytes\": {},\n",
+        checkpoint.to_bytes().len()
+    ));
+    out.push_str("  \"parity\": true,\n");
+    out.push_str("  \"configurations\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"shards\": {}, \
+             \"replica_bytes_per_worker\": {}, \
+             \"sharded_bytes_per_worker\": {}, \
+             \"sharded_private_bytes\": {}, \
+             \"shard_pool_bytes\": {}, \
+             \"replica_items_per_sec\": {:.1}, \
+             \"sharded_items_per_sec\": {:.1}, \
+             \"throughput_cost_pct\": {:.2}}}{}\n",
+            r.workers,
+            r.shards,
+            r.replica_bytes_per_worker,
+            r.sharded_bytes_per_worker(),
+            r.sharded_private_bytes,
+            r.shard_pool_bytes,
+            r.replica_items_per_sec,
+            r.sharded_items_per_sec,
+            r.throughput_cost_pct(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

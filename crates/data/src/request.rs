@@ -11,6 +11,7 @@
 
 use crate::batch::Batch;
 use crate::dataset::MultiDomainDataset;
+use crate::domain::CorpusSpec;
 use crate::generator::{EMOTION_DIM, STYLE_DIM};
 use crate::vocab::Vocabulary;
 use dtdbd_tensor::Tensor;
@@ -42,6 +43,17 @@ impl InferenceRequest {
             style: None,
             emotion: None,
         }
+    }
+
+    /// Domain extraction on the request path: build a request from a
+    /// *named* domain, resolved (case-insensitively) against the corpus
+    /// specification — what an API gateway does when clients send
+    /// `"Society"` instead of a numeric label. `None` when the corpus has
+    /// no domain of that name (callers map this to a
+    /// [`RequestError::DomainOutOfRange`]-style rejection).
+    pub fn for_named_domain(tokens: Vec<u32>, domain: &str, spec: &CorpusSpec) -> Option<Self> {
+        spec.domain_index(domain)
+            .map(|domain| Self::new(tokens, domain))
     }
 }
 
@@ -251,6 +263,18 @@ impl RequestEncoder {
         }
     }
 
+    /// Per-domain request counts over a traffic slice: `result[d]` is how
+    /// many of `requests` name domain `d`. The domain router and the
+    /// sharding bench use this to quantify traffic skew (and to size
+    /// specialist groups against real request mixes).
+    pub fn domain_histogram(&self, requests: &[EncodedRequest]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_domains];
+        for request in requests {
+            counts[request.domain] += 1;
+        }
+        counts
+    }
+
     /// Assemble encoded requests into the [`Batch`] form the models consume.
     /// Veracity labels are unknown at serving time and filled with zeros
     /// (they only feed training losses, never a forward pass).
@@ -413,6 +437,30 @@ mod tests {
         let batch = enc.batch(std::slice::from_ref(&encoded));
         assert_eq!(batch.style.row(0), style.as_slice());
         assert!(batch.emotion.row(0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn named_domains_resolve_against_the_corpus_spec() {
+        use crate::domain::weibo21_spec;
+        let spec = weibo21_spec();
+        let request = InferenceRequest::for_named_domain(vec![1, 2], "Society", &spec).unwrap();
+        assert_eq!(request.domain, 8);
+        assert_eq!(request.tokens, vec![1, 2]);
+        // Case-insensitive, like CorpusSpec::domain_index.
+        let lower = InferenceRequest::for_named_domain(vec![1], "sOcIeTy", &spec).unwrap();
+        assert_eq!(lower.domain, 8);
+        assert!(InferenceRequest::for_named_domain(vec![1], "Sports", &spec).is_none());
+    }
+
+    #[test]
+    fn domain_histogram_counts_the_traffic_mix() {
+        let enc = encoder();
+        let requests: Vec<EncodedRequest> = [0usize, 1, 1, 2, 2, 2]
+            .iter()
+            .map(|&d| enc.encode(&InferenceRequest::new(vec![1], d)).unwrap())
+            .collect();
+        assert_eq!(enc.domain_histogram(&requests), vec![1, 2, 3]);
+        assert_eq!(enc.domain_histogram(&[]), vec![0, 0, 0]);
     }
 
     #[test]

@@ -49,4 +49,4 @@ pub use moe_models::{Mmoe, Mose};
 pub use registry::{registry, MethodInfo};
 pub use style::{DualEmo, StyleLstm};
 pub use textcnn::TextCnnModel;
-pub use traits::{FakeNewsModel, InferenceOutput, ModelOutput};
+pub use traits::{FakeNewsModel, InferOptions, InferenceOutput, ModelOutput};

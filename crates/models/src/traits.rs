@@ -2,7 +2,7 @@
 
 use crate::config::ModelConfig;
 use dtdbd_data::Batch;
-use dtdbd_tensor::{BufferPool, Graph, ParamStore, Tensor, Var};
+use dtdbd_tensor::{BufferPool, Graph, ParamId, ParamStore, ShardedTable, Tensor, Var};
 
 /// Result of a model forward pass.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +62,32 @@ impl InferenceOutput {
     }
 }
 
+/// Tuning of a tape-free inference pass ([`FakeNewsModel::infer_with_opts`]).
+///
+/// Every knob preserves the engine's determinism contract: outputs are
+/// bit-identical at any `threads` setting and whether an embedding table is
+/// served from the store or from external shards.
+#[derive(Debug, Clone, Default)]
+pub struct InferOptions {
+    /// Intra-op threads the compute kernels may fan out to (clamped ≥ 1).
+    pub threads: usize,
+    /// Serve embedding lookups of the given table parameter from external
+    /// read-only row shards instead of the store's resident value (which may
+    /// then be empty — sharded serving drops the per-worker table copy).
+    /// Cloning a [`ShardedTable`] clones `Arc`s, never rows.
+    pub embedding_shards: Option<(ParamId, ShardedTable)>,
+}
+
+impl InferOptions {
+    /// Options equivalent to [`FakeNewsModel::infer_with_threads`].
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            embedding_shards: None,
+        }
+    }
+}
+
 /// A multi-domain fake news detection model.
 pub trait FakeNewsModel {
     /// Short name used in result tables (matches the paper's rows).
@@ -111,7 +137,7 @@ pub trait FakeNewsModel {
         pool: &mut BufferPool,
         batch: &Batch,
     ) -> InferenceOutput {
-        run_default_infer(self, store, pool, batch, 1)
+        run_default_infer(self, store, pool, batch, &InferOptions::with_threads(1))
     }
 
     /// [`FakeNewsModel::infer`] with an explicit intra-op thread count for
@@ -130,7 +156,33 @@ pub trait FakeNewsModel {
         if threads <= 1 {
             self.infer(store, pool, batch)
         } else {
-            run_default_infer(self, store, pool, batch, threads)
+            run_default_infer(
+                self,
+                store,
+                pool,
+                batch,
+                &InferOptions::with_threads(threads),
+            )
+        }
+    }
+
+    /// [`FakeNewsModel::infer`] with the full option set — the entry point
+    /// the sharded serving path uses. Without embedding shards this
+    /// delegates to [`FakeNewsModel::infer_with_threads`], so a model with a
+    /// hand-fused override keeps serving replica deployments; with shards it
+    /// runs the default graph path with the shard-served lookup installed
+    /// (outputs stay bit-identical — gathering is row copying either way).
+    fn infer_with_opts(
+        &self,
+        store: &mut ParamStore,
+        pool: &mut BufferPool,
+        batch: &Batch,
+        opts: &InferOptions,
+    ) -> InferenceOutput {
+        if opts.embedding_shards.is_none() {
+            self.infer_with_threads(store, pool, batch, opts.threads)
+        } else {
+            run_default_infer(self, store, pool, batch, opts)
         }
     }
 }
@@ -143,10 +195,13 @@ fn run_default_infer<M: FakeNewsModel + ?Sized>(
     store: &mut ParamStore,
     pool: &mut BufferPool,
     batch: &Batch,
-    threads: usize,
+    opts: &InferOptions,
 ) -> InferenceOutput {
     let mut g = Graph::inference(store, pool);
-    g.set_threads(threads);
+    g.set_threads(opts.threads);
+    if let Some((table, shards)) = &opts.embedding_shards {
+        g.set_row_shards(*table, shards.clone());
+    }
     let out = model.forward(&mut g, batch);
     let result = InferenceOutput {
         logits: g.value(out.logits).clone(),
@@ -203,6 +258,16 @@ impl<T: FakeNewsModel + ?Sized> FakeNewsModel for Box<T> {
         threads: usize,
     ) -> InferenceOutput {
         (**self).infer_with_threads(store, pool, batch, threads)
+    }
+
+    fn infer_with_opts(
+        &self,
+        store: &mut ParamStore,
+        pool: &mut BufferPool,
+        batch: &Batch,
+        opts: &InferOptions,
+    ) -> InferenceOutput {
+        (**self).infer_with_opts(store, pool, batch, opts)
     }
 }
 
@@ -285,6 +350,37 @@ pub(crate) mod test_support {
                 "{}: steady-state inference must not allocate fresh buffers",
                 model.name()
             );
+
+            // Sharded-lookup contract: serving the frozen pre-trained table
+            // from external row shards (the per-worker store keeps only a
+            // shard-free stub in sharded deployments) is bit-identical to
+            // the resident-table path at any shard/thread count.
+            let table_id = store
+                .iter()
+                .filter(|(_, p)| {
+                    !p.trainable && p.value.ndim() == 2 && p.value.shape()[0] == cfg.vocab_size
+                })
+                .max_by_key(|(_, p)| p.value.numel())
+                .map(|(id, _)| id);
+            if let Some(table_id) = table_id {
+                use dtdbd_tensor::ShardedTable;
+                for n_shards in [1usize, 3] {
+                    let shards = ShardedTable::from_tensor(store.value(table_id), n_shards);
+                    let opts = InferOptions {
+                        threads: 2,
+                        embedding_shards: Some((table_id, shards)),
+                    };
+                    let sharded = model.infer_with_opts(&mut store, &mut pool, &batch, &opts);
+                    for (a, b) in sharded.logits.data().iter().zip(inferred.logits.data()) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{}: shard-served logits diverge at {n_shards} shards",
+                            model.name()
+                        );
+                    }
+                }
+            }
         }
 
         // Training contract: the *classification* loss decreases over a few

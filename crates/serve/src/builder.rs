@@ -1,4 +1,5 @@
-//! Rebuilding model architectures from a checkpoint's `arch` tag.
+//! Rebuilding model architectures from a checkpoint's `arch` tag, and the
+//! fluent [`ServerBuilder`] that turns checkpoints into tuned servers.
 //!
 //! A checkpoint stores the architecture as the model's canonical name (what
 //! [`dtdbd_models::FakeNewsModel::name`] returns at save time). This module
@@ -7,11 +8,13 @@
 //! which concrete type is inside.
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
-use crate::server::{BatchingConfig, PredictServer};
+use crate::routing::DomainRouting;
+use crate::server::{BatchingConfig, PredictServer, ServerTuning};
 use crate::session::InferenceSession;
 use dtdbd_models::{BiGruModel, FakeNewsModel, Mdfend, ModelConfig, TextCnnModel};
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
+use std::fmt;
 
 /// A boxed model that can cross threads (what the server's workers hold).
 pub type BoxedModel = Box<dyn FakeNewsModel + Send>;
@@ -23,6 +26,158 @@ pub type BoxedModel = Box<dyn FakeNewsModel + Send>;
 /// `DomainMemoryBank` is EMA state outside the store, so a checkpoint
 /// cannot yet reproduce a trained M3FEND faithfully (see ROADMAP).
 pub const SUPPORTED_ARCHS: &[&str] = &["TextCNN", "TextCNN-S", "BiGRU", "BiGRU-S", "MDFEND"];
+
+/// Why a server could not be started with the requested configuration.
+///
+/// Every variant is a *configuration* problem, detected before any worker
+/// thread spawns; checkpoint decode/restore problems stay
+/// [`CheckpointError`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0`: the server would never answer anything.
+    ZeroWorkers,
+    /// `max_batch_size == 0`: no batch could ever be assembled.
+    ZeroMaxBatchSize,
+    /// Embedding shard count of zero or more shards than table rows.
+    BadShardCount {
+        /// The rejected shard count.
+        requested: usize,
+        /// Rows of the table being sharded.
+        rows: usize,
+    },
+    /// Sharding was requested but the model registers no frozen 2-D
+    /// parameter with the corpus's vocabulary rows to shard.
+    NoShardableTable {
+        /// Expected row count (the corpus vocabulary size).
+        vocab_rows: usize,
+    },
+    /// A session's store has no parameter under the shard pool's table name
+    /// (a pool built from a different architecture's checkpoint).
+    MissingShardParam {
+        /// Table name the pool was built from.
+        param: String,
+    },
+    /// A session's copy of the sharded table disagrees with the pool's
+    /// geometry (a pool built from a different checkpoint, for example).
+    ShardGeometryMismatch {
+        /// Name of the table parameter.
+        param: String,
+        /// Rows the pool holds.
+        expected_rows: usize,
+        /// Row width the pool holds.
+        expected_dim: usize,
+        /// Shape found in the session's store.
+        found: Vec<usize>,
+    },
+    /// Domain routing declares more queues (specialist groups + the shared
+    /// fallback) than there are workers to staff them.
+    RoutingUnderprovisioned {
+        /// Queues the routing requires (groups + 1).
+        queues: usize,
+        /// Workers configured.
+        workers: usize,
+    },
+    /// Domain routing assigns a domain the corpus does not have.
+    RoutingDomainOutOfRange {
+        /// The offending domain id.
+        domain: usize,
+        /// Number of domains of the corpus.
+        n_domains: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroWorkers => write!(f, "need at least one worker"),
+            Self::ZeroMaxBatchSize => write!(f, "max_batch_size must be positive"),
+            Self::BadShardCount { requested, rows } => {
+                write!(
+                    f,
+                    "embedding shard count {requested} out of range (1..={rows} table rows)"
+                )
+            }
+            Self::NoShardableTable { vocab_rows } => {
+                write!(
+                    f,
+                    "no frozen 2-D parameter with {vocab_rows} vocabulary rows to shard"
+                )
+            }
+            Self::MissingShardParam { param } => {
+                write!(
+                    f,
+                    "session has no parameter named {param:?} to serve from the shard pool \
+                     (pool built from a different model layout?)"
+                )
+            }
+            Self::ShardGeometryMismatch {
+                param,
+                expected_rows,
+                expected_dim,
+                found,
+            } => {
+                write!(
+                    f,
+                    "shard pool geometry mismatch for {param}: pool holds [{expected_rows}, {expected_dim}], session has {found:?}"
+                )
+            }
+            Self::RoutingUnderprovisioned { queues, workers } => {
+                write!(
+                    f,
+                    "domain routing needs {queues} queues (specialist groups + shared fallback) but only {workers} workers are configured"
+                )
+            }
+            Self::RoutingDomainOutOfRange { domain, n_domains } => {
+                write!(
+                    f,
+                    "domain routing assigns domain {domain}, corpus has {n_domains} domains"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Why [`ServerBuilder::try_start_from_checkpoint`] failed: either the
+/// checkpoint could not be restored or the builder configuration is invalid.
+#[derive(Debug)]
+pub enum StartError {
+    /// Checkpoint decode/restore failure.
+    Checkpoint(CheckpointError),
+    /// Invalid builder configuration.
+    Config(ConfigError),
+}
+
+impl fmt::Display for StartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Checkpoint(e) => write!(f, "{e}"),
+            Self::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Checkpoint(e) => Some(e),
+            Self::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<CheckpointError> for StartError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+impl From<ConfigError> for StartError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
 
 /// Construct a model of the named architecture, registering freshly
 /// initialised parameters in `store` (the caller then restores checkpoint
@@ -68,29 +223,36 @@ pub fn session_from_checkpoint(
 /// Fluent construction of a tuned [`PredictServer`].
 ///
 /// [`PredictServer::start`] covers the default deployment; the builder adds
-/// the performance knobs introduced with the blocked/parallel kernels:
+/// the scaling knobs:
 ///
 /// * **`threads`** — intra-op parallelism of each worker's compute kernels.
 ///   Predictions are bit-identical at any setting (the kernels' determinism
 ///   contract), so this is purely a throughput knob.
-/// * **`cache_capacity`** — bound of the content-hash → prediction LRU in
-///   front of the micro-batch queue (0 disables caching).
+/// * **`cache_capacity`** / **`cache_shards`** — bound of the content-hash →
+///   prediction LRU in front of the queues (0 disables caching) and its
+///   lock-partition count.
+/// * **`shards`** — row-range embedding shards: the dominant frozen table is
+///   held once in a process-wide [`crate::ShardStore`] instead of per
+///   worker; predictions stay bit-identical (0 = full replicas).
+/// * **`domain_routing`** — pin domains to specialist worker groups with a
+///   shared fallback queue for everything else.
 ///
 /// ```no_run
-/// # use dtdbd_serve::{Checkpoint, ServerBuilder};
-/// # fn demo(checkpoint: &Checkpoint) -> Result<(), dtdbd_serve::CheckpointError> {
+/// # use dtdbd_serve::{Checkpoint, DomainRouting, ServerBuilder};
+/// # fn demo(checkpoint: &Checkpoint) -> Result<(), dtdbd_serve::StartError> {
 /// let server = ServerBuilder::new()
-///     .workers(2)
+///     .workers(4)
 ///     .threads(4)
 ///     .cache_capacity(8192)
-///     .start_from_checkpoint(checkpoint)?;
+///     .shards(4)
+///     .domain_routing(DomainRouting::new().assign(8, 0))
+///     .try_start_from_checkpoint(checkpoint)?;
 /// # drop(server); Ok(()) }
 /// ```
 #[derive(Debug, Clone)]
 pub struct ServerBuilder {
     batching: BatchingConfig,
-    threads: usize,
-    cache_capacity: usize,
+    tuning: ServerTuning,
 }
 
 impl Default for ServerBuilder {
@@ -101,12 +263,12 @@ impl Default for ServerBuilder {
 
 impl ServerBuilder {
     /// A builder with [`BatchingConfig::default`] and the default tuning
-    /// (1 intra-op thread, 1024-entry prediction cache).
+    /// (1 intra-op thread, 1024-entry prediction cache in 8 lock
+    /// partitions, full replicas, no routing).
     pub fn new() -> Self {
         Self {
             batching: BatchingConfig::default(),
-            threads: 1,
-            cache_capacity: crate::server::DEFAULT_CACHE_CAPACITY,
+            tuning: ServerTuning::default(),
         }
     }
 
@@ -136,34 +298,94 @@ impl ServerBuilder {
 
     /// Intra-op threads of each worker's compute kernels (clamped to ≥ 1).
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.tuning.threads = threads;
         self
     }
 
-    /// Bound of the prediction cache in entries; 0 disables caching.
+    /// Bound of the prediction cache in entries; 0 disables caching (the
+    /// documented fallback — not an error — with all cache counters pinned
+    /// at zero).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache_capacity = capacity;
+        self.tuning.cache_capacity = capacity;
         self
+    }
+
+    /// Lock partitions of the prediction cache (clamped to `1..=capacity`).
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.tuning.cache_shards = shards;
+        self
+    }
+
+    /// Split the dominant frozen embedding table into `shards` row-range
+    /// shards held once process-wide instead of per worker. 0 (the default)
+    /// keeps full replicas; a count exceeding the table rows is a
+    /// [`ConfigError::BadShardCount`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.tuning.embedding_shards = shards;
+        self
+    }
+
+    /// Dispatch requests to per-domain specialist worker groups (plus a
+    /// shared fallback queue for unassigned domains). An empty routing is
+    /// the documented "routing disabled" fallback.
+    pub fn domain_routing(mut self, routing: DomainRouting) -> Self {
+        self.tuning.routing = Some(routing);
+        self
+    }
+
+    /// Start the server with a per-worker session factory, surfacing
+    /// misconfiguration as a typed [`ConfigError`] instead of panicking.
+    pub fn try_start<M, F>(self, factory: F) -> Result<PredictServer, ConfigError>
+    where
+        M: FakeNewsModel + Send + 'static,
+        F: FnMut(usize) -> InferenceSession<M>,
+    {
+        PredictServer::start_tuned(self.batching, self.tuning, factory)
     }
 
     /// Start the server with a per-worker session factory.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; use [`ServerBuilder::try_start`]
+    /// for the typed-error form.
     pub fn start<M, F>(self, factory: F) -> PredictServer
     where
         M: FakeNewsModel + Send + 'static,
         F: FnMut(usize) -> InferenceSession<M>,
     {
-        PredictServer::start_tuned(self.batching, self.threads, self.cache_capacity, factory)
+        self.try_start(factory)
+            .unwrap_or_else(|e| panic!("invalid server configuration: {e}"))
     }
 
-    /// Start the server with every worker restoring the same checkpoint.
-    pub fn start_from_checkpoint(
+    /// Start the server with every worker restoring the same checkpoint,
+    /// surfacing both checkpoint and configuration problems as typed
+    /// errors.
+    pub fn try_start_from_checkpoint(
         self,
         checkpoint: &Checkpoint,
-    ) -> Result<PredictServer, CheckpointError> {
+    ) -> Result<PredictServer, StartError> {
         // Restore once up front so a bad checkpoint fails fast instead of
         // panicking inside a worker factory.
         let probe = session_from_checkpoint(checkpoint)?;
         drop(probe);
-        Ok(self.start(|_| session_from_checkpoint(checkpoint).expect("checkpoint probed above")))
+        Ok(self
+            .try_start(|_| session_from_checkpoint(checkpoint).expect("checkpoint probed above"))?)
+    }
+
+    /// Start the server with every worker restoring the same checkpoint.
+    ///
+    /// # Panics
+    /// Panics on an invalid builder configuration (checkpoint problems stay
+    /// typed); use [`ServerBuilder::try_start_from_checkpoint`] for the
+    /// fully typed form.
+    pub fn start_from_checkpoint(
+        self,
+        checkpoint: &Checkpoint,
+    ) -> Result<PredictServer, CheckpointError> {
+        match self.try_start_from_checkpoint(checkpoint) {
+            Ok(server) => Ok(server),
+            Err(StartError::Checkpoint(e)) => Err(e),
+            Err(StartError::Config(e)) => panic!("invalid server configuration: {e}"),
+        }
     }
 }

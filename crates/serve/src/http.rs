@@ -435,6 +435,34 @@ impl HttpStats {
                 ]),
             ),
             (
+                "sharding".into(),
+                Json::Obj(vec![
+                    (
+                        "embedding_shards".into(),
+                        num(serving.embedding_shards as u64),
+                    ),
+                    ("shard_pool_bytes".into(), num(serving.shard_pool_bytes)),
+                    (
+                        "resident_param_bytes_per_worker".into(),
+                        num(serving.resident_param_bytes_per_worker),
+                    ),
+                ]),
+            ),
+            (
+                "routing".into(),
+                Json::Obj(vec![
+                    (
+                        "specialist_queues".into(),
+                        num(serving.routing.specialist_queues as u64),
+                    ),
+                    (
+                        "routed_specialist".into(),
+                        num(serving.routing.routed_specialist),
+                    ),
+                    ("routed_shared".into(), num(serving.routing.routed_shared)),
+                ]),
+            ),
+            (
                 "endpoints".into(),
                 Json::Obj(vec![
                     (

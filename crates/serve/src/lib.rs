@@ -16,7 +16,12 @@
 //! 3. **Micro-batching server core** ([`server`]) — [`PredictServer`]
 //!    coalesces concurrent single-item requests into batches
 //!    (`max_batch_size` / `max_wait`) dispatched to a pool of worker
-//!    threads, each owning a private session.
+//!    threads, each owning a private session. Scaling features configured
+//!    through [`ServerBuilder`]: a lock-sharded prediction cache
+//!    ([`cache`]), **embedding sharding** ([`shards`]: the dominant frozen
+//!    table held once process-wide instead of per worker, bit-identical
+//!    predictions) and **domain routing** ([`routing`]: per-domain
+//!    specialist queues with a shared fallback).
 //! 4. **HTTP/1.1 front-end** ([`http`], with its JSON codec in [`json`]) —
 //!    [`HttpServer`] binds a `TcpListener` and serves `POST /predict`,
 //!    `GET /healthz` and `GET /stats` over real sockets: a bounded
@@ -44,14 +49,19 @@ pub mod checkpoint;
 pub mod codec;
 pub mod http;
 pub mod json;
+pub mod routing;
 pub mod server;
 pub mod session;
+pub mod shards;
 
 pub use builder::{
-    build_model, session_from_checkpoint, BoxedModel, ServerBuilder, SUPPORTED_ARCHS,
+    build_model, session_from_checkpoint, BoxedModel, ConfigError, ServerBuilder, StartError,
+    SUPPORTED_ARCHS,
 };
-pub use cache::{CacheKey, CacheStats, PredictionCache};
+pub use cache::{CacheKey, CacheStats, PredictionCache, ShardedPredictionCache};
 pub use checkpoint::{Checkpoint, CheckpointError, FORMAT_VERSION, MAGIC};
 pub use http::{ClientResponse, HttpClient, HttpConfig, HttpServer};
-pub use server::{BatchingConfig, PredictServer, PredictionHandle, ServingStats};
+pub use routing::DomainRouting;
+pub use server::{BatchingConfig, PredictServer, PredictionHandle, RoutingStats, ServingStats};
 pub use session::{InferenceSession, Prediction};
+pub use shards::ShardStore;

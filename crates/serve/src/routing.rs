@@ -1,0 +1,189 @@
+//! Domain-aware request routing.
+//!
+//! Multi-domain fake news traffic is skewed: a handful of domains (Society,
+//! Politics, Health in Weibo21) carry most of the volume, and the
+//! MDFEND/M3FEND line of models routes *computation* by domain internally.
+//! [`DomainRouting`] lifts that idea to the serving layer: domains can be
+//! pinned to specialist worker groups, each with its own micro-batch queue,
+//! so hot domains get dedicated workers (and batches stay domain-pure,
+//! which keeps the domain-gated models' working sets warm). Every request
+//! whose domain has no assignment falls back to the shared worker pool.
+//!
+//! Routing never changes *what* is predicted — all workers hold identical
+//! weights, and the engine is deterministic — only *where* a request
+//! queues. The sharded-vs-replica parity tests pin that contract.
+
+/// Assignment of domains to specialist worker groups.
+///
+/// Group indices are caller-chosen labels — they need not be dense or
+/// 0-based. The *effective* assignment (latest per domain) is normalised to
+/// dense queue indices in first-use order, so the server materialises
+/// exactly one queue per group that actually receives traffic **plus** a
+/// shared fallback queue, and requires at least one worker per queue. A
+/// group left without any domain (gapped index, or overridden away) never
+/// becomes a queue — no worker can end up parked on a queue nothing routes
+/// to. An empty routing (no assignments) is the documented fallback for
+/// "routing disabled": every request uses the shared queue.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DomainRouting {
+    /// `(domain, group)` assignments in insertion order; for a duplicated
+    /// domain the latest assignment wins.
+    assignments: Vec<(usize, usize)>,
+}
+
+impl DomainRouting {
+    /// No assignments (routing disabled until [`DomainRouting::assign`]ed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Route `domain` to specialist group `group` (builder style). A later
+    /// assignment of the same domain overrides an earlier one.
+    pub fn assign(mut self, domain: usize, group: usize) -> Self {
+        self.assignments.push((domain, group));
+        self
+    }
+
+    /// Routing built from per-group domain lists: `groups[g]` holds the
+    /// domains of specialist group `g`.
+    pub fn from_groups(groups: &[&[usize]]) -> Self {
+        let mut routing = Self::new();
+        for (group, domains) in groups.iter().enumerate() {
+            for &domain in *domains {
+                routing = routing.assign(domain, group);
+            }
+        }
+        routing
+    }
+
+    /// `true` when no domain is assigned (routing disabled).
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// The effective `(domain, group)` pairs: one entry per domain (latest
+    /// assignment wins), in first-appearance order of the domain.
+    fn effective(&self) -> Vec<(usize, usize)> {
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for &(domain, group) in &self.assignments {
+            match pairs.iter_mut().find(|(d, _)| *d == domain) {
+                Some(pair) => pair.1 = group,
+                None => pairs.push((domain, group)),
+            }
+        }
+        pairs
+    }
+
+    /// Distinct group labels that effectively receive traffic, in first-use
+    /// order — their positions are the dense queue indices.
+    fn dense_groups(&self) -> Vec<usize> {
+        let mut groups = Vec::new();
+        for (_, group) in self.effective() {
+            if !groups.contains(&group) {
+                groups.push(group);
+            }
+        }
+        groups
+    }
+
+    /// Number of specialist groups that effectively receive traffic (0 when
+    /// empty). Gapped or overridden-away group labels do not count — only
+    /// groups a domain actually routes to become queues.
+    pub fn groups(&self) -> usize {
+        self.dense_groups().len()
+    }
+
+    /// Largest assigned domain id, if any (validated against the corpus
+    /// domain count at server start).
+    pub fn max_domain(&self) -> Option<usize> {
+        self.assignments.iter().map(|&(d, _)| d).max()
+    }
+
+    /// The specialist group of `domain`, if assigned.
+    pub fn group_for(&self, domain: usize) -> Option<usize> {
+        self.assignments
+            .iter()
+            .rev()
+            .find(|&&(d, _)| d == domain)
+            .map(|&(_, g)| g)
+    }
+
+    /// Flatten into a dense `domain -> queue` table over `n_domains`
+    /// domains, where queue 0 is the shared fallback and the i-th distinct
+    /// effective group (first-use order) maps to queue `i + 1` (what the
+    /// server's submit path indexes).
+    pub(crate) fn queue_table(&self, n_domains: usize) -> Vec<usize> {
+        let dense = self.dense_groups();
+        let mut table = vec![0usize; n_domains];
+        for (domain, group) in self.effective() {
+            if domain < n_domains {
+                let queue = dense.iter().position(|&g| g == group).expect("own group") + 1;
+                table[domain] = queue;
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_routing_has_no_groups() {
+        let routing = DomainRouting::new();
+        assert!(routing.is_empty());
+        assert_eq!(routing.groups(), 0);
+        assert_eq!(routing.group_for(0), None);
+        assert_eq!(routing.max_domain(), None);
+        assert_eq!(routing.queue_table(3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn assignments_map_domains_to_groups_with_shared_fallback() {
+        let routing = DomainRouting::new().assign(8, 0).assign(4, 1).assign(5, 1);
+        assert_eq!(routing.groups(), 2);
+        assert_eq!(routing.max_domain(), Some(8));
+        assert_eq!(routing.group_for(8), Some(0));
+        assert_eq!(routing.group_for(5), Some(1));
+        assert_eq!(routing.group_for(0), None, "unassigned domains fall back");
+        let table = routing.queue_table(9);
+        assert_eq!(table[8], 1, "group 0 -> queue 1 (queue 0 is shared)");
+        assert_eq!(table[4], 2);
+        assert_eq!(table[5], 2);
+        assert_eq!(table[0], 0);
+    }
+
+    #[test]
+    fn later_assignments_override_earlier_ones() {
+        let routing = DomainRouting::new().assign(3, 0).assign(3, 1);
+        assert_eq!(routing.group_for(3), Some(1));
+        // The overridden-away group 0 receives no traffic, so it must not
+        // become a queue: only group 1 remains, mapped to queue 1.
+        assert_eq!(routing.groups(), 1);
+        assert_eq!(routing.queue_table(4)[3], 1);
+    }
+
+    #[test]
+    fn gapped_group_labels_normalise_to_dense_queues() {
+        // Group labels 7 and 2 (no 0..=1, no 3..=6): exactly two queues,
+        // assigned in first-use order — no worker can be pinned to a queue
+        // nothing routes to.
+        let routing = DomainRouting::new().assign(8, 7).assign(4, 2).assign(5, 7);
+        assert_eq!(routing.groups(), 2);
+        let table = routing.queue_table(9);
+        assert_eq!(table[8], 1, "first-used label 7 -> queue 1");
+        assert_eq!(table[5], 1);
+        assert_eq!(table[4], 2, "label 2 -> queue 2");
+        assert_eq!(table[0], 0, "unassigned -> shared fallback");
+    }
+
+    #[test]
+    fn from_groups_matches_builder_assignments() {
+        let routing = DomainRouting::from_groups(&[&[8], &[4, 5]]);
+        assert_eq!(
+            routing,
+            DomainRouting::new().assign(8, 0).assign(4, 1).assign(5, 1)
+        );
+    }
+}

@@ -2,25 +2,40 @@
 //!
 //! Serving traffic arrives one item at a time, but the engine is far more
 //! efficient per item on a batch. [`PredictServer`] bridges the two: clients
-//! [`PredictServer::submit`] single requests into a shared queue, and a pool
-//! of worker threads coalesces them into batches — a worker that picks up a
+//! [`PredictServer::submit`] single requests into a queue, and a pool of
+//! worker threads coalesces them into batches — a worker that picks up a
 //! lone request lingers up to [`BatchingConfig::max_wait`] for companions,
 //! caps the batch at [`BatchingConfig::max_batch_size`], runs one tape-free
 //! forward pass, and fans the per-item [`Prediction`]s back out to the
 //! waiting clients.
 //!
-//! In front of the queue sits a bounded **prediction cache**
-//! ([`crate::cache::PredictionCache`]): a request whose canonical content
-//! was answered before resolves immediately — bit-identical to a fresh
-//! forward pass, because the engine is deterministic — without touching the
-//! queue or a worker. Tune it (and the per-worker intra-op `threads` knob)
-//! through [`crate::ServerBuilder`].
+//! In front of the queues sits a bounded, **lock-sharded prediction cache**
+//! ([`crate::cache::ShardedPredictionCache`]): a request whose canonical
+//! content was answered before resolves immediately — bit-identical to a
+//! fresh forward pass, because the engine is deterministic — without
+//! touching a queue or a worker.
+//!
+//! Two scaling features configured through [`crate::ServerBuilder`]:
+//!
+//! * **Embedding sharding** — instead of every worker holding a full model
+//!   replica, the dominant frozen embedding table is held **once** in a
+//!   process-wide [`crate::ShardStore`] (row-range shards behind `Arc`s) and
+//!   workers gather from the shared shards. Predictions stay bit-identical
+//!   to the replica path; per-worker resident parameters shrink to the
+//!   non-embedding layers.
+//! * **Domain routing** — a [`crate::DomainRouting`] assignment splits the
+//!   single queue into per-domain specialist queues plus a shared fallback
+//!   queue; the submit path dispatches by the request's domain. Routing
+//!   moves requests between identical workers, so it changes batching
+//!   locality and queueing, never bits.
 //!
 //! Shutdown is graceful: [`PredictServer::shutdown`] (also invoked by drop)
 //! stops intake, lets the workers drain every queued request, and joins them.
 
-use crate::cache::{CacheKey, CacheStats, PredictionCache};
+use crate::cache::{CacheKey, CacheStats, ShardedPredictionCache, DEFAULT_CACHE_SHARDS};
+use crate::routing::DomainRouting;
 use crate::session::{InferenceSession, Prediction};
+use crate::shards::ShardStore;
 use dtdbd_data::{EncodedRequest, InferenceRequest, RequestEncoder, RequestError};
 use dtdbd_models::FakeNewsModel;
 use std::collections::VecDeque;
@@ -55,6 +70,36 @@ impl Default for BatchingConfig {
     }
 }
 
+/// The tuning [`crate::ServerBuilder`] hands to [`PredictServer::start_tuned`]
+/// on top of the [`BatchingConfig`].
+#[derive(Debug, Clone)]
+pub(crate) struct ServerTuning {
+    /// Intra-op threads of each worker's compute kernels.
+    pub threads: usize,
+    /// Prediction-cache bound in entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Lock partitions of the prediction cache.
+    pub cache_shards: usize,
+    /// Row-range shards of the shared embedding table (0 = replica mode:
+    /// every worker keeps its private full copy).
+    pub embedding_shards: usize,
+    /// Domain → specialist-group assignment (`None` or empty = one shared
+    /// queue).
+    pub routing: Option<DomainRouting>,
+}
+
+impl Default for ServerTuning {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            cache_shards: DEFAULT_CACHE_SHARDS,
+            embedding_shards: 0,
+            routing: None,
+        }
+    }
+}
+
 struct Job {
     request: EncodedRequest,
     /// Cache key of the request, carried so the worker can populate the
@@ -63,9 +108,19 @@ struct Job {
     reply: mpsc::Sender<Prediction>,
 }
 
+#[derive(Default)]
 struct QueueState {
     jobs: VecDeque<Job>,
     shutdown: bool,
+}
+
+/// One micro-batch queue: the shared fallback queue (index 0) or a
+/// specialist group's queue. Each has its own mutex + condvar, so specialist
+/// traffic never contends with the shared pool's lock.
+#[derive(Default)]
+struct QueueSlot {
+    state: Mutex<QueueState>,
+    available: Condvar,
 }
 
 /// Lock-free per-worker counters, written by the worker after every batch
@@ -79,20 +134,47 @@ struct WorkerCounters {
 }
 
 struct Shared {
-    state: Mutex<QueueState>,
-    available: Condvar,
+    /// Queue 0 is the shared fallback; queue `g + 1` belongs to specialist
+    /// group `g`. A server without routing has exactly one queue.
+    queues: Vec<QueueSlot>,
+    /// Dense `domain -> queue index` table (empty when routing is off;
+    /// every request then uses queue 0).
+    route_table: Vec<usize>,
     counters: Vec<WorkerCounters>,
-    /// Content-hash → prediction LRU in front of the queue; `None` when
-    /// disabled. Locked briefly on submit (lookup) and once per batch
-    /// (insert) — never across a forward pass.
-    cache: Option<Mutex<PredictionCache>>,
+    /// Lock-sharded content-hash → prediction cache in front of the queues;
+    /// `None` when disabled. Each partition locks independently, so
+    /// concurrent submitters only contend on key-hash collisions' partitions.
+    cache: Option<ShardedPredictionCache>,
+    /// Requests dispatched to a specialist queue (only counted when routing
+    /// is active).
+    routed_specialist: AtomicU64,
+    /// Requests that fell back to the shared queue under active routing.
+    routed_shared: AtomicU64,
+}
+
+impl Shared {
+    fn queue_for(&self, domain: usize) -> usize {
+        self.route_table.get(domain).copied().unwrap_or(0)
+    }
+}
+
+/// Domain-routing counters reported in [`ServingStats`] (all zeros when
+/// routing is disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutingStats {
+    /// Specialist queues in front of the worker pool (0 = routing off).
+    pub specialist_queues: usize,
+    /// Requests dispatched to a specialist queue.
+    pub routed_specialist: u64,
+    /// Requests that fell back to the shared queue while routing was active.
+    pub routed_shared: u64,
 }
 
 /// A point-in-time snapshot of the serving core's load and memory behaviour,
 /// aggregated over every worker (what `GET /stats` reports).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServingStats {
-    /// Requests queued but not yet picked up by a worker.
+    /// Requests queued but not yet picked up by a worker (all queues).
     pub queue_depth: usize,
     /// Items answered so far: worker forward passes plus cache hits.
     pub requests_served: u64,
@@ -108,6 +190,17 @@ pub struct ServingStats {
     pub threads: usize,
     /// Prediction-cache counters (all zeros when the cache is disabled).
     pub cache: CacheStats,
+    /// Row-range shards of the shared embedding table (0 = replica mode).
+    pub embedding_shards: usize,
+    /// Bytes of the shared shard pool, resident once per process (0 in
+    /// replica mode).
+    pub shard_pool_bytes: u64,
+    /// Mean bytes of parameter values resident in each worker's private
+    /// store. In replica mode this includes the full embedding table; in
+    /// sharded mode the table lives in the shared pool instead.
+    pub resident_param_bytes_per_worker: u64,
+    /// Domain-routing dispatch counters.
+    pub routing: RoutingStats,
 }
 
 /// An in-flight prediction; resolve it with [`PredictionHandle::wait`].
@@ -137,72 +230,147 @@ pub struct PredictServer {
     shared: Arc<Shared>,
     encoder: RequestEncoder,
     threads: usize,
+    embedding_shards: usize,
+    shard_pool_bytes: u64,
+    resident_param_bytes_per_worker: u64,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl PredictServer {
     /// Start `config.workers` worker threads with the default tuning: one
-    /// intra-op thread per worker and a [`DEFAULT_CACHE_CAPACITY`]-entry
-    /// prediction cache. `factory` is called once per worker (with the
-    /// worker index) to build that worker's private [`InferenceSession`];
-    /// sessions never share mutable state, so no lock is held during a
-    /// forward pass. Use [`crate::ServerBuilder`] to tune the cache bound
-    /// and intra-op threads.
+    /// intra-op thread per worker, a [`DEFAULT_CACHE_CAPACITY`]-entry
+    /// prediction cache, full model replicas and no domain routing.
+    /// `factory` is called once per worker (with the worker index) to build
+    /// that worker's private [`InferenceSession`]; sessions never share
+    /// mutable state, so no lock is held during a forward pass. Use
+    /// [`crate::ServerBuilder`] for the full knob set (cache bound,
+    /// intra-op threads, embedding sharding, domain routing).
     ///
     /// # Panics
-    /// Panics if `config.workers` or `config.max_batch_size` is zero.
+    /// Panics if `config.workers` or `config.max_batch_size` is zero (the
+    /// builder's `try_start` returns these as typed errors instead).
     pub fn start<M, F>(config: BatchingConfig, factory: F) -> Self
     where
         M: FakeNewsModel + Send + 'static,
         F: FnMut(usize) -> InferenceSession<M>,
     {
-        Self::start_tuned(config, 1, DEFAULT_CACHE_CAPACITY, factory)
+        Self::start_tuned(config, ServerTuning::default(), factory)
+            .unwrap_or_else(|e| panic!("invalid server configuration: {e}"))
     }
 
-    /// [`PredictServer::start`] with explicit intra-op `threads` per worker
-    /// and prediction-cache capacity (0 disables the cache). This is what
-    /// [`crate::ServerBuilder`] calls.
+    /// [`PredictServer::start`] with the full tuning set. This is what
+    /// [`crate::ServerBuilder`] calls; misconfiguration comes back as a
+    /// typed [`crate::ConfigError`] before any worker thread spawns.
     pub(crate) fn start_tuned<M, F>(
         config: BatchingConfig,
-        threads: usize,
-        cache_capacity: usize,
+        tuning: ServerTuning,
         mut factory: F,
-    ) -> Self
+    ) -> Result<Self, crate::builder::ConfigError>
     where
         M: FakeNewsModel + Send + 'static,
         F: FnMut(usize) -> InferenceSession<M>,
     {
-        assert!(config.workers > 0, "need at least one worker");
-        assert!(config.max_batch_size > 0, "max_batch_size must be positive");
-        let threads = threads.max(1);
+        use crate::builder::ConfigError;
+        if config.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if config.max_batch_size == 0 {
+            return Err(ConfigError::ZeroMaxBatchSize);
+        }
+        let threads = tuning.threads.max(1);
+        // An empty routing is the documented "routing disabled" fallback.
+        let routing = tuning.routing.filter(|r| !r.is_empty());
+        let n_queues = routing.as_ref().map_or(1, |r| r.groups() + 1);
+        if config.workers < n_queues {
+            return Err(ConfigError::RoutingUnderprovisioned {
+                queues: n_queues,
+                workers: config.workers,
+            });
+        }
+
+        // Build every session on the caller's thread so misconfiguration
+        // surfaces as an error before any worker thread spawns. Worker 0 is
+        // built first and, in sharded mode, donates its table to the
+        // process-wide pool *before* the remaining sessions are built and
+        // attached one at a time — peak memory stays at one full table (plus
+        // the pool), never `workers` replicas of it.
+        let mut session0 = factory(0);
+        session0.set_threads(threads);
+        let encoder = session0.encoder().clone();
+
+        if let Some(max_domain) = routing.as_ref().and_then(DomainRouting::max_domain) {
+            if max_domain >= encoder.n_domains() {
+                return Err(ConfigError::RoutingDomainOutOfRange {
+                    domain: max_domain,
+                    n_domains: encoder.n_domains(),
+                });
+            }
+        }
+
+        // Sharded mode: lift the dominant frozen embedding table out of
+        // worker 0's store into the process-wide pool; every session then
+        // swaps its private copy for the shared shards as soon as it exists.
+        let shard_pool = if tuning.embedding_shards > 0 {
+            let vocab_rows = session0.model().config().vocab_size;
+            let pool = ShardStore::build(session0.store(), vocab_rows, tuning.embedding_shards)?;
+            session0.attach_embedding_shards(&pool)?;
+            Some(pool)
+        } else {
+            None
+        };
+        let mut sessions = Vec::with_capacity(config.workers);
+        sessions.push(session0);
+        for worker_id in 1..config.workers {
+            let mut session = factory(worker_id);
+            session.set_threads(threads);
+            if let Some(pool) = shard_pool.as_ref() {
+                session.attach_embedding_shards(pool)?;
+            }
+            sessions.push(session);
+        }
+        let resident_param_bytes_per_worker = sessions
+            .iter()
+            .map(InferenceSession::resident_param_bytes)
+            .sum::<u64>()
+            / sessions.len() as u64;
+
+        let route_table = routing
+            .as_ref()
+            .map(|r| r.queue_table(encoder.n_domains()))
+            .unwrap_or_default();
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
-            available: Condvar::new(),
+            queues: (0..n_queues).map(|_| QueueSlot::default()).collect(),
+            route_table,
             counters: (0..config.workers)
                 .map(|_| WorkerCounters::default())
                 .collect(),
-            cache: (cache_capacity > 0).then(|| Mutex::new(PredictionCache::new(cache_capacity))),
+            cache: (tuning.cache_capacity > 0)
+                .then(|| ShardedPredictionCache::new(tuning.cache_capacity, tuning.cache_shards)),
+            routed_specialist: AtomicU64::new(0),
+            routed_shared: AtomicU64::new(0),
         });
-        let mut encoder = None;
-        let workers = (0..config.workers)
-            .map(|worker_id| {
-                let mut session = factory(worker_id);
-                session.set_threads(threads);
-                encoder.get_or_insert_with(|| session.encoder().clone());
+        let workers = sessions
+            .into_iter()
+            .enumerate()
+            .map(|(worker_id, session)| {
+                // Workers are dealt round-robin over the queues, so every
+                // queue (shared + each specialist group) owns at least one
+                // worker whenever `workers >= n_queues` (validated above).
+                let queue = worker_id % n_queues;
                 let shared = Arc::clone(&shared);
                 let config = config.clone();
-                thread::spawn(move || worker_loop(&shared, session, &config, worker_id))
+                thread::spawn(move || worker_loop(&shared, session, &config, worker_id, queue))
             })
             .collect();
-        Self {
+        Ok(Self {
             shared,
-            encoder: encoder.expect("at least one worker"),
+            encoder,
             threads,
+            embedding_shards: shard_pool.as_ref().map_or(0, ShardStore::n_shards),
+            shard_pool_bytes: shard_pool.as_ref().map_or(0, ShardStore::total_bytes),
+            resident_param_bytes_per_worker,
             workers,
-        }
+        })
     }
 
     /// Validate and enqueue a request, returning a handle to the future
@@ -215,13 +383,15 @@ impl PredictServer {
     /// Enqueue an already-validated request (the HTTP front-end validates
     /// whole batches up front and then submits them with this). A request
     /// whose content is in the prediction cache resolves immediately —
-    /// bit-identical to a fresh forward pass — without entering the queue.
+    /// bit-identical to a fresh forward pass — without entering a queue;
+    /// otherwise the request is dispatched to its domain's specialist queue
+    /// (or the shared fallback).
     pub fn submit_encoded(&self, request: EncodedRequest) -> PredictionHandle {
         let (tx, rx) = mpsc::channel();
         let key = match self.shared.cache.as_ref() {
             Some(cache) => {
                 let key = CacheKey::of(&request);
-                if let Some(hit) = cache.lock().expect("cache poisoned").get(&key) {
+                if let Some(hit) = cache.get(&key) {
                     let _ = tx.send(hit);
                     return PredictionHandle { reply: rx };
                 }
@@ -229,15 +399,25 @@ impl PredictServer {
             }
             None => None,
         };
+        let queue = self.shared.queue_for(request.domain());
+        if self.shared.queues.len() > 1 {
+            let counter = if queue == 0 {
+                &self.shared.routed_shared
+            } else {
+                &self.shared.routed_specialist
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = &self.shared.queues[queue];
         {
-            let mut state = self.shared.state.lock().expect("queue poisoned");
+            let mut state = slot.state.lock().expect("queue poisoned");
             state.jobs.push_back(Job {
                 request,
                 key,
                 reply: tx,
             });
         }
-        self.shared.available.notify_one();
+        slot.available.notify_one();
         PredictionHandle { reply: rx }
     }
 
@@ -246,9 +426,14 @@ impl PredictServer {
         Ok(self.submit(request)?.wait())
     }
 
-    /// Requests currently queued (not yet picked up by a worker).
+    /// Requests currently queued (not yet picked up by a worker), summed
+    /// over the shared and every specialist queue.
     pub fn queue_depth(&self) -> usize {
-        self.shared.state.lock().expect("queue poisoned").jobs.len()
+        self.shared
+            .queues
+            .iter()
+            .map(|slot| slot.state.lock().expect("queue poisoned").jobs.len())
+            .sum()
     }
 
     /// The encoder used to validate incoming requests.
@@ -256,15 +441,15 @@ impl PredictServer {
         &self.encoder
     }
 
-    /// Aggregate load, buffer-pool and prediction-cache statistics over
-    /// every worker.
+    /// Aggregate load, buffer-pool, prediction-cache, sharding and routing
+    /// statistics over every worker.
     pub fn stats(&self) -> ServingStats {
         let queue_depth = self.queue_depth();
         let cache = self
             .shared
             .cache
             .as_ref()
-            .map(|c| c.lock().expect("cache poisoned").stats())
+            .map(ShardedPredictionCache::stats)
             .unwrap_or_default();
         let mut stats = ServingStats {
             queue_depth,
@@ -275,6 +460,14 @@ impl PredictServer {
             workers: self.shared.counters.len(),
             threads: self.threads,
             cache,
+            embedding_shards: self.embedding_shards,
+            shard_pool_bytes: self.shard_pool_bytes,
+            resident_param_bytes_per_worker: self.resident_param_bytes_per_worker,
+            routing: RoutingStats {
+                specialist_queues: self.shared.queues.len() - 1,
+                routed_specialist: self.shared.routed_specialist.load(Ordering::Relaxed),
+                routed_shared: self.shared.routed_shared.load(Ordering::Relaxed),
+            },
         };
         for counters in &self.shared.counters {
             stats.requests_served += counters.requests.load(Ordering::Relaxed);
@@ -294,11 +487,12 @@ impl PredictServer {
     }
 
     fn shutdown_impl(&mut self) {
-        {
-            let mut state = self.shared.state.lock().expect("queue poisoned");
+        for slot in &self.shared.queues {
+            let mut state = slot.state.lock().expect("queue poisoned");
             state.shutdown = true;
+            drop(state);
+            slot.available.notify_all();
         }
-        self.shared.available.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -316,10 +510,12 @@ fn worker_loop<M: FakeNewsModel>(
     mut session: InferenceSession<M>,
     config: &BatchingConfig,
     worker_id: usize,
+    queue: usize,
 ) {
+    let slot = &shared.queues[queue];
     loop {
         let jobs = {
-            let mut state = shared.state.lock().expect("queue poisoned");
+            let mut state = slot.state.lock().expect("queue poisoned");
             // Sleep until there is work (or we are told to stop and the
             // queue has drained).
             loop {
@@ -329,7 +525,7 @@ fn worker_loop<M: FakeNewsModel>(
                 if state.shutdown {
                     return;
                 }
-                state = shared.available.wait(state).expect("queue poisoned");
+                state = slot.available.wait(state).expect("queue poisoned");
             }
             // Dynamic batching: hold the first request at most `max_wait`
             // while companions trickle in, stopping early on a full batch.
@@ -340,7 +536,7 @@ fn worker_loop<M: FakeNewsModel>(
                     if now >= deadline {
                         break;
                     }
-                    let (next, timeout) = shared
+                    let (next, timeout) = slot
                         .available
                         .wait_timeout(state, deadline - now)
                         .expect("queue poisoned");
@@ -367,16 +563,19 @@ fn worker_loop<M: FakeNewsModel>(
         let (hits, misses) = session.pool_stats();
         counters.pool_reuse_hits.store(hits, Ordering::Relaxed);
         counters.pool_alloc_misses.store(misses, Ordering::Relaxed);
-        // Populate the prediction cache before fanning out, one lock for the
-        // whole batch. Duplicate in-flight requests may both reach here;
-        // the second insert overwrites with bit-identical content.
+        // Populate the prediction cache before fanning out, one lock per
+        // touched cache partition for the whole batch. Duplicate in-flight
+        // requests may both reach here; the second insert overwrites with
+        // bit-identical content.
         if let Some(cache) = shared.cache.as_ref() {
-            let mut cache = cache.lock().expect("cache poisoned");
-            for (job, prediction) in jobs.iter().zip(predictions.iter()) {
-                if let Some(key) = &job.key {
-                    cache.insert(key.clone(), prediction.clone());
-                }
-            }
+            let items: Vec<(CacheKey, Prediction)> = jobs
+                .iter()
+                .zip(predictions.iter())
+                .filter_map(|(job, prediction)| {
+                    job.key.clone().map(|key| (key, prediction.clone()))
+                })
+                .collect();
+            cache.insert_batch(items);
         }
         for (job, prediction) in jobs.into_iter().zip(predictions) {
             // A client may have abandoned its handle; that is not an error.
@@ -525,6 +724,11 @@ mod tests {
         assert_eq!(stats.workers, 2);
         assert_eq!(stats.queue_depth, 0);
         assert!(stats.pool_alloc_misses > 0, "first batch allocates");
+        // Replica deployment: no shard pool, no specialist queues.
+        assert_eq!(stats.embedding_shards, 0);
+        assert_eq!(stats.shard_pool_bytes, 0);
+        assert!(stats.resident_param_bytes_per_worker > 0);
+        assert_eq!(stats.routing, RoutingStats::default());
     }
 
     #[test]
@@ -590,6 +794,55 @@ mod tests {
         let parallel = threaded.predict(&request).unwrap();
         assert_eq!(threaded.stats().threads, 4);
         assert_eq!(first.fake_prob.to_bits(), parallel.fake_prob.to_bits());
+    }
+
+    #[test]
+    fn domain_routing_dispatches_to_specialist_queues_without_changing_bits() {
+        use crate::builder::ServerBuilder;
+        let ds = dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let factory = |_: usize| {
+            let mut store = ParamStore::new();
+            let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
+            InferenceSession::new(model, store)
+        };
+        // Domain 8 (Society, the hottest Weibo21 domain) gets a specialist
+        // group; everything else shares. Cache off so every request really
+        // flows through its queue.
+        let routed = ServerBuilder::new()
+            .workers(2)
+            .cache_capacity(0)
+            .domain_routing(DomainRouting::new().assign(8, 0))
+            .try_start(factory)
+            .expect("valid routing");
+        let plain = ServerBuilder::new()
+            .workers(2)
+            .cache_capacity(0)
+            .start(factory);
+
+        let mut specialist = 0u64;
+        let mut shared = 0u64;
+        for i in 0..ds.len().min(60) {
+            let request = request_for(&ds, i);
+            if request.domain == 8 {
+                specialist += 1;
+            } else {
+                shared += 1;
+            }
+            let a = routed.predict(&request).unwrap();
+            let b = plain.predict(&request).unwrap();
+            assert_eq!(
+                a.fake_prob.to_bits(),
+                b.fake_prob.to_bits(),
+                "routing must never change prediction bits"
+            );
+        }
+        let stats = routed.stats();
+        assert_eq!(stats.routing.specialist_queues, 1);
+        assert_eq!(stats.routing.routed_specialist, specialist);
+        assert_eq!(stats.routing.routed_shared, shared);
+        assert!(specialist > 0, "dataset should contain Society items");
+        assert_eq!(plain.stats().routing, RoutingStats::default());
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! and maps the batch outputs back to per-item [`Prediction`]s.
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::shards::ShardStore;
 use dtdbd_data::{Batch, EncodedRequest, RequestEncoder};
-use dtdbd_models::{FakeNewsModel, ModelConfig};
-use dtdbd_tensor::{BufferPool, ParamStore};
+use dtdbd_models::{FakeNewsModel, InferOptions, ModelConfig};
+use dtdbd_tensor::{BufferPool, ParamId, ParamStore, ShardedTable, Tensor};
 
 /// Per-item serving result.
 #[derive(Debug, Clone)]
@@ -38,6 +39,10 @@ pub struct InferenceSession<M> {
     encoder: RequestEncoder,
     requests_served: u64,
     threads: usize,
+    /// When attached (sharded serving), embedding lookups of this parameter
+    /// gather from the shared read-only shards and the store's own table
+    /// value is dropped to a `[0, dim]` stub — the per-worker memory win.
+    embedding_shards: Option<(ParamId, ShardedTable)>,
 }
 
 impl<M: FakeNewsModel> InferenceSession<M> {
@@ -52,6 +57,7 @@ impl<M: FakeNewsModel> InferenceSession<M> {
             encoder,
             requests_served: 0,
             threads: 1,
+            embedding_shards: None,
         }
     }
 
@@ -102,11 +108,71 @@ impl<M: FakeNewsModel> InferenceSession<M> {
         (self.pool.reuse_hits(), self.pool.alloc_misses())
     }
 
+    /// Borrow the session's parameter store (the shard pool builder reads
+    /// the embedding table out of it before it is dropped).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Bytes of parameter values resident in this session's private store.
+    /// After [`InferenceSession::attach_embedding_shards`] the dominant
+    /// embedding table no longer counts here — it lives once in the shared
+    /// [`ShardStore`], not per worker.
+    pub fn resident_param_bytes(&self) -> u64 {
+        self.store.num_scalars() as u64 * std::mem::size_of::<f32>() as u64
+    }
+
+    /// Serve embedding lookups of the pool's table from the shared shards
+    /// and drop this session's private copy of the table (its store keeps a
+    /// `[0, dim]` stub so checkpoint-restored layouts stay addressable).
+    /// Predictions are bit-identical to the replica path — gathering is row
+    /// copying from the same values, wherever they reside.
+    ///
+    /// Fails if this session has no parameter matching the pool's table
+    /// name, or if the shapes disagree (a pool built from a different
+    /// checkpoint). Re-attaching a (matching) pool is permitted.
+    pub fn attach_embedding_shards(
+        &mut self,
+        pool: &ShardStore,
+    ) -> Result<(), crate::builder::ConfigError> {
+        use crate::builder::ConfigError;
+        let id = self
+            .store
+            .iter()
+            .find(|(_, p)| p.name == pool.param_name())
+            .map(|(id, _)| id)
+            .ok_or_else(|| ConfigError::MissingShardParam {
+                param: pool.param_name().to_string(),
+            })?;
+        let shape = self.store.value(id).shape().to_vec();
+        let attached_stub = shape == [0, pool.dim()];
+        if shape != [pool.rows(), pool.dim()] && !attached_stub {
+            return Err(ConfigError::ShardGeometryMismatch {
+                param: pool.param_name().to_string(),
+                expected_rows: pool.rows(),
+                expected_dim: pool.dim(),
+                found: shape,
+            });
+        }
+        self.store.get_mut(id).value = Tensor::zeros(&[0, pool.dim()]);
+        self.embedding_shards = Some((id, pool.shards().clone()));
+        Ok(())
+    }
+
+    /// The attached shard view, if this session serves a sharded table.
+    pub fn embedding_shards(&self) -> Option<&ShardedTable> {
+        self.embedding_shards.as_ref().map(|(_, shards)| shards)
+    }
+
     /// Run tape-free inference on a pre-assembled batch.
     pub fn predict_batch(&mut self, batch: &Batch) -> Vec<Prediction> {
-        let output =
-            self.model
-                .infer_with_threads(&mut self.store, &mut self.pool, batch, self.threads);
+        let opts = InferOptions {
+            threads: self.threads,
+            embedding_shards: self.embedding_shards.clone(),
+        };
+        let output = self
+            .model
+            .infer_with_opts(&mut self.store, &mut self.pool, batch, &opts);
         self.requests_served += batch.batch_size as u64;
         let probs = output.logits.softmax_rows();
         let domain_scores = output.domain_scores();

@@ -1,0 +1,148 @@
+//! The process-wide embedding shard pool.
+//!
+//! A replica deployment gives every worker a full copy of the model — and
+//! the frozen pre-trained embedding table dominates checkpoint bytes, so
+//! per-worker memory caps the worker count long before compute does. A
+//! [`ShardStore`] breaks that coupling: it holds the table **once**, split
+//! into row-range [`dtdbd_tensor::ShardedTable`] shards behind `Arc`s, and
+//! every worker session attaches a shard view
+//! ([`crate::InferenceSession::attach_embedding_shards`]) while dropping its
+//! private table copy. Per-worker resident parameters shrink to the
+//! non-embedding layers; the table cost is paid once per process regardless
+//! of worker count.
+//!
+//! The table is discovered, not configured: the pool takes the largest
+//! frozen 2-D parameter with exactly `vocab_rows` rows — the shape of the
+//! simulated pre-trained encoder every model in the zoo registers (see
+//! `dtdbd_models::pretrained`). Sessions re-locate it by parameter name, so
+//! a pool built from one checkpoint can only attach to sessions whose layout
+//! actually contains that table.
+
+use crate::builder::ConfigError;
+use crate::checkpoint::Checkpoint;
+use dtdbd_tensor::{ParamStore, ShardedTable};
+
+/// The shared, read-only embedding shard pool of a sharded deployment.
+///
+/// Cloning clones `Arc`s, never table rows; a server holds one logical pool
+/// however many workers reference it.
+#[derive(Debug, Clone)]
+pub struct ShardStore {
+    param_name: String,
+    shards: ShardedTable,
+}
+
+impl ShardStore {
+    /// Build a pool from the dominant frozen embedding table of `store`:
+    /// the largest non-trainable 2-D parameter with `vocab_rows` rows, split
+    /// into `n_shards` row ranges.
+    pub fn build(
+        store: &ParamStore,
+        vocab_rows: usize,
+        n_shards: usize,
+    ) -> Result<Self, ConfigError> {
+        let (_, param) = store
+            .iter()
+            .filter(|(_, p)| {
+                !p.trainable && p.value.ndim() == 2 && p.value.shape()[0] == vocab_rows
+            })
+            .max_by_key(|(_, p)| p.value.numel())
+            .ok_or(ConfigError::NoShardableTable { vocab_rows })?;
+        let rows = param.value.shape()[0];
+        if n_shards == 0 || n_shards > rows {
+            return Err(ConfigError::BadShardCount {
+                requested: n_shards,
+                rows,
+            });
+        }
+        Ok(Self {
+            param_name: param.name.clone(),
+            shards: ShardedTable::from_tensor(&param.value, n_shards),
+        })
+    }
+
+    /// [`ShardStore::build`] over a decoded checkpoint's parameters.
+    pub fn from_checkpoint(checkpoint: &Checkpoint, n_shards: usize) -> Result<Self, ConfigError> {
+        Self::build(&checkpoint.params, checkpoint.config.vocab_size, n_shards)
+    }
+
+    /// Dotted name of the sharded table parameter (how sessions locate
+    /// their own copy to drop).
+    pub fn param_name(&self) -> &str {
+        &self.param_name
+    }
+
+    /// The shared shard view.
+    pub fn shards(&self) -> &ShardedTable {
+        &self.shards
+    }
+
+    /// Rows of the full logical table.
+    pub fn rows(&self) -> usize {
+        self.shards.rows()
+    }
+
+    /// Row width.
+    pub fn dim(&self) -> usize {
+        self.shards.dim()
+    }
+
+    /// Number of row-range shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.n_shards()
+    }
+
+    /// Bytes resident in the pool (held once per process).
+    pub fn total_bytes(&self) -> u64 {
+        self.shards.total_bytes() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdbd_tensor::Tensor;
+
+    fn store_with_table(vocab: usize, dim: usize) -> ParamStore {
+        let mut store = ParamStore::new();
+        store.add("head.weight", Tensor::ones(&[dim, 2]));
+        store.add_frozen(
+            "bert.pretrained",
+            Tensor::new(
+                vec![vocab, dim],
+                (0..vocab * dim).map(|i| i as f32).collect(),
+            ),
+        );
+        store.add_frozen("small.frozen", Tensor::ones(&[vocab, 1]));
+        store
+    }
+
+    #[test]
+    fn discovers_the_dominant_frozen_table() {
+        let store = store_with_table(50, 8);
+        let pool = ShardStore::build(&store, 50, 4).unwrap();
+        assert_eq!(pool.param_name(), "bert.pretrained");
+        assert_eq!(pool.rows(), 50);
+        assert_eq!(pool.dim(), 8);
+        assert_eq!(pool.n_shards(), 4);
+        assert_eq!(pool.total_bytes(), 50 * 8 * 4);
+    }
+
+    #[test]
+    fn rejects_bad_shard_counts_and_missing_tables() {
+        let store = store_with_table(50, 8);
+        assert!(matches!(
+            ShardStore::build(&store, 50, 0),
+            Err(ConfigError::BadShardCount { requested: 0, .. })
+        ));
+        assert!(matches!(
+            ShardStore::build(&store, 50, 51),
+            Err(ConfigError::BadShardCount { requested: 51, .. })
+        ));
+        // No frozen table with the expected row count.
+        assert!(matches!(
+            ShardStore::build(&store, 999, 2),
+            Err(ConfigError::NoShardableTable { vocab_rows: 999 })
+        ));
+    }
+}

@@ -1,0 +1,174 @@
+//! The sharded-serving determinism contract: predictions from a server whose
+//! embedding table is split into a shared, process-wide shard pool are
+//! **bit-identical** to the full-replica path — across every worker count ×
+//! shard count combination the deployment matrix uses, with and without
+//! domain routing and the prediction cache in front.
+//!
+//! Also pins the memory contract: a sharded worker's private store sheds
+//! exactly the table bytes, which move (once) into the shared pool.
+
+use dtdbd_data::{
+    weibo21_spec, GeneratorConfig, InferenceRequest, MultiDomainDataset, NewsGenerator,
+};
+use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
+use dtdbd_serve::{session_from_checkpoint, Checkpoint, DomainRouting, ServerBuilder, ShardStore};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::ParamStore;
+
+fn dataset() -> MultiDomainDataset {
+    NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(17, 0.03)
+}
+
+/// A deployable checkpoint of a deterministic TextCNN-S student.
+fn checkpoint(ds: &MultiDomainDataset) -> Checkpoint {
+    let cfg = ModelConfig::tiny(ds);
+    let mut store = ParamStore::new();
+    let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(23));
+    let ckpt = Checkpoint::new(model.name(), &cfg, &store);
+    // Round trip through bytes so the test serves the deployed artifact.
+    Checkpoint::from_bytes(&ckpt.to_bytes()).expect("self round trip")
+}
+
+fn requests(ds: &MultiDomainDataset, n: usize) -> Vec<InferenceRequest> {
+    ds.items()
+        .iter()
+        .take(n)
+        .map(|item| InferenceRequest {
+            tokens: item.tokens.clone(),
+            domain: item.domain,
+            style: Some(item.style.clone()),
+            emotion: Some(item.emotion.clone()),
+        })
+        .collect()
+}
+
+/// Bit patterns of `(fake_prob, logits)` for every request, via a direct
+/// (queue-free, replica) session — the ground truth every deployment shape
+/// must reproduce exactly.
+fn reference_bits(ckpt: &Checkpoint, requests: &[InferenceRequest]) -> Vec<[u32; 3]> {
+    let mut session = session_from_checkpoint(ckpt).expect("restore");
+    requests
+        .iter()
+        .map(|r| {
+            let encoded = session.encoder().encode(r).expect("valid");
+            let p = &session.predict_requests(&[encoded])[0];
+            [
+                p.fake_prob.to_bits(),
+                p.logits[0].to_bits(),
+                p.logits[1].to_bits(),
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_predictions_are_bit_identical_across_the_deployment_matrix() {
+    let ds = dataset();
+    let ckpt = checkpoint(&ds);
+    let reqs = requests(&ds, 48);
+    let reference = reference_bits(&ckpt, &reqs);
+
+    for workers in [1usize, 2, 4] {
+        for shards in [1usize, 2, 4] {
+            // Cache off: every request must really flow through a sharded
+            // forward pass.
+            let server = ServerBuilder::new()
+                .workers(workers)
+                .shards(shards)
+                .cache_capacity(0)
+                .try_start_from_checkpoint(&ckpt)
+                .expect("valid sharded configuration");
+            let stats = server.stats();
+            assert_eq!(
+                stats.embedding_shards, shards,
+                "{workers}w/{shards}s: shard count surfaced in stats"
+            );
+            assert!(stats.shard_pool_bytes > 0);
+            for (i, (request, want)) in reqs.iter().zip(&reference).enumerate() {
+                let p = server.predict(request).expect("valid request");
+                let got = [
+                    p.fake_prob.to_bits(),
+                    p.logits[0].to_bits(),
+                    p.logits[1].to_bits(),
+                ];
+                assert_eq!(
+                    &got, want,
+                    "{workers} workers / {shards} shards: item {i} diverged from the replica path"
+                );
+            }
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
+fn sharding_moves_exactly_the_table_bytes_out_of_every_worker() {
+    let ds = dataset();
+    let ckpt = checkpoint(&ds);
+    let table_bytes = ShardStore::from_checkpoint(&ckpt, 2)
+        .expect("shardable")
+        .total_bytes();
+
+    let replica = ServerBuilder::new()
+        .workers(2)
+        .try_start_from_checkpoint(&ckpt)
+        .expect("replica");
+    let sharded = ServerBuilder::new()
+        .workers(2)
+        .shards(2)
+        .try_start_from_checkpoint(&ckpt)
+        .expect("sharded");
+
+    let r = replica.stats();
+    let s = sharded.stats();
+    assert_eq!(r.shard_pool_bytes, 0);
+    assert_eq!(s.shard_pool_bytes, table_bytes);
+    assert_eq!(
+        s.resident_param_bytes_per_worker + table_bytes,
+        r.resident_param_bytes_per_worker,
+        "a sharded worker sheds exactly the table bytes"
+    );
+    assert!(
+        table_bytes as f64 > 0.5 * r.resident_param_bytes_per_worker as f64,
+        "the embedding table should dominate the replica's resident bytes \
+         ({table_bytes} of {})",
+        r.resident_param_bytes_per_worker
+    );
+}
+
+#[test]
+fn sharding_with_routing_and_cache_stays_bit_identical() {
+    let ds = dataset();
+    let ckpt = checkpoint(&ds);
+    let reqs = requests(&ds, 60);
+    let reference = reference_bits(&ckpt, &reqs);
+
+    // Society (8) and Politics (4) get specialists; cache on, so repeated
+    // requests also exercise the hit path.
+    let server = ServerBuilder::new()
+        .workers(3)
+        .shards(4)
+        .cache_capacity(256)
+        .domain_routing(DomainRouting::new().assign(8, 0).assign(4, 1))
+        .try_start_from_checkpoint(&ckpt)
+        .expect("valid routed + sharded configuration");
+
+    for round in 0..2 {
+        for (i, (request, want)) in reqs.iter().zip(&reference).enumerate() {
+            let p = server.predict(request).expect("valid request");
+            assert_eq!(
+                p.fake_prob.to_bits(),
+                want[0],
+                "round {round} item {i}: routed+sharded+cached prediction diverged"
+            );
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.routing.specialist_queues, 2);
+    assert_eq!(
+        stats.routing.routed_specialist + stats.routing.routed_shared,
+        stats.cache.misses,
+        "every cache miss was dispatched to exactly one queue"
+    );
+    assert!(stats.cache.hits >= reqs.len() as u64, "second round hits");
+}

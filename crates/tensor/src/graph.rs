@@ -29,6 +29,7 @@ use crate::params::{ParamId, ParamStore};
 use crate::pool::BufferPool;
 use crate::rng::Prng;
 use crate::shape::{as_rows_cols, fmt_shape, numel};
+use crate::shard::ShardedTable;
 use crate::tensor::Tensor;
 
 /// Handle to a node on the tape. Cheap to copy; only valid for the graph
@@ -132,6 +133,12 @@ pub struct Graph<'s> {
     /// bit-identical at any setting (see [`crate::kernels`]); this is purely
     /// a throughput knob. Defaults to 1.
     threads: usize,
+    /// External read-only row shards serving [`Graph::embedding`] lookups of
+    /// specific table parameters instead of the store's own value (which may
+    /// then be empty). Registered via [`Graph::set_row_shards`]; empty for
+    /// ordinary graphs. Gathers from shards are bit-identical to gathers
+    /// from the store-resident table.
+    row_shards: Vec<(ParamId, ShardedTable)>,
 }
 
 impl<'s> Graph<'s> {
@@ -146,6 +153,7 @@ impl<'s> Graph<'s> {
             pool: None,
             rng: Prng::new(seed),
             threads: 1,
+            row_shards: Vec::new(),
         }
     }
 
@@ -161,6 +169,25 @@ impl<'s> Graph<'s> {
             pool: Some(pool),
             rng: Prng::new(0),
             threads: 1,
+            row_shards: Vec::new(),
+        }
+    }
+
+    /// Serve [`Graph::embedding`] lookups of `table` from external read-only
+    /// row `shards` instead of the store's resident value (which may then be
+    /// dropped to reclaim per-worker memory — sharded serving's whole point).
+    /// The store must still hold the parameter entry (possibly with an empty
+    /// value); only non-trainable tables may be shard-served on a tape graph,
+    /// since no gradient can flow into an external shard.
+    pub fn set_row_shards(&mut self, table: ParamId, shards: ShardedTable) {
+        assert!(
+            !(self.tape && self.store.get(table).trainable),
+            "parameter {:?} is trainable; external row shards only serve frozen tables on tape graphs",
+            self.store.get(table).name
+        );
+        match self.row_shards.iter_mut().find(|(p, _)| *p == table) {
+            Some(slot) => slot.1 = shards,
+            None => self.row_shards.push((table, shards)),
         }
     }
 
@@ -641,6 +668,34 @@ impl<'s> Graph<'s> {
     /// has `batch * seq` entries; the output is `[batch, seq, emb]`.
     pub fn embedding(&mut self, table: ParamId, ids: &[u32], batch: usize, seq: usize) -> Var {
         assert_eq!(ids.len(), batch * seq, "embedding: ids length mismatch");
+        // Shard-served tables gather from the external read-only shards and
+        // never touch the store's value (which sharded serving leaves empty).
+        if let Some(pos) = self.row_shards.iter().position(|(p, _)| *p == table) {
+            let (vocab, emb) = {
+                let shards = &self.row_shards[pos].1;
+                (shards.rows(), shards.dim())
+            };
+            if let Some(&id) = ids.iter().find(|&&id| id as usize >= vocab) {
+                panic!("token id {id} out of vocabulary ({vocab})");
+            }
+            let mut data = self.alloc_for_overwrite(batch * seq * emb);
+            self.row_shards[pos]
+                .1
+                .gather_into(ids, &mut data, self.threads);
+            let value = Tensor::new(vec![batch, seq, emb], data);
+            // set_row_shards rejects trainable tables on tape graphs, so no
+            // gradient ever needs to route back through this node.
+            return self.push(
+                value,
+                Op::Embedding {
+                    table,
+                    ids: Vec::new(),
+                },
+                &[],
+                None,
+                false,
+            );
+        }
         assert_eq!(
             self.store.value(table).ndim(),
             2,
@@ -1469,6 +1524,66 @@ mod tests {
         // Token 1 appears twice, so its grad row accumulates 2.
         assert_eq!(store.grad(table).row(1), &[2.0, 2.0]);
         assert_eq!(store.grad(table).row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn shard_served_embedding_matches_the_resident_table_bit_for_bit() {
+        use crate::shard::ShardedTable;
+        let rows = Tensor::from_rows(&[
+            vec![1.0, 0.5],
+            vec![0.0, 1.0],
+            vec![2.0, 2.0],
+            vec![-3.5, 0.25],
+        ]);
+        let ids = [2u32, 0, 3, 1, 1, 2];
+
+        // Reference: the ordinary store-resident lookup.
+        let mut store = ParamStore::new();
+        let table = store.add_frozen("emb", rows.clone());
+        let mut pool = BufferPool::new();
+        let reference = {
+            let mut g = Graph::inference(&mut store, &mut pool);
+            let e = g.embedding(table, &ids, 3, 2);
+            g.value(e).clone()
+        };
+
+        // Shard-served: the store's table value is dropped entirely and the
+        // lookup gathers from external shards instead.
+        for n_shards in [1usize, 2, 4] {
+            let mut empty_store = ParamStore::new();
+            let t = empty_store.add_frozen("emb", Tensor::zeros(&[0, 2]));
+            let shards = ShardedTable::from_tensor(&rows, n_shards);
+            let mut pool = BufferPool::new();
+            for threads in [1usize, 2, 4] {
+                let mut g = Graph::inference(&mut empty_store, &mut pool);
+                g.set_threads(threads);
+                g.set_row_shards(t, shards.clone());
+                let e = g.embedding(t, &ids, 3, 2);
+                assert_eq!(g.value(e).shape(), &[3, 2, 2]);
+                for (a, b) in g.value(e).data().iter().zip(reference.data()) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{n_shards} shards / {threads} threads"
+                    );
+                }
+                g.finish();
+            }
+        }
+    }
+
+    #[test]
+    fn shard_serving_a_trainable_table_on_a_tape_graph_is_rejected() {
+        use crate::shard::ShardedTable;
+        let rows = Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let mut store = ParamStore::new();
+        let table = store.add("emb", rows.clone());
+        let shards = ShardedTable::from_tensor(&rows, 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = Graph::new(&mut store, false, 0);
+            g.set_row_shards(table, shards);
+        }));
+        assert!(result.is_err(), "trainable table must be rejected");
     }
 
     #[test]

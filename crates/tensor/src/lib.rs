@@ -34,9 +34,11 @@ pub mod params;
 pub mod pool;
 pub mod rng;
 pub mod shape;
+pub mod shard;
 pub mod tensor;
 
 pub use graph::{Graph, Var};
 pub use params::{Param, ParamId, ParamStore};
 pub use pool::BufferPool;
+pub use shard::ShardedTable;
 pub use tensor::Tensor;

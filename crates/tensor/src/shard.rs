@@ -1,0 +1,249 @@
+//! Read-only row-range sharding of large 2-D tables.
+//!
+//! A [`ShardedTable`] splits a `[rows, dim]` tensor (in practice: the frozen
+//! pre-trained embedding table, which dominates checkpoint bytes) into
+//! contiguous row-range shards, each held behind an [`Arc`]. Cloning a
+//! `ShardedTable` clones the `Arc`s, not the data, so any number of serving
+//! workers can share one resident copy of the table instead of each holding
+//! a private replica — the memory-scaling half of sharded serving.
+//!
+//! The only operation the inference hot path needs is a row gather
+//! ([`ShardedTable::gather_into`]). Gathering is pure row copying, so the
+//! sharded gather is bit-identical to [`crate::kernels::gather_rows`] over
+//! the unsharded table at any shard count and any thread count — the same
+//! determinism contract every other kernel in this workspace upholds.
+
+use crate::kernels;
+use crate::par::{self, SendMutPtr};
+use crate::tensor::Tensor;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Minimum rows per parallel gather chunk, matching the grain of
+/// [`crate::kernels::gather_rows`] so the two paths split work identically.
+const PAR_MIN_ELEMS: usize = 8192;
+
+/// A `[rows, dim]` table split into contiguous row-range shards, shared
+/// read-only via [`Arc`]s.
+#[derive(Debug, Clone)]
+pub struct ShardedTable {
+    /// The row-range shards, in row order. Every shard holds
+    /// `rows_per_shard` rows except possibly the last.
+    shards: Vec<Arc<[f32]>>,
+    rows_per_shard: usize,
+    rows: usize,
+    dim: usize,
+}
+
+impl ShardedTable {
+    /// Split `table` into (at most) `n_shards` contiguous row ranges.
+    ///
+    /// Shards are sized to `ceil(rows / n_shards)` rows, so the actual shard
+    /// count is `ceil(rows / ceil(rows / n_shards))` — exactly `n_shards`
+    /// whenever `n_shards` divides evenly into balanced ranges (all the
+    /// power-of-two deployments), never more.
+    ///
+    /// # Panics
+    /// Panics if `table` is not 2-D, has zero rows, or if `n_shards` is zero
+    /// or exceeds the row count (callers expose these as typed configuration
+    /// errors; see `dtdbd-serve`).
+    pub fn from_tensor(table: &Tensor, n_shards: usize) -> Self {
+        assert_eq!(table.ndim(), 2, "ShardedTable expects a [rows, dim] table");
+        let rows = table.shape()[0];
+        let dim = table.shape()[1];
+        assert!(rows > 0, "cannot shard an empty table");
+        assert!(
+            n_shards >= 1 && n_shards <= rows,
+            "shard count {n_shards} out of range (1..={rows})"
+        );
+        let rows_per_shard = rows.div_ceil(n_shards);
+        let data = table.data();
+        let shards = (0..rows)
+            .step_by(rows_per_shard)
+            .map(|start| {
+                let end = (start + rows_per_shard).min(rows);
+                Arc::from(&data[start * dim..end * dim])
+            })
+            .collect();
+        Self {
+            shards,
+            rows_per_shard,
+            rows,
+            dim,
+        }
+    }
+
+    /// Number of rows of the full (logical) table.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Width of each row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of shards the rows are split into.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Bytes resident in the shard buffers (held once per process however
+    /// many clones exist).
+    pub fn total_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| std::mem::size_of_val(&s[..]))
+            .sum()
+    }
+
+    /// Borrow one logical row.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows`.
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row {row} out of range ({})", self.rows);
+        let shard = &self.shards[row / self.rows_per_shard];
+        let local = row % self.rows_per_shard;
+        &shard[local * self.dim..(local + 1) * self.dim]
+    }
+
+    /// Gather `ids.len()` rows into `dst` (`ids.len() * dim` floats),
+    /// parallelised over `threads` with the same work split as
+    /// [`kernels::gather_rows`]; the output is bit-identical to gathering
+    /// from the unsharded table at any shard/thread count (row copies carry
+    /// no arithmetic).
+    ///
+    /// # Panics
+    /// Panics if `dst` has the wrong length or an id is out of range.
+    pub fn gather_into(&self, ids: &[u32], dst: &mut [f32], threads: usize) {
+        assert_eq!(
+            dst.len(),
+            ids.len() * self.dim,
+            "gather: destination mismatch"
+        );
+        if let Some(&id) = ids.iter().find(|&&id| id as usize >= self.rows) {
+            panic!("row id {id} out of range ({})", self.rows);
+        }
+        let dim = self.dim;
+        let min_rows = (PAR_MIN_ELEMS / dim.max(1)).max(1);
+        let ptr = SendMutPtr(dst.as_mut_ptr());
+        par::for_each_chunk(ids.len(), min_rows, threads, &|range: Range<usize>| {
+            let out = unsafe { ptr.slice_mut(range.start * dim..range.end * dim) };
+            for (ri, r) in range.enumerate() {
+                let id = ids[r] as usize;
+                let shard = &self.shards[id / self.rows_per_shard];
+                let local = id % self.rows_per_shard;
+                out[ri * dim..(ri + 1) * dim]
+                    .copy_from_slice(&shard[local * dim..(local + 1) * dim]);
+            }
+        });
+    }
+
+    /// Reassemble the full table (test/debug helper; the serving path never
+    /// materialises it).
+    pub fn to_tensor(&self) -> Tensor {
+        let mut data = Vec::with_capacity(self.rows * self.dim);
+        for shard in &self.shards {
+            data.extend_from_slice(shard);
+        }
+        Tensor::new(vec![self.rows, self.dim], data)
+    }
+}
+
+/// Convenience check used by tests: gather via the shards and via the flat
+/// kernel, returning whether the outputs are bit-identical.
+pub fn gather_parity(table: &Tensor, sharded: &ShardedTable, ids: &[u32], threads: usize) -> bool {
+    let dim = sharded.dim();
+    let mut flat = vec![0.0f32; ids.len() * dim];
+    kernels::gather_rows(table.data(), dim, ids, &mut flat, threads);
+    let mut via_shards = vec![0.0f32; ids.len() * dim];
+    sharded.gather_into(ids, &mut via_shards, threads);
+    flat.iter()
+        .zip(&via_shards)
+        .all(|(a, b)| a.to_bits() == b.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    fn random_table(rows: usize, dim: usize, seed: u64) -> Tensor {
+        let mut rng = Prng::new(seed);
+        let data: Vec<f32> = (0..rows * dim).map(|_| rng.normal()).collect();
+        Tensor::new(vec![rows, dim], data)
+    }
+
+    #[test]
+    fn shards_cover_all_rows_exactly_once() {
+        let table = random_table(37, 5, 1);
+        for n in [1, 2, 3, 4, 8, 16, 37] {
+            let sharded = ShardedTable::from_tensor(&table, n);
+            assert!(sharded.n_shards() <= n);
+            assert_eq!(sharded.rows(), 37);
+            assert_eq!(sharded.dim(), 5);
+            assert_eq!(sharded.to_tensor(), table, "{n} shards");
+            assert_eq!(sharded.total_bytes(), 37 * 5 * 4);
+            for r in 0..37 {
+                assert_eq!(sharded.row(r), table.row(r), "row {r} at {n} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_requests_produce_exact_shard_counts() {
+        let table = random_table(1024, 8, 2);
+        for n in [1usize, 2, 4, 8] {
+            assert_eq!(ShardedTable::from_tensor(&table, n).n_shards(), n);
+        }
+    }
+
+    #[test]
+    fn gather_is_bit_identical_to_the_flat_kernel() {
+        let table = random_table(211, 16, 3);
+        let mut rng = Prng::new(9);
+        let ids: Vec<u32> = (0..500).map(|_| (rng.next_u64() % 211) as u32).collect();
+        for n_shards in [1, 2, 4, 7] {
+            let sharded = ShardedTable::from_tensor(&table, n_shards);
+            for threads in [1, 2, 4] {
+                assert!(
+                    gather_parity(&table, &sharded, &ids, threads),
+                    "{n_shards} shards / {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clones_share_the_shard_buffers() {
+        let table = random_table(64, 4, 4);
+        let a = ShardedTable::from_tensor(&table, 4);
+        let b = a.clone();
+        for (sa, sb) in a.shards.iter().zip(&b.shards) {
+            assert!(Arc::ptr_eq(sa, sb), "clone must not copy shard data");
+        }
+    }
+
+    #[test]
+    fn out_of_range_ids_panic() {
+        let table = random_table(10, 2, 5);
+        let sharded = ShardedTable::from_tensor(&table, 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut dst = vec![0.0; 2];
+            sharded.gather_into(&[10], &mut dst, 1);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn invalid_shard_counts_panic() {
+        let table = random_table(10, 2, 6);
+        for n in [0usize, 11, 1000] {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ShardedTable::from_tensor(&table, n)
+            }));
+            assert!(result.is_err(), "n_shards {n} must be rejected");
+        }
+    }
+}

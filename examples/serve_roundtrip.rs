@@ -13,7 +13,9 @@ use dtdbd_bench::harness::{fmt_ns, percentile};
 use dtdbd_core::{train_model, TrainConfig};
 use dtdbd_data::{weibo21_spec, GeneratorConfig, InferenceRequest, NewsGenerator};
 use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
-use dtdbd_serve::{session_from_checkpoint, BatchingConfig, Checkpoint, ServerBuilder};
+use dtdbd_serve::{
+    session_from_checkpoint, BatchingConfig, Checkpoint, DomainRouting, ServerBuilder,
+};
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::{Graph, ParamStore};
 use std::sync::Arc;
@@ -88,7 +90,13 @@ fn main() {
     //    4 intra-op kernel threads each (bit-identical to any other thread
     //    count), and the default prediction cache in front of the queue —
     //    the request stream repeats items, exactly the traffic shape the
-    //    cache exists for.
+    //    cache exists for. The embedding table is sharded: held once in a
+    //    process-wide pool instead of once per worker, and Society (the
+    //    hottest Weibo21 domain) gets a specialist worker — both knobs are
+    //    bit-transparent, which step 6 verifies against the tape forward.
+    let society = weibo21_spec()
+        .domain_index("Society")
+        .expect("known domain");
     let server = Arc::new(
         ServerBuilder::new()
             .batching(BatchingConfig {
@@ -97,6 +105,8 @@ fn main() {
                 workers: 2,
             })
             .threads(4)
+            .shards(2)
+            .domain_routing(DomainRouting::new().assign(society, 0))
             .start(|_| session_from_checkpoint(&checkpoint).expect("rebuild model")),
     );
     let clients = 4usize;
@@ -164,6 +174,15 @@ fn main() {
         stats.cache.hits,
         stats.cache.misses,
         stats.cache.entries,
+    );
+    println!(
+        "sharding: {} embedding shards | pool {} KiB (once per process) | {} KiB private per worker \
+         | routing: {} to Society's specialist, {} shared",
+        stats.embedding_shards,
+        stats.shard_pool_bytes / 1024,
+        stats.resident_param_bytes_per_worker / 1024,
+        stats.routing.routed_specialist,
+        stats.routing.routed_shared,
     );
     println!("max |batched - unbatched| fake-probability gap: {worst:.2e}");
     assert!(

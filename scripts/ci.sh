@@ -4,39 +4,88 @@
 # Runs, in order:
 #   1. release build of every crate, binary, bench and example target
 #   2. the full test suite (dtdbd-integration is a workspace member, so the
-#      cross-crate scenarios and the HTTP wire battery run here)
+#      cross-crate scenarios and the HTTP wire battery run here; the sharded
+#      serving parity matrix and builder misconfiguration battery live in
+#      crates/serve/tests)
 #   3. kernel-parity smoke: the blocked/parallel GEMM must stay bit-identical
 #      to the naive reference on a fixed seed (threads 1/2/4)
-#   4. the kernels micro-benchmark in its ~2 s smoke configuration, so a
-#      regression in the compute hot path shows up in the gate output
+#   4. bench regression gate (scripts/check_bench.sh): re-runs the quick
+#      kernels/serving benches in a throwaway dir and FAILS if throughput
+#      dropped more than BENCH_GATE_TOLERANCE percent (default 15) below the
+#      committed BENCH_kernels.json / BENCH_serving.json baselines; also runs
+#      the sharding bench for its parity assertions and replica-vs-sharded log
 #   5. the http_roundtrip end-to-end example (real TCP serving)
 #   6. formatting check
 #   7. clippy with warnings promoted to errors
+#
+# Modes / knobs:
+#   CI_QUICK=1             skip every release-profile stage (1, 3-5: the
+#                          release build, parity smoke, bench gate and
+#                          example) for a sub-minute inner-loop gate on a
+#                          warm build cache — tests + fmt + clippy still run,
+#                          and the dev-profile test suite includes the GEMM
+#                          bit-parity battery (crates/tensor/tests)
+#   BENCH_GATE_TOLERANCE   allowed bench throughput drop in percent
+#                          (default 15; negative forces the gate to trip —
+#                          the knob to demonstrate stage 4 failing)
+#
+# A per-stage wall-clock summary is printed at the end (also on failure).
 #
 # Usage: scripts/ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release --workspace --all-targets
+STAGE_NAMES=()
+STAGE_SECS=()
+stage() {
+  local name="$1"
+  shift
+  echo "==> $name"
+  local t0=$SECONDS
+  "$@"
+  STAGE_NAMES+=("$name")
+  STAGE_SECS+=("$((SECONDS - t0))")
+}
+summary() {
+  echo
+  echo "==> stage timing (wall clock)"
+  local i total=0
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '    %4ds  %s\n' "${STAGE_SECS[$i]}" "${STAGE_NAMES[$i]}"
+    total=$((total + STAGE_SECS[i]))
+  done
+  printf '    %4ds  total\n' "$total"
+}
+trap summary EXIT
 
-echo "==> cargo test -q (includes dtdbd-integration: cross-crate scenarios + HTTP wire battery)"
-cargo test -q --workspace
+quick=${CI_QUICK:-0}
 
-echo "==> kernel parity smoke (blocked/parallel GEMM vs naive reference, fixed seed)"
-cargo run --release -q -p dtdbd-bench --bin kernels -- --parity-smoke
+if [ "$quick" = "1" ]; then
+  echo "==> CI_QUICK=1: skipping release build, parity smoke, bench gate and example"
+else
+  stage "cargo build --release" \
+    cargo build --release --workspace --all-targets
+fi
 
-echo "==> kernels bench (quick smoke: naive vs blocked vs blocked+parallel GFLOP/s)"
-cargo run --release -q -p dtdbd-bench --bin kernels -- --quick
+stage "cargo test (cross-crate scenarios, HTTP wire battery, sharding parity)" \
+  cargo test -q --workspace
 
-echo "==> http_roundtrip example (train -> checkpoint -> serve over TCP)"
-cargo run --release -q -p dtdbd-bench --example http_roundtrip
+if [ "$quick" != "1" ]; then
+  stage "kernel parity smoke (blocked/parallel GEMM vs naive reference)" \
+    cargo run --release -q -p dtdbd-bench --bin kernels -- --parity-smoke
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+  stage "bench regression gate (kernels/serving vs committed baselines + sharding)" \
+    scripts/check_bench.sh
 
-echo "==> cargo clippy -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+  stage "http_roundtrip example (train -> checkpoint -> serve over TCP)" \
+    cargo run --release -q -p dtdbd-bench --example http_roundtrip
+fi
+
+stage "cargo fmt --check" \
+  cargo fmt --all --check
+
+stage "cargo clippy -- -D warnings" \
+  cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> tier-1 gate passed"
