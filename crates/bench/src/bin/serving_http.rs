@@ -13,7 +13,7 @@ use dtdbd_bench::harness::{fmt_ns, percentile};
 use dtdbd_core::{train_model, TrainConfig};
 use dtdbd_data::{weibo21_spec, GeneratorConfig, InferenceRequest, NewsGenerator};
 use dtdbd_metrics::TableBuilder;
-use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
+use dtdbd_models::{ModelConfig, TextCnnModel};
 use dtdbd_serve::http::HttpClient;
 use dtdbd_serve::{
     json, session_from_checkpoint, BatchingConfig, Checkpoint, HttpConfig, HttpServer,
@@ -66,7 +66,7 @@ fn main() {
         },
     );
 
-    let checkpoint = Checkpoint::new(model.name(), &cfg, &store);
+    let checkpoint = Checkpoint::capture(&model, &store);
     let checkpoint = Checkpoint::from_bytes(&checkpoint.to_bytes()).expect("self round trip");
 
     // Pre-rendered request bodies drawn from the held-out test set.

@@ -26,7 +26,7 @@
 
 use dtdbd_data::{weibo21_spec, GeneratorConfig, InferenceRequest, NewsGenerator};
 use dtdbd_metrics::TableBuilder;
-use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
+use dtdbd_models::{ModelConfig, TextCnnModel};
 use dtdbd_serve::{Checkpoint, PredictServer, ServerBuilder};
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
@@ -73,7 +73,7 @@ fn main() {
     let cfg = ModelConfig::for_dataset(&ds);
     let mut store = ParamStore::new();
     let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(1));
-    let checkpoint = Checkpoint::new(model.name(), &cfg, &store);
+    let checkpoint = Checkpoint::capture(&model, &store);
     let checkpoint = Checkpoint::from_bytes(&checkpoint.to_bytes()).expect("self round trip");
 
     let requests: Vec<InferenceRequest> = ds

@@ -11,7 +11,7 @@
 
 use crate::trainer::{train_model, TrainConfig, TrainReport};
 use dtdbd_data::{Batch, MultiDomainDataset};
-use dtdbd_models::{FakeNewsModel, ModelConfig, ModelOutput};
+use dtdbd_models::{FakeNewsModel, ModelConfig, ModelOutput, SideState, SideStateError};
 use dtdbd_nn::DomainAdversary;
 use dtdbd_tensor::losses::information_entropy_loss;
 use dtdbd_tensor::rng::Prng;
@@ -161,6 +161,18 @@ impl<M: FakeNewsModel> FakeNewsModel for AdversarialStudent<M> {
     fn post_batch(&mut self, features: &Tensor, domains: &[usize]) {
         self.base.post_batch(features, domains);
     }
+
+    // The adversary head is ordinary registered parameters; any state
+    // outside the store belongs to the wrapped base model, so side-state
+    // export/import must pass through (the default impls would silently
+    // drop a side-stateful base's trained state at save time).
+    fn export_side_state(&self) -> SideState {
+        self.base.export_side_state()
+    }
+
+    fn import_side_state(&mut self, state: &SideState) -> Result<(), SideStateError> {
+        self.base.import_side_state(state)
+    }
 }
 
 /// Train an unbiased teacher: wrap the provided student-architecture model
@@ -224,6 +236,36 @@ mod tests {
         let mut g = Graph::new(&mut store, false, 0);
         let out = wrapped.forward(&mut g, &batch);
         assert!(out.aux_loss.is_none());
+    }
+
+    #[test]
+    fn side_state_passes_through_the_wrapper_to_the_base_model() {
+        // M3FEND's memory bank is the canonical off-store state: wrapping it
+        // for DAT training must not make Checkpoint::capture drop the bank.
+        let ds = tiny_dataset();
+        let cfg = ModelConfig::tiny(&ds);
+        let dat = DatConfig::default();
+        let mut store = ParamStore::new();
+        let base = dtdbd_models::M3Fend::new(&mut store, &cfg, &mut Prng::new(5));
+        let mut wrapped = AdversarialStudent::new(base, &mut store, &cfg, &dat, &mut Prng::new(6));
+        let batch = BatchIter::new(&ds, 8, 0, false).next().unwrap();
+        {
+            let mut g = Graph::new(&mut store, true, 0);
+            let _ = wrapped.forward(&mut g, &batch);
+        }
+        let exported = wrapped.export_side_state();
+        assert_eq!(
+            exported,
+            wrapped.base().export_side_state(),
+            "wrapper must forward the base model's side state"
+        );
+        assert!(
+            exported.get(dtdbd_models::M3Fend::MEMORY_TAG).is_some(),
+            "the trained memory bank must be in the export"
+        );
+        wrapped
+            .import_side_state(&exported)
+            .expect("import forwards to the base too");
     }
 
     #[test]

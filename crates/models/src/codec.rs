@@ -6,6 +6,13 @@
 //! little-endian; `f32` values travel as raw IEEE-754 bit patterns, which is
 //! what makes checkpoint round trips bit-exact (including NaN payloads and
 //! signed zeros). Strings are length-prefixed UTF-8.
+//!
+//! The codec lives in `dtdbd-models` (it started in `dtdbd-serve`, which
+//! still re-exports it as `dtdbd_serve::codec`) because models encode their
+//! own [`crate::SideState`] chunks with these primitives: a model's
+//! off-`ParamStore` state (e.g. M3FEND's domain memory bank) is serialized
+//! *by the model* into opaque bytes that the checkpoint container then
+//! frames, length-prefixes and CRC-guards without understanding them.
 
 use std::fmt;
 
@@ -214,12 +221,21 @@ impl<'a> ByteReader<'a> {
 
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_of_parts(&[bytes])
+}
+
+/// CRC-32 of the concatenation of `parts`, scanned in place — equal to
+/// [`crc32`] of the joined bytes without allocating the joined buffer
+/// (the checkpoint layer CRCs `tag ‖ body` per side-state chunk this way).
+pub fn crc32_of_parts(parts: &[&[u8]]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
-    for &byte in bytes {
-        crc ^= u32::from(byte);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+    for part in parts {
+        for &byte in *part {
+            crc ^= u32::from(byte);
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            }
         }
     }
     !crc
@@ -282,6 +298,16 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn crc32_of_parts_equals_crc32_of_the_concatenation() {
+        assert_eq!(crc32_of_parts(&[b"123", b"", b"456789"]), 0xCBF4_3926);
+        assert_eq!(crc32_of_parts(&[]), 0);
+        assert_eq!(
+            crc32_of_parts(&[b"m3fend.memory", &[1, 2, 3]]),
+            crc32(b"m3fend.memory\x01\x02\x03")
+        );
     }
 
     #[test]

@@ -23,9 +23,16 @@
 //! | [`mdfend`] | MDFEND (clean teacher #1) | Sec. VI-A2 |
 //! | [`m3fend`] | M3FEND (clean teacher #2) | Sec. VI-A2 |
 //! | [`registry`] | functional comparison metadata (Table II) | Sec. II |
+//!
+//! Two serialization helpers also live here: [`codec`] (the little-endian
+//! byte codec with bit-exact `f32` round trips, re-exported by `dtdbd-serve`
+//! for its checkpoint container) and [`side_state`] (the tagged opaque-chunk
+//! transport for trained state outside the `ParamStore`, such as M3FEND's
+//! domain memory bank — see [`FakeNewsModel::export_side_state`]).
 
 pub mod bert_mlp;
 pub mod bigru;
+pub mod codec;
 pub mod config;
 pub mod eann;
 pub mod eddfn;
@@ -34,6 +41,7 @@ pub mod mdfend;
 pub mod moe_models;
 pub mod pretrained;
 pub mod registry;
+pub mod side_state;
 pub mod style;
 pub mod textcnn;
 pub mod traits;
@@ -47,6 +55,7 @@ pub use m3fend::M3Fend;
 pub use mdfend::Mdfend;
 pub use moe_models::{Mmoe, Mose};
 pub use registry::{registry, MethodInfo};
+pub use side_state::{SideState, SideStateError};
 pub use style::{DualEmo, StyleLstm};
 pub use textcnn::TextCnnModel;
 pub use traits::{FakeNewsModel, InferOptions, InferenceOutput, ModelOutput};

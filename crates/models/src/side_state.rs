@@ -1,0 +1,173 @@
+//! Model side state: trained state that lives *outside* the `ParamStore`.
+//!
+//! Most of the zoo is fully described by its parameters, but some
+//! architectures carry additional state a faithful checkpoint must persist —
+//! M3FEND's `DomainMemoryBank` keeps EMA per-domain memory that no optimizer
+//! ever sees. A [`SideState`] is the transport for that state: an ordered
+//! set of uniquely-tagged opaque byte chunks. Models encode their own chunks
+//! (with the [`crate::codec`] primitives, so `f32` round trips stay
+//! bit-exact) and decode them back on restore; the checkpoint container
+//! frames, length-prefixes and CRC-guards each chunk without interpreting
+//! it.
+//!
+//! The contract is deliberately loud: a model asked to import a tag it does
+//! not understand — or missing a tag it requires — answers with a typed
+//! [`SideStateError`] instead of silently serving a half-restored model.
+
+use std::fmt;
+
+/// Ordered collection of uniquely-tagged opaque side-state chunks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SideState {
+    entries: Vec<(String, Vec<u8>)>,
+}
+
+impl SideState {
+    /// An empty side state (what every purely-parametric model exports).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no chunk is present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append a chunk. Tags must be non-empty and unique; violations are
+    /// typed errors because checkpoint decoding feeds this from untrusted
+    /// bytes.
+    pub fn insert(&mut self, tag: impl Into<String>, bytes: Vec<u8>) -> Result<(), SideStateError> {
+        let tag = tag.into();
+        if tag.is_empty() {
+            return Err(SideStateError::EmptyTag);
+        }
+        if self.get(&tag).is_some() {
+            return Err(SideStateError::DuplicateTag { tag });
+        }
+        self.entries.push((tag, bytes));
+        Ok(())
+    }
+
+    /// The chunk bytes under `tag`, if present.
+    pub fn get(&self, tag: &str) -> Option<&[u8]> {
+        self.entries
+            .iter()
+            .find(|(t, _)| t == tag)
+            .map(|(_, bytes)| bytes.as_slice())
+    }
+
+    /// Iterate chunks in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.entries
+            .iter()
+            .map(|(tag, bytes)| (tag.as_str(), bytes.as_slice()))
+    }
+
+    /// Iterate tags in insertion order.
+    pub fn tags(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(tag, _)| tag.as_str())
+    }
+}
+
+/// Why side state could not be assembled or imported into a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SideStateError {
+    /// A chunk tag is empty.
+    EmptyTag,
+    /// Two chunks carry the same tag.
+    DuplicateTag {
+        /// The repeated tag.
+        tag: String,
+    },
+    /// The model does not understand a chunk's tag. Rejected loudly: an
+    /// unknown tag means the checkpoint carries trained state this build
+    /// would silently drop.
+    UnknownTag {
+        /// The unrecognised tag.
+        tag: String,
+        /// Architecture that refused it.
+        arch: String,
+    },
+    /// The model requires a chunk the side state does not carry (e.g. a
+    /// hand-built M3FEND checkpoint without its memory bank).
+    MissingTag {
+        /// The required tag.
+        tag: String,
+        /// Architecture that needs it.
+        arch: String,
+    },
+    /// A chunk's bytes decoded to an invalid or inconsistent structure.
+    Malformed {
+        /// Tag of the offending chunk.
+        tag: String,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SideStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyTag => write!(f, "side-state chunk with an empty tag"),
+            Self::DuplicateTag { tag } => {
+                write!(f, "duplicate side-state tag {tag:?}")
+            }
+            Self::UnknownTag { tag, arch } => {
+                write!(
+                    f,
+                    "side-state tag {tag:?} is not understood by architecture {arch} \
+                     (refusing to drop trained state)"
+                )
+            }
+            Self::MissingTag { tag, arch } => {
+                write!(
+                    f,
+                    "architecture {arch} requires side-state tag {tag:?}, checkpoint has none"
+                )
+            }
+            Self::Malformed { tag, detail } => {
+                write!(f, "malformed side-state chunk {tag:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SideStateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_order_and_lookup() {
+        let mut state = SideState::new();
+        assert!(state.is_empty());
+        state.insert("b.second", vec![2]).unwrap();
+        state.insert("a.first", vec![1, 1]).unwrap();
+        assert_eq!(state.len(), 2);
+        assert_eq!(state.get("b.second"), Some(&[2u8][..]));
+        assert_eq!(state.get("a.first"), Some(&[1u8, 1][..]));
+        assert_eq!(state.get("missing"), None);
+        let tags: Vec<&str> = state.tags().collect();
+        assert_eq!(tags, ["b.second", "a.first"], "insertion order preserved");
+    }
+
+    #[test]
+    fn duplicate_and_empty_tags_are_rejected() {
+        let mut state = SideState::new();
+        state.insert("m3fend.memory", vec![0]).unwrap();
+        assert_eq!(
+            state.insert("m3fend.memory", vec![1]),
+            Err(SideStateError::DuplicateTag {
+                tag: "m3fend.memory".into()
+            })
+        );
+        assert_eq!(state.insert("", vec![]), Err(SideStateError::EmptyTag));
+        assert_eq!(state.len(), 1, "failed inserts leave the state untouched");
+    }
+}

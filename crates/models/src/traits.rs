@@ -1,6 +1,7 @@
 //! The common interface every fake-news detection model implements.
 
 use crate::config::ModelConfig;
+use crate::side_state::{SideState, SideStateError};
 use dtdbd_data::Batch;
 use dtdbd_tensor::{BufferPool, Graph, ParamId, ParamStore, ShardedTable, Tensor, Var};
 
@@ -121,6 +122,32 @@ pub trait FakeNewsModel {
         self.config().feature_dim
     }
 
+    /// Export every piece of trained state that lives *outside* the
+    /// `ParamStore` as tagged opaque chunks (e.g. M3FEND's domain memory
+    /// bank). The default is empty: most of the zoo is fully described by
+    /// its parameters. Checkpoint writers persist this alongside the
+    /// parameters; the export must satisfy the round-trip identity
+    /// `import_side_state(&export_side_state())` followed by
+    /// `export_side_state()` reproducing the same bytes.
+    fn export_side_state(&self) -> SideState {
+        SideState::new()
+    }
+
+    /// Restore previously exported side state. The default accepts only an
+    /// empty state and answers any tagged chunk with
+    /// [`SideStateError::UnknownTag`] — a model without side state must
+    /// refuse, loudly, to load a checkpoint that carries some, because
+    /// accepting it would silently drop trained state.
+    fn import_side_state(&mut self, state: &SideState) -> Result<(), SideStateError> {
+        match state.tags().next() {
+            None => Ok(()),
+            Some(tag) => Err(SideStateError::UnknownTag {
+                tag: tag.to_string(),
+                arch: self.name().to_string(),
+            }),
+        }
+    }
+
     /// Tape-free inference: run the forward pass on a [`Graph::inference`]
     /// graph (no gradient bookkeeping, scratch buffers drawn from — and
     /// returned to — `pool`) and copy the outputs into an owned
@@ -239,6 +266,14 @@ impl<T: FakeNewsModel + ?Sized> FakeNewsModel for Box<T> {
 
     fn feature_dim(&self) -> usize {
         (**self).feature_dim()
+    }
+
+    fn export_side_state(&self) -> SideState {
+        (**self).export_side_state()
+    }
+
+    fn import_side_state(&mut self, state: &SideState) -> Result<(), SideStateError> {
+        (**self).import_side_state(state)
     }
 
     fn infer(
@@ -421,5 +456,37 @@ pub(crate) mod test_support {
             model.name()
         );
         assert!(last.is_finite());
+
+        // Side-state contract: exporting the (possibly trained) off-store
+        // state and importing it into a freshly built twin must round-trip —
+        // the twin re-exports byte-identical chunks and, with the parameter
+        // values copied over, predicts bit-identically. For purely
+        // parametric models this degenerates to the empty-state identity.
+        {
+            let exported = model.export_side_state();
+            let mut twin_store = ParamStore::new();
+            let mut twin = build(&mut twin_store, &cfg);
+            twin.import_side_state(&exported).unwrap_or_else(|e| {
+                panic!("{}: import of its own export failed: {e}", model.name())
+            });
+            assert_eq!(
+                twin.export_side_state(),
+                exported,
+                "{}: export -> import -> export must be the identity",
+                model.name()
+            );
+            twin_store.copy_values_from(&store);
+            let mut pool = dtdbd_tensor::BufferPool::new();
+            let original = model.infer(&mut store, &mut pool, &batch);
+            let restored = twin.infer(&mut twin_store, &mut pool, &batch);
+            for (a, b) in original.logits.data().iter().zip(restored.logits.data()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}: side-state restored twin diverged",
+                    model.name()
+                );
+            }
+        }
     }
 }

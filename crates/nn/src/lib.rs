@@ -36,6 +36,6 @@ pub use adversary::DomainAdversary;
 pub use conv::TextCnnEncoder;
 pub use embedding::Embedding;
 pub use linear::{Activation, Linear, Mlp};
-pub use memory::DomainMemoryBank;
+pub use memory::{DomainMemoryBank, MemorySnapshot, SnapshotError};
 pub use moe::MixtureOfExperts;
 pub use rnn::{BiGru, BiLstm, Gru, Lstm};

@@ -9,6 +9,7 @@
 //! paper's Challenges section motivates as fuzzy labels.
 
 use dtdbd_tensor::{Graph, Tensor, Var};
+use std::fmt;
 
 /// Per-domain feature memory with EMA updates.
 #[derive(Debug, Clone)]
@@ -20,6 +21,46 @@ pub struct DomainMemoryBank {
     momentum: f32,
     temperature: f32,
 }
+
+/// A plain-data snapshot of a [`DomainMemoryBank`]: every field a restore
+/// needs to reproduce the bank exactly, with the slot matrix flattened
+/// row-major. Checkpointing layers serialize this (the bank's EMA state
+/// lives *outside* any `ParamStore`, so parameter checkpoints alone would
+/// silently lose it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySnapshot {
+    /// Number of domains (slot rows).
+    pub n_domains: usize,
+    /// Feature dimension (slot width).
+    pub dim: usize,
+    /// EMA momentum of slot updates.
+    pub momentum: f32,
+    /// Softmax temperature of the soft domain distribution.
+    pub temperature: f32,
+    /// Row-major `[n_domains * dim]` slot values.
+    pub slots: Vec<f32>,
+    /// Samples absorbed per slot (`n_domains` entries).
+    pub counts: Vec<u64>,
+}
+
+/// Why a [`MemorySnapshot`] cannot be restored into a live bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(String);
+
+impl SnapshotError {
+    /// Human-readable description of the inconsistency.
+    pub fn detail(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid memory-bank snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 impl DomainMemoryBank {
     /// Create an empty bank for `n_domains` domains of `dim`-dimensional
@@ -48,6 +89,80 @@ impl DomainMemoryBank {
     /// Feature dimension.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// EMA momentum of slot updates.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// Softmax temperature of the soft domain distribution.
+    pub fn temperature(&self) -> f32 {
+        self.temperature
+    }
+
+    /// Capture every field of the bank into a plain-data [`MemorySnapshot`]
+    /// (slot values copied bit-for-bit).
+    pub fn snapshot(&self) -> MemorySnapshot {
+        MemorySnapshot {
+            n_domains: self.n_domains,
+            dim: self.dim,
+            momentum: self.momentum,
+            temperature: self.temperature,
+            slots: self.slots.data().to_vec(),
+            counts: self.counts.iter().map(|&c| c as u64).collect(),
+        }
+    }
+
+    /// Rebuild a bank from a snapshot, restoring slots, counts and the EMA
+    /// hyper-parameters bit-exactly. Every structural inconsistency is a
+    /// typed [`SnapshotError`] — a checkpoint loader must never panic on
+    /// attacker-controlled bytes.
+    pub fn from_snapshot(snapshot: &MemorySnapshot) -> Result<Self, SnapshotError> {
+        let MemorySnapshot {
+            n_domains,
+            dim,
+            momentum,
+            temperature,
+            ref slots,
+            ref counts,
+        } = *snapshot;
+        if n_domains == 0 || dim == 0 {
+            return Err(SnapshotError(format!(
+                "empty geometry ({n_domains} domains x {dim} dims)"
+            )));
+        }
+        if !(0.0..1.0).contains(&momentum) {
+            return Err(SnapshotError(format!("momentum {momentum} outside [0, 1)")));
+        }
+        if temperature.is_nan() || temperature <= 0.0 {
+            return Err(SnapshotError(format!(
+                "temperature {temperature} not positive"
+            )));
+        }
+        let expected = n_domains
+            .checked_mul(dim)
+            .ok_or_else(|| SnapshotError(format!("{n_domains} x {dim} slots overflow")))?;
+        if slots.len() != expected {
+            return Err(SnapshotError(format!(
+                "{} slot values for a [{n_domains}, {dim}] bank (need {expected})",
+                slots.len()
+            )));
+        }
+        if counts.len() != n_domains {
+            return Err(SnapshotError(format!(
+                "{} counts for {n_domains} domains",
+                counts.len()
+            )));
+        }
+        Ok(Self {
+            slots: Tensor::new(vec![n_domains, dim], slots.clone()),
+            counts: counts.iter().map(|&c| c as usize).collect(),
+            dim,
+            n_domains,
+            momentum,
+            temperature,
+        })
     }
 
     /// Borrow the raw slot matrix (`[n_domains, dim]`).
@@ -202,5 +317,106 @@ mod tests {
         let mut bank = DomainMemoryBank::new(2, 2, 0.5, 1.0);
         let feats = Tensor::from_rows(&[vec![0.0, 0.0]]);
         bank.update(&feats, &[5]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_field_bit_exactly() {
+        let mut rng = Prng::new(5);
+        let centers = vec![vec![1.0, -0.0, 2.5], vec![-1.0, 0.125, -3.0]];
+        let (features, labels) = clustered_features(&mut rng, &centers, 7);
+        let mut bank = DomainMemoryBank::new(2, 3, 0.85, 1.5);
+        bank.update(&features, &labels);
+
+        let snapshot = bank.snapshot();
+        let restored = DomainMemoryBank::from_snapshot(&snapshot).unwrap();
+        assert_eq!(restored.n_domains(), bank.n_domains());
+        assert_eq!(restored.dim(), bank.dim());
+        assert_eq!(restored.momentum().to_bits(), bank.momentum().to_bits());
+        assert_eq!(
+            restored.temperature().to_bits(),
+            bank.temperature().to_bits()
+        );
+        assert_eq!(restored.counts(), bank.counts());
+        for (a, b) in restored.slots().data().iter().zip(bank.slots().data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "slots must restore bit-exactly");
+        }
+        // The restored bank behaves identically: same soft domains, and the
+        // EMA continues from the restored counts (not from scratch).
+        let probe = Tensor::from_rows(&[vec![0.9, 0.0, 2.4]]);
+        assert_eq!(
+            bank.soft_domains(&probe).data(),
+            restored.soft_domains(&probe).data()
+        );
+        assert_eq!(restored.snapshot(), snapshot, "snapshot is idempotent");
+    }
+
+    #[test]
+    fn invalid_snapshots_are_typed_errors_not_panics() {
+        let good = DomainMemoryBank::new(2, 3, 0.9, 2.0).snapshot();
+        let cases: Vec<(&str, MemorySnapshot)> = vec![
+            (
+                "zero domains",
+                MemorySnapshot {
+                    n_domains: 0,
+                    ..good.clone()
+                },
+            ),
+            (
+                "zero dim",
+                MemorySnapshot {
+                    dim: 0,
+                    ..good.clone()
+                },
+            ),
+            (
+                "momentum out of range",
+                MemorySnapshot {
+                    momentum: 1.0,
+                    ..good.clone()
+                },
+            ),
+            (
+                "NaN momentum",
+                MemorySnapshot {
+                    momentum: f32::NAN,
+                    ..good.clone()
+                },
+            ),
+            (
+                "non-positive temperature",
+                MemorySnapshot {
+                    temperature: 0.0,
+                    ..good.clone()
+                },
+            ),
+            (
+                "NaN temperature",
+                MemorySnapshot {
+                    temperature: f32::NAN,
+                    ..good.clone()
+                },
+            ),
+            (
+                "slot length mismatch",
+                MemorySnapshot {
+                    slots: vec![0.0; 5],
+                    ..good.clone()
+                },
+            ),
+            (
+                "count length mismatch",
+                MemorySnapshot {
+                    counts: vec![0; 3],
+                    ..good.clone()
+                },
+            ),
+        ];
+        for (label, snapshot) in cases {
+            assert!(
+                DomainMemoryBank::from_snapshot(&snapshot).is_err(),
+                "{label}: must be rejected"
+            );
+        }
+        assert!(DomainMemoryBank::from_snapshot(&good).is_ok());
     }
 }

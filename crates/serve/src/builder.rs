@@ -11,7 +11,9 @@ use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::routing::DomainRouting;
 use crate::server::{BatchingConfig, PredictServer, ServerTuning};
 use crate::session::InferenceSession;
-use dtdbd_models::{BiGruModel, FakeNewsModel, Mdfend, ModelConfig, TextCnnModel};
+use dtdbd_models::{
+    BiGruModel, Eann, Eddfn, FakeNewsModel, M3Fend, Mdfend, ModelConfig, TextCnnModel,
+};
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
 use std::fmt;
@@ -21,11 +23,25 @@ pub type BoxedModel = Box<dyn FakeNewsModel + Send>;
 
 /// Architecture tags [`build_model`] understands.
 ///
-/// Only models whose entire inference-relevant state lives in the
-/// `ParamStore` are restorable. M3FEND is deliberately absent: its
-/// `DomainMemoryBank` is EMA state outside the store, so a checkpoint
-/// cannot yet reproduce a trained M3FEND faithfully (see ROADMAP).
-pub const SUPPORTED_ARCHS: &[&str] = &["TextCNN", "TextCNN-S", "BiGRU", "BiGRU-S", "MDFEND"];
+/// A restorable model needs every piece of inference-relevant state to
+/// travel in the checkpoint. For most of the zoo that is the `ParamStore`
+/// alone (EANN and EDDFN qualify: their adversaries, specific heads and
+/// reconstructors are all registered parameters). M3FEND additionally keeps
+/// its `DomainMemoryBank` — EMA state outside the store — which rides in
+/// the format-2 side-state section, so since format 2 the full teacher
+/// pair (MDFEND + M3FEND) and both adversarial baselines are servable.
+pub const SUPPORTED_ARCHS: &[&str] = &[
+    "TextCNN",
+    "TextCNN-S",
+    "BiGRU",
+    "BiGRU-S",
+    "MDFEND",
+    "M3FEND",
+    "EANN",
+    "EANN_NoDAT",
+    "EDDFN",
+    "EDDFN_NoDAT",
+];
 
 /// Why a server could not be started with the requested configuration.
 ///
@@ -195,6 +211,11 @@ pub fn build_model(
         "BiGRU" => Box::new(BiGruModel::baseline(store, config, &mut rng)),
         "BiGRU-S" => Box::new(BiGruModel::student(store, config, &mut rng)),
         "MDFEND" => Box::new(Mdfend::new(store, config, &mut rng)),
+        "M3FEND" => Box::new(M3Fend::new(store, config, &mut rng)),
+        "EANN" => Box::new(Eann::with_dat(store, config, &mut rng)),
+        "EANN_NoDAT" => Box::new(Eann::without_dat(store, config, &mut rng)),
+        "EDDFN" => Box::new(Eddfn::with_dat(store, config, &mut rng)),
+        "EDDFN_NoDAT" => Box::new(Eddfn::without_dat(store, config, &mut rng)),
         other => {
             return Err(CheckpointError::Malformed(format!(
                 "unknown architecture tag {other:?} (supported: {SUPPORTED_ARCHS:?})"

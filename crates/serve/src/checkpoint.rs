@@ -1,14 +1,21 @@
-//! Versioned model checkpoints: `ParamStore` + `ModelConfig` + `Vocabulary`.
+//! Versioned model checkpoints: `ParamStore` + `ModelConfig` + `Vocabulary`
+//! + model [`SideState`].
 //!
-//! # File format (version 1)
+//! # File format (version 2)
 //!
 //! ```text
-//! offset  size  field
-//! 0       4     magic  b"DTDB"
-//! 4       4     format version (u32 LE)
-//! 8       8     payload length in bytes (u64 LE)
-//! 16      4     CRC-32 of the payload (u32 LE)
-//! 20      ...   payload
+//! offset    size  field
+//! 0         4     magic  b"DTDB"
+//! 4         4     format version (u32 LE): 2 written, 1..=2 read
+//! 8         8     payload length P in bytes (u64 LE)
+//! 16        4     CRC-32 of the payload (u32 LE)
+//! 20        P     payload (identical encoding to version 1)
+//! 20+P      4     side-state chunk count N (u32 LE)        ── v2 only ──
+//! ...             N chunks, each:
+//!                   u64 LE  tag length T, then T bytes of UTF-8 tag
+//!                   u64 LE  chunk body length L
+//!                   u32 LE  CRC-32 of (tag bytes ‖ chunk body)
+//!                   L bytes chunk body (opaque to this container)
 //! ```
 //!
 //! The payload is, in order: the architecture tag (the constructor the loader
@@ -18,13 +25,31 @@
 //! Gradients are transient optimizer state and are not persisted; a loaded
 //! store starts with zero gradients.
 //!
-//! The header makes two failure modes loud before any tensor is built:
-//! a truncated file fails the payload-length check and a corrupted file
-//! fails the CRC, both with dedicated error variants.
+//! The **side-state section** carries trained state that lives outside the
+//! `ParamStore` (M3FEND's domain memory bank is the canonical example) as
+//! tagged opaque chunks, each individually length-prefixed and CRC-32
+//! guarded — the header CRC covers only the payload, so every chunk defends
+//! itself. Chunk bodies are produced and consumed by the model
+//! ([`dtdbd_models::FakeNewsModel::export_side_state`] /
+//! `import_side_state`); the container rejects duplicated tags
+//! ([`CheckpointError::DuplicateChunk`]) and forged chunk bodies
+//! ([`CheckpointError::ChunkCorrupted`]) itself, while tags the rebuilt
+//! architecture does not understand fail at import time
+//! ([`CheckpointError::SideState`]) — never silently dropped.
+//!
+//! **Version 1 files still load**: a v1 file is exactly the v2 layout with
+//! the side-state section absent (reading one yields an empty
+//! [`SideState`]), and a v2 file with zero chunks differs from its v1
+//! counterpart only by the four-byte chunk count. The writer always emits
+//! version 2.
+//!
+//! The header makes the outer failure modes loud before any tensor is
+//! built: a truncated file fails the payload-length check and a corrupted
+//! payload fails the CRC, both with dedicated error variants.
 
 use crate::codec::{crc32, ByteReader, ByteWriter, CodecError};
 use dtdbd_data::Vocabulary;
-use dtdbd_models::ModelConfig;
+use dtdbd_models::{FakeNewsModel, ModelConfig, SideState, SideStateError};
 use dtdbd_tensor::{ParamStore, Tensor};
 use std::fmt;
 use std::fs;
@@ -33,8 +58,10 @@ use std::path::Path;
 
 /// File magic, `b"DTDB"`.
 pub const MAGIC: [u8; 4] = *b"DTDB";
-/// Current checkpoint format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Checkpoint format version this build writes.
+pub const FORMAT_VERSION: u32 = 2;
+/// Oldest checkpoint format version this build still reads.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Why a checkpoint failed to save or load.
 #[derive(Debug)]
@@ -59,6 +86,24 @@ pub enum CheckpointError {
         /// CRC of the bytes on disk.
         found: u32,
     },
+    /// A side-state chunk's CRC-32 does not match its recorded value (the
+    /// header CRC covers only the payload; each chunk defends itself).
+    ChunkCorrupted {
+        /// Tag of the offending chunk.
+        tag: String,
+        /// CRC recorded with the chunk.
+        expected: u32,
+        /// CRC of the chunk bytes on disk.
+        found: u32,
+    },
+    /// Two side-state chunks carry the same tag.
+    DuplicateChunk {
+        /// The repeated tag.
+        tag: String,
+    },
+    /// The side state decoded structurally but the rebuilt model refused it
+    /// (unknown tag, missing required chunk, or malformed chunk body).
+    SideState(SideStateError),
     /// The payload decoded but its structure is invalid.
     Malformed(String),
 }
@@ -71,7 +116,8 @@ impl fmt::Display for CheckpointError {
             Self::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported checkpoint format version {v} (supported: {FORMAT_VERSION})"
+                    "unsupported checkpoint format version {v} \
+                     (supported: {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
                 )
             }
             Self::Truncated { expected, found } => {
@@ -86,6 +132,20 @@ impl fmt::Display for CheckpointError {
                     "corrupted checkpoint: CRC {found:#010x}, header says {expected:#010x}"
                 )
             }
+            Self::ChunkCorrupted {
+                tag,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "corrupted side-state chunk {tag:?}: CRC {found:#010x}, chunk header says {expected:#010x}"
+                )
+            }
+            Self::DuplicateChunk { tag } => {
+                write!(f, "duplicate side-state chunk tag {tag:?}")
+            }
+            Self::SideState(e) => write!(f, "checkpoint side state rejected: {e}"),
             Self::Malformed(msg) => write!(f, "malformed checkpoint payload: {msg}"),
         }
     }
@@ -95,6 +155,7 @@ impl std::error::Error for CheckpointError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Io(e) => Some(e),
+            Self::SideState(e) => Some(e),
             _ => None,
         }
     }
@@ -112,6 +173,12 @@ impl From<CodecError> for CheckpointError {
     }
 }
 
+impl From<SideStateError> for CheckpointError {
+    fn from(e: SideStateError) -> Self {
+        Self::SideState(e)
+    }
+}
+
 /// A fully decoded checkpoint.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
@@ -122,19 +189,39 @@ pub struct Checkpoint {
     pub config: ModelConfig,
     /// The model's parameters (gradients reset to zero).
     pub params: ParamStore,
+    /// Trained state outside the `ParamStore`, as tagged opaque chunks
+    /// (empty for purely parametric models and for version-1 files).
+    pub side_state: SideState,
 }
 
 impl Checkpoint {
-    /// Assemble a checkpoint from live training state.
+    /// Assemble a checkpoint from live training state, with no side-state
+    /// section. For models that carry state outside the store (M3FEND),
+    /// use [`Checkpoint::capture`], which asks the model itself.
     pub fn new(arch: impl Into<String>, config: &ModelConfig, params: &ParamStore) -> Self {
         Self {
             arch: arch.into(),
             config: config.clone(),
             params: params.clone(),
+            side_state: SideState::new(),
         }
     }
 
-    /// Serialize to bytes (header + payload).
+    /// Capture everything a faithful restore needs from a live model: the
+    /// architecture tag, the configuration, the parameters, *and* the
+    /// model's exported [`SideState`]. This is the save half of the full
+    /// train → save → load → serve loop; prefer it over
+    /// [`Checkpoint::new`] whenever the model instance is at hand.
+    pub fn capture<M: FakeNewsModel + ?Sized>(model: &M, params: &ParamStore) -> Self {
+        Self {
+            arch: model.name().to_string(),
+            config: model.config().clone(),
+            params: params.clone(),
+            side_state: model.export_side_state(),
+        }
+    }
+
+    /// Serialize to bytes (header + payload + side-state section).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut payload = ByteWriter::new();
         payload.str(&self.arch);
@@ -148,10 +235,18 @@ impl Checkpoint {
         out.u64(payload.len() as u64);
         out.u32(crc32(&payload));
         out.bytes(&payload);
+        out.u32(self.side_state.len() as u32);
+        for (tag, chunk) in self.side_state.iter() {
+            out.str(tag);
+            out.u64(chunk.len() as u64);
+            out.u32(chunk_crc(tag, chunk));
+            out.bytes(chunk);
+        }
         out.into_bytes()
     }
 
-    /// Decode from bytes, verifying magic, version, length and CRC.
+    /// Decode from bytes, verifying magic, version, length, the payload CRC
+    /// and (version ≥ 2) every side-state chunk's own length and CRC.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
         let mut r = ByteReader::new(bytes);
         let magic = r.bytes(4).map_err(|_| CheckpointError::BadMagic)?;
@@ -161,7 +256,7 @@ impl Checkpoint {
         let version = r
             .u32()
             .map_err(|_| CheckpointError::UnsupportedVersion(0))?;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
         let declared_len = r.u64().map_err(|_| CheckpointError::Truncated {
@@ -178,7 +273,7 @@ impl Checkpoint {
                 found: r.remaining() as u64,
             });
         }
-        if (r.remaining() as u64) > declared_len {
+        if version == 1 && (r.remaining() as u64) > declared_len {
             return Err(CheckpointError::Malformed(format!(
                 "{} trailing bytes after the payload",
                 r.remaining() as u64 - declared_len
@@ -191,6 +286,18 @@ impl Checkpoint {
                 expected: declared_crc,
                 found: found_crc,
             });
+        }
+
+        let side_state = if version >= 2 {
+            decode_side_state(&mut r)?
+        } else {
+            SideState::new()
+        };
+        if !r.is_exhausted() {
+            return Err(CheckpointError::Malformed(format!(
+                "{} trailing bytes after the side-state section",
+                r.remaining()
+            )));
         }
 
         let mut p = ByteReader::new(payload);
@@ -207,6 +314,7 @@ impl Checkpoint {
             arch,
             config,
             params,
+            side_state,
         })
     }
 
@@ -254,6 +362,57 @@ impl Checkpoint {
         store.copy_values_from(&self.params);
         Ok(())
     }
+}
+
+/// CRC-32 over a chunk's tag bytes and body together: the header CRC does
+/// not reach the side-state section, so each chunk guards both its identity
+/// (the tag) and its contents itself.
+fn chunk_crc(tag: &str, body: &[u8]) -> u32 {
+    crate::codec::crc32_of_parts(&[tag.as_bytes(), body])
+}
+
+/// Decode the version-2 side-state section: a `u32` chunk count followed by
+/// `count` chunks, each a tag string + `u64` body length + `u32` CRC of
+/// (tag ‖ body) + body bytes. Structural damage (truncation, bad tag,
+/// oversized length) maps to [`CheckpointError::Malformed`] via the codec's
+/// typed errors; a chunk whose CRC disagrees is
+/// [`CheckpointError::ChunkCorrupted`] and a repeated tag is
+/// [`CheckpointError::DuplicateChunk`].
+fn decode_side_state(r: &mut ByteReader<'_>) -> Result<SideState, CheckpointError> {
+    let count = r.u32().map_err(|_| {
+        CheckpointError::Malformed("side-state section missing its chunk count".to_string())
+    })?;
+    let mut side_state = SideState::new();
+    for index in 0..count {
+        let chunk_err = |e: CodecError| {
+            CheckpointError::Malformed(format!("side-state chunk {index} of {count}: {e}"))
+        };
+        let tag = r.str().map_err(chunk_err)?;
+        let len = r.u64().map_err(chunk_err)?;
+        let declared_crc = r.u32().map_err(chunk_err)?;
+        if len > r.remaining() as u64 {
+            return Err(CheckpointError::Malformed(format!(
+                "side-state chunk {tag:?} declares {len} bytes, {} remain",
+                r.remaining()
+            )));
+        }
+        let body = r.bytes(len as usize).map_err(chunk_err)?;
+        let found_crc = chunk_crc(&tag, body);
+        if found_crc != declared_crc {
+            return Err(CheckpointError::ChunkCorrupted {
+                tag,
+                expected: declared_crc,
+                found: found_crc,
+            });
+        }
+        side_state
+            .insert(&tag, body.to_vec())
+            .map_err(|e| match e {
+                SideStateError::DuplicateTag { tag } => CheckpointError::DuplicateChunk { tag },
+                other => CheckpointError::SideState(other),
+            })?;
+    }
+    Ok(side_state)
 }
 
 fn encode_vocab(w: &mut ByteWriter, vocab: &Vocabulary) {
@@ -408,11 +567,109 @@ mod tests {
         assert_eq!(decoded.config.emb_seed, config.emb_seed);
         assert_eq!(decoded.config.vocab.size(), config.vocab.size());
         assert_eq!(decoded.params.len(), 2);
+        assert!(decoded.side_state.is_empty());
         let (_, w) = decoded.params.iter().next().unwrap();
         assert_eq!(w.name, "layer.weight");
         assert!(w.trainable);
         // Bit-exact, including the negative zero.
         assert_eq!(w.value.data()[3].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn side_state_chunks_round_trip_in_order() {
+        let mut ckpt = Checkpoint::new("M3FEND", &tiny_config(), &sample_store());
+        ckpt.side_state
+            .insert("m3fend.memory", vec![0xAA, 0x00, 0xFF, 0x55])
+            .unwrap();
+        ckpt.side_state.insert("aux.extra", Vec::new()).unwrap();
+        let decoded = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(decoded.side_state.len(), 2);
+        assert_eq!(
+            decoded.side_state.get("m3fend.memory"),
+            Some(&[0xAA, 0x00, 0xFF, 0x55][..])
+        );
+        assert_eq!(decoded.side_state.get("aux.extra"), Some(&[][..]));
+        let tags: Vec<&str> = decoded.side_state.tags().collect();
+        assert_eq!(tags, ["m3fend.memory", "aux.extra"], "order preserved");
+        // And the re-serialization is byte-stable.
+        assert_eq!(decoded.to_bytes(), ckpt.to_bytes());
+    }
+
+    /// Rebuild a version-1 byte stream for a checkpoint: identical payload,
+    /// version field 1, no side-state section.
+    fn v1_bytes(ckpt: &Checkpoint) -> Vec<u8> {
+        assert!(ckpt.side_state.is_empty(), "v1 cannot carry side state");
+        let v2 = ckpt.to_bytes();
+        let payload_len = u64::from_le_bytes(v2[8..16].try_into().unwrap()) as usize;
+        let mut out = Vec::with_capacity(20 + payload_len);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&v2[8..20 + payload_len]);
+        out
+    }
+
+    #[test]
+    fn version_1_files_still_load_with_empty_side_state() {
+        let ckpt = Checkpoint::new("TextCNN-S", &tiny_config(), &sample_store());
+        let v1 = v1_bytes(&ckpt);
+        assert_eq!(
+            v1.len() + 4,
+            ckpt.to_bytes().len(),
+            "v2 adds only the count"
+        );
+        let decoded = Checkpoint::from_bytes(&v1).unwrap();
+        assert_eq!(decoded.arch, ckpt.arch);
+        assert!(decoded.side_state.is_empty());
+        for ((_, a), (_, b)) in decoded.params.iter().zip(ckpt.params.iter()) {
+            assert_eq!(a.name, b.name);
+            for (x, y) in a.value.data().iter().zip(b.value.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // v1 keeps its strict no-trailing-bytes rule.
+        let mut grown = v1;
+        grown.push(0);
+        assert!(matches!(
+            Checkpoint::from_bytes(&grown),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn chunk_crc_flips_and_duplicate_tags_are_typed_errors() {
+        let mut ckpt = Checkpoint::new("M3FEND", &tiny_config(), &sample_store());
+        ckpt.side_state
+            .insert("m3fend.memory", vec![1, 2, 3, 4, 5, 6, 7, 8])
+            .unwrap();
+        let bytes = ckpt.to_bytes();
+
+        // Flip a bit inside the chunk body (the last 8 bytes of the file).
+        let mut corrupt = bytes.clone();
+        let n = corrupt.len();
+        corrupt[n - 3] ^= 0x20;
+        assert!(matches!(
+            Checkpoint::from_bytes(&corrupt),
+            Err(CheckpointError::ChunkCorrupted { ref tag, .. }) if tag == "m3fend.memory"
+        ));
+
+        // A duplicated tag (chunk appended verbatim, count bumped).
+        let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let section_start = 20 + payload_len;
+        let chunk = bytes[section_start + 4..].to_vec();
+        let mut dup = bytes.clone();
+        dup[section_start..section_start + 4].copy_from_slice(&2u32.to_le_bytes());
+        dup.extend_from_slice(&chunk);
+        assert!(matches!(
+            Checkpoint::from_bytes(&dup),
+            Err(CheckpointError::DuplicateChunk { ref tag }) if tag == "m3fend.memory"
+        ));
+
+        // Truncation inside the section.
+        let cut = &bytes[..bytes.len() - 2];
+        assert!(matches!(
+            Checkpoint::from_bytes(cut),
+            Err(CheckpointError::Malformed(_))
+        ));
     }
 
     #[test]

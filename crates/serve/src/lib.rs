@@ -5,9 +5,12 @@
 //! it. Three layers, each usable on its own:
 //!
 //! 1. **Checkpointing** ([`checkpoint`]) — a dependency-free, versioned
-//!    binary codec that persists a [`dtdbd_tensor::ParamStore`] together
-//!    with its [`dtdbd_models::ModelConfig`] and vocabulary layout, with
-//!    CRC-32 corruption detection and bit-exact `f32` round trips.
+//!    binary codec (format 2) that persists a [`dtdbd_tensor::ParamStore`]
+//!    together with its [`dtdbd_models::ModelConfig`], vocabulary layout and
+//!    the model's [`dtdbd_models::SideState`] (trained state outside the
+//!    store, e.g. M3FEND's domain memory bank) as individually CRC-guarded
+//!    chunks — CRC-32 corruption detection everywhere, bit-exact `f32`
+//!    round trips, and version-1 files still load.
 //! 2. **Tape-free inference** ([`session`]) — [`InferenceSession`] runs
 //!    forward passes on [`dtdbd_tensor::Graph::inference`] graphs: no
 //!    autograd tape, and after the first request every activation buffer is
@@ -34,7 +37,7 @@
 //! ```text
 //! train (dtdbd-core)            serve (this crate)
 //! ------------------            -------------------------------------------
-//! train_model(&mut m, ...)  →   Checkpoint::new(m.name(), &cfg, &store)
+//! train_model(&mut m, ...)  →   Checkpoint::capture(&m, &store)
 //!                                   .save("student.dtdbd")
 //!                               ...fresh process...
 //!                               let ckpt = Checkpoint::load("student.dtdbd")?;
@@ -46,7 +49,6 @@
 pub mod builder;
 pub mod cache;
 pub mod checkpoint;
-pub mod codec;
 pub mod http;
 pub mod json;
 pub mod routing;
@@ -54,12 +56,18 @@ pub mod server;
 pub mod session;
 pub mod shards;
 
+/// The little-endian byte codec behind the checkpoint format. It moved to
+/// `dtdbd-models` (models encode their own side-state chunks with it) and is
+/// re-exported here so `dtdbd_serve::codec` paths keep working.
+pub use dtdbd_models::codec;
+
 pub use builder::{
     build_model, session_from_checkpoint, BoxedModel, ConfigError, ServerBuilder, StartError,
     SUPPORTED_ARCHS,
 };
 pub use cache::{CacheKey, CacheStats, PredictionCache, ShardedPredictionCache};
-pub use checkpoint::{Checkpoint, CheckpointError, FORMAT_VERSION, MAGIC};
+pub use checkpoint::{Checkpoint, CheckpointError, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
+pub use dtdbd_models::{SideState, SideStateError};
 pub use http::{ClientResponse, HttpClient, HttpConfig, HttpServer};
 pub use routing::DomainRouting;
 pub use server::{BatchingConfig, PredictServer, PredictionHandle, RoutingStats, ServingStats};

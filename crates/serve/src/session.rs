@@ -75,15 +75,23 @@ impl<M: FakeNewsModel> InferenceSession<M> {
 
     /// Rebuild a model from a checkpoint: `build` constructs the
     /// architecture (registering randomly initialised parameters in a fresh
-    /// store, exactly as at training time), then the checkpoint's values are
-    /// restored over them with a full layout check.
+    /// store, exactly as at training time), the checkpoint's values are
+    /// restored over them with a full layout check, and the checkpoint's
+    /// side state is imported into the model — so state outside the store
+    /// (M3FEND's domain memory bank) is restored too. A side state the
+    /// model refuses (unknown tag, missing required chunk, malformed body)
+    /// is a typed [`CheckpointError::SideState`], never a silently
+    /// half-restored model.
     pub fn from_checkpoint<F>(checkpoint: &Checkpoint, build: F) -> Result<Self, CheckpointError>
     where
         F: FnOnce(&mut ParamStore, &ModelConfig) -> M,
     {
         let mut store = ParamStore::new();
-        let model = build(&mut store, &checkpoint.config);
+        let mut model = build(&mut store, &checkpoint.config);
         checkpoint.restore_into(&mut store)?;
+        model
+            .import_side_state(&checkpoint.side_state)
+            .map_err(CheckpointError::SideState)?;
         Ok(Self::new(model, store))
     }
 

@@ -1,4 +1,4 @@
-//! Checkpoint corruption battery: every section of the v1 format is
+//! Checkpoint corruption battery: every section of the version-2 format is
 //! attacked with random bit flips, byte substitutions and truncations, and
 //! `Checkpoint::from_bytes` / `Checkpoint::load` must answer each attack
 //! with a typed `CheckpointError` — never a panic, and never an `Ok` whose
@@ -7,28 +7,43 @@
 //! Seeded in-tree cases, same pattern as the wire fuzz battery: the case
 //! seed is in every assertion message, so failures replay deterministically.
 //!
-//! Section map of the v1 format (see `crates/serve/src/checkpoint.rs`):
+//! Section map of the v2 format (see `crates/serve/src/checkpoint.rs`;
+//! `P` = payload length from the header):
 //!
 //! ```text
-//! [0..4)   magic        -> BadMagic
-//! [4..8)   version      -> UnsupportedVersion
-//! [8..16)  payload len  -> Truncated / Malformed (trailing bytes)
-//! [16..20) payload CRC  -> Corrupted
-//! [20..)   payload      -> Corrupted (CRC fires before any decode)
+//! [0..4)       magic         -> BadMagic
+//! [4..8)       version       -> UnsupportedVersion
+//! [8..16)      payload len   -> Truncated / Corrupted / Malformed
+//! [16..20)     payload CRC   -> Corrupted
+//! [20..20+P)   payload       -> Corrupted (header CRC fires before decode)
+//! [20+P..)     side-state    -> Malformed / ChunkCorrupted /
+//!                               DuplicateChunk (per-chunk CRC over
+//!                               tag ‖ body; the header CRC stops at 20+P)
 //! ```
+//!
+//! The side-state section gets its own battery below: truncation inside the
+//! section, per-chunk CRC forging, unknown and duplicated tags, a v1 file
+//! loading cleanly through the v2 reader, and a seeded fuzz sweep over the
+//! section decoder.
 
-use dtdbd_data::{weibo21_spec, GeneratorConfig, NewsGenerator};
-use dtdbd_models::ModelConfig;
-use dtdbd_serve::{Checkpoint, CheckpointError};
+mod common;
+
+use common::{payload_len, section_start, v1_bytes, HEADER_LEN};
+use dtdbd_data::{weibo21_spec, BatchIter, GeneratorConfig, NewsGenerator};
+use dtdbd_models::{FakeNewsModel, M3Fend, ModelConfig};
+use dtdbd_serve::{session_from_checkpoint, Checkpoint, CheckpointError, SideStateError};
 use dtdbd_tensor::rng::Prng;
-use dtdbd_tensor::{ParamStore, Tensor};
+use dtdbd_tensor::{Graph, ParamStore, Tensor};
 
 const CASES: u64 = 200;
-const HEADER_LEN: usize = 20;
+
+fn tiny_config() -> ModelConfig {
+    let ds = NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(3, 0.01);
+    ModelConfig::tiny(&ds)
+}
 
 fn sample_checkpoint() -> Checkpoint {
-    let ds = NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(3, 0.01);
-    let config = ModelConfig::tiny(&ds);
+    let config = tiny_config();
     let mut store = ParamStore::new();
     store.add(
         "encoder.weight",
@@ -36,10 +51,31 @@ fn sample_checkpoint() -> Checkpoint {
     );
     store.add_frozen("embedding.table", Tensor::from_vec(vec![1.0, -2.0, 0.75]));
     store.add("head.bias", Tensor::from_vec(vec![0.0, 0.25]));
-    Checkpoint::new("TextCNN-S", &config, &store)
+    let mut ckpt = Checkpoint::new("TextCNN-S", &config, &store);
+    // Two side-state chunks so every structural element of the section
+    // (count, tags, lengths, CRCs, bodies) is attackable.
+    ckpt.side_state
+        .insert("alpha.state", vec![0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x80])
+        .unwrap();
+    ckpt.side_state.insert("beta.state", vec![7; 11]).unwrap();
+    ckpt
 }
 
-/// A decoded checkpoint is "the one we saved" iff every byte of its
+/// A real M3FEND checkpoint with a warmed memory bank — the architecture
+/// whose trained state actually rides in the side-state section.
+fn m3fend_checkpoint() -> Checkpoint {
+    let ds = NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(3, 0.02);
+    let config = ModelConfig::tiny(&ds);
+    let mut store = ParamStore::new();
+    let model = M3Fend::new(&mut store, &config, &mut Prng::new(0x3F3D));
+    let batch = BatchIter::new(&ds, 16, 1, false).next().unwrap();
+    let mut g = Graph::new(&mut store, true, 0);
+    let _ = model.forward(&mut g, &batch);
+    drop(g);
+    Checkpoint::capture(&model, &store)
+}
+
+/// A decoded checkpoint is "the one on disk" iff every byte of its
 /// re-serialization matches. Anything else that loads is a wrong model.
 fn assert_not_wrong(case: u64, original: &[u8], result: Result<Checkpoint, CheckpointError>) {
     if let Ok(decoded) = result {
@@ -54,6 +90,7 @@ fn assert_not_wrong(case: u64, original: &[u8], result: Result<Checkpoint, Check
 #[test]
 fn bit_flips_in_every_section_yield_typed_errors() {
     let bytes = sample_checkpoint().to_bytes();
+    let p = payload_len(&bytes);
     // Deterministically sweep every section with seeded random offsets.
     for case in 0..CASES {
         let mut rng = Prng::new(0xC0DE + case);
@@ -63,8 +100,9 @@ fn bit_flips_in_every_section_yield_typed_errors() {
         corrupted[offset] ^= bit;
         let result = Checkpoint::from_bytes(&corrupted);
         // A single bit flip is always detected: the header fields are
-        // structurally checked and the payload is CRC-32 guarded (CRC-32
-        // detects all single-bit errors).
+        // structurally checked, the payload is CRC-32 guarded (CRC-32
+        // detects all single-bit errors) and every side-state chunk CRCs
+        // its own tag and body.
         let err = match result {
             Err(e) => e,
             Ok(_) => panic!("case {case}: single bit flip at byte {offset} went undetected"),
@@ -81,7 +119,10 @@ fn bit_flips_in_every_section_yield_typed_errors() {
             8..=15 => assert!(
                 matches!(
                     err,
-                    CheckpointError::Truncated { .. } | CheckpointError::Malformed(_)
+                    CheckpointError::Truncated { .. }
+                        | CheckpointError::Corrupted { .. }
+                        | CheckpointError::Malformed(_)
+                        | CheckpointError::ChunkCorrupted { .. }
                 ),
                 "case {case}: length flip at {offset} gave {err:?}"
             ),
@@ -89,9 +130,18 @@ fn bit_flips_in_every_section_yield_typed_errors() {
                 matches!(err, CheckpointError::Corrupted { .. }),
                 "case {case}: CRC flip at {offset} gave {err:?}"
             ),
-            _ => assert!(
+            o if o < HEADER_LEN + p => assert!(
                 matches!(err, CheckpointError::Corrupted { .. }),
                 "case {case}: payload flip at {offset} gave {err:?}"
+            ),
+            _ => assert!(
+                matches!(
+                    err,
+                    CheckpointError::Malformed(_)
+                        | CheckpointError::ChunkCorrupted { .. }
+                        | CheckpointError::DuplicateChunk { .. }
+                ),
+                "case {case}: side-state flip at {offset} gave {err:?}"
             ),
         }
     }
@@ -100,8 +150,15 @@ fn bit_flips_in_every_section_yield_typed_errors() {
 #[test]
 fn multi_byte_corruption_in_each_section_is_detected() {
     let bytes = sample_checkpoint().to_bytes();
-    let sections: [(usize, usize); 5] =
-        [(0, 4), (4, 8), (8, 16), (16, 20), (HEADER_LEN, bytes.len())];
+    let p = payload_len(&bytes);
+    let sections: [(usize, usize); 6] = [
+        (0, 4),
+        (4, 8),
+        (8, 16),
+        (16, 20),
+        (HEADER_LEN, HEADER_LEN + p),
+        (HEADER_LEN + p, bytes.len()),
+    ];
     for case in 0..CASES {
         let mut rng = Prng::new(0xBAD5EC + case);
         let (lo, hi) = sections[case as usize % sections.len()];
@@ -127,10 +184,11 @@ fn multi_byte_corruption_in_each_section_is_detected() {
 #[test]
 fn truncation_at_every_prefix_length_is_detected() {
     let bytes = sample_checkpoint().to_bytes();
-    // Exhaustive over the header and the payload's first stretch, then
-    // seeded-random across the rest.
+    // Exhaustive over the header, the payload's first stretch and the whole
+    // side-state section, then seeded-random across the rest.
     let mut cuts: Vec<usize> = (0..HEADER_LEN.min(bytes.len())).collect();
-    cuts.extend((HEADER_LEN..bytes.len().min(HEADER_LEN + 64)).step_by(1));
+    cuts.extend(HEADER_LEN..bytes.len().min(HEADER_LEN + 64));
+    cuts.extend(section_start(&bytes)..bytes.len());
     let mut rng = Prng::new(0x7256);
     cuts.extend((0..CASES).map(|_| rng.below(bytes.len())));
     for cut in cuts {
@@ -145,6 +203,7 @@ fn truncation_at_every_prefix_length_is_detected() {
                 CheckpointError::BadMagic
                     | CheckpointError::UnsupportedVersion(_)
                     | CheckpointError::Truncated { .. }
+                    | CheckpointError::Malformed(_)
             ),
             "cut {cut}: unexpected error {err:?}"
         );
@@ -172,14 +231,15 @@ fn trailing_garbage_and_growth_are_detected() {
 
 #[test]
 fn payload_corruption_with_a_recomputed_crc_still_cannot_load_wrong() {
-    // The nastiest attacker: corrupt the payload AND fix up the CRC so the
-    // integrity check passes. The structural decoder is now the last line of
-    // defence; `Ok` is allowed only if decoding reproduces the exact
-    // original bytes (it cannot — the payload differs — so any Ok whose
-    // re-serialization differs is a wrong model escaping detection).
+    // The nastiest attacker: corrupt the payload AND fix up the header CRC
+    // so the integrity check passes. The structural decoder is now the last
+    // line of defence; `Ok` is allowed only if decoding reproduces the exact
+    // forged bytes (the loader must not invent or heal state).
     let checkpoint = sample_checkpoint();
     let bytes = checkpoint.to_bytes();
-    let original_payload = bytes[HEADER_LEN..].to_vec();
+    let p = payload_len(&bytes);
+    let original_payload = bytes[HEADER_LEN..HEADER_LEN + p].to_vec();
+    let side_section = bytes[HEADER_LEN + p..].to_vec();
     for case in 0..CASES {
         let mut rng = Prng::new(0xF1C5 + case);
         let mut payload = original_payload.clone();
@@ -192,12 +252,14 @@ fn payload_corruption_with_a_recomputed_crc_still_cannot_load_wrong() {
             continue;
         }
         // Rebuild the file with a freshly computed CRC over the corrupted
-        // payload (mirrors the writer in checkpoint.rs).
+        // payload (mirrors the writer in checkpoint.rs), side section
+        // untouched.
         let mut forged = Vec::with_capacity(bytes.len());
         forged.extend_from_slice(&bytes[..8]); // magic + version
         forged.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         forged.extend_from_slice(&dtdbd_serve::codec::crc32(&payload).to_le_bytes());
         forged.extend_from_slice(&payload);
+        forged.extend_from_slice(&side_section);
         match Checkpoint::from_bytes(&forged) {
             // Typed structural failure: good.
             Err(CheckpointError::Malformed(_)) => {}
@@ -224,11 +286,236 @@ fn corrupted_files_on_disk_error_through_load_too() {
     let dir = std::env::temp_dir();
     let path = dir.join(format!("dtdbd-corruption-{}.dtdbd", std::process::id()));
     let mut bytes = checkpoint.to_bytes();
-    let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+    let p = payload_len(&bytes);
+    let mid = HEADER_LEN + p / 2;
     bytes[mid] ^= 0x10;
     std::fs::write(&path, &bytes).unwrap();
     let result = Checkpoint::load(&path);
     std::fs::remove_file(&path).ok();
     assert!(matches!(result, Err(CheckpointError::Corrupted { .. })));
     assert_not_wrong(0, &checkpoint.to_bytes(), result);
+}
+
+// ---------------------------------------------------------------------------
+// Side-state section battery
+// ---------------------------------------------------------------------------
+
+#[test]
+fn truncation_inside_the_side_state_section_is_detected_at_every_cut() {
+    let ckpt = m3fend_checkpoint();
+    let bytes = ckpt.to_bytes();
+    let start = section_start(&bytes);
+    assert!(
+        bytes.len() > start + 4,
+        "M3FEND must carry a non-empty side-state section"
+    );
+    for cut in start..bytes.len() {
+        let err = match Checkpoint::from_bytes(&bytes[..cut]) {
+            Err(e) => e,
+            Ok(_) => panic!("cut {cut}: truncation inside the side-state section undetected"),
+        };
+        assert!(
+            matches!(err, CheckpointError::Malformed(_)),
+            "cut {cut}: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn forged_per_chunk_crcs_never_load_a_wrong_model_silently() {
+    // Per-chunk CRC forging: corrupt the memory chunk's body AND recompute
+    // the chunk CRC over the corrupted (tag ‖ body) so the container check
+    // passes. The model's own chunk decoder is then the last line of
+    // defence: restoring the session must either fail with a typed error or
+    // produce a model whose re-export reproduces exactly the forged bytes
+    // (corruption confined to slot values — the analogue of parameter-value
+    // corruption). Never a panic, never healed state.
+    let ckpt = m3fend_checkpoint();
+    let bytes = ckpt.to_bytes();
+    let start = section_start(&bytes);
+    // Section layout for one chunk: u32 count, u64 tag len, tag, u64 body
+    // len, u32 crc, body.
+    let tag = M3Fend::MEMORY_TAG;
+    let body_start = start + 4 + 8 + tag.len() + 8 + 4;
+    let crc_at = body_start - 4;
+    let body_len = bytes.len() - body_start;
+    for case in 0..CASES {
+        let mut rng = Prng::new(0xF02C + case);
+        let mut forged = bytes.clone();
+        for _ in 0..1 + rng.below(4) {
+            let offset = body_start + rng.below(body_len);
+            forged[offset] ^= 1 << rng.below(8);
+        }
+        if forged == bytes {
+            continue;
+        }
+        let mut crc_input = tag.as_bytes().to_vec();
+        crc_input.extend_from_slice(&forged[body_start..]);
+        let crc = dtdbd_serve::codec::crc32(&crc_input);
+        forged[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+
+        let decoded = match Checkpoint::from_bytes(&forged) {
+            Ok(decoded) => decoded,
+            Err(e) => panic!("case {case}: container rejected a CRC-consistent file: {e}"),
+        };
+        assert_eq!(
+            decoded.to_bytes(),
+            forged,
+            "case {case}: decoder altered the forged side state"
+        );
+        match session_from_checkpoint(&decoded) {
+            // Typed rejection by the model's chunk decoder: good.
+            Err(CheckpointError::SideState(_)) => {}
+            Err(other) => panic!("case {case}: unexpected error class {other:?}"),
+            Ok(session) => {
+                // The corruption decoded to a structurally valid memory
+                // bank; the restored model must carry exactly the forged
+                // state, not invent or heal anything.
+                let re = Checkpoint::capture(session.model(), &decoded.params);
+                assert_eq!(
+                    re.side_state, decoded.side_state,
+                    "case {case}: restored model re-exported different side state"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unknown_chunk_tags_are_rejected_loudly_at_restore() {
+    // The container carries unknown tags faithfully; the *model* refuses
+    // them — for every architecture, including ones with no side state at
+    // all (TextCNN-S) and ones with some (M3FEND).
+    let config = tiny_config();
+    let mut store = ParamStore::new();
+    let model = dtdbd_models::TextCnnModel::student(&mut store, &config, &mut Prng::new(0x7C1));
+    let mut plain = Checkpoint::capture(&model, &store);
+    assert!(plain.side_state.is_empty(), "TextCNN-S has no side state");
+    plain
+        .side_state
+        .insert("from.the.future", vec![1, 2, 3])
+        .unwrap();
+    let decoded = Checkpoint::from_bytes(&plain.to_bytes()).unwrap();
+    assert_eq!(decoded.side_state.len(), 1, "container keeps unknown tags");
+    match session_from_checkpoint(&decoded) {
+        Err(CheckpointError::SideState(SideStateError::UnknownTag { tag, .. })) => {
+            assert_eq!(tag, "from.the.future");
+        }
+        Err(other) => panic!("expected UnknownTag, got {other:?}"),
+        Ok(_) => panic!("unknown tag was silently dropped"),
+    }
+
+    let mut m3 = m3fend_checkpoint();
+    m3.side_state
+        .insert("m3fend.future-extension", vec![0; 8])
+        .unwrap();
+    let decoded = Checkpoint::from_bytes(&m3.to_bytes()).unwrap();
+    assert!(matches!(
+        session_from_checkpoint(&decoded),
+        Err(CheckpointError::SideState(
+            SideStateError::UnknownTag { .. }
+        ))
+    ));
+}
+
+#[test]
+fn m3fend_without_its_memory_chunk_is_rejected_not_half_restored() {
+    let mut ckpt = m3fend_checkpoint();
+    ckpt.side_state = dtdbd_serve::SideState::new();
+    let decoded = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+    assert!(matches!(
+        session_from_checkpoint(&decoded),
+        Err(CheckpointError::SideState(SideStateError::MissingTag { tag, .. })) if tag == M3Fend::MEMORY_TAG
+    ));
+}
+
+#[test]
+fn duplicated_chunk_tags_are_rejected_by_the_container() {
+    let ckpt = m3fend_checkpoint();
+    let bytes = ckpt.to_bytes();
+    let start = section_start(&bytes);
+    let chunk = bytes[start + 4..].to_vec();
+    let mut dup = bytes.clone();
+    dup[start..start + 4].copy_from_slice(&2u32.to_le_bytes());
+    dup.extend_from_slice(&chunk);
+    assert!(matches!(
+        Checkpoint::from_bytes(&dup),
+        Err(CheckpointError::DuplicateChunk { ref tag }) if tag == M3Fend::MEMORY_TAG
+    ));
+}
+
+#[test]
+fn v1_files_load_cleanly_through_the_v2_reader() {
+    let mut ckpt = sample_checkpoint();
+    ckpt.side_state = dtdbd_serve::SideState::new();
+    let v1 = v1_bytes(&ckpt);
+    let decoded = Checkpoint::from_bytes(&v1).expect("v1 must load");
+    assert_eq!(decoded.arch, ckpt.arch);
+    assert!(decoded.side_state.is_empty());
+    for ((_, a), (_, b)) in decoded.params.iter().zip(ckpt.params.iter()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.trainable, b.trainable);
+        for (x, y) in a.value.data().iter().zip(b.value.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{}: v1 decode bit-exact", a.name);
+        }
+    }
+}
+
+#[test]
+fn side_state_decoder_survives_seeded_fuzz_mutations() {
+    // Seeded fuzz in the `fuzz_wire.rs` style: random substitutions,
+    // insertions, deletions and truncations over the side-state section of
+    // a valid v2 file. Every outcome must be a typed `CheckpointError` or
+    // an `Ok` that re-serializes to exactly the mutated bytes — never a
+    // panic, never invented state. `Ok` outcomes are then pushed through
+    // the full session restore, which must behave the same way.
+    let ckpt = m3fend_checkpoint();
+    let bytes = ckpt.to_bytes();
+    let start = section_start(&bytes);
+    for case in 0..300u64 {
+        let mut rng = Prng::new(0x51DE + case);
+        let mut mutated = bytes.clone();
+        for _ in 0..1 + rng.below(6) {
+            if mutated.len() <= start {
+                break;
+            }
+            let at = start + rng.below(mutated.len() - start);
+            match rng.below(4) {
+                0 => mutated[at] = (rng.next_u64() & 0xFF) as u8,
+                1 => mutated[at] ^= 1 << rng.below(8),
+                2 => mutated.insert(at, (rng.next_u64() & 0xFF) as u8),
+                _ => {
+                    mutated.remove(at);
+                }
+            }
+        }
+        if mutated == bytes {
+            continue;
+        }
+        match Checkpoint::from_bytes(&mutated) {
+            Err(
+                CheckpointError::Malformed(_)
+                | CheckpointError::ChunkCorrupted { .. }
+                | CheckpointError::DuplicateChunk { .. }
+                | CheckpointError::SideState(_)
+                | CheckpointError::Truncated { .. },
+            ) => {}
+            Err(other) => panic!("case {case}: unexpected error class {other:?}"),
+            Ok(decoded) => {
+                assert_eq!(
+                    decoded.to_bytes(),
+                    mutated,
+                    "case {case}: decoder invented or normalised side state"
+                );
+                // The restore path must map any surviving damage to a typed
+                // error too (or restore faithfully) — never panic.
+                if let Err(e) = session_from_checkpoint(&decoded) {
+                    assert!(
+                        matches!(e, CheckpointError::SideState(_)),
+                        "case {case}: unexpected restore error {e:?}"
+                    );
+                }
+            }
+        }
+    }
 }

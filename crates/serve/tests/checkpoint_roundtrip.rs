@@ -7,7 +7,7 @@
 
 use dtdbd_data::{weibo21_spec, GeneratorConfig, NewsGenerator};
 use dtdbd_models::ModelConfig;
-use dtdbd_serve::{Checkpoint, CheckpointError};
+use dtdbd_serve::{Checkpoint, CheckpointError, SideState};
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::{ParamStore, Tensor};
 use std::path::PathBuf;
@@ -52,6 +52,18 @@ fn arbitrary_store(rng: &mut Prng) -> ParamStore {
     store
 }
 
+/// A side state with a random number of uniquely tagged chunks of random
+/// bytes (including empty bodies) — the container must carry them opaquely.
+fn arbitrary_side_state(rng: &mut Prng) -> SideState {
+    let mut state = SideState::new();
+    for i in 0..rng.below(4) {
+        let len = rng.below(64);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        state.insert(format!("chunk.{i}"), bytes).unwrap();
+    }
+    state
+}
+
 fn temp_path(tag: &str) -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
@@ -88,11 +100,13 @@ fn save_load_round_trips_arbitrary_stores_bit_exactly() {
     for case in 0..CASES {
         let mut rng = Prng::new(9000 + case);
         let store = arbitrary_store(&mut rng);
-        let ckpt = Checkpoint::new("TextCNN-S", &config, &store);
+        let mut ckpt = Checkpoint::new("TextCNN-S", &config, &store);
+        ckpt.side_state = arbitrary_side_state(&mut rng);
 
         // In-memory round trip.
         let decoded = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
         assert_bit_exact(case, &store, &decoded.params);
+        assert_eq!(decoded.side_state, ckpt.side_state, "case {case}: chunks");
 
         // Through-the-filesystem round trip.
         let path = temp_path("roundtrip");
@@ -101,6 +115,7 @@ fn save_load_round_trips_arbitrary_stores_bit_exactly() {
         std::fs::remove_file(&path).ok();
         assert_bit_exact(case, &store, &loaded.params);
         assert_eq!(loaded.arch, "TextCNN-S", "case {case}");
+        assert_eq!(loaded.side_state, ckpt.side_state, "case {case}: chunks");
         assert_eq!(
             loaded.config.vocab.size(),
             config.vocab.size(),
@@ -133,11 +148,14 @@ fn corrupted_payload_bytes_are_rejected_by_the_crc() {
     let mut rng = Prng::new(78);
     let store = arbitrary_store(&mut rng);
     let clean = Checkpoint::new("TextCNN-S", &config, &store).to_bytes();
+    // Flip only inside the payload proper: the v2 side-state section that
+    // follows it is guarded by per-chunk CRCs, not the header CRC.
     let header = 20usize; // magic + version + length + crc
+    let payload_len = u64::from_le_bytes(clean[8..16].try_into().unwrap()) as usize;
     for case in 0..CASES {
         let mut rng = Prng::new(10_000 + case);
         let mut bytes = clean.clone();
-        let idx = header + rng.below(bytes.len() - header);
+        let idx = header + rng.below(payload_len);
         let bit = 1u8 << rng.below(8);
         bytes[idx] ^= bit;
         match Checkpoint::from_bytes(&bytes) {

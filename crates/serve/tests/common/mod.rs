@@ -1,0 +1,34 @@
+//! Helpers shared by the serve test batteries. Each test binary compiles
+//! its own copy via `mod common;` and uses a subset, hence the allow.
+#![allow(dead_code)]
+
+use dtdbd_serve::Checkpoint;
+
+/// Bytes of the fixed checkpoint header (magic + version + length + CRC).
+pub const HEADER_LEN: usize = 20;
+
+/// Payload length recorded in a checkpoint file's header.
+pub fn payload_len(bytes: &[u8]) -> usize {
+    u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize
+}
+
+/// Offset where the version-2 side-state section starts.
+pub fn section_start(bytes: &[u8]) -> usize {
+    HEADER_LEN + payload_len(bytes)
+}
+
+/// Rebuild the version-1 layout of a checkpoint: the identical payload
+/// under a version-1 header and **no side-state section**. Version 1 has
+/// nowhere to put side state, which is exactly what the compat batteries
+/// probe — an M3FEND pushed through this loses its memory chunk and must
+/// be refused at restore, while side-state-free archs must decode
+/// identically to their v2 form.
+pub fn v1_bytes(ckpt: &Checkpoint) -> Vec<u8> {
+    let v2 = ckpt.to_bytes();
+    let p = payload_len(&v2);
+    let mut out = Vec::with_capacity(HEADER_LEN + p);
+    out.extend_from_slice(&v2[..4]);
+    out.extend_from_slice(&1u32.to_le_bytes());
+    out.extend_from_slice(&v2[8..HEADER_LEN + p]);
+    out
+}

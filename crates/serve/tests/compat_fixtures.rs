@@ -1,0 +1,175 @@
+//! Byte-level compatibility pins: two tiny checkpoint files — one version 1,
+//! one version 2 — are committed under `tests/fixtures/`, and this test
+//! asserts their **exact bytes** against what the current code produces and
+//! decodes. Any future edit to the format that would break files already in
+//! the wild (a reordered field, a changed width, a different CRC input)
+//! fails here loudly instead of corrupting someone's deployment.
+//!
+//! The fixture content is hand-constructed — no dataset generator, no RNG —
+//! so it only changes when the *format* changes. To regenerate after an
+//! intentional format bump:
+//!
+//! ```text
+//! DTDBD_REGEN_FIXTURES=1 cargo test -p dtdbd-serve --test compat_fixtures
+//! ```
+//!
+//! (and then commit the new files together with a version bump and a loader
+//! that still reads the old ones).
+
+mod common;
+
+use dtdbd_data::Vocabulary;
+use dtdbd_models::ModelConfig;
+use dtdbd_serve::{Checkpoint, FORMAT_VERSION};
+use dtdbd_tensor::{ParamStore, Tensor};
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The pinned checkpoint: fixed geometry, parameters covering the `f32`
+/// edge cases (negative zero, subnormal, huge magnitude), and — for the v2
+/// file — two side-state chunks (one empty) to pin the section framing.
+fn fixture_checkpoint() -> Checkpoint {
+    let config = ModelConfig {
+        vocab: Vocabulary::from_parts(3, 2, 2, 1, 4, 8),
+        vocab_size: 64,
+        seq_len: 6,
+        n_domains: 3,
+        emb_dim: 4,
+        hidden: 5,
+        feature_dim: 7,
+        dropout: 0.25,
+        emb_seed: 0xBE27,
+        style_dim: 2,
+        emotion_dim: 3,
+        n_experts: 2,
+    };
+    let mut store = ParamStore::new();
+    store.add(
+        "fixture.weight",
+        Tensor::from_rows(&[vec![1.5, -2.25], vec![0.0, -0.0]]),
+    );
+    store.add_frozen(
+        "fixture.table",
+        Tensor::from_vec(vec![f32::MIN_POSITIVE / 2.0, 3.0e38, -1.0]),
+    );
+    Checkpoint::new("TextCNN-S", &config, &store)
+}
+
+fn fixture_checkpoint_v2() -> Checkpoint {
+    let mut ckpt = fixture_checkpoint();
+    ckpt.side_state
+        .insert("fixture.alpha", vec![0xDE, 0xAD, 0xBE, 0xEF])
+        .unwrap();
+    ckpt.side_state.insert("fixture.empty", Vec::new()).unwrap();
+    ckpt
+}
+
+/// The version-1 layout of the (side-state-free) fixture: identical payload
+/// under a version-1 header, no side-state section.
+fn fixture_v1_bytes() -> Vec<u8> {
+    common::v1_bytes(&fixture_checkpoint())
+}
+
+fn read_or_regen(name: &str, expected: &[u8]) -> Vec<u8> {
+    let path = fixture_dir().join(name);
+    if std::env::var_os("DTDBD_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(fixture_dir()).unwrap();
+        std::fs::write(&path, expected).unwrap();
+    }
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {name} ({e}); run with DTDBD_REGEN_FIXTURES=1 to create it \
+             — but only as part of an intentional format change"
+        )
+    })
+}
+
+#[test]
+fn v2_fixture_bytes_are_pinned_exactly() {
+    let expected = fixture_checkpoint_v2().to_bytes();
+    let on_disk = read_or_regen("checkpoint_v2.dtdbd", &expected);
+    assert_eq!(
+        on_disk, expected,
+        "the v2 writer no longer reproduces the committed fixture — this breaks \
+         every checkpoint already on disk; bump FORMAT_VERSION and keep a reader \
+         for the old layout instead"
+    );
+    assert_eq!(
+        u32::from_le_bytes(on_disk[4..8].try_into().unwrap()),
+        FORMAT_VERSION,
+        "fixture carries the current format version"
+    );
+}
+
+#[test]
+fn v1_fixture_bytes_are_pinned_exactly() {
+    let expected = fixture_v1_bytes();
+    let on_disk = read_or_regen("checkpoint_v1.dtdbd", &expected);
+    assert_eq!(
+        on_disk, expected,
+        "the payload encoding drifted — version-1 files in the wild would no \
+         longer decode to the same model"
+    );
+    assert_eq!(u32::from_le_bytes(on_disk[4..8].try_into().unwrap()), 1);
+}
+
+#[test]
+fn both_fixture_files_decode_to_the_pinned_content() {
+    for (name, with_side_state) in [
+        ("checkpoint_v1.dtdbd", false),
+        ("checkpoint_v2.dtdbd", true),
+    ] {
+        let expected = if with_side_state {
+            fixture_checkpoint_v2().to_bytes()
+        } else {
+            fixture_v1_bytes()
+        };
+        // Ensures the file exists even when this test races the pinning
+        // tests under DTDBD_REGEN_FIXTURES=1.
+        let bytes = read_or_regen(name, &expected);
+        let decoded = Checkpoint::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("{name}: committed fixture no longer loads: {e}"));
+        assert_eq!(decoded.arch, "TextCNN-S", "{name}");
+        assert_eq!(decoded.config.vocab_size, 64, "{name}");
+        assert_eq!(decoded.config.seq_len, 6, "{name}");
+        assert_eq!(decoded.config.emb_seed, 0xBE27, "{name}");
+        assert_eq!(decoded.config.dropout, 0.25, "{name}");
+        assert_eq!(decoded.params.len(), 2, "{name}");
+        let mut params = decoded.params.iter();
+        let (_, weight) = params.next().unwrap();
+        assert_eq!(weight.name, "fixture.weight", "{name}");
+        assert!(weight.trainable, "{name}");
+        assert_eq!(weight.value.shape(), &[2, 2], "{name}");
+        assert_eq!(
+            weight.value.data()[3].to_bits(),
+            (-0.0f32).to_bits(),
+            "{name}: negative zero survives"
+        );
+        let (_, table) = params.next().unwrap();
+        assert_eq!(table.name, "fixture.table", "{name}");
+        assert!(!table.trainable, "{name}");
+        assert_eq!(
+            table.value.data()[0].to_bits(),
+            (f32::MIN_POSITIVE / 2.0).to_bits(),
+            "{name}: subnormal survives"
+        );
+        if with_side_state {
+            assert_eq!(decoded.side_state.len(), 2, "{name}");
+            assert_eq!(
+                decoded.side_state.get("fixture.alpha"),
+                Some(&[0xDE, 0xAD, 0xBE, 0xEF][..]),
+                "{name}"
+            );
+            assert_eq!(
+                decoded.side_state.get("fixture.empty"),
+                Some(&[][..]),
+                "{name}"
+            );
+        } else {
+            assert!(decoded.side_state.is_empty(), "{name}");
+        }
+    }
+}

@@ -10,7 +10,7 @@
 use dtdbd_data::{
     weibo21_spec, GeneratorConfig, InferenceRequest, MultiDomainDataset, NewsGenerator,
 };
-use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
+use dtdbd_models::{ModelConfig, TextCnnModel};
 use dtdbd_serve::{session_from_checkpoint, Checkpoint, DomainRouting, ServerBuilder, ShardStore};
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
@@ -24,7 +24,7 @@ fn checkpoint(ds: &MultiDomainDataset) -> Checkpoint {
     let cfg = ModelConfig::tiny(ds);
     let mut store = ParamStore::new();
     let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(23));
-    let ckpt = Checkpoint::new(model.name(), &cfg, &store);
+    let ckpt = Checkpoint::capture(&model, &store);
     // Round trip through bytes so the test serves the deployed artifact.
     Checkpoint::from_bytes(&ckpt.to_bytes()).expect("self round trip")
 }

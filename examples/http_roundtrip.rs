@@ -50,7 +50,7 @@ fn main() {
 
     // 2. Save to disk, then load back — nothing survives except the file.
     let path = std::env::temp_dir().join(format!("dtdbd-http-{}.dtdbd", std::process::id()));
-    Checkpoint::new(model.name(), &cfg, &store)
+    Checkpoint::capture(&model, &store)
         .save(&path)
         .expect("save checkpoint");
     let checkpoint = Checkpoint::load(&path).expect("load checkpoint");

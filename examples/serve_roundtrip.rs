@@ -48,7 +48,7 @@ fn main() {
 
     // 2. Save the checkpoint to disk.
     let path = std::env::temp_dir().join(format!("dtdbd-roundtrip-{}.dtdbd", std::process::id()));
-    Checkpoint::new(model.name(), &cfg, &store)
+    Checkpoint::capture(&model, &store)
         .save(&path)
         .expect("save checkpoint");
     let size = std::fs::metadata(&path).expect("stat checkpoint").len();

@@ -5,8 +5,11 @@
 #   1. release build of every crate, binary, bench and example target
 #   2. the full test suite (dtdbd-integration is a workspace member, so the
 #      cross-crate scenarios and the HTTP wire battery run here; the sharded
-#      serving parity matrix and builder misconfiguration battery live in
-#      crates/serve/tests)
+#      serving parity matrix, builder misconfiguration battery, checkpoint
+#      corruption + side-state fuzz battery (checkpoint_corruption.rs), the
+#      committed v1/v2 byte-fixture compat pins (compat_fixtures.rs) and the
+#      zoo-wide train->save->load->serve bit-parity test (zoo_roundtrip.rs)
+#      live in crates/serve/tests)
 #   3. kernel-parity smoke: the blocked/parallel GEMM must stay bit-identical
 #      to the naive reference on a fixed seed (threads 1/2/4)
 #   4. bench regression gate (scripts/check_bench.sh): re-runs the quick
@@ -24,7 +27,9 @@
 #                          example) for a sub-minute inner-loop gate on a
 #                          warm build cache — tests + fmt + clippy still run,
 #                          and the dev-profile test suite includes the GEMM
-#                          bit-parity battery (crates/tensor/tests)
+#                          bit-parity battery (crates/tensor/tests) plus the
+#                          checkpoint corruption/compat-fixture/zoo-parity
+#                          batteries (crates/serve/tests)
 #   BENCH_GATE_TOLERANCE   allowed bench throughput drop in percent
 #                          (default 15; negative forces the gate to trip —
 #                          the knob to demonstrate stage 4 failing)
@@ -68,7 +73,7 @@ else
     cargo build --release --workspace --all-targets
 fi
 
-stage "cargo test (cross-crate scenarios, HTTP wire battery, sharding parity)" \
+stage "cargo test (cross-crate scenarios, wire + checkpoint batteries, compat fixtures, zoo + sharding parity)" \
   cargo test -q --workspace
 
 if [ "$quick" != "1" ]; then

@@ -7,7 +7,7 @@
 
 use dtdbd_core::{train_model, TrainConfig};
 use dtdbd_data::{weibo21_spec, GeneratorConfig, InferenceRequest, NewsGenerator};
-use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
+use dtdbd_models::{ModelConfig, TextCnnModel};
 use dtdbd_serve::http::HttpClient;
 use dtdbd_serve::json::{self, Json};
 use dtdbd_serve::{
@@ -37,7 +37,7 @@ fn trained_checkpoint() -> (Checkpoint, dtdbd_data::MultiDomainDataset) {
             ..TrainConfig::default()
         },
     );
-    let checkpoint = Checkpoint::new(model.name(), &cfg, &store);
+    let checkpoint = Checkpoint::capture(&model, &store);
     let checkpoint = Checkpoint::from_bytes(&checkpoint.to_bytes()).unwrap();
     (checkpoint, ds)
 }

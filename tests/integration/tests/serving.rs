@@ -5,7 +5,7 @@
 
 use dtdbd_core::{predict_fake_probs, train_model, TrainConfig};
 use dtdbd_data::{weibo21_spec, GeneratorConfig, InferenceRequest, NewsGenerator};
-use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
+use dtdbd_models::{ModelConfig, TextCnnModel};
 use dtdbd_serve::{session_from_checkpoint, BatchingConfig, Checkpoint, PredictServer};
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
@@ -33,7 +33,7 @@ fn trained_student_survives_checkpointing_and_serves_correctly() {
     let reference = predict_fake_probs(&model, &mut store, &split.test, 64);
 
     // Deploy: byte-level checkpoint round trip into the server.
-    let checkpoint = Checkpoint::new(model.name(), &cfg, &store);
+    let checkpoint = Checkpoint::capture(&model, &store);
     let checkpoint = Checkpoint::from_bytes(&checkpoint.to_bytes()).unwrap();
     let server = PredictServer::start(
         BatchingConfig {
