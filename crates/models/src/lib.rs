@@ -55,7 +55,7 @@ pub use m3fend::M3Fend;
 pub use mdfend::Mdfend;
 pub use moe_models::{Mmoe, Mose};
 pub use registry::{registry, MethodInfo};
-pub use side_state::{SideState, SideStateError};
+pub use side_state::{is_container_tag, SideState, SideStateError, CONTAINER_TAG_PREFIX};
 pub use style::{DualEmo, StyleLstm};
 pub use textcnn::TextCnnModel;
 pub use traits::{FakeNewsModel, InferOptions, InferenceOutput, ModelOutput};

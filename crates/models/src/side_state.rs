@@ -16,6 +16,20 @@
 
 use std::fmt;
 
+/// Tag-namespace prefix of chunks that belong to the serving *container*
+/// (e.g. the `telemetry.baseline` drift baseline) rather than to any model.
+/// Container chunks ride along in the same checkpoint side-state section,
+/// but they are stripped with [`SideState::model_chunks`] before a model's
+/// `import_side_state` sees the state — a model must keep refusing tags it
+/// does not understand, and container tags are by definition not its.
+pub const CONTAINER_TAG_PREFIX: &str = "telemetry.";
+
+/// `true` when `tag` names container-level state (see
+/// [`CONTAINER_TAG_PREFIX`]), which models never import.
+pub fn is_container_tag(tag: &str) -> bool {
+    tag.starts_with(CONTAINER_TAG_PREFIX)
+}
+
 /// Ordered collection of uniquely-tagged opaque side-state chunks.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SideState {
@@ -71,6 +85,27 @@ impl SideState {
     /// Iterate tags in insertion order.
     pub fn tags(&self) -> impl Iterator<Item = &str> {
         self.entries.iter().map(|(tag, _)| tag.as_str())
+    }
+
+    /// Remove the chunk under `tag`, returning its bytes if it was present.
+    pub fn remove(&mut self, tag: &str) -> Option<Vec<u8>> {
+        let idx = self.entries.iter().position(|(t, _)| t == tag)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// The model-owned subset of this state: every chunk except the
+    /// container-level ones (see [`is_container_tag`]). This is what
+    /// checkpoint restorers hand to `import_side_state`, so models keep
+    /// their loud unknown-tag contract without learning container tags.
+    pub fn model_chunks(&self) -> SideState {
+        SideState {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(tag, _)| !is_container_tag(tag))
+                .cloned()
+                .collect(),
+        }
     }
 }
 
@@ -169,5 +204,22 @@ mod tests {
         );
         assert_eq!(state.insert("", vec![]), Err(SideStateError::EmptyTag));
         assert_eq!(state.len(), 1, "failed inserts leave the state untouched");
+    }
+
+    #[test]
+    fn container_chunks_are_separable_from_model_chunks() {
+        let mut state = SideState::new();
+        state.insert("m3fend.memory", vec![1]).unwrap();
+        state.insert("telemetry.baseline", vec![2]).unwrap();
+        assert!(is_container_tag("telemetry.baseline"));
+        assert!(!is_container_tag("m3fend.memory"));
+        let model = state.model_chunks();
+        assert_eq!(model.len(), 1);
+        assert_eq!(model.get("m3fend.memory"), Some(&[1u8][..]));
+        assert_eq!(model.get("telemetry.baseline"), None);
+        // The original keeps both; remove takes one out.
+        assert_eq!(state.remove("telemetry.baseline"), Some(vec![2]));
+        assert_eq!(state.remove("telemetry.baseline"), None);
+        assert_eq!(state.len(), 1);
     }
 }

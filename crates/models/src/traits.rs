@@ -3,7 +3,11 @@
 use crate::config::ModelConfig;
 use crate::side_state::{SideState, SideStateError};
 use dtdbd_data::Batch;
-use dtdbd_tensor::{BufferPool, Graph, ParamId, ParamStore, ShardedTable, Tensor, Var};
+use dtdbd_tensor::{
+    BufferPool, Graph, KernelTimers, ParamId, ParamStore, ShardedTable, Tensor, Var,
+};
+use std::fmt;
+use std::sync::Arc;
 
 /// Result of a model forward pass.
 #[derive(Debug, Clone, Copy)]
@@ -68,7 +72,7 @@ impl InferenceOutput {
 /// Every knob preserves the engine's determinism contract: outputs are
 /// bit-identical at any `threads` setting and whether an embedding table is
 /// served from the store or from external shards.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct InferOptions {
     /// Intra-op threads the compute kernels may fan out to (clamped ≥ 1).
     pub threads: usize,
@@ -77,6 +81,20 @@ pub struct InferOptions {
     /// then be empty — sharded serving drops the per-worker table copy).
     /// Cloning a [`ShardedTable`] clones `Arc`s, never rows.
     pub embedding_shards: Option<(ParamId, ShardedTable)>,
+    /// Optional wall-clock sink the inference graph reports per-kernel
+    /// durations to (see [`dtdbd_tensor::KernelTimers`]). `None` — the
+    /// default — reads no clock; timing never changes computed bits.
+    pub kernel_timers: Option<Arc<dyn KernelTimers>>,
+}
+
+impl fmt::Debug for InferOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InferOptions")
+            .field("threads", &self.threads)
+            .field("embedding_shards", &self.embedding_shards)
+            .field("kernel_timers", &self.kernel_timers.is_some())
+            .finish()
+    }
 }
 
 impl InferOptions {
@@ -84,7 +102,7 @@ impl InferOptions {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads,
-            embedding_shards: None,
+            ..Self::default()
         }
     }
 }
@@ -194,11 +212,13 @@ pub trait FakeNewsModel {
     }
 
     /// [`FakeNewsModel::infer`] with the full option set — the entry point
-    /// the sharded serving path uses. Without embedding shards this
-    /// delegates to [`FakeNewsModel::infer_with_threads`], so a model with a
-    /// hand-fused override keeps serving replica deployments; with shards it
-    /// runs the default graph path with the shard-served lookup installed
-    /// (outputs stay bit-identical — gathering is row copying either way).
+    /// the sharded serving path uses. Without embedding shards or a kernel
+    /// timing sink this delegates to [`FakeNewsModel::infer_with_threads`],
+    /// so a model with a hand-fused override keeps serving replica
+    /// deployments; otherwise it runs the default graph path with the
+    /// shard-served lookup and/or timing sink installed (outputs stay
+    /// bit-identical — gathering is row copying either way, and timing is
+    /// observation only).
     fn infer_with_opts(
         &self,
         store: &mut ParamStore,
@@ -206,7 +226,7 @@ pub trait FakeNewsModel {
         batch: &Batch,
         opts: &InferOptions,
     ) -> InferenceOutput {
-        if opts.embedding_shards.is_none() {
+        if opts.embedding_shards.is_none() && opts.kernel_timers.is_none() {
             self.infer_with_threads(store, pool, batch, opts.threads)
         } else {
             run_default_infer(self, store, pool, batch, opts)
@@ -229,6 +249,7 @@ fn run_default_infer<M: FakeNewsModel + ?Sized>(
     if let Some((table, shards)) = &opts.embedding_shards {
         g.set_row_shards(*table, shards.clone());
     }
+    g.set_kernel_timers(opts.kernel_timers.clone());
     let out = model.forward(&mut g, batch);
     let result = InferenceOutput {
         logits: g.value(out.logits).clone(),
@@ -404,6 +425,7 @@ pub(crate) mod test_support {
                     let opts = InferOptions {
                         threads: 2,
                         embedding_shards: Some((table_id, shards)),
+                        ..InferOptions::default()
                     };
                     let sharded = model.infer_with_opts(&mut store, &mut pool, &batch, &opts);
                     for (a, b) in sharded.logits.data().iter().zip(inferred.logits.data()) {

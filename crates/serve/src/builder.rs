@@ -11,6 +11,7 @@ use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::routing::DomainRouting;
 use crate::server::{BatchingConfig, PredictServer, ServerTuning};
 use crate::session::InferenceSession;
+use crate::telemetry::DomainBaseline;
 use dtdbd_models::{
     BiGruModel, Eann, Eddfn, FakeNewsModel, M3Fend, Mdfend, ModelConfig, TextCnnModel,
 };
@@ -100,6 +101,15 @@ pub enum ConfigError {
         /// Number of domains of the corpus.
         n_domains: usize,
     },
+    /// A drift baseline covers a different number of domains than the
+    /// model's corpus — scoring live traffic against it would compare
+    /// unrelated domains.
+    DriftBaselineGeometry {
+        /// Domains the baseline covers.
+        baseline_domains: usize,
+        /// Domains of the corpus being served.
+        n_domains: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -147,6 +157,15 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "domain routing assigns domain {domain}, corpus has {n_domains} domains"
+                )
+            }
+            Self::DriftBaselineGeometry {
+                baseline_domains,
+                n_domains,
+            } => {
+                write!(
+                    f,
+                    "drift baseline covers {baseline_domains} domains, corpus has {n_domains}"
                 )
             }
         }
@@ -354,6 +373,25 @@ impl ServerBuilder {
         self
     }
 
+    /// Enable or disable the telemetry pipeline (stage histograms, kernel
+    /// timing hooks, drift tracking; on by default). Telemetry is
+    /// wall-clock observation only — predictions are bit-identical either
+    /// way — so the off switch exists for overhead measurement, not
+    /// correctness.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.tuning.telemetry = enabled;
+        self
+    }
+
+    /// Score live per-domain prediction distributions against this
+    /// training-time baseline. [`ServerBuilder::try_start_from_checkpoint`]
+    /// wires the checkpoint's own `telemetry.baseline` chunk automatically;
+    /// an explicitly set baseline wins over the checkpoint's.
+    pub fn drift_baseline(mut self, baseline: DomainBaseline) -> Self {
+        self.tuning.drift_baseline = Some(baseline);
+        self
+    }
+
     /// Start the server with a per-worker session factory, surfacing
     /// misconfiguration as a typed [`ConfigError`] instead of panicking.
     pub fn try_start<M, F>(self, factory: F) -> Result<PredictServer, ConfigError>
@@ -382,13 +420,18 @@ impl ServerBuilder {
     /// surfacing both checkpoint and configuration problems as typed
     /// errors.
     pub fn try_start_from_checkpoint(
-        self,
+        mut self,
         checkpoint: &Checkpoint,
     ) -> Result<PredictServer, StartError> {
         // Restore once up front so a bad checkpoint fails fast instead of
         // panicking inside a worker factory.
         let probe = session_from_checkpoint(checkpoint)?;
         drop(probe);
+        // Auto-wire the checkpoint's drift baseline unless the caller set
+        // one explicitly. A malformed chunk is a typed checkpoint error.
+        if self.tuning.drift_baseline.is_none() {
+            self.tuning.drift_baseline = checkpoint.telemetry_baseline()?;
+        }
         Ok(self
             .try_start(|_| session_from_checkpoint(checkpoint).expect("checkpoint probed above"))?)
     }

@@ -301,6 +301,19 @@ impl ShardedPredictionCache {
         self.shard_of(key).lock().expect("cache poisoned").get(key)
     }
 
+    /// [`ShardedPredictionCache::get`] wrapped in a
+    /// [`crate::telemetry::Stage::CacheLookup`] span: the lookup's
+    /// wall-clock time (lock wait included) lands in the trace's histogram.
+    /// With a disabled trace this is exactly `get` — no clock reads.
+    pub fn get_traced(
+        &self,
+        key: &CacheKey,
+        trace: &crate::telemetry::TraceContext,
+    ) -> Option<Prediction> {
+        let _span = trace.span(crate::telemetry::Stage::CacheLookup);
+        self.get(key)
+    }
+
     /// Insert (or refresh) one prediction.
     pub fn insert(&self, key: CacheKey, value: Prediction) {
         let shard = self.shard_of(&key);

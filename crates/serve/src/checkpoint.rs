@@ -48,6 +48,7 @@
 //! payload fails the CRC, both with dedicated error variants.
 
 use crate::codec::{crc32, ByteReader, ByteWriter, CodecError};
+use crate::telemetry::{DomainBaseline, BASELINE_TAG};
 use dtdbd_data::Vocabulary;
 use dtdbd_models::{FakeNewsModel, ModelConfig, SideState, SideStateError};
 use dtdbd_tensor::{ParamStore, Tensor};
@@ -332,6 +333,36 @@ impl Checkpoint {
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
         let bytes = fs::read(path)?;
         Self::from_bytes(&bytes)
+    }
+
+    /// Attach (or replace) the training-time drift baseline this checkpoint
+    /// carries in its [`BASELINE_TAG`] side-state chunk. The chunk lives in
+    /// the `telemetry.` container namespace: it travels with the model's
+    /// own side state but is stripped before `import_side_state`, so models
+    /// never see it. [`crate::ServerBuilder::try_start_from_checkpoint`]
+    /// wires it into the serving drift tracker automatically.
+    pub fn set_telemetry_baseline(&mut self, baseline: &DomainBaseline) {
+        self.side_state.remove(BASELINE_TAG);
+        self.side_state
+            .insert(BASELINE_TAG, baseline.to_bytes())
+            .expect("tag is non-empty and was just removed");
+    }
+
+    /// Decode the checkpoint's drift baseline, if it carries one. A present
+    /// but undecodable chunk is a typed
+    /// [`CheckpointError::SideState`] (malformed), never silently `None`.
+    pub fn telemetry_baseline(&self) -> Result<Option<DomainBaseline>, CheckpointError> {
+        match self.side_state.get(BASELINE_TAG) {
+            None => Ok(None),
+            Some(bytes) => DomainBaseline::from_bytes(bytes)
+                .map(Some)
+                .map_err(|detail| {
+                    CheckpointError::SideState(SideStateError::Malformed {
+                        tag: BASELINE_TAG.to_string(),
+                        detail,
+                    })
+                }),
+        }
     }
 
     /// Copy this checkpoint's parameter values into a freshly built model's

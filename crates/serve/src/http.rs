@@ -12,8 +12,10 @@
 //! | Endpoint | Body | Response |
 //! |----------|------|----------|
 //! | `POST /predict` | single request object, or `{"items": [...]}` | prediction object, or `{"count": n, "predictions": [...]}` |
-//! | `GET /healthz` | — | `{"status": "ok"}` |
-//! | `GET /stats` | — | queue depth, worker/pool counters, per-endpoint request counters |
+//! | `GET /healthz` | — | liveness: `{"status": "ok"}` whenever the process can answer at all |
+//! | `GET /readyz` | — | readiness: `200` while accepting work, `503` once draining ([`HttpServer::begin_drain`]) or shut down, or with dead prediction workers |
+//! | `GET /stats` | — | queue depth, worker/pool counters, per-endpoint request counters, per-stage latency quantiles and per-domain drift scores (see [`crate::telemetry`]) |
+//! | `GET /metrics` | — | Prometheus text exposition (format 0.0.4, `text/plain`) of the same counters, histograms and drift gauges |
 //!
 //! Request and prediction objects are specified in [`crate::json`]. Every
 //! error response carries `{"error": <code>, "message": <text>}`; statuses:
@@ -29,7 +31,8 @@
 //!   survives and keeps serving);
 //! * `503` — connection pool saturated (sent before closing the socket).
 //!
-//! Responses are always `application/json`, always carry `Content-Length`,
+//! Responses are `application/json` (except `/metrics`, which is the
+//! Prometheus `text/plain; version=0.0.4`), always carry `Content-Length`,
 //! and honour HTTP/1.0-vs-1.1 keep-alive defaults plus `Connection: close`.
 //!
 //! Shutdown is graceful and runs on drop: intake stops, the acceptor and
@@ -37,8 +40,10 @@
 //! drains its queue through its own [`PredictServer::shutdown`] sequence.
 
 use crate::json::{self, Json};
+use crate::prom::{MetricKind, PromText};
 use crate::server::PredictServer;
 use crate::session::Prediction;
+use crate::telemetry::{DomainDrift, Stage};
 use dtdbd_data::EncodedRequest;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -389,7 +394,9 @@ pub struct HttpStats {
     predict_calls: AtomicU64,
     items_predicted: AtomicU64,
     healthz_calls: AtomicU64,
+    readyz_calls: AtomicU64,
     stats_calls: AtomicU64,
+    metrics_calls: AtomicU64,
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,
@@ -408,14 +415,17 @@ impl HttpStats {
         }
     }
 
-    fn render(&self, predict: &PredictServer) -> Json {
+    fn render(&self, ctx: &Ctx) -> Json {
+        let predict = &ctx.predict;
         let serving = predict.stats();
         let num = |v: u64| Json::Num(v as f64);
-        Json::Obj(vec![
+        let mut fields = vec![
+            ("ready".to_string(), Json::Bool(is_ready(ctx))),
             ("queue_depth".into(), num(serving.queue_depth as u64)),
             ("requests_served".into(), num(serving.requests_served)),
             ("batches".into(), num(serving.batches)),
             ("workers".into(), num(serving.workers as u64)),
+            ("workers_alive".into(), num(predict.workers_alive() as u64)),
             ("threads".into(), num(serving.threads as u64)),
             (
                 "pool".into(),
@@ -474,8 +484,16 @@ impl HttpStats {
                         num(self.healthz_calls.load(Ordering::Relaxed)),
                     ),
                     (
+                        "readyz".into(),
+                        num(self.readyz_calls.load(Ordering::Relaxed)),
+                    ),
+                    (
                         "stats".into(),
                         num(self.stats_calls.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "metrics".into(),
+                        num(self.metrics_calls.load(Ordering::Relaxed)),
                     ),
                 ]),
             ),
@@ -508,8 +526,47 @@ impl HttpStats {
                     ),
                 ]),
             ),
-        ])
+        ];
+        if let Some(telemetry) = predict.telemetry() {
+            let snap = telemetry.snapshot();
+            let stages = Stage::ALL
+                .iter()
+                .map(|&stage| {
+                    let total = snap.stage_total(stage);
+                    let us = |ns: f64| Json::Num(ns / 1_000.0);
+                    (
+                        stage.name().to_string(),
+                        Json::Obj(vec![
+                            ("count".into(), num(total.count)),
+                            ("mean_us".into(), us(total.mean_ns())),
+                            ("p50_us".into(), us(total.quantile_ns(0.5))),
+                            ("p90_us".into(), us(total.quantile_ns(0.9))),
+                            ("p99_us".into(), us(total.quantile_ns(0.99))),
+                        ]),
+                    )
+                })
+                .collect();
+            fields.push(("stages".into(), Json::Obj(stages)));
+            fields.push((
+                "drift".into(),
+                Json::Arr(snap.drift.iter().map(drift_json).collect()),
+            ));
+        }
+        Json::Obj(fields)
     }
+}
+
+fn drift_json(d: &DomainDrift) -> Json {
+    let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+    Json::Obj(vec![
+        ("domain".into(), Json::Num(d.domain as f64)),
+        ("live_count".into(), Json::Num(d.live_count as f64)),
+        ("live_mean".into(), opt(d.live_mean)),
+        ("baseline_count".into(), Json::Num(d.baseline_count as f64)),
+        ("baseline_mean".into(), opt(d.baseline_mean)),
+        ("mean_shift".into(), opt(d.mean_shift)),
+        ("score".into(), opt(d.score)),
+    ])
 }
 
 struct Ctx {
@@ -520,6 +577,18 @@ struct Ctx {
     // keep-alive connection checks it between requests so shutdown is
     // never blocked behind a client that keeps the wire warm.
     shutdown: AtomicBool,
+    // Readiness only (`GET /readyz` answers 503): requests in flight still
+    // complete, the listener stays up, `/healthz` keeps saying ok. Lets a
+    // load balancer stop routing here before the hard shutdown starts.
+    draining: AtomicBool,
+}
+
+/// Readiness as `GET /readyz` reports it: not draining, not shut down, and
+/// every prediction worker still alive.
+fn is_ready(ctx: &Ctx) -> bool {
+    !ctx.draining.load(Ordering::SeqCst)
+        && !ctx.shutdown.load(Ordering::SeqCst)
+        && ctx.predict.workers_alive() == ctx.predict.stats().workers
 }
 
 /// The HTTP listener wrapping a [`PredictServer`].
@@ -541,6 +610,7 @@ impl HttpServer {
             stats: HttpStats::default(),
             config,
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
         });
 
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(ctx.config.backlog);
@@ -582,7 +652,8 @@ impl HttpServer {
                         HttpStats::bump(&ctx.stats.connections_rejected);
                         ctx.stats.count_response(503);
                         let body = error_body("overloaded", "connection pool saturated");
-                        let _ = write_response(&mut stream, 503, &body, false, &[]);
+                        let _ =
+                            write_response(&mut stream, 503, &body, CONTENT_TYPE_JSON, false, &[]);
                     }
                 }
                 // Dropping `tx` here releases the workers' recv loops.
@@ -619,7 +690,16 @@ impl HttpServer {
         self.shutdown_impl();
     }
 
+    /// Flip `GET /readyz` to `503` without stopping anything: in-flight and
+    /// new requests still complete and `/healthz` still answers ok, but a
+    /// load balancer polling readiness stops sending traffic here. Call it
+    /// ahead of [`HttpServer::shutdown`] to drain cleanly.
+    pub fn begin_drain(&self) {
+        self.ctx.draining.store(true, Ordering::SeqCst);
+    }
+
     fn shutdown_impl(&mut self) {
+        self.ctx.draining.store(true, Ordering::SeqCst);
         if self.ctx.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -646,30 +726,44 @@ impl Drop for HttpServer {
 fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
     let _ = stream.set_read_timeout(Some(ctx.config.read_timeout));
     let _ = stream.set_nodelay(true);
+    let trace = ctx.predict.trace();
     let mut parser = RequestParser::new(ctx.config.max_head_bytes, ctx.config.max_body_bytes);
     let mut chunk = [0u8; 8192];
     // Overall per-request deadline, armed from the first buffered byte of
     // each request. The per-read timeout alone would let a slow-loris
     // client trickle one byte per read forever, pinning a pool worker.
     let mut request_started: Option<Instant> = None;
+    // Telemetry only: from the first socket read of a request to its
+    // complete parse (so it includes the client's own trickle time; a
+    // pipelined request parsed straight out of the buffer records nothing).
+    let mut parse_started: Option<Instant> = None;
     loop {
         match parser.poll() {
             ParseOutcome::Request(request) => {
+                if let Some(t0) = parse_started.take() {
+                    trace.record_ns(Stage::HttpParse, t0.elapsed().as_nanos() as u64);
+                }
                 request_started = None;
-                let (status, body, extra) = route(&request, ctx);
+                let (status, body, content_type, extra) = route(&request, ctx);
                 ctx.stats.count_response(status);
                 // During shutdown the response still goes out, but with
                 // `Connection: close` so a busy keep-alive client cannot
                 // hold this worker (and the shutdown join) hostage.
                 let keep = request.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
-                if write_response(&mut stream, status, &body, keep, &extra).is_err() || !keep {
+                let write_started = trace.is_enabled().then(Instant::now);
+                let wrote =
+                    write_response(&mut stream, status, &body, content_type, keep, &extra).is_ok();
+                if let Some(t0) = write_started {
+                    trace.record_ns(Stage::ResponseWrite, t0.elapsed().as_nanos() as u64);
+                }
+                if !wrote || !keep {
                     return;
                 }
             }
             ParseOutcome::Failed(e) => {
                 ctx.stats.count_response(e.status);
                 let body = error_body(e.code, &e.message);
-                let _ = write_response(&mut stream, e.status, &body, false, &[]);
+                let _ = write_response(&mut stream, e.status, &body, CONTENT_TYPE_JSON, false, &[]);
                 return;
             }
             ParseOutcome::NeedMore => {
@@ -683,13 +777,19 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
                     if started.elapsed() > ctx.config.request_timeout {
                         ctx.stats.count_response(408);
                         let body = error_body("request_timeout", "request took too long to arrive");
-                        let _ = write_response(&mut stream, 408, &body, false, &[]);
+                        let _ =
+                            write_response(&mut stream, 408, &body, CONTENT_TYPE_JSON, false, &[]);
                         return;
                     }
                 }
                 match stream.read(&mut chunk) {
                     Ok(0) => return, // peer closed
-                    Ok(n) => parser.feed(&chunk[..n]),
+                    Ok(n) => {
+                        if parse_started.is_none() && trace.is_enabled() {
+                            parse_started = Some(Instant::now());
+                        }
+                        parser.feed(&chunk[..n]);
+                    }
                     Err(_) => return, // timeout or reset: close quietly
                 }
             }
@@ -697,15 +797,23 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
     }
 }
 
-type Routed = (u16, String, Vec<(&'static str, &'static str)>);
+const CONTENT_TYPE_JSON: &str = "application/json";
+const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4";
+
+type Routed = (u16, String, &'static str, Vec<(&'static str, &'static str)>);
 
 fn route(request: &HttpRequest, ctx: &Ctx) -> Routed {
     match (request.method.as_str(), request.path()) {
         ("POST", "/predict") => {
             HttpStats::bump(&ctx.stats.predict_calls);
             match handle_predict(&request.body, ctx) {
-                Ok(body) => (200, body, Vec::new()),
-                Err(e) => (e.status, error_body(e.code, &e.message), Vec::new()),
+                Ok(body) => (200, body, CONTENT_TYPE_JSON, Vec::new()),
+                Err(e) => (
+                    e.status,
+                    error_body(e.code, &e.message),
+                    CONTENT_TYPE_JSON,
+                    Vec::new(),
+                ),
             }
         }
         ("GET", "/healthz") => {
@@ -713,34 +821,335 @@ fn route(request: &HttpRequest, ctx: &Ctx) -> Routed {
             (
                 200,
                 Json::Obj(vec![("status".into(), Json::Str("ok".into()))]).render(),
+                CONTENT_TYPE_JSON,
+                Vec::new(),
+            )
+        }
+        ("GET", "/readyz") => {
+            HttpStats::bump(&ctx.stats.readyz_calls);
+            let ready = is_ready(ctx);
+            let num = |v: u64| Json::Num(v as f64);
+            let body = Json::Obj(vec![
+                ("ready".into(), Json::Bool(ready)),
+                (
+                    "draining".into(),
+                    Json::Bool(ctx.draining.load(Ordering::SeqCst)),
+                ),
+                ("queue_depth".into(), num(ctx.predict.queue_depth() as u64)),
+                (
+                    "workers_alive".into(),
+                    num(ctx.predict.workers_alive() as u64),
+                ),
+                ("workers".into(), num(ctx.predict.stats().workers as u64)),
+            ])
+            .render();
+            (
+                if ready { 200 } else { 503 },
+                body,
+                CONTENT_TYPE_JSON,
                 Vec::new(),
             )
         }
         ("GET", "/stats") => {
             HttpStats::bump(&ctx.stats.stats_calls);
-            (200, ctx.stats.render(&ctx.predict).render(), Vec::new())
+            (
+                200,
+                ctx.stats.render(ctx).render(),
+                CONTENT_TYPE_JSON,
+                Vec::new(),
+            )
+        }
+        ("GET", "/metrics") => {
+            HttpStats::bump(&ctx.stats.metrics_calls);
+            (200, render_metrics(ctx), CONTENT_TYPE_PROM, Vec::new())
         }
         (_, "/predict") => (
             405,
             error_body("method_not_allowed", "use POST /predict"),
+            CONTENT_TYPE_JSON,
             vec![("Allow", "POST")],
         ),
-        (_, "/healthz") => (
+        (_, path @ ("/healthz" | "/readyz" | "/stats" | "/metrics")) => (
             405,
-            error_body("method_not_allowed", "use GET /healthz"),
-            vec![("Allow", "GET")],
-        ),
-        (_, "/stats") => (
-            405,
-            error_body("method_not_allowed", "use GET /stats"),
+            error_body("method_not_allowed", &format!("use GET {path}")),
+            CONTENT_TYPE_JSON,
             vec![("Allow", "GET")],
         ),
         (_, path) => (
             404,
             error_body("not_found", &format!("no such endpoint {path:?}")),
+            CONTENT_TYPE_JSON,
             Vec::new(),
         ),
     }
+}
+
+/// The `GET /metrics` page: every serving counter, stage/kernel latency
+/// histogram and per-domain drift score in Prometheus text exposition
+/// format 0.0.4 (held to [`crate::prom::lint`] by the wire tests).
+fn render_metrics(ctx: &Ctx) -> String {
+    let serving = ctx.predict.stats();
+    let http = &ctx.stats;
+    let load = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64;
+    let mut page = PromText::new();
+
+    page.family(
+        "dtdbd_http_connections_total",
+        MetricKind::Counter,
+        "TCP connections accepted by the listener.",
+    );
+    page.sample("dtdbd_http_connections_total", &[], load(&http.connections));
+    page.family(
+        "dtdbd_http_connections_rejected_total",
+        MetricKind::Counter,
+        "Connections shed with 503 because the handler pool was saturated.",
+    );
+    page.sample(
+        "dtdbd_http_connections_rejected_total",
+        &[],
+        load(&http.connections_rejected),
+    );
+    page.family(
+        "dtdbd_http_responses_total",
+        MetricKind::Counter,
+        "HTTP responses by status class.",
+    );
+    for (class, counter) in [
+        ("2xx", &http.responses_2xx),
+        ("4xx", &http.responses_4xx),
+        ("5xx", &http.responses_5xx),
+    ] {
+        page.sample(
+            "dtdbd_http_responses_total",
+            &[("class", class)],
+            load(counter),
+        );
+    }
+    page.family(
+        "dtdbd_http_requests_total",
+        MetricKind::Counter,
+        "Requests by endpoint.",
+    );
+    for (endpoint, counter) in [
+        ("predict", &http.predict_calls),
+        ("healthz", &http.healthz_calls),
+        ("readyz", &http.readyz_calls),
+        ("stats", &http.stats_calls),
+        ("metrics", &http.metrics_calls),
+    ] {
+        page.sample(
+            "dtdbd_http_requests_total",
+            &[("endpoint", endpoint)],
+            load(counter),
+        );
+    }
+    page.family(
+        "dtdbd_items_predicted_total",
+        MetricKind::Counter,
+        "Prediction items received over the wire (batch bodies count each item).",
+    );
+    page.sample(
+        "dtdbd_items_predicted_total",
+        &[],
+        load(&http.items_predicted),
+    );
+
+    page.family(
+        "dtdbd_requests_served_total",
+        MetricKind::Counter,
+        "Requests answered by the prediction workers.",
+    );
+    page.sample(
+        "dtdbd_requests_served_total",
+        &[],
+        serving.requests_served as f64,
+    );
+    page.family(
+        "dtdbd_batches_total",
+        MetricKind::Counter,
+        "Coalesced batches dispatched to the prediction workers.",
+    );
+    page.sample("dtdbd_batches_total", &[], serving.batches as f64);
+    page.family(
+        "dtdbd_queue_depth",
+        MetricKind::Gauge,
+        "Requests currently queued for the prediction workers.",
+    );
+    page.sample("dtdbd_queue_depth", &[], serving.queue_depth as f64);
+    page.family(
+        "dtdbd_workers",
+        MetricKind::Gauge,
+        "Configured prediction workers.",
+    );
+    page.sample("dtdbd_workers", &[], serving.workers as f64);
+    page.family(
+        "dtdbd_workers_alive",
+        MetricKind::Gauge,
+        "Prediction workers whose threads are still running.",
+    );
+    page.sample(
+        "dtdbd_workers_alive",
+        &[],
+        ctx.predict.workers_alive() as f64,
+    );
+    page.family(
+        "dtdbd_ready",
+        MetricKind::Gauge,
+        "1 while GET /readyz answers 200, else 0.",
+    );
+    page.sample("dtdbd_ready", &[], if is_ready(ctx) { 1.0 } else { 0.0 });
+
+    page.family(
+        "dtdbd_cache_requests_total",
+        MetricKind::Counter,
+        "Prediction cache lookups by outcome.",
+    );
+    for (outcome, v) in [("hit", serving.cache.hits), ("miss", serving.cache.misses)] {
+        page.sample(
+            "dtdbd_cache_requests_total",
+            &[("outcome", outcome)],
+            v as f64,
+        );
+    }
+    page.family(
+        "dtdbd_cache_evictions_total",
+        MetricKind::Counter,
+        "Prediction cache LRU evictions.",
+    );
+    page.sample(
+        "dtdbd_cache_evictions_total",
+        &[],
+        serving.cache.evictions as f64,
+    );
+    page.family(
+        "dtdbd_cache_entries",
+        MetricKind::Gauge,
+        "Prediction cache entries resident.",
+    );
+    page.sample("dtdbd_cache_entries", &[], serving.cache.entries as f64);
+    page.family(
+        "dtdbd_pool_reuse_hits_total",
+        MetricKind::Counter,
+        "Activation buffers recycled from the per-worker pools.",
+    );
+    page.sample(
+        "dtdbd_pool_reuse_hits_total",
+        &[],
+        serving.pool_reuse_hits as f64,
+    );
+    page.family(
+        "dtdbd_pool_alloc_misses_total",
+        MetricKind::Counter,
+        "Activation buffers freshly allocated by the per-worker pools.",
+    );
+    page.sample(
+        "dtdbd_pool_alloc_misses_total",
+        &[],
+        serving.pool_alloc_misses as f64,
+    );
+    page.family(
+        "dtdbd_routed_total",
+        MetricKind::Counter,
+        "Requests routed to a specialist queue vs the shared fallback.",
+    );
+    for (queue, v) in [
+        ("specialist", serving.routing.routed_specialist),
+        ("shared", serving.routing.routed_shared),
+    ] {
+        page.sample("dtdbd_routed_total", &[("queue", queue)], v as f64);
+    }
+
+    if let Some(telemetry) = ctx.predict.telemetry() {
+        let snap = telemetry.snapshot();
+        let arch = snap.arch;
+        page.family(
+            "dtdbd_stage_latency_seconds",
+            MetricKind::Histogram,
+            "Wall-clock time per request stage; recorder is \"http\" for the \
+             connection threads or a prediction worker index.",
+        );
+        for (recorder, stages) in &snap.recorders {
+            for (stage, h) in stages {
+                if h.count == 0 {
+                    continue; // wire stages on workers (and vice versa) stay structurally empty
+                }
+                page.histogram(
+                    "dtdbd_stage_latency_seconds",
+                    &[
+                        ("arch", arch),
+                        ("recorder", recorder),
+                        ("stage", stage.name()),
+                    ],
+                    h,
+                );
+            }
+        }
+        page.family(
+            "dtdbd_kernel_latency_seconds",
+            MetricKind::Histogram,
+            "Wall-clock time per tensor kernel invocation.",
+        );
+        for (kernel, h) in &snap.kernels {
+            if h.count == 0 {
+                continue;
+            }
+            page.histogram(
+                "dtdbd_kernel_latency_seconds",
+                &[("arch", arch), ("kernel", kernel)],
+                h,
+            );
+        }
+
+        page.family(
+            "dtdbd_domain_predictions_total",
+            MetricKind::Counter,
+            "Predictions observed per domain by the drift tracker.",
+        );
+        for d in &snap.drift {
+            let domain = d.domain.to_string();
+            page.sample(
+                "dtdbd_domain_predictions_total",
+                &[("arch", arch), ("domain", &domain)],
+                d.live_count as f64,
+            );
+        }
+        if snap.drift.iter().any(|d| d.mean_shift.is_some()) {
+            page.family(
+                "dtdbd_domain_mean_shift",
+                MetricKind::Gauge,
+                "Absolute shift of the mean fake-probability against the training baseline.",
+            );
+            for d in &snap.drift {
+                if let Some(shift) = d.mean_shift {
+                    let domain = d.domain.to_string();
+                    page.sample(
+                        "dtdbd_domain_mean_shift",
+                        &[("arch", arch), ("domain", &domain)],
+                        shift,
+                    );
+                }
+            }
+        }
+        if snap.drift.iter().any(|d| d.score.is_some()) {
+            page.family(
+                "dtdbd_domain_drift_score",
+                MetricKind::Gauge,
+                "Bucketed total-variation distance of the live fake-probability \
+                 distribution against the training baseline, in [0, 1].",
+            );
+            for d in &snap.drift {
+                if let Some(score) = d.score {
+                    let domain = d.domain.to_string();
+                    page.sample(
+                        "dtdbd_domain_drift_score",
+                        &[("arch", arch), ("domain", &domain)],
+                        score,
+                    );
+                }
+            }
+        }
+    }
+    page.into_string()
 }
 
 fn handle_predict(body: &[u8], ctx: &Ctx) -> Result<String, WireError> {
@@ -853,11 +1262,12 @@ fn write_response(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
+    content_type: &str,
     keep_alive: bool,
     extra_headers: &[(&str, &str)],
 ) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status_reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
@@ -1208,6 +1618,112 @@ mod tests {
         let doc = client.get("/stats").unwrap().json().unwrap();
         let cache = doc.get("cache").unwrap();
         assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+        // Telemetry rides along: stage quantiles and drift scores.
+        assert_eq!(doc.get("ready").and_then(Json::as_bool), Some(true));
+        let inference = doc.get("stages").unwrap().get("inference").unwrap();
+        assert_eq!(inference.get("count").and_then(Json::as_u64), Some(1));
+        assert!(inference.get("p99_us").and_then(Json::as_f64).unwrap() > 0.0);
+        let drift = doc.get("drift").unwrap().as_array().unwrap();
+        assert!(!drift.is_empty());
+        let observed: u64 = drift
+            .iter()
+            .map(|d| d.get("live_count").and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(observed, 2, "both wire answers feed the drift tracker");
+    }
+
+    #[test]
+    fn metrics_page_lints_and_reflects_traffic() {
+        let ds = dataset();
+        let server = start_http(&ds);
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+        let item = &ds.items()[0];
+        let body = json::encode_request(&dtdbd_data::InferenceRequest::new(
+            item.tokens.clone(),
+            item.domain,
+        ))
+        .render();
+        assert_eq!(client.post("/predict", &body).unwrap().status, 200);
+
+        let scrape = client.get("/metrics").unwrap();
+        assert_eq!(scrape.status, 200);
+        assert_eq!(
+            scrape.header("content-type"),
+            Some("text/plain; version=0.0.4")
+        );
+        crate::prom::lint(&scrape.body).unwrap_or_else(|e| panic!("{e}\n---\n{}", scrape.body));
+        assert!(
+            scrape
+                .body
+                .contains("dtdbd_http_requests_total{endpoint=\"predict\"} 1"),
+            "{}",
+            scrape.body
+        );
+        assert!(
+            scrape.body.contains("dtdbd_requests_served_total 1"),
+            "{}",
+            scrape.body
+        );
+        // The stage histograms carry real samples once traffic flowed.
+        assert!(
+            scrape.body.contains("dtdbd_stage_latency_seconds_bucket"),
+            "{}",
+            scrape.body
+        );
+        assert!(
+            scrape.body.contains("stage=\"inference\""),
+            "{}",
+            scrape.body
+        );
+        assert!(
+            scrape.body.contains("dtdbd_domain_predictions_total"),
+            "{}",
+            scrape.body
+        );
+        // A second scrape observes the first: the metrics counter moved.
+        let again = client.get("/metrics").unwrap();
+        assert!(
+            again
+                .body
+                .contains("dtdbd_http_requests_total{endpoint=\"metrics\"} 2"),
+            "{}",
+            again.body
+        );
+
+        let wrong_method = client.post("/metrics", "{}").unwrap();
+        assert_eq!(wrong_method.status, 405);
+        assert_eq!(wrong_method.header("allow"), Some("GET"));
+    }
+
+    #[test]
+    fn readyz_flips_to_503_when_draining_while_healthz_stays_ok() {
+        let ds = dataset();
+        let server = start_http(&ds);
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+        let ready = client.get("/readyz").unwrap();
+        assert_eq!(ready.status, 200, "{}", ready.body);
+        let doc = ready.json().unwrap();
+        assert_eq!(doc.get("ready").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("draining").and_then(Json::as_bool), Some(false));
+        assert!(doc.get("workers_alive").and_then(Json::as_u64).unwrap() >= 1);
+
+        server.begin_drain();
+        let draining = client.get("/readyz").unwrap();
+        assert_eq!(draining.status, 503);
+        let doc = draining.json().unwrap();
+        assert_eq!(doc.get("ready").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("draining").and_then(Json::as_bool), Some(true));
+        // Liveness is untouched: the process still answers, work still runs.
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        let item = &ds.items()[0];
+        let body = json::encode_request(&dtdbd_data::InferenceRequest::new(
+            item.tokens.clone(),
+            item.domain,
+        ))
+        .render();
+        assert_eq!(client.post("/predict", &body).unwrap().status, 200);
     }
 
     #[test]

@@ -51,10 +51,12 @@ pub mod cache;
 pub mod checkpoint;
 pub mod http;
 pub mod json;
+pub mod prom;
 pub mod routing;
 pub mod server;
 pub mod session;
 pub mod shards;
+pub mod telemetry;
 
 /// The little-endian byte codec behind the checkpoint format. It moved to
 /// `dtdbd-models` (models encode their own side-state chunks with it) and is
@@ -73,3 +75,7 @@ pub use routing::DomainRouting;
 pub use server::{BatchingConfig, PredictServer, PredictionHandle, RoutingStats, ServingStats};
 pub use session::{InferenceSession, Prediction};
 pub use shards::ShardStore;
+pub use telemetry::{
+    DomainBaseline, DomainDrift, DriftTracker, HistogramSnapshot, LatencyHistogram, Stage,
+    Telemetry, TelemetrySnapshot, TraceContext, BASELINE_TAG,
+};

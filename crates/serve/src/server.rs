@@ -36,10 +36,12 @@ use crate::cache::{CacheKey, CacheStats, ShardedPredictionCache, DEFAULT_CACHE_S
 use crate::routing::DomainRouting;
 use crate::session::{InferenceSession, Prediction};
 use crate::shards::ShardStore;
+use crate::telemetry::{DomainBaseline, Stage, Telemetry, TraceContext};
 use dtdbd_data::{EncodedRequest, InferenceRequest, RequestEncoder, RequestError};
 use dtdbd_models::FakeNewsModel;
+use dtdbd_tensor::KernelTimers;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -86,6 +88,14 @@ pub(crate) struct ServerTuning {
     /// Domain → specialist-group assignment (`None` or empty = one shared
     /// queue).
     pub routing: Option<DomainRouting>,
+    /// Whether to run the full telemetry pipeline (stage histograms, kernel
+    /// timing hooks, drift tracking). Telemetry is wall-clock observation
+    /// only — predictions are bit-identical either way — so the default is
+    /// on; the off switch exists for overhead measurement.
+    pub telemetry: bool,
+    /// Training-time per-domain prediction baseline the drift tracker
+    /// scores live traffic against (`None` = live stats without scores).
+    pub drift_baseline: Option<DomainBaseline>,
 }
 
 impl Default for ServerTuning {
@@ -96,6 +106,8 @@ impl Default for ServerTuning {
             cache_shards: DEFAULT_CACHE_SHARDS,
             embedding_shards: 0,
             routing: None,
+            telemetry: true,
+            drift_baseline: None,
         }
     }
 }
@@ -106,6 +118,9 @@ struct Job {
     /// cache after predicting. `None` when the cache is disabled.
     key: Option<CacheKey>,
     reply: mpsc::Sender<Prediction>,
+    /// When the request entered its queue; `None` with telemetry off (the
+    /// disabled path never reads the clock).
+    enqueued_at: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -124,13 +139,73 @@ struct QueueSlot {
 }
 
 /// Lock-free per-worker counters, written by the worker after every batch
-/// and summed on demand by [`PredictServer::stats`].
+/// and snapshotted on demand by [`PredictServer::stats`].
+///
+/// The fields are published together under a seqlock (`seq` is odd while
+/// the owning worker is mid-update): a reader retries until it observes a
+/// stable even sequence, so a snapshot can never mix the request count of
+/// one batch with the batch count of another. The writer stays wait-free —
+/// two extra relaxed-cost atomic stores per batch, no locks on the hot
+/// path.
 #[derive(Debug, Default)]
 struct WorkerCounters {
+    /// Seqlock generation: odd = update in progress.
+    seq: AtomicU64,
     requests: AtomicU64,
     batches: AtomicU64,
     pool_reuse_hits: AtomicU64,
     pool_alloc_misses: AtomicU64,
+}
+
+/// A coherent copy of one worker's counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterSnapshot {
+    requests: u64,
+    batches: u64,
+    pool_reuse_hits: u64,
+    pool_alloc_misses: u64,
+}
+
+impl WorkerCounters {
+    /// Publish one finished batch. Only the owning worker calls this, so
+    /// plain stores on `seq` are enough on the writer side.
+    fn publish(&self, batch_requests: u64, pool_reuse_hits: u64, pool_alloc_misses: u64) {
+        let seq = self.seq.load(Ordering::Relaxed);
+        self.seq.store(seq.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.requests.fetch_add(batch_requests, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        // Pool stats are cumulative per session: publish absolute values.
+        self.pool_reuse_hits
+            .store(pool_reuse_hits, Ordering::Relaxed);
+        self.pool_alloc_misses
+            .store(pool_alloc_misses, Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.seq.store(seq.wrapping_add(2), Ordering::Relaxed);
+    }
+
+    /// Retry-loop read of a coherent snapshot.
+    fn snapshot(&self) -> CounterSnapshot {
+        loop {
+            let before = self.seq.load(Ordering::Acquire);
+            if before % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            fence(Ordering::Acquire);
+            let snap = CounterSnapshot {
+                requests: self.requests.load(Ordering::Relaxed),
+                batches: self.batches.load(Ordering::Relaxed),
+                pool_reuse_hits: self.pool_reuse_hits.load(Ordering::Relaxed),
+                pool_alloc_misses: self.pool_alloc_misses.load(Ordering::Relaxed),
+            };
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Acquire) == before {
+                return snap;
+            }
+            std::hint::spin_loop();
+        }
+    }
 }
 
 struct Shared {
@@ -150,6 +225,8 @@ struct Shared {
     routed_specialist: AtomicU64,
     /// Requests that fell back to the shared queue under active routing.
     routed_shared: AtomicU64,
+    /// The telemetry registry (`None` when telemetry is off).
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Shared {
@@ -307,6 +384,23 @@ impl PredictServer {
             }
         }
 
+        if let Some(baseline) = tuning.drift_baseline.as_ref() {
+            if baseline.n_domains() != encoder.n_domains() {
+                return Err(ConfigError::DriftBaselineGeometry {
+                    baseline_domains: baseline.n_domains(),
+                    n_domains: encoder.n_domains(),
+                });
+            }
+        }
+        let telemetry = tuning.telemetry.then(|| {
+            Arc::new(Telemetry::new(
+                session0.model().name(),
+                config.workers,
+                encoder.n_domains(),
+                tuning.drift_baseline.clone(),
+            ))
+        });
+
         // Sharded mode: lift the dominant frozen embedding table out of
         // worker 0's store into the process-wide pool; every session then
         // swaps its private copy for the shared shards as soon as it exists.
@@ -328,6 +422,12 @@ impl PredictServer {
             }
             sessions.push(session);
         }
+        if let Some(t) = telemetry.as_ref() {
+            let sink: Arc<dyn KernelTimers> = Arc::clone(t) as Arc<dyn KernelTimers>;
+            for session in &mut sessions {
+                session.set_kernel_timers(Some(Arc::clone(&sink)));
+            }
+        }
         let resident_param_bytes_per_worker = sessions
             .iter()
             .map(InferenceSession::resident_param_bytes)
@@ -348,6 +448,7 @@ impl PredictServer {
                 .then(|| ShardedPredictionCache::new(tuning.cache_capacity, tuning.cache_shards)),
             routed_specialist: AtomicU64::new(0),
             routed_shared: AtomicU64::new(0),
+            telemetry,
         });
         let workers = sessions
             .into_iter()
@@ -387,11 +488,15 @@ impl PredictServer {
     /// otherwise the request is dispatched to its domain's specialist queue
     /// (or the shared fallback).
     pub fn submit_encoded(&self, request: EncodedRequest) -> PredictionHandle {
+        let trace = self.trace();
         let (tx, rx) = mpsc::channel();
         let key = match self.shared.cache.as_ref() {
             Some(cache) => {
                 let key = CacheKey::of(&request);
-                if let Some(hit) = cache.get(&key) {
+                if let Some(hit) = cache.get_traced(&key, &trace) {
+                    // A cache hit is a served prediction too: the drift
+                    // tracker must see the traffic the clients see.
+                    trace.observe_prediction(request.domain(), hit.fake_prob);
                     let _ = tx.send(hit);
                     return PredictionHandle { reply: rx };
                 }
@@ -415,6 +520,7 @@ impl PredictServer {
                 request,
                 key,
                 reply: tx,
+                enqueued_at: trace.is_enabled().then(Instant::now),
             });
         }
         slot.available.notify_one();
@@ -439,6 +545,28 @@ impl PredictServer {
     /// The encoder used to validate incoming requests.
     pub fn encoder(&self) -> &RequestEncoder {
         &self.encoder
+    }
+
+    /// The telemetry registry, `None` when telemetry was disabled.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.shared.telemetry.as_ref()
+    }
+
+    /// A trace handle bound to this server's telemetry (the disabled no-op
+    /// handle when telemetry is off). The HTTP front-end records its wire
+    /// stages through this.
+    pub fn trace(&self) -> TraceContext {
+        match self.shared.telemetry.as_ref() {
+            Some(t) => TraceContext::new(Arc::clone(t)),
+            None => TraceContext::disabled(),
+        }
+    }
+
+    /// Worker threads still running. Anything below [`ServingStats::workers`]
+    /// means a worker died (or the server is shutting down) — the readiness
+    /// probe reports not-ready.
+    pub fn workers_alive(&self) -> usize {
+        self.workers.iter().filter(|w| !w.is_finished()).count()
     }
 
     /// Aggregate load, buffer-pool, prediction-cache, sharding and routing
@@ -470,10 +598,13 @@ impl PredictServer {
             },
         };
         for counters in &self.shared.counters {
-            stats.requests_served += counters.requests.load(Ordering::Relaxed);
-            stats.batches += counters.batches.load(Ordering::Relaxed);
-            stats.pool_reuse_hits += counters.pool_reuse_hits.load(Ordering::Relaxed);
-            stats.pool_alloc_misses += counters.pool_alloc_misses.load(Ordering::Relaxed);
+            // Seqlock snapshot: the four fields of one worker are coherent
+            // with each other (no mixing counts across a publish).
+            let snap = counters.snapshot();
+            stats.requests_served += snap.requests;
+            stats.batches += snap.batches;
+            stats.pool_reuse_hits += snap.pool_reuse_hits;
+            stats.pool_alloc_misses += snap.pool_alloc_misses;
         }
         stats
     }
@@ -513,8 +644,13 @@ fn worker_loop<M: FakeNewsModel>(
     queue: usize,
 ) {
     let slot = &shared.queues[queue];
+    let trace = shared
+        .telemetry
+        .as_ref()
+        .map(|t| TraceContext::new(Arc::clone(t)))
+        .unwrap_or_default();
     loop {
-        let jobs = {
+        let (jobs, assembly_ns) = {
             let mut state = slot.state.lock().expect("queue poisoned");
             // Sleep until there is work (or we are told to stop and the
             // queue has drained).
@@ -527,6 +663,9 @@ fn worker_loop<M: FakeNewsModel>(
                 }
                 state = slot.available.wait(state).expect("queue poisoned");
             }
+            // Batch assembly starts the moment this worker owns its first
+            // request and ends when the batch is drained below.
+            let assembly_started = trace.is_enabled().then(Instant::now);
             // Dynamic batching: hold the first request at most `max_wait`
             // while companions trickle in, stopping early on a full batch.
             if !config.max_wait.is_zero() {
@@ -547,22 +686,38 @@ fn worker_loop<M: FakeNewsModel>(
                 }
             }
             let take = state.jobs.len().min(config.max_batch_size);
-            state.jobs.drain(..take).collect::<Vec<_>>()
+            let jobs = state.jobs.drain(..take).collect::<Vec<_>>();
+            let assembly_ns = assembly_started.map(|t| t.elapsed().as_nanos() as u64);
+            (jobs, assembly_ns)
         };
         if jobs.is_empty() {
             continue;
         }
+        if let Some(assembly_ns) = assembly_ns {
+            trace.record_worker_ns(worker_id, Stage::BatchAssembly, assembly_ns);
+            let drained_at = Instant::now();
+            for job in &jobs {
+                if let Some(enqueued_at) = job.enqueued_at {
+                    let waited = drained_at.saturating_duration_since(enqueued_at);
+                    trace.record_worker_ns(worker_id, Stage::QueueWait, waited.as_nanos() as u64);
+                }
+            }
+        }
         let requests: Vec<EncodedRequest> = jobs.iter().map(|j| j.request.clone()).collect();
+        let inference_started = trace.is_enabled().then(Instant::now);
         let predictions = session.predict_requests(&requests);
-        let counters = &shared.counters[worker_id];
-        counters
-            .requests
-            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        // Pool stats are cumulative per session, so publish absolute values.
+        if let Some(started) = inference_started {
+            // Pro-rata attribution: a batch of n splits its forward-pass
+            // time evenly over its n requests.
+            let total_ns = started.elapsed().as_nanos() as u64;
+            let n = jobs.len() as u64;
+            trace.record_worker_many_ns(worker_id, Stage::Inference, total_ns / n, n);
+            for (job, prediction) in jobs.iter().zip(predictions.iter()) {
+                trace.observe_prediction(job.request.domain(), prediction.fake_prob);
+            }
+        }
         let (hits, misses) = session.pool_stats();
-        counters.pool_reuse_hits.store(hits, Ordering::Relaxed);
-        counters.pool_alloc_misses.store(misses, Ordering::Relaxed);
+        shared.counters[worker_id].publish(jobs.len() as u64, hits, misses);
         // Populate the prediction cache before fanning out, one lock per
         // touched cache partition for the whole batch. Duplicate in-flight
         // requests may both reach here; the second insert overwrites with
@@ -843,6 +998,61 @@ mod tests {
         assert_eq!(stats.routing.routed_shared, shared);
         assert!(specialist > 0, "dataset should contain Society items");
         assert_eq!(plain.stats().routing, RoutingStats::default());
+    }
+
+    #[test]
+    fn stats_snapshots_stay_coherent_under_a_reader_hammer() {
+        use std::sync::atomic::AtomicBool;
+        // max_batch_size 1 + cache off: every served request is exactly one
+        // batch, so requests_served == batches is an invariant of every
+        // coherent snapshot. A torn read (requests published, batches not
+        // yet) breaks it — the seqlock in WorkerCounters must never let 16
+        // concurrent readers observe that in-between state.
+        let ds = Arc::new(dataset());
+        let cfg = ModelConfig::tiny(&ds);
+        let server = PredictServer::start_tuned(
+            BatchingConfig {
+                max_batch_size: 1,
+                workers: 2,
+                ..BatchingConfig::default()
+            },
+            ServerTuning {
+                cache_capacity: 0,
+                ..ServerTuning::default()
+            },
+            |_| {
+                let mut store = ParamStore::new();
+                let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
+                InferenceSession::new(model, store)
+            },
+        )
+        .expect("valid tuning");
+        let server = Arc::new(server);
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..16)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut snapshots = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let stats = server.stats();
+                        assert_eq!(
+                            stats.requests_served, stats.batches,
+                            "torn counter snapshot"
+                        );
+                        snapshots += 1;
+                    }
+                    snapshots
+                })
+            })
+            .collect();
+        for i in 0..400 {
+            server.predict(&request_for(&ds, i % ds.len())).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let snapshots: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(snapshots > 0, "the hammer never read anything");
     }
 
     #[test]

@@ -11,7 +11,8 @@ use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::shards::ShardStore;
 use dtdbd_data::{Batch, EncodedRequest, RequestEncoder};
 use dtdbd_models::{FakeNewsModel, InferOptions, ModelConfig};
-use dtdbd_tensor::{BufferPool, ParamId, ParamStore, ShardedTable, Tensor};
+use dtdbd_tensor::{BufferPool, KernelTimers, ParamId, ParamStore, ShardedTable, Tensor};
+use std::sync::Arc;
 
 /// Per-item serving result.
 #[derive(Debug, Clone)]
@@ -43,6 +44,10 @@ pub struct InferenceSession<M> {
     /// gather from the shared read-only shards and the store's own table
     /// value is dropped to a `[0, dim]` stub — the per-worker memory win.
     embedding_shards: Option<(ParamId, ShardedTable)>,
+    /// Optional per-kernel duration sink threaded into every forward pass
+    /// (the serving telemetry registry). `None` keeps the kernels free of
+    /// clock reads; the sink never changes prediction bits either way.
+    kernel_timers: Option<Arc<dyn KernelTimers>>,
 }
 
 impl<M: FakeNewsModel> InferenceSession<M> {
@@ -58,6 +63,7 @@ impl<M: FakeNewsModel> InferenceSession<M> {
             requests_served: 0,
             threads: 1,
             embedding_shards: None,
+            kernel_timers: None,
         }
     }
 
@@ -71,6 +77,13 @@ impl<M: FakeNewsModel> InferenceSession<M> {
     /// Intra-op thread count of this session's forward passes.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Report per-kernel forward-pass durations into `sink` (`None` turns
+    /// the hooks back off). Observation only: predictions stay bit-identical
+    /// with or without a sink.
+    pub fn set_kernel_timers(&mut self, sink: Option<Arc<dyn KernelTimers>>) {
+        self.kernel_timers = sink;
     }
 
     /// Rebuild a model from a checkpoint: `build` constructs the
@@ -89,8 +102,11 @@ impl<M: FakeNewsModel> InferenceSession<M> {
         let mut store = ParamStore::new();
         let mut model = build(&mut store, &checkpoint.config);
         checkpoint.restore_into(&mut store)?;
+        // Container-level chunks (the `telemetry.` namespace, e.g. the drift
+        // baseline) are stripped first: models keep their loud unknown-tag
+        // contract for everything that is actually theirs.
         model
-            .import_side_state(&checkpoint.side_state)
+            .import_side_state(&checkpoint.side_state.model_chunks())
             .map_err(CheckpointError::SideState)?;
         Ok(Self::new(model, store))
     }
@@ -177,6 +193,7 @@ impl<M: FakeNewsModel> InferenceSession<M> {
         let opts = InferOptions {
             threads: self.threads,
             embedding_shards: self.embedding_shards.clone(),
+            kernel_timers: self.kernel_timers.clone(),
         };
         let output = self
             .model

@@ -1,0 +1,128 @@
+//! End-to-end drift telemetry: a training-time prediction baseline rides
+//! inside the checkpoint's `telemetry.baseline` side-state chunk, survives
+//! the byte round trip, auto-wires into a served instance, and scores live
+//! traffic — matching traffic scores (bit-exactly) zero, skewed traffic
+//! scores higher.
+
+use dtdbd_data::{weibo21_spec, GeneratorConfig, InferenceRequest, NewsGenerator};
+use dtdbd_models::ModelConfig;
+use dtdbd_serve::{Checkpoint, DomainBaseline, ServerBuilder};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::ParamStore;
+
+fn requests(ds: &dtdbd_data::MultiDomainDataset) -> Vec<InferenceRequest> {
+    ds.items()
+        .iter()
+        .map(|item| InferenceRequest::new(item.tokens.clone(), item.domain))
+        .collect()
+}
+
+#[test]
+fn drift_baseline_rides_the_checkpoint_and_scores_skew_higher() {
+    let ds = NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(16, 0.05);
+    let cfg = ModelConfig::tiny(&ds);
+    let mut store = ParamStore::new();
+    let model = dtdbd_models::TextCnnModel::student(&mut store, &cfg, &mut Prng::new(41));
+    let mut checkpoint = Checkpoint::capture(&model, &store);
+    let requests = requests(&ds);
+
+    // "Training time": observe the model's own prediction distribution.
+    // Served from the baseline-free checkpoint; cache off so every request
+    // really runs.
+    let probe = ServerBuilder::new()
+        .cache_capacity(0)
+        .try_start_from_checkpoint(&checkpoint)
+        .expect("baseline-free checkpoint serves");
+    let n_domains = probe.encoder().n_domains();
+    let observations: Vec<(usize, f32)> = requests
+        .iter()
+        .map(|r| (r.domain, probe.predict(r).unwrap().fake_prob))
+        .collect();
+    drop(probe);
+    let baseline = DomainBaseline::from_observations(n_domains, observations.iter().copied());
+
+    // The baseline is a side-state chunk: it must survive the byte round
+    // trip exactly, without disturbing the model's own side state.
+    checkpoint.set_telemetry_baseline(&baseline);
+    let restored = Checkpoint::from_bytes(&checkpoint.to_bytes()).expect("round trip");
+    let recovered = restored
+        .telemetry_baseline()
+        .expect("well-formed baseline chunk")
+        .expect("baseline present");
+    assert_eq!(
+        recovered.to_bytes(),
+        baseline.to_bytes(),
+        "baseline changed across the checkpoint round trip"
+    );
+
+    // Matching traffic: the served model is bit-identical to the probe, so
+    // replaying the same requests reproduces the baseline distribution
+    // exactly — zero mean shift, zero bucket distance.
+    let matching = ServerBuilder::new()
+        .cache_capacity(0)
+        .try_start_from_checkpoint(&restored)
+        .expect("baseline auto-wires from the checkpoint");
+    for request in &requests {
+        matching.predict(request).unwrap();
+    }
+    let matching_scores = matching.telemetry().expect("telemetry on").drift().scores();
+    for d in &matching_scores {
+        if d.live_count == 0 {
+            continue;
+        }
+        // The live tracker accumulates in rounded micro-units while the
+        // baseline keeps exact f64 sums, so the mean shift is bounded by
+        // the quantization, not exactly zero. The bucket histograms use
+        // identical bucketing on identical bits, so the score is exact.
+        assert!(
+            d.mean_shift.expect("both sides have data") < 1e-5,
+            "domain {}: matching traffic shifted the mean by {:?}",
+            d.domain,
+            d.mean_shift
+        );
+        assert_eq!(
+            d.score,
+            Some(0.0),
+            "domain {}: matching traffic drifted",
+            d.domain
+        );
+    }
+
+    // Skewed traffic: per domain, replay only the requests predicted above
+    // that domain's baseline mean. Wherever a domain's predictions are not
+    // all identical, its live mean must sit strictly above the baseline's.
+    let skewed = ServerBuilder::new()
+        .cache_capacity(0)
+        .try_start_from_checkpoint(&restored)
+        .expect("baseline auto-wires from the checkpoint");
+    let mut skewable = 0usize;
+    for (request, &(domain, prob)) in requests.iter().zip(&observations) {
+        let mean = baseline.domain(domain).and_then(|s| s.mean()).unwrap();
+        if f64::from(prob) > mean {
+            skewable += 1;
+            skewed.predict(request).unwrap();
+        }
+    }
+    assert!(skewable > 0, "every domain predicted one constant value");
+    let skewed_scores = skewed.telemetry().expect("telemetry on").drift().scores();
+    let mut drifted = 0usize;
+    for d in &skewed_scores {
+        if d.live_count == 0 {
+            continue;
+        }
+        let shift = d.mean_shift.expect("baseline and live data present");
+        let matching_shift = matching_scores[d.domain].mean_shift.unwrap();
+        assert!(
+            d.score.unwrap() >= matching_scores[d.domain].score.unwrap(),
+            "domain {}: skewed bucket score below matching",
+            d.domain
+        );
+        if shift > matching_shift && shift > 1e-6 {
+            drifted += 1;
+        }
+    }
+    assert!(
+        drifted > 0,
+        "skewed traffic never drifted further than matching traffic: {skewed_scores:?}"
+    );
+}

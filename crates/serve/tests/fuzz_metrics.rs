@@ -1,0 +1,175 @@
+//! Seeded fuzz battery for the Prometheus text-exposition encoder.
+//!
+//! Same in-tree pattern as `fuzz_wire.rs`: each property drives many
+//! deterministic cases from the crate's own `Prng`, and every assertion
+//! message carries the case seed so a failure replays exactly. The invariant
+//! under test: **whatever label values, sample values (NaN and infinities
+//! included) and histogram contents the serving layer throws at
+//! [`dtdbd_serve::prom::PromText`], the rendered page must satisfy the
+//! strict re-parser [`dtdbd_serve::prom::lint`]** — one sample per line,
+//! fully escaped labels, monotone cumulative buckets ending in a `+Inf`
+//! bucket equal to `_count`.
+
+use dtdbd_serve::prom::{self, escape_label_value, MetricKind, PromText};
+use dtdbd_serve::{HistogramSnapshot, LatencyHistogram};
+use dtdbd_tensor::rng::Prng;
+
+const CASES: u64 = 300;
+
+/// A string drawn from a palette biased toward exposition-format hazards:
+/// quotes, backslashes, newlines, the label-block delimiters and non-ASCII.
+fn hostile_string(rng: &mut Prng) -> String {
+    const PALETTE: &[&str] = &[
+        "\"", "\\", "\n", "\\n", "{", "}", ",", "=", " ", "le", "+Inf", "NaN", "ü", "微", "\t",
+        "a", "7", "_",
+    ];
+    let len = rng.below(12);
+    (0..len)
+        .map(|_| PALETTE[rng.below(PALETTE.len())])
+        .collect()
+}
+
+fn random_value(rng: &mut Prng) -> f64 {
+    match rng.below(6) {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => rng.next_u64() as f64,
+        4 => f64::from(rng.uniform(-1e9, 1e9)),
+        _ => 0.0,
+    }
+}
+
+#[test]
+fn pages_with_hostile_labels_and_values_always_lint() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(0x7072_6F6D + case);
+        let mut page = PromText::new();
+        for family in 0..1 + rng.below(4) {
+            let name = format!("fuzz_metric_{family}");
+            let kind = if rng.chance(0.5) {
+                MetricKind::Counter
+            } else {
+                MetricKind::Gauge
+            };
+            // Help text is free-form; feed it hazards too.
+            page.family(&name, kind, &hostile_string(&mut rng));
+            for _ in 0..rng.below(5) {
+                let values: Vec<(String, String)> = (0..rng.below(4))
+                    .map(|i| (format!("l{i}"), hostile_string(&mut rng)))
+                    .collect();
+                let labels: Vec<(&str, &str)> = values
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                page.sample(&name, &labels, random_value(&mut rng));
+            }
+        }
+        let text = page.into_string();
+        prom::lint(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n---\n{text}"));
+    }
+}
+
+#[test]
+fn histograms_from_random_observations_always_lint() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(0x6869_7374 + case);
+        let hist = LatencyHistogram::new();
+        for _ in 0..rng.below(200) {
+            // Spread observations across the full log-bucket range,
+            // including the 0 and the saturating top bucket.
+            let shift = rng.below(64);
+            hist.record_ns(rng.next_u64() >> shift);
+        }
+        let snap = hist.snapshot();
+        let mut page = PromText::new();
+        page.family("fuzz_latency_seconds", MetricKind::Histogram, "fuzz");
+        let label_value = hostile_string(&mut rng);
+        page.histogram("fuzz_latency_seconds", &[("tag", &label_value)], &snap);
+        let text = page.into_string();
+        prom::lint(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n---\n{text}"));
+        // The +Inf bucket the page ends on must equal the snapshot count.
+        assert!(
+            text.contains(&format!("le=\"+Inf\"}} {}\n", snap.count)),
+            "case {case}: +Inf bucket != count\n{text}"
+        );
+    }
+}
+
+#[test]
+fn quantiles_of_random_histograms_are_monotone_and_bounded() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(0x7175_616E + case);
+        let hist = LatencyHistogram::new();
+        let mut max_ns = 0u64;
+        for _ in 0..1 + rng.below(100) {
+            let ns = rng.next_u64() >> rng.below(64);
+            max_ns = max_ns.max(ns);
+            hist.record_ns(ns);
+        }
+        let snap = hist.snapshot();
+        let mut prev = 0.0f64;
+        for step in 0..=10 {
+            let q = f64::from(step) / 10.0;
+            let v = snap.quantile_ns(q);
+            assert!(v >= prev, "case {case}: quantile not monotone at q={q}");
+            assert!(v >= 0.0, "case {case}: negative quantile at q={q}");
+            prev = v;
+        }
+        // The top quantile cannot exceed the upper bound of the bucket the
+        // largest observation landed in (double it to cover the bound).
+        assert!(
+            prev <= (max_ns.max(1) as f64) * 2.0 + 1.0,
+            "case {case}: p100 {prev} far beyond max observation {max_ns}"
+        );
+    }
+}
+
+#[test]
+fn merged_snapshots_lint_like_their_parts() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(0x6D65_7267 + case);
+        let (a, b) = (LatencyHistogram::new(), LatencyHistogram::new());
+        for _ in 0..rng.below(60) {
+            a.record_ns(rng.next_u64() >> rng.below(64));
+        }
+        for _ in 0..rng.below(60) {
+            b.record_ns(rng.next_u64() >> rng.below(64));
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut merged = HistogramSnapshot::empty();
+        merged.merge(&sa);
+        merged.merge(&sb);
+        assert_eq!(merged.count, sa.count + sb.count, "case {case}");
+        let mut page = PromText::new();
+        page.family("fuzz_merged_seconds", MetricKind::Histogram, "fuzz");
+        page.histogram("fuzz_merged_seconds", &[], &merged);
+        let text = page.into_string();
+        prom::lint(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n---\n{text}"));
+    }
+}
+
+#[test]
+fn escaped_label_values_never_break_line_framing() {
+    for case in 0..CASES {
+        let mut rng = Prng::new(0x6573_6361 + case);
+        let raw = hostile_string(&mut rng);
+        let escaped = escape_label_value(&raw);
+        assert!(
+            !escaped.contains('\n'),
+            "case {case}: raw newline survived escaping of {raw:?}"
+        );
+        // Every quote must arrive escaped: no `"` may follow anything but
+        // an odd run of backslashes.
+        let bytes = escaped.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'"' {
+                let backslashes = bytes[..i].iter().rev().take_while(|&&c| c == b'\\').count();
+                assert!(
+                    backslashes % 2 == 1,
+                    "case {case}: unescaped quote in {escaped:?} (from {raw:?})"
+                );
+            }
+        }
+    }
+}

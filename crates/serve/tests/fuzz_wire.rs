@@ -47,9 +47,11 @@ fn valid_request_bytes(rng: &mut Prng) -> Vec<u8> {
             rng.below(50)
         ),
     };
-    let (method, path) = match rng.below(3) {
+    let (method, path) = match rng.below(5) {
         0 => ("POST", "/predict"),
         1 => ("GET", "/healthz"),
+        2 => ("GET", "/readyz"),
+        3 => ("GET", "/metrics"),
         _ => ("GET", "/stats"),
     };
     format!(
@@ -150,9 +152,10 @@ fn http_parser_accepts_unmutated_requests_under_any_chunking() {
             ParseOutcome::Request(request) => {
                 assert!(request.keep_alive, "case {case}");
                 assert!(
-                    request.target == "/predict"
-                        || request.target == "/healthz"
-                        || request.target == "/stats",
+                    matches!(
+                        request.target.as_str(),
+                        "/predict" | "/healthz" | "/readyz" | "/metrics" | "/stats"
+                    ),
                     "case {case}: target {:?}",
                     request.target
                 );

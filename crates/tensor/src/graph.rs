@@ -31,6 +31,8 @@ use crate::rng::Prng;
 use crate::shape::{as_rows_cols, fmt_shape, numel};
 use crate::shard::ShardedTable;
 use crate::tensor::Tensor;
+use crate::timers::{KernelSpan, KernelTimers};
+use std::sync::Arc;
 
 /// Handle to a node on the tape. Cheap to copy; only valid for the graph
 /// that produced it.
@@ -139,6 +141,10 @@ pub struct Graph<'s> {
     /// ordinary graphs. Gathers from shards are bit-identical to gathers
     /// from the store-resident table.
     row_shards: Vec<(ParamId, ShardedTable)>,
+    /// Optional wall-clock sink for the heavy kernels (GEMM, conv1d,
+    /// embedding gather). `None` — the default — skips every clock read;
+    /// timing is observation only and never changes computed values.
+    kernel_timers: Option<Arc<dyn KernelTimers>>,
 }
 
 impl<'s> Graph<'s> {
@@ -154,6 +160,7 @@ impl<'s> Graph<'s> {
             rng: Prng::new(seed),
             threads: 1,
             row_shards: Vec::new(),
+            kernel_timers: None,
         }
     }
 
@@ -170,6 +177,7 @@ impl<'s> Graph<'s> {
             rng: Prng::new(0),
             threads: 1,
             row_shards: Vec::new(),
+            kernel_timers: None,
         }
     }
 
@@ -195,6 +203,13 @@ impl<'s> Graph<'s> {
     /// least 1). Outputs are bit-identical at any setting.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Report the wall-clock duration of each heavy kernel execution (GEMM,
+    /// 1-D convolution, embedding gather) to `sink`. `None` detaches the
+    /// sink; a sinkless graph reads no clock at all.
+    pub fn set_kernel_timers(&mut self, sink: Option<Arc<dyn KernelTimers>>) {
+        self.kernel_timers = sink;
     }
 
     /// Intra-op thread count kernels launched from this graph may use.
@@ -456,6 +471,8 @@ impl<'s> Graph<'s> {
     /// GEMM; the pack scratch is recycled through the buffer pool on
     /// inference graphs so the serving hot path stays allocation-free.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let timers = self.kernel_timers.clone();
+        let _timer = KernelSpan::start(timers.as_ref(), "matmul");
         assert_eq!(self.nodes[a.0].value.ndim(), 2, "matmul lhs must be 2-D");
         assert_eq!(self.nodes[b.0].value.ndim(), 2, "matmul rhs must be 2-D");
         let (m, k) = {
@@ -667,6 +684,8 @@ impl<'s> Graph<'s> {
     /// Embedding lookup. `table` must be a `[vocab, emb]` parameter; `ids`
     /// has `batch * seq` entries; the output is `[batch, seq, emb]`.
     pub fn embedding(&mut self, table: ParamId, ids: &[u32], batch: usize, seq: usize) -> Var {
+        let timers = self.kernel_timers.clone();
+        let _timer = KernelSpan::start(timers.as_ref(), "embedding");
         assert_eq!(ids.len(), batch * seq, "embedding: ids length mismatch");
         // Shard-served tables gather from the external read-only shards and
         // never touch the store's value (which sharded serving leaves empty).
@@ -824,6 +843,8 @@ impl<'s> Graph<'s> {
     /// * `bias`: `[out_channels]`
     /// * output: `[b, s - k + 1, out_channels]`
     pub fn conv1d(&mut self, x: Var, weight: Var, bias: Var) -> Var {
+        let timers = self.kernel_timers.clone();
+        let _timer = KernelSpan::start(timers.as_ref(), "conv1d");
         let (b, s, d, oc, k) = {
             let xv = &self.nodes[x.0].value;
             let wv = &self.nodes[weight.0].value;

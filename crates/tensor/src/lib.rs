@@ -36,9 +36,11 @@ pub mod rng;
 pub mod shape;
 pub mod shard;
 pub mod tensor;
+pub mod timers;
 
 pub use graph::{Graph, Var};
 pub use params::{Param, ParamId, ParamStore};
 pub use pool::BufferPool;
 pub use shard::ShardedTable;
 pub use tensor::Tensor;
+pub use timers::{KernelSpan, KernelTimers};

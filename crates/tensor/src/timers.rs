@@ -1,0 +1,80 @@
+//! Optional wall-clock timing hooks for the heavy compute kernels.
+//!
+//! A serving process that wants per-kernel latency telemetry registers a
+//! [`KernelTimers`] sink on its inference graphs via
+//! [`crate::Graph::set_kernel_timers`]; the graph then reports the wall-clock
+//! duration of each heavy op (GEMM, 1-D convolution, embedding gather) to the
+//! sink as it executes. Timing is observation only — it never changes what a
+//! kernel computes, so the engine's bit-exactness contract is untouched — and
+//! a graph without a sink (the default) pays nothing: no `Instant::now`
+//! calls, no atomics, no allocation.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A sink for per-kernel wall-clock durations. Implementations must be cheap
+/// and lock-free on the record path (the serving telemetry registry backs
+/// this with atomic log-bucketed histograms).
+pub trait KernelTimers: Send + Sync {
+    /// Record that one execution of `kernel` (a static name like `"matmul"`)
+    /// took `ns` wall-clock nanoseconds.
+    fn record(&self, kernel: &'static str, ns: u64);
+}
+
+/// RAII span that reports the elapsed wall clock of a kernel execution to an
+/// optional sink on drop. With no sink attached, constructing and dropping
+/// the guard is free (no clock read).
+pub struct KernelSpan<'a> {
+    armed: Option<(&'a dyn KernelTimers, &'static str, Instant)>,
+}
+
+impl<'a> KernelSpan<'a> {
+    /// Start timing `kernel`, reading the clock only when a sink is present.
+    pub fn start(sink: Option<&'a Arc<dyn KernelTimers>>, kernel: &'static str) -> Self {
+        Self {
+            armed: sink.map(|s| (s.as_ref(), kernel, Instant::now())),
+        }
+    }
+}
+
+impl Drop for KernelSpan<'_> {
+    fn drop(&mut self) {
+        if let Some((sink, kernel, started)) = self.armed.take() {
+            sink.record(kernel, started.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct Counting {
+        calls: AtomicU64,
+        total_ns: AtomicU64,
+    }
+
+    impl KernelTimers for Counting {
+        fn record(&self, _kernel: &'static str, ns: u64) {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn span_records_once_per_drop_and_only_when_armed() {
+        let sink = Arc::new(Counting::default());
+        let dyn_sink: Arc<dyn KernelTimers> = sink.clone();
+        {
+            let _span = KernelSpan::start(Some(&dyn_sink), "matmul");
+            std::hint::black_box(());
+        }
+        assert_eq!(sink.calls.load(Ordering::Relaxed), 1);
+        {
+            let _span = KernelSpan::start(None, "matmul");
+        }
+        assert_eq!(sink.calls.load(Ordering::Relaxed), 1, "no sink, no record");
+    }
+}

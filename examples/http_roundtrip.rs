@@ -17,7 +17,8 @@ use dtdbd_models::{FakeNewsModel, ModelConfig, TextCnnModel};
 use dtdbd_serve::http::HttpClient;
 use dtdbd_serve::json::{self, Json};
 use dtdbd_serve::{
-    session_from_checkpoint, BatchingConfig, Checkpoint, HttpConfig, HttpServer, PredictServer,
+    prom, session_from_checkpoint, Checkpoint, DomainBaseline, HttpConfig, HttpServer,
+    ServerBuilder,
 };
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
@@ -53,7 +54,7 @@ fn main() {
     Checkpoint::capture(&model, &store)
         .save(&path)
         .expect("save checkpoint");
-    let checkpoint = Checkpoint::load(&path).expect("load checkpoint");
+    let mut checkpoint = Checkpoint::load(&path).expect("load checkpoint");
     std::fs::remove_file(&path).ok();
     println!(
         "checkpoint round trip: arch={} params={}",
@@ -83,15 +84,24 @@ fn main() {
         })
         .collect();
 
-    // 4. Serve the same requests over real TCP.
-    let predict = PredictServer::start(
-        BatchingConfig {
-            max_batch_size: 32,
-            max_wait: Duration::from_millis(2),
-            workers: 2,
-        },
-        |_| session_from_checkpoint(&checkpoint).expect("restore"),
+    // 3.5. Freeze the reference prediction distribution into the checkpoint
+    //      as the drift baseline — the serving side below auto-wires it.
+    let baseline = DomainBaseline::from_observations(
+        reference_session.encoder().n_domains(),
+        requests
+            .iter()
+            .zip(&reference)
+            .map(|(request, &prob)| (request.domain, prob)),
     );
+    checkpoint.set_telemetry_baseline(&baseline);
+
+    // 4. Serve the same requests over real TCP.
+    let predict = ServerBuilder::new()
+        .workers(2)
+        .max_batch_size(32)
+        .max_wait(Duration::from_millis(2))
+        .try_start_from_checkpoint(&checkpoint)
+        .expect("serve the checkpoint");
     let server = HttpServer::start(predict, HttpConfig::default()).expect("bind");
     let addr = server.local_addr();
     println!("listening on http://{addr}");
@@ -166,8 +176,58 @@ fn main() {
     );
     println!("round trip OK: train -> save -> load -> HTTP serve is bit-exact.");
 
-    // 6. Graceful teardown: the listener joins its threads, then drains the
+    // 6. Observability: the /metrics page must satisfy the strict exposition
+    //    lint, carry the traffic just sent, and — because the checkpoint
+    //    shipped a baseline of these very predictions — show (near-)zero
+    //    drift. /stats exposes the same as JSON quantiles.
+    let mut probe = HttpClient::connect(addr).expect("connect");
+    let scrape = probe.get("/metrics").expect("scrape /metrics");
+    assert_eq!(scrape.status, 200);
+    prom::lint(&scrape.body).expect("/metrics fails the exposition lint");
+    assert!(
+        scrape
+            .body
+            .contains(&format!("dtdbd_requests_served_total {n_requests}")),
+        "metrics page missing the served-request counter"
+    );
+    assert!(
+        scrape.body.contains("dtdbd_stage_latency_seconds_bucket"),
+        "metrics page missing the stage histograms"
+    );
+    assert!(
+        scrape.body.contains("dtdbd_domain_drift_score"),
+        "metrics page missing the drift scores"
+    );
+    let stats = probe.get("/stats").expect("/stats").json().expect("JSON");
+    let inference = stats
+        .get("stages")
+        .and_then(|s| s.get("inference"))
+        .expect("per-stage quantiles in /stats");
+    println!(
+        "telemetry OK: /metrics lints, inference p99 {:.1}us over {} samples",
+        inference.get("p99_us").and_then(Json::as_f64).unwrap(),
+        inference.get("count").and_then(Json::as_u64).unwrap(),
+    );
+
+    // 7. Graceful teardown: readiness drops first (load balancers stop
+    //    routing), then the listener joins its threads and drains the
     //    micro-batching core.
+    assert_eq!(probe.get("/readyz").expect("/readyz").status, 200);
+    server.begin_drain();
+    assert_eq!(
+        probe.get("/readyz").expect("/readyz while draining").status,
+        503,
+        "readiness must drop once draining starts"
+    );
+    assert_eq!(
+        probe
+            .get("/healthz")
+            .expect("/healthz while draining")
+            .status,
+        200,
+        "liveness must survive draining"
+    );
+    drop(probe);
     server.shutdown();
-    println!("shutdown complete: listener joined, queue drained.");
+    println!("shutdown complete: drained via /readyz, listener joined, queue drained.");
 }

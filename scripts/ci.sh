@@ -15,9 +15,12 @@
 #   4. bench regression gate (scripts/check_bench.sh): re-runs the quick
 #      kernels/serving benches in a throwaway dir and FAILS if throughput
 #      dropped more than BENCH_GATE_TOLERANCE percent (default 15) below the
-#      committed BENCH_kernels.json / BENCH_serving.json baselines; also runs
+#      committed BENCH_kernels.json / BENCH_serving.json baselines, or if the
+#      serving p99 rose more than the tolerance above its baseline; also runs
 #      the sharding bench for its parity assertions and replica-vs-sharded log
-#   5. the http_roundtrip end-to-end example (real TCP serving)
+#   5. the http_roundtrip end-to-end example (real TCP serving; also scrapes
+#      GET /metrics mid-run, holds the page to the strict exposition lint,
+#      and walks the /readyz drain sequence before shutdown)
 #   6. formatting check
 #   7. clippy with warnings promoted to errors
 #
@@ -83,7 +86,7 @@ if [ "$quick" != "1" ]; then
   stage "bench regression gate (kernels/serving vs committed baselines + sharding)" \
     scripts/check_bench.sh
 
-  stage "http_roundtrip example (train -> checkpoint -> serve over TCP)" \
+  stage "http_roundtrip example (train -> checkpoint -> serve over TCP, /metrics lint, /readyz drain)" \
     cargo run --release -q -p dtdbd-bench --example http_roundtrip
 fi
 
