@@ -16,8 +16,8 @@ use dtdbd_metrics::TableBuilder;
 use dtdbd_models::{ModelConfig, TextCnnModel};
 use dtdbd_serve::http::HttpClient;
 use dtdbd_serve::{
-    json, session_from_checkpoint, BatchingConfig, Checkpoint, HttpConfig, HttpServer,
-    ServerBuilder,
+    json, session_from_checkpoint, BatchingConfig, Checkpoint, ConnectionModel, HttpConfig,
+    HttpServer, ServerBuilder,
 };
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
@@ -51,6 +51,44 @@ struct TelemetryCost {
     on_req_per_sec: f64,
     off_req_per_sec: f64,
     overhead_pct: f64,
+}
+
+/// The c1024 mostly-idle keep-alive level: every connection held open for
+/// the whole level, a rotating few actually carrying a request at any
+/// instant — the load-balancer-in-front shape the epoll front-end exists
+/// for. Memory is resident-set KB read from `/proc/self/status`, sampled
+/// before the first connect and with all connections open.
+struct IdleKeepAliveResult {
+    connections: usize,
+    requests: usize,
+    p99_ns: f64,
+    req_per_sec: f64,
+    rss_before_kb: u64,
+    rss_open_kb: u64,
+    server_open_connections: u64,
+}
+
+impl IdleKeepAliveResult {
+    fn kb_per_conn(&self) -> f64 {
+        self.rss_open_kb.saturating_sub(self.rss_before_kb) as f64 / self.connections as f64
+    }
+}
+
+/// c1024 per-connection resident-memory budget. An idle server-side
+/// connection is one slab entry plus drained parser/output buffers; the
+/// budget covers both ends of the loopback pair living in this process
+/// with generous slack — the point is catching per-connection threads or
+/// per-connection megabyte buffers, which blow through it immediately.
+const MAX_KB_PER_CONN: f64 = 64.0;
+
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap_or_default()
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 fn main() {
@@ -190,8 +228,63 @@ fn main() {
         telemetry.off_req_per_sec,
     );
 
-    render_table(&results, &batching, &telemetry);
-    let json_out = render_json(&results, &batching, &telemetry);
+    // The c1024 mostly-idle keep-alive level needs the epoll connection
+    // model — the thread-per-connection pool cannot hold a thousand open
+    // sockets — so it gets its own server with deadlines long enough that
+    // an idle-but-healthy connection is never cut mid-level.
+    let keepalive = if ConnectionModel::Epoll.resolved() == "epoll" {
+        eprintln!("[serving_http] c1024 mostly-idle keep-alive level (epoll)...");
+        let predict_ka = ServerBuilder::new()
+            .batching(batching.clone())
+            .threads(INTRA_THREADS)
+            .cache_capacity(0)
+            .start(|_| session_from_checkpoint(&checkpoint).expect("restore"));
+        let server_ka = HttpServer::start(
+            predict_ka,
+            HttpConfig {
+                connection_model: ConnectionModel::Epoll,
+                backlog: 64,
+                read_timeout: Duration::from_secs(120),
+                request_timeout: Duration::from_secs(120),
+                ..HttpConfig::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let addr_ka = server_ka.local_addr();
+        {
+            let mut client = HttpClient::connect(addr_ka).expect("connect");
+            for body in bodies.iter().take(64) {
+                let response = client.post("/predict", body).expect("warmup");
+                assert_eq!(response.status, 200, "{}", response.body);
+            }
+        }
+        let level = run_idle_keepalive_level(addr_ka, &bodies, 1024, requests_per_level);
+        server_ka.shutdown();
+        assert!(
+            level.server_open_connections >= level.connections as u64,
+            "server reports {} open connections with a fleet of {} held open",
+            level.server_open_connections,
+            level.connections
+        );
+        assert!(
+            level.kb_per_conn() < MAX_KB_PER_CONN,
+            "per-connection resident memory {:.1} KB exceeds the {MAX_KB_PER_CONN} KB budget \
+             (rss {} KB -> {} KB across {} connections)",
+            level.kb_per_conn(),
+            level.rss_before_kb,
+            level.rss_open_kb,
+            level.connections
+        );
+        Some(level)
+    } else {
+        eprintln!(
+            "[serving_http] c1024 keep-alive level skipped (epoll unavailable on this platform)"
+        );
+        None
+    };
+
+    render_table(&results, &batching, &telemetry, keepalive.as_ref());
+    let json_out = render_json(&results, &batching, &telemetry, keepalive.as_ref());
     std::fs::write("BENCH_http.json", &json_out).expect("write BENCH_http.json");
     eprintln!("[serving_http] wrote BENCH_http.json");
     server.shutdown();
@@ -239,7 +332,107 @@ fn run_level(
     }
 }
 
-fn render_table(results: &[LoadResult], batching: &BatchingConfig, telemetry: &TelemetryCost) {
+/// Hold `connections` keep-alive connections open simultaneously and push
+/// `total_requests` through a rotating subset, so the vast majority of the
+/// fleet is idle-but-open at any instant. Returns client-observed latency,
+/// throughput and the resident-memory cost of the open fleet.
+fn run_idle_keepalive_level(
+    addr: SocketAddr,
+    bodies: &[String],
+    connections: usize,
+    total_requests: usize,
+) -> IdleKeepAliveResult {
+    let threads = 16;
+    let per_thread = connections / threads;
+    let requests_per_thread = total_requests / threads;
+    let rss_before = rss_kb();
+    // Threads rendezvous twice: once with every connection open (so the
+    // main thread can sample memory and the server-side gauge against the
+    // full fleet), then again to start the measured request phase together.
+    let opened = std::sync::Arc::new(std::sync::Barrier::new(threads + 1));
+    let start = std::sync::Arc::new(std::sync::Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let opened = std::sync::Arc::clone(&opened);
+            let start = std::sync::Arc::clone(&start);
+            let stream: Vec<String> = (0..requests_per_thread)
+                .map(|i| bodies[(t * requests_per_thread + i) % bodies.len()].clone())
+                .collect();
+            std::thread::spawn(move || {
+                let mut clients: Vec<HttpClient> = (0..per_thread)
+                    .map(|_| HttpClient::connect(addr).expect("connect"))
+                    .collect();
+                // Prove every connection is live on the server, not just a
+                // socket in a kernel queue.
+                for client in &mut clients {
+                    let response = client.get("/healthz").expect("healthz");
+                    assert_eq!(response.status, 200);
+                }
+                opened.wait();
+                start.wait();
+                let mut latencies = Vec::with_capacity(stream.len());
+                for (i, body) in stream.iter().enumerate() {
+                    let slot = i % clients.len();
+                    let client = &mut clients[slot];
+                    let t0 = Instant::now();
+                    let response = client.post("/predict", body).expect("request");
+                    latencies.push(t0.elapsed().as_nanos() as f64);
+                    assert_eq!(response.status, 200, "{}", response.body);
+                }
+                latencies
+            })
+        })
+        .collect();
+    opened.wait();
+    let rss_open = rss_kb();
+    let server_open_connections = stats_open_connections(addr);
+    let started = Instant::now();
+    start.wait();
+    let mut samples = Vec::with_capacity(total_requests);
+    for handle in handles {
+        samples.extend(handle.join().expect("client thread"));
+    }
+    let total = started.elapsed().as_secs_f64();
+    IdleKeepAliveResult {
+        connections: threads * per_thread,
+        requests: samples.len(),
+        p99_ns: percentile(&samples, 0.99),
+        req_per_sec: samples.len() as f64 / total,
+        rss_before_kb: rss_before,
+        rss_open_kb: rss_open,
+        server_open_connections,
+    }
+}
+
+/// The server's own `open_connections` gauge from `GET /stats`.
+fn stats_open_connections(addr: SocketAddr) -> u64 {
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let response = client.get("/stats").expect("stats");
+    assert_eq!(response.status, 200);
+    let doc = response.json().expect("stats json");
+    let json::Json::Obj(top) = &doc else {
+        panic!("stats is not an object")
+    };
+    let http = top
+        .iter()
+        .find(|(k, _)| k == "http")
+        .map(|(_, v)| v)
+        .expect("stats.http");
+    let json::Json::Obj(http) = http else {
+        panic!("stats.http is not an object")
+    };
+    match http.iter().find(|(k, _)| k == "open_connections") {
+        Some((_, json::Json::Num(n))) => *n as u64,
+        other => panic!("stats.http.open_connections: {other:?}"),
+    }
+}
+
+fn render_table(
+    results: &[LoadResult],
+    batching: &BatchingConfig,
+    telemetry: &TelemetryCost,
+    keepalive: Option<&IdleKeepAliveResult>,
+) {
     let mut table = TableBuilder::new("Serving — HTTP/1.1 front-end (TextCNN-S, keep-alive)")
         .header(["Concurrency", "Requests", "p50", "p99", "req/sec"]);
     for r in results {
@@ -252,6 +445,15 @@ fn render_table(results: &[LoadResult], batching: &BatchingConfig, telemetry: &T
         ]);
     }
     println!("{}", table.render());
+    if let Some(ka) = keepalive {
+        println!(
+            "(c{} mostly idle, epoll: {:.0} req/sec, p99 {}, {:.1} KB resident per open connection)",
+            ka.connections,
+            ka.req_per_sec,
+            fmt_ns(ka.p99_ns),
+            ka.kb_per_conn()
+        );
+    }
     println!(
         "(server: {} workers, {} intra-op threads, max_batch_size {}, max_wait {:.1} ms)",
         batching.workers,
@@ -278,6 +480,7 @@ fn render_json(
     results: &[LoadResult],
     batching: &BatchingConfig,
     telemetry: &TelemetryCost,
+    keepalive: Option<&IdleKeepAliveResult>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -310,9 +513,24 @@ fn render_json(
         "  \"baseline_pr2\": {{\"c32_req_per_sec\": {PR2_C32_REQ_PER_SEC}, \"speedup_c32\": {c32_speedup:.2}}},\n"
     ));
     out.push_str(&format!(
-        "  \"telemetry\": {{\"c32_req_per_sec_on\": {:.1}, \"c32_req_per_sec_off\": {:.1}, \"overhead_pct\": {:.2}, \"budget_pct\": {MAX_TELEMETRY_OVERHEAD_PCT}}}\n",
+        "  \"telemetry\": {{\"c32_req_per_sec_on\": {:.1}, \"c32_req_per_sec_off\": {:.1}, \"overhead_pct\": {:.2}, \"budget_pct\": {MAX_TELEMETRY_OVERHEAD_PCT}}}",
         telemetry.on_req_per_sec, telemetry.off_req_per_sec, telemetry.overhead_pct
     ));
+    if let Some(ka) = keepalive {
+        out.push_str(",\n");
+        out.push_str(&format!(
+            "  \"keepalive_c1024\": {{\"connections\": {}, \"requests\": {}, \"req_per_sec\": {:.1}, \"p99_us\": {:.2}, \"rss_before_kb\": {}, \"rss_open_kb\": {}, \"kb_per_conn\": {:.2}, \"budget_kb_per_conn\": {MAX_KB_PER_CONN}}}\n",
+            ka.connections,
+            ka.requests,
+            ka.req_per_sec,
+            ka.p99_ns / 1e3,
+            ka.rss_before_kb,
+            ka.rss_open_kb,
+            ka.kb_per_conn()
+        ));
+    } else {
+        out.push('\n');
+    }
     out.push_str("}\n");
     out
 }

@@ -8,6 +8,7 @@
 //! which concrete type is inside.
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::http::{ConnectionModel, HttpConfig, HttpServer};
 use crate::routing::DomainRouting;
 use crate::server::{BatchingConfig, PredictServer, ServerTuning};
 use crate::session::InferenceSession;
@@ -174,14 +175,17 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
-/// Why [`ServerBuilder::try_start_from_checkpoint`] failed: either the
-/// checkpoint could not be restored or the builder configuration is invalid.
+/// Why [`ServerBuilder::try_start_from_checkpoint`] (or one of the
+/// `*_http` variants) failed: the checkpoint could not be restored, the
+/// builder configuration is invalid, or the HTTP listener could not bind.
 #[derive(Debug)]
 pub enum StartError {
     /// Checkpoint decode/restore failure.
     Checkpoint(CheckpointError),
     /// Invalid builder configuration.
     Config(ConfigError),
+    /// The HTTP front-end could not start (bind/listen failure).
+    Io(std::io::Error),
 }
 
 impl fmt::Display for StartError {
@@ -189,6 +193,7 @@ impl fmt::Display for StartError {
         match self {
             Self::Checkpoint(e) => write!(f, "{e}"),
             Self::Config(e) => write!(f, "{e}"),
+            Self::Io(e) => write!(f, "http listener failed to start: {e}"),
         }
     }
 }
@@ -198,7 +203,14 @@ impl std::error::Error for StartError {
         match self {
             Self::Checkpoint(e) => Some(e),
             Self::Config(e) => Some(e),
+            Self::Io(e) => Some(e),
         }
+    }
+}
+
+impl From<std::io::Error> for StartError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
     }
 }
 
@@ -276,6 +288,10 @@ pub fn session_from_checkpoint(
 ///   worker; predictions stay bit-identical (0 = full replicas).
 /// * **`domain_routing`** — pin domains to specialist worker groups with a
 ///   shared fallback queue for everything else.
+/// * **`http` / `http_addr` / `connection_model`** — configuration of the
+///   optional HTTP front-end started by the `*_http` constructors,
+///   including the connection scheduling model (epoll event loop on Linux,
+///   thread-per-connection pool elsewhere).
 ///
 /// ```no_run
 /// # use dtdbd_serve::{Checkpoint, DomainRouting, ServerBuilder};
@@ -293,6 +309,7 @@ pub fn session_from_checkpoint(
 pub struct ServerBuilder {
     batching: BatchingConfig,
     tuning: ServerTuning,
+    http: HttpConfig,
 }
 
 impl Default for ServerBuilder {
@@ -304,11 +321,15 @@ impl Default for ServerBuilder {
 impl ServerBuilder {
     /// A builder with [`BatchingConfig::default`] and the default tuning
     /// (1 intra-op thread, 1024-entry prediction cache in 8 lock
-    /// partitions, full replicas, no routing).
+    /// partitions, full replicas, no routing). The HTTP front-end (only
+    /// started by the `*_http` constructors) defaults to
+    /// [`HttpConfig::default`]: an ephemeral loopback port and
+    /// [`ConnectionModel::Auto`].
     pub fn new() -> Self {
         Self {
             batching: BatchingConfig::default(),
             tuning: ServerTuning::default(),
+            http: HttpConfig::default(),
         }
     }
 
@@ -383,6 +404,35 @@ impl ServerBuilder {
         self
     }
 
+    /// Replace the whole HTTP front-end configuration (bind address,
+    /// connection model, worker/backlog sizing, wire limits, deadlines).
+    /// Only consulted by the `*_http` constructors.
+    pub fn http(mut self, config: HttpConfig) -> Self {
+        self.http = config;
+        self
+    }
+
+    /// Bind address of the HTTP front-end (e.g. `"127.0.0.1:8080"`;
+    /// port 0 picks an ephemeral port). Only consulted by the `*_http`
+    /// constructors.
+    pub fn http_addr(mut self, addr: impl Into<String>) -> Self {
+        self.http.addr = addr.into();
+        self
+    }
+
+    /// How the HTTP front-end schedules connections: a single epoll event
+    /// loop with timer-wheel deadlines ([`ConnectionModel::Epoll`], the
+    /// Linux default) or a thread-per-connection pool
+    /// ([`ConnectionModel::Pool`], the portable fallback and the default
+    /// elsewhere). [`ConnectionModel::Auto`] picks per platform and honours
+    /// the `DTDBD_CONNECTION_MODEL` environment override. Predictions are
+    /// bit-identical under either model — this is a scheduling knob, not a
+    /// semantic one.
+    pub fn connection_model(mut self, model: ConnectionModel) -> Self {
+        self.http.connection_model = model;
+        self
+    }
+
     /// Score live per-domain prediction distributions against this
     /// training-time baseline. [`ServerBuilder::try_start_from_checkpoint`]
     /// wires the checkpoint's own `telemetry.baseline` chunk automatically;
@@ -450,6 +500,36 @@ impl ServerBuilder {
             Ok(server) => Ok(server),
             Err(StartError::Checkpoint(e)) => Err(e),
             Err(StartError::Config(e)) => panic!("invalid server configuration: {e}"),
+            Err(StartError::Io(e)) => {
+                unreachable!("no http listener is started here: {e}")
+            }
         }
+    }
+
+    /// Start the tuned [`PredictServer`] *and* an [`HttpServer`] in front of
+    /// it, configured by [`ServerBuilder::http`] /
+    /// [`ServerBuilder::http_addr`] / [`ServerBuilder::connection_model`].
+    /// The returned front-end owns the predict server; shut it down with
+    /// [`HttpServer::shutdown`].
+    pub fn try_start_http<M, F>(self, factory: F) -> Result<HttpServer, StartError>
+    where
+        M: FakeNewsModel + Send + 'static,
+        F: FnMut(usize) -> InferenceSession<M>,
+    {
+        let http = self.http.clone();
+        let predict = self.try_start(factory)?;
+        Ok(HttpServer::start(predict, http)?)
+    }
+
+    /// Start the predict server from a checkpoint (as
+    /// [`ServerBuilder::try_start_from_checkpoint`]) and an [`HttpServer`]
+    /// in front of it.
+    pub fn try_start_http_from_checkpoint(
+        self,
+        checkpoint: &Checkpoint,
+    ) -> Result<HttpServer, StartError> {
+        let http = self.http.clone();
+        let predict = self.try_start_from_checkpoint(checkpoint)?;
+        Ok(HttpServer::start(predict, http)?)
     }
 }

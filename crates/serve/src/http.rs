@@ -1,11 +1,24 @@
 //! Dependency-free HTTP/1.1 front-end for the micro-batching server.
 //!
-//! [`HttpServer`] puts a real wire in front of [`PredictServer`]: a
-//! `std::net::TcpListener` accept loop feeding a **bounded pool** of
-//! connection-handler threads (`connection_workers` threads behind a
-//! `backlog`-deep hand-off queue; when both are full the acceptor answers
-//! `503` instead of piling up threads). Each connection speaks HTTP/1.1 with
-//! keep-alive, parsed by the incremental [`RequestParser`] below.
+//! [`HttpServer`] puts a real wire in front of [`PredictServer`] through one
+//! of two **connection models** (selected by [`HttpConfig::connection_model`]
+//! / [`crate::ServerBuilder::connection_model`]):
+//!
+//! * **epoll** (Linux default, see [`crate::poll`]) — one event-loop thread
+//!   multiplexes every connection nonblocking through a raw-syscall epoll
+//!   instance; complete requests are handed to `connection_workers`
+//!   dispatcher threads, and both HTTP deadlines live on a
+//!   [`crate::timer::TimerWheel`]. Tens of thousands of mostly-idle
+//!   keep-alive sockets cost a slab slot each, not a thread.
+//! * **pool** (portable fallback, default elsewhere) — a blocking
+//!   `std::net::TcpListener` accept loop feeding a bounded pool of
+//!   connection-handler threads (`connection_workers` threads behind a
+//!   `backlog`-deep hand-off queue; when both are full the acceptor answers
+//!   `503` instead of piling up threads).
+//!
+//! Either way each connection speaks HTTP/1.1 with keep-alive, parsed by the
+//! incremental [`RequestParser`] below, and predictions are **bit-identical**
+//! across models — the model only changes how sockets are scheduled.
 //!
 //! # Wire protocol
 //!
@@ -53,27 +66,101 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+/// How [`HttpServer`] schedules its connections.
+///
+/// | Model | Mechanism | Idle keep-alive cost |
+/// |-------|-----------|----------------------|
+/// | `Epoll` | one event-loop thread, readiness polling ([`crate::poll`]) | a slab slot + a timer-wheel entry |
+/// | `Pool`  | thread-per-connection behind a bounded hand-off queue | a pool thread each |
+///
+/// **Platform defaults:** `Auto` resolves to `Epoll` on Linux
+/// (x86_64/aarch64, where the raw-syscall shims exist) and to `Pool`
+/// everywhere else. The environment variable `DTDBD_CONNECTION_MODEL`
+/// (`"epoll"` or `"pool"`) overrides `Auto` only — an explicit choice in
+/// code wins. Asking for `Epoll` on a platform without epoll support falls
+/// back to `Pool` rather than failing. The resolved model is surfaced in
+/// `/stats` (`http.connection_model`) and `/metrics`
+/// (`dtdbd_http_connection_model`).
+///
+/// Predictions are bit-identical under either model; `connection_workers`
+/// sizes the dispatcher pool (epoll) or the handler pool (pool), and
+/// `backlog` bounds the queued work in front of it either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConnectionModel {
+    /// `DTDBD_CONNECTION_MODEL` if set, else the platform default
+    /// (`Epoll` on supported Linux, `Pool` elsewhere).
+    #[default]
+    Auto,
+    /// Readiness-polling event loop (falls back to `Pool` where
+    /// unsupported).
+    Epoll,
+    /// Thread-per-connection behind the bounded accept pool.
+    Pool,
+}
+
+/// Whether this build carries the epoll backend at all.
+const EPOLL_SUPPORTED: bool = cfg!(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+));
+
+impl ConnectionModel {
+    /// The model a server started with this setting will actually run
+    /// (`"epoll"` or `"pool"`), after the environment override and the
+    /// platform fallback.
+    pub fn resolved(self) -> &'static str {
+        let wanted = match self {
+            ConnectionModel::Epoll => "epoll",
+            ConnectionModel::Pool => "pool",
+            ConnectionModel::Auto => match std::env::var("DTDBD_CONNECTION_MODEL").as_deref() {
+                Ok("pool") => "pool",
+                Ok("epoll") => "epoll",
+                _ => {
+                    if EPOLL_SUPPORTED {
+                        "epoll"
+                    } else {
+                        "pool"
+                    }
+                }
+            },
+        };
+        if wanted == "epoll" && !EPOLL_SUPPORTED {
+            "pool"
+        } else {
+            wanted
+        }
+    }
+}
+
 /// Tuning knobs of the HTTP listener.
 #[derive(Debug, Clone)]
 pub struct HttpConfig {
     /// Bind address; port 0 picks an ephemeral port (see
     /// [`HttpServer::local_addr`]).
     pub addr: String,
-    /// Size of the connection-handler thread pool.
+    /// Connection scheduling: epoll event loop vs thread-per-connection
+    /// pool (see [`ConnectionModel`] for the platform defaults).
+    pub connection_model: ConnectionModel,
+    /// Size of the connection-handler thread pool (pool model) or of the
+    /// dispatcher pool behind the event loop (epoll model).
     pub connection_workers: usize,
-    /// Accepted connections that may wait for a free handler before the
-    /// acceptor starts answering `503`.
+    /// Accepted connections (pool) / parsed requests (epoll) that may wait
+    /// for a free handler before the server starts answering `503`.
     pub backlog: usize,
     /// Largest request head (request line + headers) accepted; `431` beyond.
     pub max_head_bytes: usize,
     /// Largest declared body accepted; `413` beyond.
     pub max_body_bytes: usize,
-    /// Per-read socket timeout; an idle keep-alive connection is closed
-    /// after this long.
+    /// Idle keep-alive deadline: a connection with no request in progress is
+    /// closed after this long without bytes. Under the pool model this is
+    /// also the per-read socket timeout; under epoll it is a timer-wheel
+    /// deadline (granularity 10 ms, never early).
     pub read_timeout: Duration,
     /// Overall deadline for one request to arrive completely (first byte to
-    /// final body byte). Guards the bounded pool against slow-loris clients
-    /// that keep each individual read under `read_timeout`; `408` beyond.
+    /// final body byte). Guards against slow-loris clients that keep each
+    /// individual read under `read_timeout`; `408` beyond. Under epoll this
+    /// also bounds how long a response may sit unflushed against a stalled
+    /// reader (cut without a status — there is no wire left to answer on).
     pub request_timeout: Duration,
 }
 
@@ -81,6 +168,7 @@ impl Default for HttpConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
+            connection_model: ConnectionModel::Auto,
             connection_workers: 8,
             backlog: 32,
             max_head_bytes: 8 * 1024,
@@ -190,6 +278,14 @@ impl RequestParser {
         self.buf.len()
     }
 
+    /// Whether the buffered bytes contain a complete request head
+    /// (`\r\n\r\n` seen). Read-only — the event loop uses it to move a
+    /// connection from reading-head to reading-body without consuming
+    /// anything.
+    pub fn head_complete(&self) -> bool {
+        find_subsequence(&self.buf, HEAD_END).is_some()
+    }
+
     /// Try to parse one complete request out of the buffered bytes.
     pub fn poll(&mut self) -> ParseOutcome {
         let head_len = match find_subsequence(&self.buf, HEAD_END) {
@@ -231,7 +327,22 @@ impl RequestParser {
             });
         }
         let body_start = head_len + HEAD_END.len();
-        let total = body_start + content_length as usize;
+        // The limit check above ran on the raw u64, so the cast below cannot
+        // truncate a hostile near-u64::MAX length on 32-bit targets unless
+        // the limit itself is usize::MAX — and then the checked add still
+        // refuses to wrap the buffer arithmetic.
+        let total = match body_start.checked_add(content_length as usize) {
+            Some(total) => total,
+            None => {
+                return ParseOutcome::Failed(WireError {
+                    status: 413,
+                    code: "body_too_large",
+                    message: format!(
+                        "declared body of {content_length} bytes overflows the buffer"
+                    ),
+                })
+            }
+        };
         if self.buf.len() < total {
             return ParseOutcome::NeedMore;
         }
@@ -389,8 +500,19 @@ fn keep_alive(version: Version, headers: &[(String, String)]) -> bool {
 /// Per-endpoint and per-connection counters surfaced by `GET /stats`.
 #[derive(Debug, Default)]
 pub struct HttpStats {
-    connections: AtomicU64,
-    connections_rejected: AtomicU64,
+    pub(crate) connections: AtomicU64,
+    pub(crate) connections_rejected: AtomicU64,
+    /// Connections currently open (accepted and not yet closed).
+    pub(crate) open_connections: AtomicU64,
+    /// Requests cut at `request_timeout` (slow-loris guard; answered `408`
+    /// while a wire exists, silent close for a stalled response reader).
+    pub(crate) request_timeouts: AtomicU64,
+    /// Idle keep-alive connections closed at `read_timeout`.
+    pub(crate) idle_timeouts: AtomicU64,
+    /// Entries resident in the event loop's timer wheel (a small
+    /// overestimate of live deadlines — lazily cancelled entries linger
+    /// until their tick passes; 0 under the pool model).
+    pub(crate) timers_armed: AtomicU64,
     predict_calls: AtomicU64,
     items_predicted: AtomicU64,
     healthz_calls: AtomicU64,
@@ -403,11 +525,11 @@ pub struct HttpStats {
 }
 
 impl HttpStats {
-    fn bump(counter: &AtomicU64) {
+    pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn count_response(&self, status: u16) {
+    pub(crate) fn count_response(&self, status: u16) {
         match status {
             200..=299 => Self::bump(&self.responses_2xx),
             400..=499 => Self::bump(&self.responses_4xx),
@@ -501,12 +623,32 @@ impl HttpStats {
                 "http".into(),
                 Json::Obj(vec![
                     (
+                        "connection_model".into(),
+                        Json::Str(ctx.connection_model.to_string()),
+                    ),
+                    (
                         "connections".into(),
                         num(self.connections.load(Ordering::Relaxed)),
                     ),
                     (
                         "connections_rejected".into(),
                         num(self.connections_rejected.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "open_connections".into(),
+                        num(self.open_connections.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "request_timeouts".into(),
+                        num(self.request_timeouts.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "idle_timeouts".into(),
+                        num(self.idle_timeouts.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "timer_wheel_armed".into(),
+                        num(self.timers_armed.load(Ordering::Relaxed)),
                     ),
                     (
                         "items_predicted".into(),
@@ -551,6 +693,10 @@ impl HttpStats {
                 "drift".into(),
                 Json::Arr(snap.drift.iter().map(drift_json).collect()),
             ));
+            fields.push((
+                "predictions_non_finite".into(),
+                num(snap.predictions_non_finite),
+            ));
         }
         Json::Obj(fields)
     }
@@ -569,18 +715,21 @@ fn drift_json(d: &DomainDrift) -> Json {
     ])
 }
 
-struct Ctx {
-    predict: Arc<PredictServer>,
-    stats: HttpStats,
-    config: HttpConfig,
+pub(crate) struct Ctx {
+    pub(crate) predict: Arc<PredictServer>,
+    pub(crate) stats: HttpStats,
+    pub(crate) config: HttpConfig,
+    /// The model this server resolved to (`"epoll"` or `"pool"`).
+    pub(crate) connection_model: &'static str,
     // Shared with the acceptor AND the connection workers: a busy
     // keep-alive connection checks it between requests so shutdown is
     // never blocked behind a client that keeps the wire warm.
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     // Readiness only (`GET /readyz` answers 503): requests in flight still
     // complete, the listener stays up, `/healthz` keeps saying ok. Lets a
     // load balancer stop routing here before the hard shutdown starts.
-    draining: AtomicBool,
+    // The epoll loop additionally drops its accept interest.
+    pub(crate) draining: AtomicBool,
 }
 
 /// Readiness as `GET /readyz` reports it: not draining, not shut down, and
@@ -595,43 +744,75 @@ fn is_ready(ctx: &Ctx) -> bool {
 pub struct HttpServer {
     ctx: Arc<Ctx>,
     local_addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    backend: Backend,
+}
+
+/// The running connection backend's thread handles.
+enum Backend {
+    Pool {
+        acceptor: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Epoll(crate::poll::EpollBackend),
 }
 
 impl HttpServer {
-    /// Bind `config.addr` and start serving `predict` over HTTP.
+    /// Bind `config.addr` and start serving `predict` over HTTP, under the
+    /// connection model `config.connection_model` resolves to.
     pub fn start(predict: PredictServer, config: HttpConfig) -> io::Result<Self> {
         assert!(config.connection_workers > 0, "need at least one worker");
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let connection_model = config.connection_model.resolved();
         let ctx = Arc::new(Ctx {
             predict: Arc::new(predict),
             stats: HttpStats::default(),
             config,
+            connection_model,
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
         });
+        let backend = match connection_model {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            "epoll" => Backend::Epoll(crate::poll::start(listener, Arc::clone(&ctx))?),
+            _ => Self::start_pool(listener, &ctx),
+        };
+        Ok(Self {
+            ctx,
+            local_addr,
+            backend,
+        })
+    }
 
+    fn start_pool(listener: TcpListener, ctx: &Arc<Ctx>) -> Backend {
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(ctx.config.backlog);
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..ctx.config.connection_workers)
             .map(|_| {
                 let rx = Arc::clone(&rx);
-                let ctx = Arc::clone(&ctx);
+                let ctx = Arc::clone(ctx);
                 thread::spawn(move || loop {
                     // Hold the lock only to pull the next connection.
                     let stream = match rx.lock().expect("hand-off poisoned").recv() {
                         Ok(stream) => stream,
                         Err(_) => return, // acceptor gone and queue drained
                     };
+                    ctx.stats.open_connections.fetch_add(1, Ordering::Relaxed);
                     handle_connection(stream, &ctx);
+                    ctx.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
                 })
             })
             .collect();
 
         let acceptor = {
-            let ctx = Arc::clone(&ctx);
+            let ctx = Arc::clone(ctx);
             thread::spawn(move || {
                 for stream in listener.incoming() {
                     if ctx.shutdown.load(Ordering::SeqCst) {
@@ -660,12 +841,10 @@ impl HttpServer {
             })
         };
 
-        Ok(Self {
-            ctx,
-            local_addr,
+        Backend::Pool {
             acceptor: Some(acceptor),
             workers,
-        })
+        }
     }
 
     /// The bound address (resolves port 0 to the actual ephemeral port).
@@ -679,6 +858,12 @@ impl HttpServer {
         &self.ctx.predict
     }
 
+    /// The connection model actually serving this listener (`"epoll"` or
+    /// `"pool"`), after `Auto` resolution and platform fallback.
+    pub fn connection_model(&self) -> &'static str {
+        self.ctx.connection_model
+    }
+
     /// Stop accepting, join the acceptor and every connection worker, then
     /// drain the wrapped [`PredictServer`] (its [`PredictServer::shutdown`]
     /// runs when the last reference drops here). Dropping the listener calls
@@ -690,12 +875,22 @@ impl HttpServer {
         self.shutdown_impl();
     }
 
-    /// Flip `GET /readyz` to `503` without stopping anything: in-flight and
-    /// new requests still complete and `/healthz` still answers ok, but a
-    /// load balancer polling readiness stops sending traffic here. Call it
-    /// ahead of [`HttpServer::shutdown`] to drain cleanly.
+    /// Flip `GET /readyz` to `503`: in-flight and new requests on open
+    /// connections still complete and `/healthz` still answers ok, but a
+    /// load balancer polling readiness stops sending traffic here. Under
+    /// the epoll model the event loop additionally drops its **accept
+    /// interest** — open state machines run to completion while no new
+    /// connections are admitted. Call it ahead of [`HttpServer::shutdown`]
+    /// to drain cleanly.
     pub fn begin_drain(&self) {
         self.ctx.draining.store(true, Ordering::SeqCst);
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Backend::Epoll(backend) = &self.backend {
+            backend.waker.wake(); // let the loop observe the flag now
+        }
     }
 
     fn shutdown_impl(&mut self) {
@@ -703,14 +898,35 @@ impl HttpServer {
         if self.ctx.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // The acceptor blocks in accept(); a no-op connection wakes it so it
-        // can observe the flag.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        match &mut self.backend {
+            Backend::Pool { acceptor, workers } => {
+                // The acceptor blocks in accept(); a no-op connection wakes
+                // it so it can observe the flag.
+                let _ = TcpStream::connect(self.local_addr);
+                if let Some(acceptor) = acceptor.take() {
+                    let _ = acceptor.join();
+                }
+                for worker in workers.drain(..) {
+                    let _ = worker.join();
+                }
+            }
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backend::Epoll(backend) => {
+                backend.waker.wake();
+                // The loop closes idle connections, finishes in-flight
+                // requests (responses carry `Connection: close`) and exits;
+                // dropping its dispatch channel then releases the
+                // dispatchers.
+                if let Some(event_loop) = backend.event_loop.take() {
+                    let _ = event_loop.join();
+                }
+                for dispatcher in backend.dispatchers.drain(..) {
+                    let _ = dispatcher.join();
+                }
+            }
         }
     }
 }
@@ -775,6 +991,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
                 if parser.buffered() > 0 {
                     let started = *request_started.get_or_insert_with(Instant::now);
                     if started.elapsed() > ctx.config.request_timeout {
+                        HttpStats::bump(&ctx.stats.request_timeouts);
                         ctx.stats.count_response(408);
                         let body = error_body("request_timeout", "request took too long to arrive");
                         let _ =
@@ -790,19 +1007,32 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
                         }
                         parser.feed(&chunk[..n]);
                     }
-                    Err(_) => return, // timeout or reset: close quietly
+                    Err(e) => {
+                        // Timeout or reset: close quietly. A read timeout
+                        // with nothing buffered is the idle keep-alive
+                        // deadline.
+                        if parser.buffered() == 0
+                            && matches!(
+                                e.kind(),
+                                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                            )
+                        {
+                            HttpStats::bump(&ctx.stats.idle_timeouts);
+                        }
+                        return;
+                    }
                 }
             }
         }
     }
 }
 
-const CONTENT_TYPE_JSON: &str = "application/json";
+pub(crate) const CONTENT_TYPE_JSON: &str = "application/json";
 const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4";
 
-type Routed = (u16, String, &'static str, Vec<(&'static str, &'static str)>);
+pub(crate) type Routed = (u16, String, &'static str, Vec<(&'static str, &'static str)>);
 
-fn route(request: &HttpRequest, ctx: &Ctx) -> Routed {
+pub(crate) fn route(request: &HttpRequest, ctx: &Ctx) -> Routed {
     match (request.method.as_str(), request.path()) {
         ("POST", "/predict") => {
             HttpStats::bump(&ctx.stats.predict_calls);
@@ -908,6 +1138,53 @@ fn render_metrics(ctx: &Ctx) -> String {
         "dtdbd_http_connections_rejected_total",
         &[],
         load(&http.connections_rejected),
+    );
+    page.family(
+        "dtdbd_http_open_connections",
+        MetricKind::Gauge,
+        "Connections currently open (accepted and not yet closed).",
+    );
+    page.sample(
+        "dtdbd_http_open_connections",
+        &[],
+        load(&http.open_connections),
+    );
+    page.family(
+        "dtdbd_http_connection_model",
+        MetricKind::Gauge,
+        "1 for the connection model serving this listener (epoll or pool).",
+    );
+    page.sample(
+        "dtdbd_http_connection_model",
+        &[("model", ctx.connection_model)],
+        1.0,
+    );
+    page.family(
+        "dtdbd_http_timeouts_total",
+        MetricKind::Counter,
+        "Connections cut by a deadline: kind=request is the slow-loris \
+         request_timeout (408), kind=idle the keep-alive read_timeout.",
+    );
+    for (kind, counter) in [
+        ("request", &http.request_timeouts),
+        ("idle", &http.idle_timeouts),
+    ] {
+        page.sample(
+            "dtdbd_http_timeouts_total",
+            &[("kind", kind)],
+            load(counter),
+        );
+    }
+    page.family(
+        "dtdbd_http_timer_wheel_armed",
+        MetricKind::Gauge,
+        "Entries resident in the event loop's timer wheel, including \
+         lazily-cancelled ones awaiting their tick (0 under the pool model).",
+    );
+    page.sample(
+        "dtdbd_http_timer_wheel_armed",
+        &[],
+        load(&http.timers_armed),
     );
     page.family(
         "dtdbd_http_responses_total",
@@ -1101,6 +1378,17 @@ fn render_metrics(ctx: &Ctx) -> String {
         }
 
         page.family(
+            "dtdbd_predictions_non_finite_total",
+            MetricKind::Counter,
+            "Predictions whose probability was NaN or infinite; counted here \
+             and excluded from the drift buckets and mean-shift.",
+        );
+        page.sample(
+            "dtdbd_predictions_non_finite_total",
+            &[("arch", arch)],
+            snap.predictions_non_finite as f64,
+        );
+        page.family(
             "dtdbd_domain_predictions_total",
             MetricKind::Counter,
             "Predictions observed per domain by the drift tracker.",
@@ -1235,7 +1523,7 @@ fn predict_all(encoded: Vec<EncodedRequest>, ctx: &Ctx) -> Result<Vec<Prediction
         .collect()
 }
 
-fn error_body(code: &str, message: &str) -> String {
+pub(crate) fn error_body(code: &str, message: &str) -> String {
     Json::Obj(vec![
         ("error".into(), Json::Str(code.to_string())),
         ("message".into(), Json::Str(message.to_string())),
@@ -1258,14 +1546,17 @@ fn status_reason(status: u16) -> &'static str {
     }
 }
 
-fn write_response(
-    stream: &mut TcpStream,
+/// Render a complete response — head and body — to one byte buffer. Shared
+/// by the pool backend's blocking writer and the event loop's outgoing
+/// connection buffers, so both models put bit-identical responses on the
+/// wire.
+pub(crate) fn response_bytes(
     status: u16,
     body: &str,
     content_type: &str,
     keep_alive: bool,
     extra_headers: &[(&str, &str)],
-) -> io::Result<()> {
+) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status_reason(status),
@@ -1279,8 +1570,26 @@ fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    content_type: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    stream.write_all(&response_bytes(
+        status,
+        body,
+        content_type,
+        keep_alive,
+        extra_headers,
+    ))?;
     stream.flush()
 }
 
@@ -1532,6 +1841,39 @@ mod tests {
             ParseOutcome::Failed(e) => assert_eq!(e.status, 413),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn a_content_length_near_u64_max_is_rejected_not_truncated() {
+        // Default limits: the pre-cast u64 comparison fires long before any
+        // usize arithmetic could truncate or wrap.
+        assert_failed(
+            b"POST / HTTP/1.1\r\nContent-Length: 18446744073709551615\r\n\r\n",
+            413,
+            "body_too_large",
+        );
+        // With the body budget wide open the limit check passes and the
+        // checked add is the last line of defence against overflow.
+        let mut parser = RequestParser::new(1024, usize::MAX);
+        parser.feed(b"POST / HTTP/1.1\r\nContent-Length: 18446744073709551615\r\n\r\n");
+        match parser.poll() {
+            ParseOutcome::Failed(e) => {
+                assert_eq!((e.status, e.code), (413, "body_too_large"), "{}", e.message)
+            }
+            other => panic!("expected Failed(413), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn head_complete_tracks_the_blank_line_without_consuming() {
+        let mut parser = RequestParser::new(1024, 1024);
+        parser.feed(b"POST / HTTP/1.1\r\nContent-Length: 4\r\n");
+        assert!(!parser.head_complete());
+        parser.feed(b"\r\n");
+        assert!(parser.head_complete());
+        parser.feed(b"body");
+        assert!(matches!(parser.poll(), ParseOutcome::Request(_)));
+        assert!(!parser.head_complete(), "head consumed with its request");
     }
 
     #[test]
@@ -1869,24 +2211,37 @@ mod tests {
         assert!(client.join().unwrap(), "client never saw the close");
     }
 
-    #[test]
-    fn slow_loris_requests_hit_the_overall_deadline() {
-        let ds = dataset();
-        let cfg = ModelConfig::tiny(&ds);
+    fn start_http_as(ds: &MultiDomainDataset, config: HttpConfig) -> HttpServer {
+        let cfg = ModelConfig::tiny(ds);
         let predict = PredictServer::start(BatchingConfig::default(), |_| {
             let mut store = ParamStore::new();
             let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
             InferenceSession::new(model, store)
         });
-        let server = HttpServer::start(
-            predict,
+        HttpServer::start(predict, config).expect("bind ephemeral port")
+    }
+
+    fn stats_u64(server: &HttpServer, field: &str) -> u64 {
+        let mut probe = HttpClient::connect(server.local_addr()).unwrap();
+        let doc = probe.get("/stats").unwrap().json().unwrap();
+        doc.get("http")
+            .unwrap()
+            .get(field)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing http.{field}"))
+    }
+
+    fn slow_loris_is_cut_at_request_timeout(model: ConnectionModel) {
+        let ds = dataset();
+        let server = start_http_as(
+            &ds,
             HttpConfig {
+                connection_model: model,
                 read_timeout: Duration::from_millis(500),
                 request_timeout: Duration::from_millis(100),
                 ..HttpConfig::default()
             },
-        )
-        .unwrap();
+        );
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
         stream
             .set_read_timeout(Some(Duration::from_secs(10)))
@@ -1903,6 +2258,112 @@ mod tests {
         let _ = stream.read_to_end(&mut response);
         let text = String::from_utf8_lossy(&response);
         assert!(text.starts_with("HTTP/1.1 408"), "{text:?}");
+        assert!(stats_u64(&server, "request_timeouts") >= 1);
+    }
+
+    #[test]
+    fn slow_loris_requests_hit_the_overall_deadline_under_epoll() {
+        // On platforms without the epoll backend this resolves to the pool
+        // model — the deadline semantics are identical either way.
+        slow_loris_is_cut_at_request_timeout(ConnectionModel::Epoll);
+    }
+
+    #[test]
+    fn slow_loris_requests_hit_the_overall_deadline_under_pool() {
+        slow_loris_is_cut_at_request_timeout(ConnectionModel::Pool);
+    }
+
+    fn idle_keep_alive_is_cut_at_read_timeout(model: ConnectionModel) {
+        let ds = dataset();
+        let server = start_http_as(
+            &ds,
+            HttpConfig {
+                connection_model: model,
+                read_timeout: Duration::from_millis(150),
+                request_timeout: Duration::from_secs(5),
+                ..HttpConfig::default()
+            },
+        );
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut buf = [0u8; 2048];
+        let n = stream.read(&mut buf).unwrap();
+        assert!(
+            String::from_utf8_lossy(&buf[..n]).starts_with("HTTP/1.1 200"),
+            "first request answered"
+        );
+        // Go idle: the server must cut the connection at read_timeout —
+        // promptly, but never before the deadline.
+        let t0 = Instant::now();
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap(); // EOF, not a reset
+        let cut_after = t0.elapsed();
+        assert!(
+            cut_after < Duration::from_secs(5),
+            "idle connection survived {cut_after:?}"
+        );
+        assert!(
+            cut_after >= Duration::from_millis(100),
+            "cut {cut_after:?} in, before the idle deadline"
+        );
+        assert!(stats_u64(&server, "idle_timeouts") >= 1);
+    }
+
+    #[test]
+    fn idle_keep_alive_connections_are_cut_under_epoll() {
+        idle_keep_alive_is_cut_at_read_timeout(ConnectionModel::Epoll);
+    }
+
+    #[test]
+    fn idle_keep_alive_connections_are_cut_under_pool() {
+        idle_keep_alive_is_cut_at_read_timeout(ConnectionModel::Pool);
+    }
+
+    #[test]
+    fn epoll_holds_many_idle_connections_above_its_dispatcher_count() {
+        if ConnectionModel::Epoll.resolved() != "epoll" {
+            return; // no epoll backend on this platform
+        }
+        let ds = dataset();
+        // 2 dispatchers, 50 concurrent keep-alive connections: under the
+        // pool model this count would exhaust the handler threads.
+        let server = start_http_as(
+            &ds,
+            HttpConfig {
+                connection_model: ConnectionModel::Epoll,
+                connection_workers: 2,
+                read_timeout: Duration::from_secs(30),
+                ..HttpConfig::default()
+            },
+        );
+        let mut clients: Vec<HttpClient> = (0..50)
+            .map(|_| HttpClient::connect(server.local_addr()).unwrap())
+            .collect();
+        for client in &mut clients {
+            assert_eq!(client.get("/healthz").unwrap().status, 200);
+        }
+        let doc = clients[0].get("/stats").unwrap().json().unwrap();
+        let http = doc.get("http").unwrap();
+        assert_eq!(
+            http.get("connection_model").and_then(Json::as_str),
+            Some("epoll")
+        );
+        let open = http.get("open_connections").and_then(Json::as_u64).unwrap();
+        assert!(open >= 50, "only {open} connections open");
+        let armed = http
+            .get("timer_wheel_armed")
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(armed >= 1, "idle deadlines should sit on the wheel");
+        // Every connection is still serviced on a second round.
+        for client in &mut clients {
+            assert_eq!(client.get("/healthz").unwrap().status, 200);
+        }
     }
 
     #[test]

@@ -51,12 +51,18 @@ pub mod cache;
 pub mod checkpoint;
 pub mod http;
 pub mod json;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub(crate) mod poll;
 pub mod prom;
 pub mod routing;
 pub mod server;
 pub mod session;
 pub mod shards;
 pub mod telemetry;
+pub mod timer;
 
 /// The little-endian byte codec behind the checkpoint format. It moved to
 /// `dtdbd-models` (models encode their own side-state chunks with it) and is
@@ -70,7 +76,7 @@ pub use builder::{
 pub use cache::{CacheKey, CacheStats, PredictionCache, ShardedPredictionCache};
 pub use checkpoint::{Checkpoint, CheckpointError, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
 pub use dtdbd_models::{SideState, SideStateError};
-pub use http::{ClientResponse, HttpClient, HttpConfig, HttpServer};
+pub use http::{ClientResponse, ConnectionModel, HttpClient, HttpConfig, HttpServer};
 pub use routing::DomainRouting;
 pub use server::{BatchingConfig, PredictServer, PredictionHandle, RoutingStats, ServingStats};
 pub use session::{InferenceSession, Prediction};

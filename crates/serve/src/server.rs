@@ -708,10 +708,11 @@ fn worker_loop<M: FakeNewsModel>(
         let predictions = session.predict_requests(&requests);
         if let Some(started) = inference_started {
             // Pro-rata attribution: a batch of n splits its forward-pass
-            // time evenly over its n requests.
+            // time evenly over its n requests, remainder to the last one so
+            // the recorded stage sum matches the measured span exactly.
             let total_ns = started.elapsed().as_nanos() as u64;
             let n = jobs.len() as u64;
-            trace.record_worker_many_ns(worker_id, Stage::Inference, total_ns / n, n);
+            trace.record_worker_batch_ns(worker_id, Stage::Inference, total_ns, n);
             for (job, prediction) in jobs.iter().zip(predictions.iter()) {
                 trace.observe_prediction(job.request.domain(), prediction.fake_prob);
             }

@@ -66,7 +66,9 @@ pub enum Stage {
     /// Prediction-cache lookup on the submit path.
     CacheLookup,
     /// The forward pass, attributed pro-rata: a batch of `n` records
-    /// `total / n` for each of its `n` requests.
+    /// `total / n` for each of its `n` requests, with the integer-division
+    /// remainder attributed to the last request so the stage sum reconciles
+    /// exactly with the measured span.
     Inference,
     /// Serializing and writing the HTTP response.
     ResponseWrite,
@@ -180,6 +182,26 @@ impl LatencyHistogram {
         self.count.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Split a measured batch span of `total_ns` over its `n` items:
+    /// `n - 1` observations of `total_ns / n` plus one of `total_ns / n`
+    /// **plus the division remainder**, so the recorded sum equals
+    /// `total_ns` exactly (plain `record_many_ns(total/n, n)` would lose up
+    /// to `n - 1` ns per batch and the stage sums would drift from the
+    /// measured spans).
+    pub fn record_batch_ns(&self, total_ns: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let each = total_ns / n;
+        let last = each + total_ns % n;
+        if n > 1 {
+            self.buckets[latency_bucket(each)].fetch_add(n - 1, Ordering::Relaxed);
+        }
+        self.buckets[latency_bucket(last)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(total_ns, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Copy the current counters out. Individual loads are `Relaxed`, so a
     /// snapshot taken under concurrent recording may be mid-request by one
     /// count — fine for monitoring, and exact once recording quiesces.
@@ -282,6 +304,10 @@ impl StageSet {
         self.stages[stage.index()].record_many_ns(ns_each, n);
     }
 
+    fn record_batch(&self, stage: Stage, total_ns: u64, n: u64) {
+        self.stages[stage.index()].record_batch_ns(total_ns, n);
+    }
+
     fn snapshot(&self) -> Vec<(Stage, HistogramSnapshot)> {
         Stage::ALL
             .iter()
@@ -352,6 +378,12 @@ impl Telemetry {
         }
     }
 
+    fn record_worker_batch(&self, worker: usize, stage: Stage, total_ns: u64, n: u64) {
+        if let Some(set) = self.workers.get(worker) {
+            set.record_batch(stage, total_ns, n);
+        }
+    }
+
     /// Copy every counter out for rendering (`/stats`, `/metrics`).
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let mut recorders = Vec::with_capacity(self.workers.len() + 1);
@@ -370,6 +402,7 @@ impl Telemetry {
             recorders,
             kernels,
             drift: self.drift.scores(),
+            predictions_non_finite: self.drift.non_finite_count(),
         }
     }
 }
@@ -396,6 +429,9 @@ pub struct TelemetrySnapshot {
     pub kernels: Vec<(&'static str, HistogramSnapshot)>,
     /// Per-domain drift scores.
     pub drift: Vec<DomainDrift>,
+    /// Predictions rejected from drift tracking for a NaN/infinite
+    /// probability.
+    pub predictions_non_finite: u64,
 }
 
 impl TelemetrySnapshot {
@@ -477,6 +513,15 @@ impl TraceContext {
         }
     }
 
+    /// Attribute a measured batch span of `total_ns` pro-rata over `n`
+    /// items, giving the division remainder to the last item so the
+    /// recorded stage sum equals `total_ns` exactly.
+    pub fn record_worker_batch_ns(&self, worker: usize, stage: Stage, total_ns: u64, n: u64) {
+        if let Some(t) = self.telemetry.as_deref() {
+            t.record_worker_batch(worker, stage, total_ns, n);
+        }
+    }
+
     /// Feed one served prediction into the drift tracker.
     pub fn observe_prediction(&self, domain: usize, fake_prob: f32) {
         if let Some(t) = self.telemetry.as_deref() {
@@ -537,8 +582,15 @@ impl DomainStats {
     }
 }
 
-/// Bucket of a fake-probability in the drift histograms.
+/// Bucket of a fake-probability in the drift histograms. Callers must have
+/// screened out non-finite probabilities: `NaN.clamp(...)` stays NaN and the
+/// `as usize` cast would silently send it to bucket 0, skewing the
+/// total-variation score toward the lowest bucket.
 fn prob_bucket(p: f32) -> usize {
+    debug_assert!(
+        p.is_finite(),
+        "non-finite probabilities are counted, not bucketed"
+    );
     ((p.clamp(0.0, 1.0) * DRIFT_BUCKETS as f32) as usize).min(DRIFT_BUCKETS - 1)
 }
 
@@ -553,6 +605,9 @@ impl DomainBaseline {
     {
         let mut domains = vec![DomainStats::default(); n_domains];
         for (domain, prob) in observations {
+            if !prob.is_finite() {
+                continue; // a NaN would silently land in bucket 0
+            }
             if let Some(stats) = domains.get_mut(domain) {
                 stats.count += 1;
                 stats.sum += f64::from(prob.clamp(0.0, 1.0));
@@ -646,6 +701,11 @@ struct LiveDomain {
 pub struct DriftTracker {
     live: Vec<LiveDomain>,
     baseline: Option<DomainBaseline>,
+    /// Predictions whose probability was NaN or infinite: counted here
+    /// (surfaced in `/stats` and `/metrics`) and **excluded** from the
+    /// buckets and the mean, where a silent `as usize` cast used to fold
+    /// them into bucket 0.
+    non_finite: AtomicU64,
 }
 
 /// Drift scores of one domain, as surfaced in `/stats` and `/metrics`.
@@ -678,6 +738,7 @@ impl DriftTracker {
         Self {
             live: (0..n_domains).map(|_| LiveDomain::default()).collect(),
             baseline,
+            non_finite: AtomicU64::new(0),
         }
     }
 
@@ -692,8 +753,14 @@ impl DriftTracker {
     }
 
     /// Record one served prediction (lock-free; out-of-range domains are
-    /// ignored — the encoder already rejects them at the wire).
+    /// ignored — the encoder already rejects them at the wire). A NaN or
+    /// infinite probability only bumps the non-finite counter: it must not
+    /// skew the distribution it failed to be part of.
     pub fn observe(&self, domain: usize, fake_prob: f32) {
+        if !fake_prob.is_finite() {
+            self.non_finite.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         if let Some(cell) = self.live.get(domain) {
             let p = fake_prob.clamp(0.0, 1.0);
             cell.count.fetch_add(1, Ordering::Relaxed);
@@ -701,6 +768,11 @@ impl DriftTracker {
                 .fetch_add((f64::from(p) * 1e6).round() as u64, Ordering::Relaxed);
             cell.buckets[prob_bucket(p)].fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Predictions rejected for a non-finite probability.
+    pub fn non_finite_count(&self) -> u64 {
+        self.non_finite.load(Ordering::Relaxed)
     }
 
     /// Score every domain's live distribution against the baseline.
@@ -809,6 +881,82 @@ mod tests {
         assert_eq!(HistogramSnapshot::empty().quantile_ns(0.5), 0.0);
         let mean = snap.mean_ns();
         assert!((mean - (90.0 * 1_000.0 + 10.0 * 1_000_000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_attribution_reconciles_exactly_with_the_measured_span() {
+        // total not divisible by n: plain pro-rata would record
+        // (total / n) * n and lose the remainder every batch.
+        for (total, n) in [(10_007u64, 8u64), (999, 7), (5, 3), (42, 1), (0, 4)] {
+            let h = LatencyHistogram::new();
+            h.record_batch_ns(total, n);
+            let snap = h.snapshot();
+            assert_eq!(snap.count, n, "batch of {n} counts {n} observations");
+            assert_eq!(
+                snap.sum_ns, total,
+                "recorded sum must equal the measured {total}ns span exactly"
+            );
+        }
+        // Accumulated over many batches the sums still reconcile exactly.
+        let h = LatencyHistogram::new();
+        let mut expected = 0u64;
+        for batch in 1..=100u64 {
+            let total = batch * 1_000 + 3; // never divisible by 8
+            h.record_batch_ns(total, 8);
+            expected += total;
+        }
+        assert_eq!(h.snapshot().sum_ns, expected);
+        // n == 0 records nothing at all.
+        let h = LatencyHistogram::new();
+        h.record_batch_ns(1_000, 0);
+        assert_eq!(h.snapshot().count, 0);
+        assert_eq!(h.snapshot().sum_ns, 0);
+        // End to end through the worker-side trace handle.
+        let t = Telemetry::new("TextCNN-S", 1, 1, None);
+        let ctx = TraceContext::new(Arc::new(t));
+        ctx.record_worker_batch_ns(0, Stage::Inference, 10_007, 8);
+        let snap = ctx.telemetry().unwrap().snapshot();
+        assert_eq!(snap.stage_total(Stage::Inference).count, 8);
+        assert_eq!(snap.stage_total(Stage::Inference).sum_ns, 10_007);
+    }
+
+    #[test]
+    fn non_finite_predictions_are_counted_not_bucketed() {
+        let tracker = DriftTracker::new(1, None);
+        tracker.observe(0, 0.5);
+        tracker.observe(0, f32::NAN);
+        tracker.observe(0, f32::INFINITY);
+        tracker.observe(0, f32::NEG_INFINITY);
+        assert_eq!(tracker.non_finite_count(), 3);
+        let scores = tracker.scores();
+        assert_eq!(
+            scores[0].live_count, 1,
+            "non-finite observations must not join the distribution"
+        );
+        assert!(
+            (scores[0].live_mean.unwrap() - 0.5).abs() < 1e-6,
+            "the mean must exclude the rejected observations"
+        );
+        // The snapshot surfaces the counter for /stats and /metrics.
+        let t = Telemetry::new("TextCNN-S", 1, 1, None);
+        let ctx = TraceContext::new(Arc::new(t));
+        ctx.observe_prediction(0, f32::NAN);
+        ctx.observe_prediction(0, 0.25);
+        let snap = ctx.telemetry().unwrap().snapshot();
+        assert_eq!(snap.predictions_non_finite, 1);
+        assert_eq!(snap.drift[0].live_count, 1);
+    }
+
+    #[test]
+    fn baselines_skip_non_finite_observations() {
+        let base = DomainBaseline::from_observations(
+            1,
+            [(0, 0.2f32), (0, f32::NAN), (0, 0.4), (0, f32::INFINITY)],
+        );
+        let stats = base.domain(0).unwrap();
+        assert_eq!(stats.count, 2);
+        assert!((stats.mean().unwrap() - 0.3).abs() < 1e-6);
+        assert_eq!(stats.buckets.iter().sum::<u64>(), 2);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The epoll event loop ([`crate::poll`]) owns every socket on one thread,
+//! so per-socket `set_read_timeout` no longer applies — a blocking timeout
+//! on a nonblocking socket is meaningless. Instead the loop arms deadlines
+//! here: [`TimerWheel::schedule`] hashes each deadline into a fixed ring of
+//! tick-wide slots, and once per loop iteration [`TimerWheel::expired`]
+//! drains every slot the clock has passed. Deadlines beyond one full
+//! rotation simply stay in their slot and are skipped until their lap comes
+//! around, so the horizon is unbounded while both arming and firing stay
+//! O(1) amortized.
+//!
+//! Cancellation is **lazy**: entries carry an opaque `(token, gen)` pair
+//! chosen by the caller, and the caller bumps its per-connection generation
+//! whenever a deadline is re-armed or cancelled. A fired entry whose
+//! generation no longer matches is simply ignored — the wheel never needs a
+//! lookup structure, and a keep-alive connection re-arming its idle
+//! deadline thousands of times costs one push each time, nothing else.
+//! Stale (cancelled) entries occupy their slot until their tick passes;
+//! [`TimerWheel::armed`] therefore counts *scheduled* entries, a small
+//! overestimate of live deadlines that the `/stats` gauge documents.
+//!
+//! Deadlines never fire early: a deadline is rounded **up** to the next
+//! tick boundary, so the firing error is in `[0, tick)` plus however long
+//! the event loop takes to come around.
+
+use std::time::{Duration, Instant};
+
+/// One scheduled deadline: caller-chosen identity plus its absolute tick.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: u64,
+    gen: u64,
+    deadline_tick: u64,
+}
+
+/// A hashed timer wheel (see the module docs).
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    tick: Duration,
+    started: Instant,
+    /// Next tick index `expired` will inspect.
+    cursor: u64,
+    /// Entries currently resident (live + cancelled-but-unfired).
+    armed: usize,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` tick-wide buckets. `tick` is the firing
+    /// granularity; deadlines land at most one tick late (plus loop
+    /// latency) and never early. `slots * tick` is one rotation — longer
+    /// deadlines are carried over, not rejected.
+    ///
+    /// # Panics
+    /// Panics on a zero `tick` or zero `slots`.
+    pub fn new(tick: Duration, slots: usize) -> Self {
+        assert!(!tick.is_zero(), "tick must be positive");
+        assert!(slots > 0, "need at least one slot");
+        Self {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick,
+            started: Instant::now(),
+            cursor: 0,
+            armed: 0,
+        }
+    }
+
+    /// The wheel's firing granularity.
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    /// Entries resident in the wheel (including lazily cancelled ones that
+    /// have not reached their tick yet).
+    pub fn armed(&self) -> usize {
+        self.armed
+    }
+
+    /// Tick index containing `at` (ticks are half-open `[i*tick, (i+1)*tick)`
+    /// windows since construction).
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.started);
+        (elapsed.as_nanos() / self.tick.as_nanos().max(1)) as u64
+    }
+
+    /// Arm a deadline `after` from `now`, identified by `(token, gen)`.
+    /// Rounded up to the next tick boundary so it never fires early.
+    pub fn schedule(&mut self, now: Instant, after: Duration, token: u64, gen: u64) {
+        let deadline_tick = self.tick_of(now + after) + 1;
+        let slot = (deadline_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry {
+            token,
+            gen,
+            deadline_tick,
+        });
+        self.armed += 1;
+    }
+
+    /// Drain every deadline the clock has passed, returning their
+    /// `(token, gen)` pairs. The caller filters out stale generations.
+    pub fn expired(&mut self, now: Instant) -> Vec<(u64, u64)> {
+        let now_tick = self.tick_of(now);
+        if self.cursor > now_tick {
+            return Vec::new();
+        }
+        if self.armed == 0 {
+            // Nothing can fire; skip the walk entirely.
+            self.cursor = now_tick + 1;
+            return Vec::new();
+        }
+        let mut fired = Vec::new();
+        let n_slots = self.slots.len() as u64;
+        // After a long sleep the cursor may trail by more than one rotation;
+        // every slot only needs one visit since the filter is by absolute
+        // tick, not slot position.
+        let first = if now_tick - self.cursor >= n_slots {
+            now_tick + 1 - n_slots
+        } else {
+            self.cursor
+        };
+        for tick in first..=now_tick {
+            let slot = (tick % n_slots) as usize;
+            let entries = std::mem::take(&mut self.slots[slot]);
+            for e in entries {
+                if e.deadline_tick <= now_tick {
+                    self.armed -= 1;
+                    fired.push((e.token, e.gen));
+                } else {
+                    // A later lap of this slot; carry it over.
+                    self.slots[slot].push(e);
+                }
+            }
+        }
+        self.cursor = now_tick + 1;
+        fired
+    }
+
+    /// How long the event loop may sleep before the next tick with armed
+    /// entries could fire: `None` (sleep forever) when nothing is armed,
+    /// otherwise the time to the next tick boundary, clamped to at least
+    /// 1 ms so a jittery clock cannot spin the loop.
+    pub fn poll_timeout_ms(&self, now: Instant) -> Option<u64> {
+        if self.armed == 0 {
+            return None;
+        }
+        let boundary_ns = (self.tick_of(now) + 1).saturating_mul(self.tick.as_nanos() as u64);
+        let elapsed_ns = now.saturating_duration_since(self.started).as_nanos() as u64;
+        Some((boundary_ns.saturating_sub(elapsed_ns) / 1_000_000).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_millis(10);
+
+    #[test]
+    fn deadlines_fire_after_but_never_before_their_tick() {
+        let mut wheel = TimerWheel::new(T, 16);
+        let t0 = Instant::now();
+        wheel.schedule(t0, Duration::from_millis(25), 7, 1);
+        assert_eq!(wheel.armed(), 1);
+        // Well before the deadline: nothing fires.
+        assert!(wheel.expired(t0 + Duration::from_millis(20)).is_empty());
+        assert_eq!(wheel.armed(), 1);
+        // One tick past the rounded-up deadline: fires exactly once.
+        let fired = wheel.expired(t0 + Duration::from_millis(50));
+        assert_eq!(fired, vec![(7, 1)]);
+        assert_eq!(wheel.armed(), 0);
+        assert!(wheel.expired(t0 + Duration::from_millis(60)).is_empty());
+    }
+
+    #[test]
+    fn long_deadlines_survive_full_rotations() {
+        // 4 slots of 10ms: a 95ms deadline wraps the ring twice.
+        let mut wheel = TimerWheel::new(T, 4);
+        let t0 = Instant::now();
+        wheel.schedule(t0, Duration::from_millis(95), 1, 1);
+        for ms in (10..=80).step_by(10) {
+            assert!(
+                wheel.expired(t0 + Duration::from_millis(ms)).is_empty(),
+                "fired {ms}ms in, far before the 95ms deadline"
+            );
+        }
+        assert_eq!(wheel.expired(t0 + Duration::from_millis(120)), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn a_long_gap_between_polls_fires_everything_once() {
+        let mut wheel = TimerWheel::new(T, 8);
+        let t0 = Instant::now();
+        for i in 0..20u64 {
+            wheel.schedule(t0, Duration::from_millis(5 + i), i, i);
+        }
+        // One poll after a pause much longer than a rotation.
+        let mut fired = wheel.expired(t0 + Duration::from_secs(2));
+        fired.sort_unstable();
+        assert_eq!(fired.len(), 20, "every entry fires exactly once");
+        assert_eq!(fired, (0..20u64).map(|i| (i, i)).collect::<Vec<_>>());
+        assert_eq!(wheel.armed(), 0);
+    }
+
+    #[test]
+    fn generations_pass_through_for_lazy_cancellation() {
+        let mut wheel = TimerWheel::new(T, 16);
+        let t0 = Instant::now();
+        // The caller re-armed: old generation 1 is stale, 2 is live. Both
+        // fire; the caller's generation check tells them apart.
+        wheel.schedule(t0, Duration::from_millis(10), 3, 1);
+        wheel.schedule(t0, Duration::from_millis(30), 3, 2);
+        let first = wheel.expired(t0 + Duration::from_millis(25));
+        assert_eq!(first, vec![(3, 1)]);
+        let second = wheel.expired(t0 + Duration::from_millis(60));
+        assert_eq!(second, vec![(3, 2)]);
+    }
+
+    #[test]
+    fn poll_timeout_tracks_armed_entries() {
+        let mut wheel = TimerWheel::new(T, 16);
+        let t0 = Instant::now();
+        assert_eq!(wheel.poll_timeout_ms(t0), None, "idle wheel sleeps forever");
+        wheel.schedule(t0, Duration::from_millis(50), 1, 1);
+        let ms = wheel.poll_timeout_ms(t0).unwrap();
+        assert!(
+            (1..=T.as_millis() as u64).contains(&ms),
+            "timeout {ms}ms must reach the next tick boundary"
+        );
+        wheel.expired(t0 + Duration::from_millis(100));
+        assert_eq!(wheel.poll_timeout_ms(t0 + Duration::from_millis(100)), None);
+    }
+}

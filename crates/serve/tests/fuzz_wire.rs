@@ -9,9 +9,15 @@
 //! `NeedMore`), never a panic, an unbounded loop, or a success carrying
 //! state that was never sent.**
 
+use dtdbd_data::{weibo21_spec, GeneratorConfig, NewsGenerator};
+use dtdbd_models::{ModelConfig, TextCnnModel};
 use dtdbd_serve::http::{ParseOutcome, RequestParser};
 use dtdbd_serve::json::{self, Json};
+use dtdbd_serve::{ConnectionModel, HttpClient, InferenceSession, ServerBuilder};
 use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::ParamStore;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
 
 const CASES: u64 = 300;
 
@@ -163,6 +169,113 @@ fn http_parser_accepts_unmutated_requests_under_any_chunking() {
             other => panic!("case {case}: {other:?}"),
         }
     }
+}
+
+/// Live-socket fragmentation battery against the event-driven front-end:
+/// the same mutated-and-valid traffic as the in-memory batteries above, but
+/// delivered over real connections in randomized fragments so every chunk
+/// boundary lands in the **nonblocking** read path (epoll model where the
+/// platform has it). The server must answer every well-formed request,
+/// close cleanly on everything else, and stay healthy throughout.
+#[test]
+fn live_server_survives_randomly_fragmented_traffic() {
+    let dataset =
+        NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(4, 0.02);
+    let cfg = ModelConfig::tiny(&dataset);
+    let server = ServerBuilder::new()
+        .workers(1)
+        .connection_model(ConnectionModel::Epoll)
+        .try_start_http(move |_| {
+            let mut store = ParamStore::new();
+            let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
+            InferenceSession::new(model, store)
+        })
+        .expect("http server must start");
+    let addr = server.local_addr();
+
+    const LIVE_CASES: u64 = 60;
+    for case in 0..LIVE_CASES {
+        let mut rng = Prng::new(0x6672_6167 + case);
+        let mut bytes = valid_request_bytes(&mut rng);
+        let mutated = rng.chance(0.5);
+        if mutated {
+            mutate(&mut rng, &mut bytes);
+        }
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .expect("read timeout");
+        // Deliver in fragments of 1..=13 bytes with a pause between them so
+        // each arrives as its own readiness event, not one coalesced read.
+        // A mutant can draw an early 4xx-and-close while fragments are still
+        // in flight; the resulting EPIPE/reset is correct server behaviour,
+        // not a failure — but valid traffic must never see it.
+        let mut sent = 0usize;
+        while sent < bytes.len() {
+            let chunk = (1 + rng.below(13)).min(bytes.len() - sent);
+            match stream.write_all(&bytes[sent..sent + chunk]) {
+                Ok(()) => sent += chunk,
+                Err(e) if mutated => {
+                    let _ = e;
+                    break;
+                }
+                Err(e) => panic!("case {case}: write of valid traffic failed: {e}"),
+            }
+            if rng.chance(0.25) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        // Half-close: the server sees EOF after the last fragment, so even a
+        // mutant whose head never completes is cut promptly, without waiting
+        // out the idle deadline. May race the server's own close; ignore.
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut response = Vec::new();
+        if let Err(e) = stream.read_to_end(&mut response) {
+            assert!(
+                mutated,
+                "case {case}: reading a valid request's response failed: {e}"
+            );
+            // A reset can truncate or wipe the 4xx; connection teardown is
+            // all the contract requires for mutants.
+            continue;
+        }
+        if mutated {
+            // A mutant may still parse (and then must be answered), may draw
+            // a 4xx, or may be cut with nothing on the wire — but whatever
+            // comes back must be a well-formed HTTP response.
+            assert!(
+                response.is_empty() || response.starts_with(b"HTTP/1.1 "),
+                "case {case}: non-HTTP bytes on the wire: {:?}",
+                &response[..response.len().min(32)]
+            );
+        } else {
+            // Wire-valid traffic is always answered. A `POST /predict` whose
+            // generated body happens to be empty is wire-valid but
+            // schema-invalid: the documented answer is `400 bad_json`.
+            let empty_predict = bytes.starts_with(b"POST /predict") && bytes.ends_with(b"\r\n\r\n");
+            let expected: &[u8] = if empty_predict {
+                b"HTTP/1.1 400"
+            } else {
+                b"HTTP/1.1 200"
+            };
+            assert!(
+                response.starts_with(expected),
+                "case {case}: valid request {:?} answered: {:?}",
+                String::from_utf8_lossy(&bytes),
+                String::from_utf8_lossy(&response)
+            );
+        }
+    }
+
+    // The battery must leave the server fully serviceable.
+    let mut client = HttpClient::connect(addr).expect("post-battery connect");
+    let health = client.get("/healthz").expect("post-battery healthz");
+    assert_eq!(health.status, 200, "server unhealthy after the battery");
+    let stats = client.get("/stats").expect("post-battery stats");
+    assert_eq!(stats.status, 200);
+    server.shutdown();
 }
 
 fn random_json(rng: &mut Prng, depth: usize) -> Json {

@@ -9,7 +9,9 @@
 #      corruption + side-state fuzz battery (checkpoint_corruption.rs), the
 #      committed v1/v2 byte-fixture compat pins (compat_fixtures.rs) and the
 #      zoo-wide train->save->load->serve bit-parity test (zoo_roundtrip.rs)
-#      live in crates/serve/tests)
+#      live in crates/serve/tests); on Linux the HTTP integration battery is
+#      then re-run pinned to the thread-per-connection pool model, so both
+#      connection layers (epoll event loop + portable pool) stay covered
 #   3. kernel-parity smoke: the blocked/parallel GEMM must stay bit-identical
 #      to the naive reference on a fixed seed (threads 1/2/4)
 #   4. bench regression gate (scripts/check_bench.sh): re-runs the quick
@@ -78,6 +80,16 @@ fi
 
 stage "cargo test (cross-crate scenarios, wire + checkpoint batteries, compat fixtures, zoo + sharding parity)" \
   cargo test -q --workspace
+
+# On Linux the workspace run above exercised the HTTP battery under the
+# default epoll event loop; re-run it pinned to the portable
+# thread-per-connection pool so both connection models stay bit-parity
+# clean. (Elsewhere the pool is the default and the epoll path doesn't
+# exist, so one run covers everything.)
+if [ "$(uname -s)" = "Linux" ]; then
+  stage "http battery under the pool connection model (DTDBD_CONNECTION_MODEL=pool)" \
+    env DTDBD_CONNECTION_MODEL=pool cargo test -q -p dtdbd-integration --test http
+fi
 
 if [ "$quick" != "1" ]; then
   stage "kernel parity smoke (blocked/parallel GEMM vs naive reference)" \
