@@ -203,7 +203,10 @@ fn bench_server(
             .batching(config.clone())
             .threads(INTRA_THREADS)
             .cache_capacity(cache_capacity)
-            .start(|_| session_from_checkpoint(checkpoint).expect("restore")),
+            .start({
+                let checkpoint = checkpoint.clone();
+                move |_| session_from_checkpoint(&checkpoint).expect("restore")
+            }),
     );
 
     let per_client = total_requests / clients;

@@ -16,8 +16,8 @@ use dtdbd_metrics::TableBuilder;
 use dtdbd_models::{ModelConfig, TextCnnModel};
 use dtdbd_serve::http::HttpClient;
 use dtdbd_serve::{
-    json, session_from_checkpoint, BatchingConfig, Checkpoint, ConnectionModel, HttpConfig,
-    HttpServer, ServerBuilder,
+    json, session_from_checkpoint, BatchingConfig, Checkpoint, ConnectionModel, FaultPlan,
+    HttpConfig, HttpServer, ServerBuilder,
 };
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
@@ -145,11 +145,25 @@ fn main() {
     // pass and the speedup over the PR 2 baseline would conflate cache hits
     // with kernel gains. BENCH_serving.json's "server_cached" entry records
     // the cache win separately.
-    let predict = ServerBuilder::new()
+    // `DTDBD_FAULTS` turns the main measured server into a chaos target: a
+    // seeded plan (e.g. `seed=7;panic=0@100`) exercises supervision under
+    // real wire load. Unset, the hooks compile to no-ops.
+    let mut builder = ServerBuilder::new()
         .batching(batching.clone())
         .threads(INTRA_THREADS)
-        .cache_capacity(0)
-        .start(|_| session_from_checkpoint(&checkpoint).expect("restore"));
+        .cache_capacity(0);
+    match FaultPlan::from_env() {
+        Ok(Some(plan)) => {
+            eprintln!("[serving_http] fault plan from DTDBD_FAULTS: {plan:?}");
+            builder = builder.fault_plan(plan);
+        }
+        Ok(None) => {}
+        Err(e) => panic!("DTDBD_FAULTS: {e}"),
+    }
+    let predict = builder.start({
+        let checkpoint = checkpoint.clone();
+        move |_| session_from_checkpoint(&checkpoint).expect("restore")
+    });
     let server = HttpServer::start(
         predict,
         HttpConfig {
@@ -187,7 +201,10 @@ fn main() {
         .threads(INTRA_THREADS)
         .cache_capacity(0)
         .telemetry(false)
-        .start(|_| session_from_checkpoint(&checkpoint).expect("restore"));
+        .start({
+            let checkpoint = checkpoint.clone();
+            move |_| session_from_checkpoint(&checkpoint).expect("restore")
+        });
     let server_off = HttpServer::start(
         predict_off,
         HttpConfig {
@@ -238,7 +255,10 @@ fn main() {
             .batching(batching.clone())
             .threads(INTRA_THREADS)
             .cache_capacity(0)
-            .start(|_| session_from_checkpoint(&checkpoint).expect("restore"));
+            .start({
+                let checkpoint = checkpoint.clone();
+                move |_| session_from_checkpoint(&checkpoint).expect("restore")
+            });
         let server_ka = HttpServer::start(
             predict_ka,
             HttpConfig {

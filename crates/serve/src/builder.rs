@@ -8,6 +8,7 @@
 //! which concrete type is inside.
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::fault::FaultPlan;
 use crate::http::{ConnectionModel, HttpConfig, HttpServer};
 use crate::routing::DomainRouting;
 use crate::server::{BatchingConfig, PredictServer, ServerTuning};
@@ -442,12 +443,24 @@ impl ServerBuilder {
         self
     }
 
+    /// Inject a deterministic [`FaultPlan`] (see [`crate::fault`]): seeded
+    /// worker panics, slow forward passes, queue stalls, NaN-poisoned
+    /// predictions. Servers built without a plan compile the hooks to
+    /// nothing — the hot path is untouched.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.tuning.fault_plan = Some(plan);
+        self
+    }
+
     /// Start the server with a per-worker session factory, surfacing
     /// misconfiguration as a typed [`ConfigError`] instead of panicking.
+    /// The factory is retained for the lifetime of the server: the
+    /// supervisor calls it again to rebuild a worker's session after a
+    /// panic (hence `Send + 'static`).
     pub fn try_start<M, F>(self, factory: F) -> Result<PredictServer, ConfigError>
     where
         M: FakeNewsModel + Send + 'static,
-        F: FnMut(usize) -> InferenceSession<M>,
+        F: FnMut(usize) -> InferenceSession<M> + Send + 'static,
     {
         PredictServer::start_tuned(self.batching, self.tuning, factory)
     }
@@ -460,7 +473,7 @@ impl ServerBuilder {
     pub fn start<M, F>(self, factory: F) -> PredictServer
     where
         M: FakeNewsModel + Send + 'static,
-        F: FnMut(usize) -> InferenceSession<M>,
+        F: FnMut(usize) -> InferenceSession<M> + Send + 'static,
     {
         self.try_start(factory)
             .unwrap_or_else(|e| panic!("invalid server configuration: {e}"))
@@ -482,8 +495,13 @@ impl ServerBuilder {
         if self.tuning.drift_baseline.is_none() {
             self.tuning.drift_baseline = checkpoint.telemetry_baseline()?;
         }
-        Ok(self
-            .try_start(|_| session_from_checkpoint(checkpoint).expect("checkpoint probed above"))?)
+        // The factory keeps its own copy of the checkpoint: the supervisor
+        // restores crashed workers from it long after the caller's borrow
+        // is gone.
+        let checkpoint = checkpoint.clone();
+        Ok(self.try_start(move |_| {
+            session_from_checkpoint(&checkpoint).expect("checkpoint probed above")
+        })?)
     }
 
     /// Start the server with every worker restoring the same checkpoint.
@@ -514,7 +532,7 @@ impl ServerBuilder {
     pub fn try_start_http<M, F>(self, factory: F) -> Result<HttpServer, StartError>
     where
         M: FakeNewsModel + Send + 'static,
-        F: FnMut(usize) -> InferenceSession<M>,
+        F: FnMut(usize) -> InferenceSession<M> + Send + 'static,
     {
         let http = self.http.clone();
         let predict = self.try_start(factory)?;

@@ -40,9 +40,14 @@
 //! * `408` — a request that did not arrive completely within
 //!   `request_timeout` (slow-loris guard for the bounded pool);
 //! * `413` / `431` — body over `max_body_bytes` / head over `max_head_bytes`;
-//! * `500` — a prediction worker died mid-request (the connection worker
-//!   survives and keeps serving);
-//! * `503` — connection pool saturated (sent before closing the socket).
+//! * `503` — the request was shed; the `code` says why and every variant
+//!   carries a `Retry-After` header (seconds, derived from queue depth and
+//!   drain state): `overloaded` (connection pool / dispatch queue
+//!   saturated, sent before closing the socket), `worker_crashed` (the
+//!   prediction worker serving the request panicked mid-batch; its
+//!   supervisor is respawning it) and `deadline_exceeded` (the request's
+//!   `request_timeout` budget expired while it sat in the micro-batch
+//!   queue).
 //!
 //! Responses are `application/json` (except `/metrics`, which is the
 //! Prometheus `text/plain; version=0.0.4`), always carry `Content-Length`,
@@ -54,7 +59,7 @@
 
 use crate::json::{self, Json};
 use crate::prom::{MetricKind, PromText};
-use crate::server::PredictServer;
+use crate::server::{PredictError, PredictServer};
 use crate::session::Prediction;
 use crate::telemetry::{DomainDrift, Stage};
 use dtdbd_data::EncodedRequest;
@@ -595,6 +600,17 @@ impl HttpStats {
                 ]),
             ),
             (
+                "supervision".into(),
+                Json::Obj(vec![
+                    ("worker_panics".into(), num(serving.worker_panics)),
+                    ("worker_restarts".into(), num(serving.worker_restarts)),
+                    (
+                        "requests_deadline_dropped".into(),
+                        num(serving.requests_deadline_dropped),
+                    ),
+                ]),
+            ),
+            (
                 "endpoints".into(),
                 Json::Obj(vec![
                     (
@@ -833,8 +849,15 @@ impl HttpServer {
                         HttpStats::bump(&ctx.stats.connections_rejected);
                         ctx.stats.count_response(503);
                         let body = error_body("overloaded", "connection pool saturated");
-                        let _ =
-                            write_response(&mut stream, 503, &body, CONTENT_TYPE_JSON, false, &[]);
+                        let retry = [("Retry-After", retry_after_secs(&ctx).to_string())];
+                        let _ = write_response(
+                            &mut stream,
+                            503,
+                            &body,
+                            CONTENT_TYPE_JSON,
+                            false,
+                            &retry,
+                        );
                     }
                 }
                 // Dropping `tx` here releases the workers' recv loops.
@@ -1030,7 +1053,18 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
 pub(crate) const CONTENT_TYPE_JSON: &str = "application/json";
 const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4";
 
-pub(crate) type Routed = (u16, String, &'static str, Vec<(&'static str, &'static str)>);
+pub(crate) type Routed = (u16, String, &'static str, Vec<(&'static str, String)>);
+
+/// How long a shed client should wait before retrying, in seconds: 5 while
+/// the server is draining or shutting down (capacity is not coming back
+/// here), otherwise scaled with the micro-batch queue depth — an extra
+/// second per 64 queued requests, clamped to 1..=30.
+pub(crate) fn retry_after_secs(ctx: &Ctx) -> u64 {
+    if ctx.draining.load(Ordering::SeqCst) || ctx.shutdown.load(Ordering::SeqCst) {
+        return 5;
+    }
+    (1 + ctx.predict.queue_depth() as u64 / 64).clamp(1, 30)
+}
 
 pub(crate) fn route(request: &HttpRequest, ctx: &Ctx) -> Routed {
     match (request.method.as_str(), request.path()) {
@@ -1038,12 +1072,20 @@ pub(crate) fn route(request: &HttpRequest, ctx: &Ctx) -> Routed {
             HttpStats::bump(&ctx.stats.predict_calls);
             match handle_predict(&request.body, ctx) {
                 Ok(body) => (200, body, CONTENT_TYPE_JSON, Vec::new()),
-                Err(e) => (
-                    e.status,
-                    error_body(e.code, &e.message),
-                    CONTENT_TYPE_JSON,
-                    Vec::new(),
-                ),
+                Err(e) => {
+                    // Every 503 shed tells the client when to retry.
+                    let headers = if e.status == 503 {
+                        vec![("Retry-After", retry_after_secs(ctx).to_string())]
+                    } else {
+                        Vec::new()
+                    };
+                    (
+                        e.status,
+                        error_body(e.code, &e.message),
+                        CONTENT_TYPE_JSON,
+                        headers,
+                    )
+                }
             }
         }
         ("GET", "/healthz") => {
@@ -1097,13 +1139,13 @@ pub(crate) fn route(request: &HttpRequest, ctx: &Ctx) -> Routed {
             405,
             error_body("method_not_allowed", "use POST /predict"),
             CONTENT_TYPE_JSON,
-            vec![("Allow", "POST")],
+            vec![("Allow", "POST".to_string())],
         ),
         (_, path @ ("/healthz" | "/readyz" | "/stats" | "/metrics")) => (
             405,
             error_body("method_not_allowed", &format!("use GET {path}")),
             CONTENT_TYPE_JSON,
-            vec![("Allow", "GET")],
+            vec![("Allow", "GET".to_string())],
         ),
         (_, path) => (
             404,
@@ -1275,6 +1317,37 @@ fn render_metrics(ctx: &Ctx) -> String {
         "1 while GET /readyz answers 200, else 0.",
     );
     page.sample("dtdbd_ready", &[], if is_ready(ctx) { 1.0 } else { 0.0 });
+    page.family(
+        "dtdbd_worker_panics_total",
+        MetricKind::Counter,
+        "Prediction-worker batch-loop panics caught by the supervisor.",
+    );
+    page.sample(
+        "dtdbd_worker_panics_total",
+        &[],
+        serving.worker_panics as f64,
+    );
+    page.family(
+        "dtdbd_worker_restarts_total",
+        MetricKind::Counter,
+        "Prediction workers respawned with a fresh session after a panic.",
+    );
+    page.sample(
+        "dtdbd_worker_restarts_total",
+        &[],
+        serving.worker_restarts as f64,
+    );
+    page.family(
+        "dtdbd_requests_deadline_dropped_total",
+        MetricKind::Counter,
+        "Requests shed before inference because their deadline budget \
+         expired in the micro-batch queue.",
+    );
+    page.sample(
+        "dtdbd_requests_deadline_dropped_total",
+        &[],
+        serving.requests_deadline_dropped as f64,
+    );
 
     page.family(
         "dtdbd_cache_requests_total",
@@ -1503,21 +1576,34 @@ fn predict_all(encoded: Vec<EncodedRequest>, ctx: &Ctx) -> Result<Vec<Prediction
     ctx.stats
         .items_predicted
         .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+    // The wire-level timeout doubles as the inference deadline budget: a
+    // request that already waited out its budget in the micro-batch queue is
+    // shed there instead of burning a forward pass on an answer nobody is
+    // still reading.
+    let deadline = Some(Instant::now() + ctx.config.request_timeout);
     // Submit everything before waiting: a multi-item body becomes one
     // coalesced batch on an idle server.
     let handles: Vec<_> = encoded
         .into_iter()
-        .map(|e| ctx.predict.submit_encoded(e))
+        .map(|e| ctx.predict.submit_encoded_with_deadline(e, deadline))
         .collect();
-    // try_wait: a crashed prediction worker must degrade to an error
-    // response, not take the connection worker down with it.
+    // A crashed prediction worker must degrade to a typed shed response,
+    // not take the connection worker down with it.
     handles
         .into_iter()
         .map(|h| {
-            h.try_wait().ok_or(WireError {
-                status: 500,
-                code: "internal_error",
-                message: "prediction worker unavailable".to_string(),
+            h.wait().map_err(|e| match e {
+                PredictError::WorkerCrashed => WireError {
+                    status: 503,
+                    code: "worker_crashed",
+                    message: "prediction worker crashed mid-batch; retry".to_string(),
+                },
+                PredictError::DeadlineExceeded => WireError {
+                    status: 503,
+                    code: "deadline_exceeded",
+                    message: "request deadline expired in the batch queue".to_string(),
+                },
+                PredictError::Invalid(e) => WireError::bad_request(e.wire_code(), e.to_string()),
             })
         })
         .collect()
@@ -1555,7 +1641,7 @@ pub(crate) fn response_bytes(
     body: &str,
     content_type: &str,
     keep_alive: bool,
-    extra_headers: &[(&str, &str)],
+    extra_headers: &[(&'static str, String)],
 ) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
@@ -1581,7 +1667,7 @@ fn write_response(
     body: &str,
     content_type: &str,
     keep_alive: bool,
-    extra_headers: &[(&str, &str)],
+    extra_headers: &[(&'static str, String)],
 ) -> io::Result<()> {
     stream.write_all(&response_bytes(
         status,
@@ -1624,6 +1710,11 @@ impl ClientResponse {
     /// Parse the body as JSON.
     pub fn json(&self) -> Result<Json, json::JsonError> {
         json::parse(&self.body)
+    }
+
+    /// `Retry-After` seconds, if the server attached one to a shed response.
+    pub fn retry_after(&self) -> Option<u64> {
+        self.header("retry-after").and_then(|v| v.parse().ok())
     }
 }
 
@@ -1897,7 +1988,7 @@ mod tests {
 
     fn start_http(ds: &MultiDomainDataset) -> HttpServer {
         let cfg = ModelConfig::tiny(ds);
-        let predict = PredictServer::start(BatchingConfig::default(), |_| {
+        let predict = PredictServer::start(BatchingConfig::default(), move |_| {
             let mut store = ParamStore::new();
             let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
             InferenceSession::new(model, store)
@@ -2213,7 +2304,7 @@ mod tests {
 
     fn start_http_as(ds: &MultiDomainDataset, config: HttpConfig) -> HttpServer {
         let cfg = ModelConfig::tiny(ds);
-        let predict = PredictServer::start(BatchingConfig::default(), |_| {
+        let predict = PredictServer::start(BatchingConfig::default(), move |_| {
             let mut store = ParamStore::new();
             let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
             InferenceSession::new(model, store)

@@ -49,6 +49,7 @@
 pub mod builder;
 pub mod cache;
 pub mod checkpoint;
+pub mod fault;
 pub mod http;
 pub mod json;
 #[cfg(all(
@@ -76,9 +77,12 @@ pub use builder::{
 pub use cache::{CacheKey, CacheStats, PredictionCache, ShardedPredictionCache};
 pub use checkpoint::{Checkpoint, CheckpointError, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
 pub use dtdbd_models::{SideState, SideStateError};
+pub use fault::{FaultParseError, FaultPlan};
 pub use http::{ClientResponse, ConnectionModel, HttpClient, HttpConfig, HttpServer};
 pub use routing::DomainRouting;
-pub use server::{BatchingConfig, PredictServer, PredictionHandle, RoutingStats, ServingStats};
+pub use server::{
+    BatchingConfig, PredictError, PredictServer, PredictionHandle, RoutingStats, ServingStats,
+};
 pub use session::{InferenceSession, Prediction};
 pub use shards::ShardStore;
 pub use telemetry::{

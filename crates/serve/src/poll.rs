@@ -52,8 +52,8 @@
 //! dispatch channel then releases the dispatcher threads.
 
 use crate::http::{
-    error_body, response_bytes, route, Ctx, HttpRequest, HttpStats, ParseOutcome, RequestParser,
-    CONTENT_TYPE_JSON,
+    error_body, response_bytes, retry_after_secs, route, Ctx, HttpRequest, HttpStats, ParseOutcome,
+    RequestParser, CONTENT_TYPE_JSON,
 };
 use crate::telemetry::{Stage, TraceContext};
 use crate::timer::TimerWheel;
@@ -785,7 +785,8 @@ impl EventLoop {
                     HttpStats::bump(&self.ctx.stats.connections_rejected);
                     self.ctx.stats.count_response(503);
                     let body = error_body("overloaded", "dispatch queue saturated");
-                    let bytes = response_bytes(503, &body, CONTENT_TYPE_JSON, false, &[]);
+                    let retry = [("Retry-After", retry_after_secs(&self.ctx).to_string())];
+                    let bytes = response_bytes(503, &body, CONTENT_TYPE_JSON, false, &retry);
                     self.queue_response(idx, bytes, false, false);
                 } else {
                     self.in_flight += 1;

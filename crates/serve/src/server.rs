@@ -31,8 +31,22 @@
 //!
 //! Shutdown is graceful: [`PredictServer::shutdown`] (also invoked by drop)
 //! stops intake, lets the workers drain every queued request, and joins them.
+//!
+//! **Supervision** makes the pool self-healing: each worker thread is a
+//! supervisor shell around the batch loop. A panic mid-batch fails only the
+//! in-flight batch's requests — their handles resolve to a typed
+//! [`PredictError::WorkerCrashed`], never a client-side panic — and the
+//! shell respawns the worker with capped exponential backoff: a fresh
+//! [`InferenceSession`] from the retained factory, shard view re-attached,
+//! kernel-timer sink re-wired. While a worker is down `workers_alive` drops
+//! below `workers` (so `/readyz` reports 503); once the respawn lands the
+//! probe flips back to 200. Requests can also carry a **deadline**
+//! ([`PredictServer::submit_encoded_with_deadline`]): a worker drops
+//! expired requests with [`PredictError::DeadlineExceeded`] before wasting
+//! a forward pass on them.
 
 use crate::cache::{CacheKey, CacheStats, ShardedPredictionCache, DEFAULT_CACHE_SHARDS};
+use crate::fault::{FaultPlan, WorkerFaults};
 use crate::routing::DomainRouting;
 use crate::session::{InferenceSession, Prediction};
 use crate::shards::ShardStore;
@@ -41,7 +55,8 @@ use dtdbd_data::{EncodedRequest, InferenceRequest, RequestEncoder, RequestError}
 use dtdbd_models::FakeNewsModel;
 use dtdbd_tensor::KernelTimers;
 use std::collections::VecDeque;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -50,6 +65,17 @@ use std::time::{Duration, Instant};
 /// Prediction-cache bound [`PredictServer::start`] uses; `ServerBuilder`
 /// overrides it (0 disables the cache).
 pub(crate) const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// First respawn delay after a worker panic (a `FaultPlan` backoff override
+/// replaces it). Doubles per consecutive crash up to [`MAX_RESPAWN_BACKOFF`].
+const DEFAULT_RESPAWN_BACKOFF: Duration = Duration::from_millis(20);
+
+/// Ceiling of the exponential respawn backoff.
+const MAX_RESPAWN_BACKOFF: Duration = Duration::from_secs(1);
+
+/// A worker that survived this long since its last respawn earns a fresh
+/// backoff: steady crash-loops keep the long delay, one-off panics don't.
+const BACKOFF_RESET_AFTER: Duration = Duration::from_secs(5);
 
 /// Queue-coalescing knobs.
 #[derive(Debug, Clone)]
@@ -96,6 +122,9 @@ pub(crate) struct ServerTuning {
     /// Training-time per-domain prediction baseline the drift tracker
     /// scores live traffic against (`None` = live stats without scores).
     pub drift_baseline: Option<DomainBaseline>,
+    /// Deterministic fault-injection plan ([`crate::fault`]); `None` (the
+    /// default) compiles to no hooks at all on the hot path.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServerTuning {
@@ -108,6 +137,42 @@ impl Default for ServerTuning {
             routing: None,
             telemetry: true,
             drift_baseline: None,
+            fault_plan: None,
+        }
+    }
+}
+
+/// Why a submitted request could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// The request failed validation before reaching a queue.
+    Invalid(RequestError),
+    /// The worker serving this request panicked mid-batch. The supervisor
+    /// respawns the worker in the background; a retry will be served by the
+    /// fresh session.
+    WorkerCrashed,
+    /// The request's deadline expired before a worker ran it; it was shed
+    /// without an inference pass.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Invalid(e) => write!(f, "invalid request: {e}"),
+            Self::WorkerCrashed => {
+                write!(f, "prediction worker crashed mid-batch (respawning); retry")
+            }
+            Self::DeadlineExceeded => write!(f, "request deadline expired before inference"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Invalid(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -117,10 +182,14 @@ struct Job {
     /// Cache key of the request, carried so the worker can populate the
     /// cache after predicting. `None` when the cache is disabled.
     key: Option<CacheKey>,
-    reply: mpsc::Sender<Prediction>,
+    reply: mpsc::Sender<Result<Prediction, PredictError>>,
     /// When the request entered its queue; `None` with telemetry off (the
     /// disabled path never reads the clock).
     enqueued_at: Option<Instant>,
+    /// Drop-dead time: a worker sheds the request with
+    /// [`PredictError::DeadlineExceeded`] instead of running inference past
+    /// this instant. `None` = wait forever (the in-process default).
+    deadline: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -227,6 +296,16 @@ struct Shared {
     routed_shared: AtomicU64,
     /// The telemetry registry (`None` when telemetry is off).
     telemetry: Option<Arc<Telemetry>>,
+    /// Per-worker liveness, maintained by the supervisor shells: false
+    /// while a worker is crashed/backing-off/rebuilding. The readiness
+    /// probe compares the count of trues against `workers`.
+    alive: Vec<AtomicBool>,
+    /// Worker batch-loop panics caught by the supervisor shells.
+    worker_panics: AtomicU64,
+    /// Successful worker respawns (a fresh session took over the slot).
+    worker_restarts: AtomicU64,
+    /// Requests shed because their deadline expired before inference.
+    deadline_dropped: AtomicU64,
 }
 
 impl Shared {
@@ -278,27 +357,32 @@ pub struct ServingStats {
     pub resident_param_bytes_per_worker: u64,
     /// Domain-routing dispatch counters.
     pub routing: RoutingStats,
+    /// Worker batch-loop panics caught by the supervisor shells.
+    pub worker_panics: u64,
+    /// Successful worker respawns after a panic.
+    pub worker_restarts: u64,
+    /// Requests shed with [`PredictError::DeadlineExceeded`] before
+    /// inference because their deadline budget expired in the queue.
+    pub requests_deadline_dropped: u64,
 }
 
 /// An in-flight prediction; resolve it with [`PredictionHandle::wait`].
 pub struct PredictionHandle {
-    reply: mpsc::Receiver<Prediction>,
+    reply: mpsc::Receiver<Result<Prediction, PredictError>>,
 }
 
 impl PredictionHandle {
-    /// Block until the prediction is ready.
-    ///
-    /// # Panics
-    /// Panics if the serving worker died before answering.
-    pub fn wait(self) -> Prediction {
-        self.try_wait().expect("serving worker dropped the request")
-    }
-
-    /// Block until the prediction is ready; `None` if the serving worker
-    /// died before answering (the non-panicking form the HTTP front-end
-    /// uses so a worker crash degrades to an error response).
-    pub fn try_wait(self) -> Option<Prediction> {
-        self.reply.recv().ok()
+    /// Block until the prediction resolves. A worker crash while this
+    /// request was in flight degrades to a typed
+    /// [`PredictError::WorkerCrashed`] — never a panic — and an expired
+    /// deadline to [`PredictError::DeadlineExceeded`].
+    pub fn wait(self) -> Result<Prediction, PredictError> {
+        match self.reply.recv() {
+            Ok(outcome) => outcome,
+            // The sender vanished without an answer: the worker (or the
+            // whole server) went down while holding the request.
+            Err(_) => Err(PredictError::WorkerCrashed),
+        }
     }
 }
 
@@ -329,7 +413,7 @@ impl PredictServer {
     pub fn start<M, F>(config: BatchingConfig, factory: F) -> Self
     where
         M: FakeNewsModel + Send + 'static,
-        F: FnMut(usize) -> InferenceSession<M>,
+        F: FnMut(usize) -> InferenceSession<M> + Send + 'static,
     {
         Self::start_tuned(config, ServerTuning::default(), factory)
             .unwrap_or_else(|e| panic!("invalid server configuration: {e}"))
@@ -345,7 +429,7 @@ impl PredictServer {
     ) -> Result<Self, crate::builder::ConfigError>
     where
         M: FakeNewsModel + Send + 'static,
-        F: FnMut(usize) -> InferenceSession<M>,
+        F: FnMut(usize) -> InferenceSession<M> + Send + 'static,
     {
         use crate::builder::ConfigError;
         if config.workers == 0 {
@@ -448,27 +532,66 @@ impl PredictServer {
                 .then(|| ShardedPredictionCache::new(tuning.cache_capacity, tuning.cache_shards)),
             routed_specialist: AtomicU64::new(0),
             routed_shared: AtomicU64::new(0),
-            telemetry,
+            telemetry: telemetry.clone(),
+            // Workers count as alive from the moment the server exists, so
+            // a readiness probe racing the thread spawns never sees a
+            // healthy deployment as degraded.
+            alive: (0..config.workers).map(|_| AtomicBool::new(true)).collect(),
+            worker_panics: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            deadline_dropped: AtomicU64::new(0),
         });
+        let embedding_shards = shard_pool.as_ref().map_or(0, ShardStore::n_shards);
+        let shard_pool_bytes = shard_pool.as_ref().map_or(0, ShardStore::total_bytes);
+        // Everything a supervisor shell needs to rebuild a crashed worker:
+        // the session factory plus the re-attachment state `start_tuned`
+        // applies to a fresh session.
+        let respawn = Arc::new(Respawn {
+            factory: Mutex::new(factory),
+            shard_pool,
+            threads,
+            kernel_timers: telemetry
+                .as_ref()
+                .map(|t| Arc::clone(t) as Arc<dyn KernelTimers>),
+            initial_backoff: tuning
+                .fault_plan
+                .as_ref()
+                .and_then(FaultPlan::backoff_override)
+                .unwrap_or(DEFAULT_RESPAWN_BACKOFF),
+        });
+        let fault_tables: Vec<Option<WorkerFaults>> = match tuning.fault_plan.as_ref() {
+            Some(plan) => plan
+                .compile(config.workers)
+                .into_iter()
+                .map(|f| (!f.is_empty()).then_some(f))
+                .collect(),
+            None => (0..config.workers).map(|_| None).collect(),
+        };
         let workers = sessions
             .into_iter()
+            .zip(fault_tables)
             .enumerate()
-            .map(|(worker_id, session)| {
+            .map(|(worker_id, (session, faults))| {
                 // Workers are dealt round-robin over the queues, so every
                 // queue (shared + each specialist group) owns at least one
                 // worker whenever `workers >= n_queues` (validated above).
                 let queue = worker_id % n_queues;
                 let shared = Arc::clone(&shared);
+                let respawn = Arc::clone(&respawn);
                 let config = config.clone();
-                thread::spawn(move || worker_loop(&shared, session, &config, worker_id, queue))
+                thread::spawn(move || {
+                    worker_shell(
+                        &shared, &respawn, session, &config, worker_id, queue, faults,
+                    )
+                })
             })
             .collect();
         Ok(Self {
             shared,
             encoder,
             threads,
-            embedding_shards: shard_pool.as_ref().map_or(0, ShardStore::n_shards),
-            shard_pool_bytes: shard_pool.as_ref().map_or(0, ShardStore::total_bytes),
+            embedding_shards,
+            shard_pool_bytes,
             resident_param_bytes_per_worker,
             workers,
         })
@@ -488,6 +611,19 @@ impl PredictServer {
     /// otherwise the request is dispatched to its domain's specialist queue
     /// (or the shared fallback).
     pub fn submit_encoded(&self, request: EncodedRequest) -> PredictionHandle {
+        self.submit_encoded_with_deadline(request, None)
+    }
+
+    /// [`PredictServer::submit_encoded`] with a drop-dead time: if no
+    /// worker picks the request up before `deadline`, it is shed with
+    /// [`PredictError::DeadlineExceeded`] instead of wasting a forward
+    /// pass on an answer the client has already given up on. The HTTP
+    /// front-end derives the deadline from its request timeout.
+    pub fn submit_encoded_with_deadline(
+        &self,
+        request: EncodedRequest,
+        deadline: Option<Instant>,
+    ) -> PredictionHandle {
         let trace = self.trace();
         let (tx, rx) = mpsc::channel();
         let key = match self.shared.cache.as_ref() {
@@ -497,7 +633,7 @@ impl PredictServer {
                     // A cache hit is a served prediction too: the drift
                     // tracker must see the traffic the clients see.
                     trace.observe_prediction(request.domain(), hit.fake_prob);
-                    let _ = tx.send(hit);
+                    let _ = tx.send(Ok(hit));
                     return PredictionHandle { reply: rx };
                 }
                 Some(key)
@@ -521,6 +657,7 @@ impl PredictServer {
                 key,
                 reply: tx,
                 enqueued_at: trace.is_enabled().then(Instant::now),
+                deadline,
             });
         }
         slot.available.notify_one();
@@ -528,8 +665,8 @@ impl PredictServer {
     }
 
     /// Submit and block for the answer.
-    pub fn predict(&self, request: &InferenceRequest) -> Result<Prediction, RequestError> {
-        Ok(self.submit(request)?.wait())
+    pub fn predict(&self, request: &InferenceRequest) -> Result<Prediction, PredictError> {
+        self.submit(request).map_err(PredictError::Invalid)?.wait()
     }
 
     /// Requests currently queued (not yet picked up by a worker), summed
@@ -562,11 +699,17 @@ impl PredictServer {
         }
     }
 
-    /// Worker threads still running. Anything below [`ServingStats::workers`]
-    /// means a worker died (or the server is shutting down) — the readiness
-    /// probe reports not-ready.
+    /// Workers currently able to serve. Anything below
+    /// [`ServingStats::workers`] means a worker crashed and its supervisor
+    /// is still backing off / rebuilding the session (or the server is
+    /// shutting down) — the readiness probe reports not-ready until the
+    /// respawn restores full capacity.
     pub fn workers_alive(&self) -> usize {
-        self.workers.iter().filter(|w| !w.is_finished()).count()
+        self.shared
+            .alive
+            .iter()
+            .filter(|alive| alive.load(Ordering::Acquire))
+            .count()
     }
 
     /// Aggregate load, buffer-pool, prediction-cache, sharding and routing
@@ -596,6 +739,9 @@ impl PredictServer {
                 routed_specialist: self.shared.routed_specialist.load(Ordering::Relaxed),
                 routed_shared: self.shared.routed_shared.load(Ordering::Relaxed),
             },
+            worker_panics: self.shared.worker_panics.load(Ordering::Relaxed),
+            worker_restarts: self.shared.worker_restarts.load(Ordering::Relaxed),
+            requests_deadline_dropped: self.shared.deadline_dropped.load(Ordering::Relaxed),
         };
         for counters in &self.shared.counters {
             // Seqlock snapshot: the four fields of one worker are coherent
@@ -636,12 +782,122 @@ impl Drop for PredictServer {
     }
 }
 
-fn worker_loop<M: FakeNewsModel>(
+/// Everything a supervisor shell needs to rebuild a crashed worker's
+/// session exactly the way [`PredictServer::start_tuned`] built the
+/// original: the retained factory plus the post-construction wiring
+/// (intra-op threads, shared shard view, kernel-timer sink).
+struct Respawn<F> {
+    factory: Mutex<F>,
+    shard_pool: Option<ShardStore>,
+    threads: usize,
+    kernel_timers: Option<Arc<dyn KernelTimers>>,
+    initial_backoff: Duration,
+}
+
+/// The supervisor around one worker's batch loop: run the loop under
+/// `catch_unwind`; a clean return is shutdown, a panic publishes
+/// `worker_panics`, marks the slot dead for the readiness probe, backs off
+/// (exponentially, capped) and respawns a fresh session from the retained
+/// factory before re-entering the loop.
+fn worker_shell<M, F>(
     shared: &Shared,
+    respawn: &Respawn<F>,
     mut session: InferenceSession<M>,
     config: &BatchingConfig,
     worker_id: usize,
     queue: usize,
+    faults: Option<WorkerFaults>,
+) where
+    M: FakeNewsModel,
+    F: FnMut(usize) -> InferenceSession<M>,
+{
+    // Lifetime batch ordinal: deliberately *not* reset on respawn so a
+    // `panic=W@B` fault fires exactly once instead of re-killing every
+    // incarnation at its Bth batch.
+    let mut batches_done = 0u64;
+    let mut backoff = respawn.initial_backoff;
+    loop {
+        shared.alive[worker_id].store(true, Ordering::Release);
+        let healthy_since = Instant::now();
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(
+                shared,
+                &mut session,
+                config,
+                worker_id,
+                queue,
+                faults.as_ref(),
+                &mut batches_done,
+            )
+        }));
+        shared.alive[worker_id].store(false, Ordering::Release);
+        if run.is_ok() {
+            return; // clean shutdown
+        }
+        shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+        // A worker that served healthily for a while earns a fresh backoff;
+        // a steady crash-loop keeps doubling towards the cap.
+        if healthy_since.elapsed() >= BACKOFF_RESET_AFTER {
+            backoff = respawn.initial_backoff;
+        }
+        loop {
+            if !backoff_sleep(shared, queue, backoff) {
+                return; // shutdown arrived during the backoff
+            }
+            backoff = (backoff * 2).min(MAX_RESPAWN_BACKOFF);
+            // The factory is caller code: a panicking or misbehaving
+            // rebuild must not kill the supervisor, only schedule the next
+            // (longer) attempt.
+            let rebuilt = catch_unwind(AssertUnwindSafe(|| {
+                let mut factory = respawn
+                    .factory
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                factory(worker_id)
+            }));
+            let Ok(mut fresh) = rebuilt else { continue };
+            fresh.set_threads(respawn.threads);
+            if let Some(pool) = respawn.shard_pool.as_ref() {
+                if fresh.attach_embedding_shards(pool).is_err() {
+                    continue;
+                }
+            }
+            fresh.set_kernel_timers(respawn.kernel_timers.clone());
+            session = fresh;
+            shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+    }
+}
+
+/// Sleep up to `backoff`, polling the queue's shutdown flag so a crashed
+/// worker in backoff never delays [`PredictServer::shutdown`] by more than
+/// one poll tick. Returns false when shutdown was requested. Deliberately a
+/// plain sleep, not a condvar wait: a supervisor parked on the queue's
+/// condvar would steal `notify_one` wakeups meant for live workers.
+fn backoff_sleep(shared: &Shared, queue: usize, backoff: Duration) -> bool {
+    let slot = &shared.queues[queue];
+    let deadline = Instant::now() + backoff;
+    loop {
+        if slot.state.lock().expect("queue poisoned").shutdown {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return true;
+        }
+        thread::sleep((deadline - now).min(Duration::from_millis(10)));
+    }
+}
+
+fn worker_loop<M: FakeNewsModel>(
+    shared: &Shared,
+    session: &mut InferenceSession<M>,
+    config: &BatchingConfig,
+    worker_id: usize,
+    queue: usize,
+    faults: Option<&WorkerFaults>,
+    batches_done: &mut u64,
 ) {
     let slot = &shared.queues[queue];
     let trace = shared
@@ -685,6 +941,11 @@ fn worker_loop<M: FakeNewsModel>(
                     }
                 }
             }
+            // Injected queue stall: hold the queue lock past assembly so
+            // submitters and sibling workers pile up behind it.
+            if let Some(stall) = faults.and_then(|f| f.stall) {
+                thread::sleep(stall);
+            }
             let take = state.jobs.len().min(config.max_batch_size);
             let jobs = state.jobs.drain(..take).collect::<Vec<_>>();
             let assembly_ns = assembly_started.map(|t| t.elapsed().as_nanos() as u64);
@@ -692,6 +953,25 @@ fn worker_loop<M: FakeNewsModel>(
         };
         if jobs.is_empty() {
             continue;
+        }
+        // Deadline shed: a request whose budget expired while queued gets a
+        // typed error now instead of burning a slot in the forward pass.
+        // The common no-deadline path (in-process callers) never reads the
+        // clock.
+        let mut jobs = jobs;
+        if jobs.iter().any(|job| job.deadline.is_some()) {
+            let now = Instant::now();
+            let (live, expired): (Vec<Job>, Vec<Job>) = jobs
+                .into_iter()
+                .partition(|job| job.deadline.map_or(true, |deadline| now < deadline));
+            for job in expired {
+                shared.deadline_dropped.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Err(PredictError::DeadlineExceeded));
+            }
+            jobs = live;
+            if jobs.is_empty() {
+                continue;
+            }
         }
         if let Some(assembly_ns) = assembly_ns {
             trace.record_worker_ns(worker_id, Stage::BatchAssembly, assembly_ns);
@@ -704,8 +984,41 @@ fn worker_loop<M: FakeNewsModel>(
             }
         }
         let requests: Vec<EncodedRequest> = jobs.iter().map(|j| j.request.clone()).collect();
+        *batches_done += 1;
+        let batch_no = *batches_done;
         let inference_started = trace.is_enabled().then(Instant::now);
-        let predictions = session.predict_requests(&requests);
+        // The injected panic and the forward pass share one catch scope:
+        // whatever blows up inside it, the in-flight batch's clients get a
+        // typed `WorkerCrashed` before the panic continues to the
+        // supervisor shell (which respawns this worker).
+        let predictions = match catch_unwind(AssertUnwindSafe(|| {
+            if let Some(f) = faults {
+                if f.panic_on.contains(&batch_no) {
+                    panic!("injected fault: worker {worker_id} panics on batch {batch_no}");
+                }
+                if let Some(delay) = f.slow {
+                    thread::sleep(delay);
+                }
+            }
+            session.predict_requests(&requests)
+        })) {
+            Ok(predictions) => predictions,
+            Err(payload) => {
+                for job in jobs {
+                    let _ = job.reply.send(Err(PredictError::WorkerCrashed));
+                }
+                resume_unwind(payload);
+            }
+        };
+        // Injected prediction poisoning, applied before telemetry sees the
+        // batch so the non-finite drift counters observe it too.
+        let mut predictions = predictions;
+        if faults.is_some_and(|f| f.nan_on.contains(&batch_no)) {
+            for prediction in &mut predictions {
+                prediction.fake_prob = f32::NAN;
+                prediction.logits = [f32::NAN, f32::NAN];
+            }
+        }
         if let Some(started) = inference_started {
             // Pro-rata attribution: a batch of n splits its forward-pass
             // time evenly over its n requests, remainder to the last one so
@@ -735,7 +1048,7 @@ fn worker_loop<M: FakeNewsModel>(
         }
         for (job, prediction) in jobs.into_iter().zip(predictions) {
             // A client may have abandoned its handle; that is not an error.
-            let _ = job.reply.send(prediction);
+            let _ = job.reply.send(Ok(prediction));
         }
     }
 }
@@ -754,7 +1067,7 @@ mod tests {
 
     fn start_server(ds: &MultiDomainDataset, config: BatchingConfig) -> PredictServer {
         let cfg = ModelConfig::tiny(ds);
-        PredictServer::start(config, |worker_id| {
+        PredictServer::start(config, move |worker_id| {
             let mut store = ParamStore::new();
             // Same seed per worker: all workers hold identical weights.
             let _ = worker_id;
@@ -792,7 +1105,7 @@ mod tests {
         let handles: Vec<_> = (0..n)
             .map(|i| server.submit(&request_for(&ds, i)).unwrap())
             .collect();
-        let served: Vec<Prediction> = handles.into_iter().map(PredictionHandle::wait).collect();
+        let served: Vec<Prediction> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
 
         // Reference: the same items, one at a time, through a plain session.
         let cfg = ModelConfig::tiny(&ds);
@@ -818,7 +1131,7 @@ mod tests {
         let bad = InferenceRequest::new(vec![u32::MAX], 0);
         assert!(matches!(
             server.predict(&bad),
-            Err(RequestError::TokenOutOfRange { .. })
+            Err(PredictError::Invalid(RequestError::TokenOutOfRange { .. }))
         ));
     }
 
@@ -838,7 +1151,7 @@ mod tests {
             .collect();
         drop(server); // must not strand any handle
         for handle in handles {
-            let p = handle.wait();
+            let p = handle.wait().expect("drained, not dropped");
             assert!(p.fake_prob.is_finite());
         }
     }
@@ -859,7 +1172,7 @@ mod tests {
             .collect();
         server.shutdown(); // explicit drain; returns only once workers joined
         for handle in handles {
-            assert!(handle.wait().fake_prob.is_finite());
+            assert!(handle.wait().unwrap().fake_prob.is_finite());
         }
     }
 
@@ -872,7 +1185,7 @@ mod tests {
             .map(|i| server.submit(&request_for(&ds, i % ds.len())).unwrap())
             .collect();
         for handle in handles {
-            handle.wait();
+            handle.wait().unwrap();
         }
         let stats = server.stats();
         assert_eq!(stats.requests_served, n as u64);
@@ -893,7 +1206,7 @@ mod tests {
         let server = start_server(&ds, BatchingConfig::default());
         let request = request_for(&ds, 0);
         let encoded = server.encoder().encode(&request).unwrap();
-        let via_encoded = server.submit_encoded(encoded).wait();
+        let via_encoded = server.submit_encoded(encoded).wait().unwrap();
         let via_raw = server.predict(&request).unwrap();
         assert_eq!(via_encoded.fake_prob.to_bits(), via_raw.fake_prob.to_bits());
     }
@@ -924,11 +1237,12 @@ mod tests {
         let ds = dataset();
         let cfg = ModelConfig::tiny(&ds);
         let build = |threads: usize, cache: usize| {
+            let cfg = cfg.clone();
             ServerBuilder::new()
                 .workers(1)
                 .threads(threads)
                 .cache_capacity(cache)
-                .start(|_| {
+                .start(move |_| {
                     let mut store = ParamStore::new();
                     let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
                     InferenceSession::new(model, store)
@@ -957,10 +1271,13 @@ mod tests {
         use crate::builder::ServerBuilder;
         let ds = dataset();
         let cfg = ModelConfig::tiny(&ds);
-        let factory = |_: usize| {
-            let mut store = ParamStore::new();
-            let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
-            InferenceSession::new(model, store)
+        let factory = || {
+            let cfg = cfg.clone();
+            move |_: usize| {
+                let mut store = ParamStore::new();
+                let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
+                InferenceSession::new(model, store)
+            }
         };
         // Domain 8 (Society, the hottest Weibo21 domain) gets a specialist
         // group; everything else shares. Cache off so every request really
@@ -969,12 +1286,12 @@ mod tests {
             .workers(2)
             .cache_capacity(0)
             .domain_routing(DomainRouting::new().assign(8, 0))
-            .try_start(factory)
+            .try_start(factory())
             .expect("valid routing");
         let plain = ServerBuilder::new()
             .workers(2)
             .cache_capacity(0)
-            .start(factory);
+            .start(factory());
 
         let mut specialist = 0u64;
         let mut shared = 0u64;
@@ -1021,7 +1338,7 @@ mod tests {
                 cache_capacity: 0,
                 ..ServerTuning::default()
             },
-            |_| {
+            move |_| {
                 let mut store = ParamStore::new();
                 let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
                 InferenceSession::new(model, store)
@@ -1054,6 +1371,113 @@ mod tests {
         stop.store(true, Ordering::Relaxed);
         let snapshots: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
         assert!(snapshots > 0, "the hammer never read anything");
+    }
+
+    /// Single worker, cache off, one request per batch — the fault plan's
+    /// batch ordinals map 1:1 onto sequential `predict` calls.
+    fn start_faulted(ds: &MultiDomainDataset, workers: usize, plan: FaultPlan) -> PredictServer {
+        let cfg = ModelConfig::tiny(ds);
+        PredictServer::start_tuned(
+            BatchingConfig {
+                max_batch_size: 1,
+                max_wait: Duration::ZERO,
+                workers,
+            },
+            ServerTuning {
+                cache_capacity: 0,
+                fault_plan: Some(plan),
+                ..ServerTuning::default()
+            },
+            move |_| {
+                let mut store = ParamStore::new();
+                let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
+                InferenceSession::new(model, store)
+            },
+        )
+        .expect("valid tuning")
+    }
+
+    #[test]
+    fn supervised_worker_respawns_after_injected_panic_bit_exactly() {
+        let ds = dataset();
+        let server = start_faulted(&ds, 1, FaultPlan::default().panic_worker(0, 2));
+        let request = request_for(&ds, 0);
+
+        // Batch 1 serves normally; batch 2 is the injected crash, which
+        // must surface as the typed error, not a client panic.
+        let before = server.predict(&request).expect("batch 1 is healthy");
+        assert!(
+            matches!(server.predict(&request), Err(PredictError::WorkerCrashed)),
+            "the in-flight batch of a panicking worker fails typed"
+        );
+
+        // The supervisor backs off and respawns; the fresh session must
+        // answer bit-identically to the pre-crash one.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let after = loop {
+            match server.predict(&request) {
+                Ok(prediction) => break prediction,
+                Err(PredictError::WorkerCrashed) if Instant::now() < deadline => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => panic!("worker never respawned: {e}"),
+            }
+        };
+        assert_eq!(before.fake_prob.to_bits(), after.fake_prob.to_bits());
+        assert_eq!(before.logits[0].to_bits(), after.logits[0].to_bits());
+        assert_eq!(before.logits[1].to_bits(), after.logits[1].to_bits());
+
+        let stats = server.stats();
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(stats.worker_restarts, 1);
+        assert_eq!(server.workers_alive(), 1, "capacity restored");
+    }
+
+    #[test]
+    fn expired_deadlines_shed_typed_before_inference() {
+        let ds = dataset();
+        let server = start_faulted(&ds, 1, FaultPlan::default());
+        let request = request_for(&ds, 0);
+        let encoded = server.encoder().encode(&request).unwrap();
+
+        // A deadline already in the past: the worker must drop it.
+        let handle = server.submit_encoded_with_deadline(encoded.clone(), Some(Instant::now()));
+        assert!(matches!(handle.wait(), Err(PredictError::DeadlineExceeded)));
+        assert_eq!(server.stats().requests_deadline_dropped, 1);
+
+        // A generous deadline serves normally.
+        let handle = server
+            .submit_encoded_with_deadline(encoded, Some(Instant::now() + Duration::from_secs(30)));
+        assert!(handle.wait().unwrap().fake_prob.is_finite());
+        assert_eq!(server.stats().requests_deadline_dropped, 1);
+    }
+
+    #[test]
+    fn slow_predict_fault_delays_but_still_answers() {
+        let ds = dataset();
+        let server = start_faulted(
+            &ds,
+            1,
+            FaultPlan::default().slow_predict(Duration::from_millis(30)),
+        );
+        let started = Instant::now();
+        let prediction = server.predict(&request_for(&ds, 0)).unwrap();
+        assert!(prediction.fake_prob.is_finite());
+        assert!(
+            started.elapsed() >= Duration::from_millis(30),
+            "the slow-predict fault must actually delay the forward pass"
+        );
+    }
+
+    #[test]
+    fn nan_fault_poisons_the_targeted_batch_only() {
+        let ds = dataset();
+        let server = start_faulted(&ds, 1, FaultPlan::default().nan_worker(0, 1));
+        let poisoned = server.predict(&request_for(&ds, 0)).unwrap();
+        assert!(poisoned.fake_prob.is_nan(), "batch 1 is poisoned");
+        assert!(poisoned.logits[0].is_nan() && poisoned.logits[1].is_nan());
+        let clean = server.predict(&request_for(&ds, 1)).unwrap();
+        assert!(clean.fake_prob.is_finite(), "batch 2 is clean again");
     }
 
     #[test]

@@ -23,10 +23,13 @@ fn err_of(result: Result<dtdbd_serve::PredictServer, ConfigError>, what: &str) -
     }
 }
 
-fn factory(cfg: &ModelConfig) -> impl FnMut(usize) -> InferenceSession<TextCnnModel> + '_ {
+fn factory(
+    cfg: &ModelConfig,
+) -> impl FnMut(usize) -> InferenceSession<TextCnnModel> + Send + 'static {
+    let cfg = cfg.clone();
     move |_| {
         let mut store = ParamStore::new();
-        let model = TextCnnModel::student(&mut store, cfg, &mut Prng::new(7));
+        let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(7));
         InferenceSession::new(model, store)
     }
 }

@@ -107,7 +107,10 @@ fn main() {
             .threads(4)
             .shards(2)
             .domain_routing(DomainRouting::new().assign(society, 0))
-            .start(|_| session_from_checkpoint(&checkpoint).expect("rebuild model")),
+            .start({
+                let checkpoint = checkpoint.clone();
+                move |_| session_from_checkpoint(&checkpoint).expect("rebuild model")
+            }),
     );
     let clients = 4usize;
     let started = Instant::now();

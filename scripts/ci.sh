@@ -11,7 +11,10 @@
 #      zoo-wide train->save->load->serve bit-parity test (zoo_roundtrip.rs)
 #      live in crates/serve/tests); on Linux the HTTP integration battery is
 #      then re-run pinned to the thread-per-connection pool model, so both
-#      connection layers (epoll event loop + portable pool) stay covered
+#      connection layers (epoll event loop + portable pool) stay covered,
+#      followed by a named re-run of the chaos battery (seeded fault plan
+#      kills three prediction workers mid-storm; supervision must heal the
+#      server with zero wrong predictions — tests/integration/tests/chaos.rs)
 #   3. kernel-parity smoke: the blocked/parallel GEMM must stay bit-identical
 #      to the naive reference on a fixed seed (threads 1/2/4)
 #   4. bench regression gate (scripts/check_bench.sh): re-runs the quick
@@ -90,6 +93,16 @@ if [ "$(uname -s)" = "Linux" ]; then
   stage "http battery under the pool connection model (DTDBD_CONNECTION_MODEL=pool)" \
     env DTDBD_CONNECTION_MODEL=pool cargo test -q -p dtdbd-integration --test http
 fi
+
+# Chaos battery: the 64-client wire workload with a seeded fault plan
+# killing three of four prediction workers mid-storm, under both connection
+# models (tests/integration/tests/chaos.rs). The plan and its kill schedule
+# are fixed in the test source, so every CI run injects the same crashes.
+# The workspace run above already executed it once at full scale; this
+# dedicated stage re-runs it with CI_QUICK shrinking the client count so the
+# supervision + fault-injection layer keeps a fast, named gate of its own.
+stage "chaos battery (seeded worker kills, supervision + recovery)" \
+  env CI_QUICK="$quick" cargo test -q -p dtdbd-integration --test chaos
 
 if [ "$quick" != "1" ]; then
   stage "kernel parity smoke (blocked/parallel GEMM vs naive reference)" \

@@ -41,7 +41,10 @@ fn trained_student_survives_checkpointing_and_serves_correctly() {
             max_wait: Duration::from_millis(1),
             workers: 2,
         },
-        |_| session_from_checkpoint(&checkpoint).unwrap(),
+        {
+            let checkpoint = checkpoint.clone();
+            move |_| session_from_checkpoint(&checkpoint).unwrap()
+        },
     );
 
     let n = split.test.len().min(100);
@@ -58,7 +61,7 @@ fn trained_student_survives_checkpointing_and_serves_correctly() {
         })
         .collect();
     for (i, handle) in handles.into_iter().enumerate() {
-        let prediction = handle.wait();
+        let prediction = handle.wait().unwrap();
         assert!(
             (prediction.fake_prob - reference[i]).abs() <= 1e-6,
             "item {i}: served {} vs trainer {}",
