@@ -1,0 +1,128 @@
+//! Fp32-vs-int8 agreement report: how closely the quantized serving path
+//! tracks full precision on a *trained* student.
+//!
+//! A 1-epoch TextCNN-S student is trained on the synthetic Weibo21 corpus,
+//! checkpointed, and deployed twice — once at fp32, once at int8 — over the
+//! held-out test split. The report records label agreement, macro-F1 of
+//! both paths against the true labels, and the probability drift; CI
+//! (`scripts/check_bench.sh`) fails if agreement falls below 99.5% or the
+//! macro-F1 delta exceeds 0.005.
+//!
+//! Results are printed as a table and written to `BENCH_agreement.json`.
+//!
+//! Run with: `cargo run --release -p dtdbd-bench --bin agreement [--quick]`
+
+use dtdbd_core::{train_model, TrainConfig};
+use dtdbd_data::{weibo21_spec, GeneratorConfig, InferenceRequest, NewsGenerator};
+use dtdbd_metrics::{ConfusionMatrix, TableBuilder};
+use dtdbd_models::{ModelConfig, TextCnnModel};
+use dtdbd_serve::{Checkpoint, Precision, PredictServer, ServerBuilder};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::ParamStore;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { 0.04 } else { 0.12 };
+
+    eprintln!("[agreement] generating corpus and training the student (1 epoch)...");
+    let ds =
+        NewsGenerator::new(weibo21_spec(), GeneratorConfig::default()).generate_scaled(42, scale);
+    let split = ds.split(0.7, 0.1, 42);
+    let cfg = ModelConfig::for_dataset(&split.train);
+    let mut store = ParamStore::new();
+    let mut model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(1));
+    train_model(
+        &mut model,
+        &mut store,
+        &split.train,
+        &TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        },
+    );
+    let checkpoint = Checkpoint::capture(&model, &store);
+    let checkpoint = Checkpoint::from_bytes(&checkpoint.to_bytes()).expect("self round trip");
+
+    let items = split.test.items();
+    let requests: Vec<InferenceRequest> = items
+        .iter()
+        .map(|item| InferenceRequest {
+            tokens: item.tokens.clone(),
+            domain: item.domain,
+            style: Some(item.style.clone()),
+            emotion: Some(item.emotion.clone()),
+        })
+        .collect();
+    let labels: Vec<usize> = items.iter().map(|item| item.label).collect();
+
+    let fp32 = start(&checkpoint, Precision::Fp32);
+    let int8 = start(&checkpoint, Precision::Int8);
+    let fp32_probs: Vec<f32> = predict_all(&fp32, &requests);
+    let int8_probs: Vec<f32> = predict_all(&int8, &requests);
+    fp32.shutdown();
+    int8.shutdown();
+
+    let fp32_labels: Vec<usize> = fp32_probs.iter().map(|&p| usize::from(p >= 0.5)).collect();
+    let int8_labels: Vec<usize> = int8_probs.iter().map(|&p| usize::from(p >= 0.5)).collect();
+    let agree = fp32_labels
+        .iter()
+        .zip(&int8_labels)
+        .filter(|(a, b)| a == b)
+        .count();
+    let agreement_pct = 100.0 * agree as f64 / requests.len() as f64;
+    let fp32_f1 = ConfusionMatrix::from_predictions(&fp32_labels, &labels).f1_macro();
+    let int8_f1 = ConfusionMatrix::from_predictions(&int8_labels, &labels).f1_macro();
+    let macro_f1_delta = (fp32_f1 - int8_f1).abs();
+    let mean_abs_prob_delta = fp32_probs
+        .iter()
+        .zip(&int8_probs)
+        .map(|(a, b)| (a - b).abs() as f64)
+        .sum::<f64>()
+        / requests.len() as f64;
+
+    let mut table = TableBuilder::new("Fp32 vs int8 — trained-student agreement").header([
+        "Items",
+        "agree %",
+        "fp32 mF1",
+        "int8 mF1",
+        "|ΔmF1|",
+        "mean |Δp|",
+    ]);
+    table.row([
+        requests.len().to_string(),
+        format!("{agreement_pct:.2}"),
+        format!("{fp32_f1:.4}"),
+        format!("{int8_f1:.4}"),
+        format!("{macro_f1_delta:.4}"),
+        format!("{mean_abs_prob_delta:.5}"),
+    ]);
+    println!("{}", table.render());
+
+    let json = format!(
+        "{{\n  \"model\": \"TextCNN-S\",\n  \"items\": {},\n  \"agreement\": {{\"agreement_pct\": {:.3}, \"fp32_macro_f1\": {:.4}, \"int8_macro_f1\": {:.4}, \"macro_f1_delta\": {:.4}, \"mean_abs_prob_delta\": {:.6}}}\n}}\n",
+        requests.len(),
+        agreement_pct,
+        fp32_f1,
+        int8_f1,
+        macro_f1_delta,
+        mean_abs_prob_delta
+    );
+    std::fs::write("BENCH_agreement.json", json).expect("write BENCH_agreement.json");
+    eprintln!("[agreement] wrote BENCH_agreement.json");
+}
+
+fn start(checkpoint: &Checkpoint, precision: Precision) -> PredictServer {
+    ServerBuilder::new()
+        .workers(2)
+        .cache_capacity(0)
+        .precision(precision)
+        .try_start_from_checkpoint(checkpoint)
+        .expect("valid agreement-bench configuration")
+}
+
+fn predict_all(server: &PredictServer, requests: &[InferenceRequest]) -> Vec<f32> {
+    requests
+        .iter()
+        .map(|r| server.predict(r).expect("valid request").fake_prob)
+        .collect()
+}

@@ -22,6 +22,7 @@
 use dtdbd_metrics::TableBuilder;
 use dtdbd_tensor::kernels::{gemm_into, gemm_naive_branchy, gemm_reference, packed_len};
 use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::QuantizedMatrix;
 use std::time::{Duration, Instant};
 
 /// Intra-op threads of the `parallel` variant (the acceptance shape of the
@@ -52,6 +53,11 @@ struct Row {
     naive: f64,
     blocked: f64,
     parallel: f64,
+    /// Effective GFLOP/s (same nominal 2mkn work) of the int8 quantized
+    /// kernel, single-threaded and at `PARALLEL_THREADS`. Includes the
+    /// runtime activation-row quantization the serving path pays.
+    int8: f64,
+    int8_parallel: f64,
 }
 
 fn main() {
@@ -73,6 +79,10 @@ fn main() {
         .map(|&(name, m, k, n, serving)| {
             let a: Vec<f32> = (0..m * k).map(|_| rng.normal_with(0.0, 1.0)).collect();
             let b: Vec<f32> = (0..k * n).map(|_| rng.normal_with(0.0, 1.0)).collect();
+            // The quantized kernel is output-major ([n, k] weight rows).
+            let w: Vec<f32> = (0..n * k).map(|_| rng.normal_with(0.0, 1.0)).collect();
+            let qm = QuantizedMatrix::from_rows(n, k, &w);
+            let bias = vec![0.0f32; n];
             let mut out = vec![0.0f32; m * n];
             let mut scratch = vec![0.0f32; packed_len(k, n)];
             let flops = (2 * m * k * n) as f64;
@@ -88,6 +98,14 @@ fn main() {
                 / time_best(budget, &mut || {
                     gemm_into(m, k, n, &a, &b, &mut out, PARALLEL_THREADS, &mut scratch)
                 });
+            let int8 = flops
+                / time_best(budget, &mut || {
+                    qm.matmul_into(&a, m, &bias, &mut out, 1);
+                });
+            let int8_parallel = flops
+                / time_best(budget, &mut || {
+                    qm.matmul_into(&a, m, &bias, &mut out, PARALLEL_THREADS);
+                });
             Row {
                 name,
                 m,
@@ -97,6 +115,8 @@ fn main() {
                 naive,
                 blocked,
                 parallel,
+                int8,
+                int8_parallel,
             }
         })
         .collect();
@@ -144,8 +164,9 @@ fn render_table(rows: &[Row]) {
     let title = format!(
         "GEMM kernels — GFLOP/s (naive vs blocked vs blocked+parallel, {PARALLEL_THREADS} threads)"
     );
-    let mut table = TableBuilder::new(&title)
-        .header(["Shape", "m×k×n", "naive", "blocked", "parallel", "speedup"]);
+    let mut table = TableBuilder::new(&title).header([
+        "Shape", "m×k×n", "naive", "blocked", "parallel", "int8", "int8(4t)", "speedup",
+    ]);
     for r in rows {
         table.row([
             r.name.to_string(),
@@ -153,6 +174,8 @@ fn render_table(rows: &[Row]) {
             format!("{:.2}", r.naive / 1e9),
             format!("{:.2}", r.blocked / 1e9),
             format!("{:.2}", r.parallel / 1e9),
+            format!("{:.2}", r.int8 / 1e9),
+            format!("{:.2}", r.int8_parallel / 1e9),
             format!("{:.2}x", r.parallel / r.naive),
         ]);
     }
@@ -164,6 +187,8 @@ fn render_table(rows: &[Row]) {
         format!("{:.2}", naive_mix / 1e9),
         format!("{:.2}", serving_mix(rows, &|r| r.blocked) / 1e9),
         format!("{:.2}", parallel_mix / 1e9),
+        format!("{:.2}", serving_mix(rows, &|r| r.int8) / 1e9),
+        format!("{:.2}", serving_mix(rows, &|r| r.int8_parallel) / 1e9),
         format!("{:.2}x", parallel_mix / naive_mix),
     ]);
     println!("{}", table.render());
@@ -179,7 +204,7 @@ fn render_json(rows: &[Row]) -> String {
     out.push_str("  \"shapes\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"naive_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"parallel_gflops\": {:.3}, \"speedup_blocked\": {:.2}, \"speedup_parallel\": {:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"naive_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"parallel_gflops\": {:.3}, \"int8_gflops\": {:.3}, \"int8_parallel_gflops\": {:.3}, \"speedup_blocked\": {:.2}, \"speedup_parallel\": {:.2}}}{}\n",
             r.name,
             r.m,
             r.k,
@@ -187,6 +212,8 @@ fn render_json(rows: &[Row]) -> String {
             r.naive / 1e9,
             r.blocked / 1e9,
             r.parallel / 1e9,
+            r.int8 / 1e9,
+            r.int8_parallel / 1e9,
             r.blocked / r.naive,
             r.parallel / r.naive,
             if i + 1 < rows.len() { "," } else { "" }
@@ -196,11 +223,15 @@ fn render_json(rows: &[Row]) -> String {
     let naive_mix = serving_mix(rows, &|r| r.naive);
     let blocked_mix = serving_mix(rows, &|r| r.blocked);
     let parallel_mix = serving_mix(rows, &|r| r.parallel);
+    let int8_mix = serving_mix(rows, &|r| r.int8);
+    let int8_parallel_mix = serving_mix(rows, &|r| r.int8_parallel);
     out.push_str(&format!(
-        "  \"serving_mix\": {{\"naive_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"parallel_gflops\": {:.3}, \"speedup_blocked\": {:.2}, \"speedup_parallel\": {:.2}}},\n",
+        "  \"serving_mix\": {{\"naive_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"parallel_gflops\": {:.3}, \"int8_gflops\": {:.3}, \"int8_parallel_gflops\": {:.3}, \"speedup_blocked\": {:.2}, \"speedup_parallel\": {:.2}}},\n",
         naive_mix / 1e9,
         blocked_mix / 1e9,
         parallel_mix / 1e9,
+        int8_mix / 1e9,
+        int8_parallel_mix / 1e9,
         blocked_mix / naive_mix,
         parallel_mix / naive_mix
     ));
@@ -244,6 +275,26 @@ fn parity_smoke() {
                 );
             }
         }
+        // Int8 determinism: the quantized kernel must be bit-identical to
+        // itself at every thread count (its i32 accumulation order is fixed).
+        let w: Vec<f32> = (0..n * k).map(|_| rng.normal_with(0.0, 1.0)).collect();
+        let qm = QuantizedMatrix::from_rows(n, k, &w);
+        let bias = vec![0.0f32; n];
+        let mut int8_want = vec![0.0f32; m * n];
+        qm.matmul_into(&a, m, &bias, &mut int8_want, 1);
+        for threads in [2usize, 4] {
+            let mut got = vec![0.0f32; m * n];
+            qm.matmul_into(&a, m, &bias, &mut got, threads);
+            for (i, (w, g)) in int8_want.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    w.to_bits(),
+                    g.to_bits(),
+                    "int8 determinism violation: ({m},{k},{n}) t={threads} elem {i}"
+                );
+            }
+        }
     }
-    println!("kernel parity OK (blocked/parallel == naive reference, bit-exact)");
+    println!(
+        "kernel parity OK (blocked/parallel == naive reference, int8 self-deterministic, bit-exact)"
+    );
 }

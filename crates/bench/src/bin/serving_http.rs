@@ -17,7 +17,7 @@ use dtdbd_models::{ModelConfig, TextCnnModel};
 use dtdbd_serve::http::HttpClient;
 use dtdbd_serve::{
     json, session_from_checkpoint, BatchingConfig, Checkpoint, ConnectionModel, FaultPlan,
-    HttpConfig, HttpServer, ServerBuilder,
+    HttpConfig, HttpServer, Precision, ServerBuilder, ServingStats,
 };
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
@@ -148,9 +148,18 @@ fn main() {
     // `DTDBD_FAULTS` turns the main measured server into a chaos target: a
     // seeded plan (e.g. `seed=7;panic=0@100`) exercises supervision under
     // real wire load. Unset, the hooks compile to no-ops.
+    // `DTDBD_PRECISION=int8` benches the quantized serving path; the JSON
+    // records which precision produced the numbers so byte figures are
+    // never compared across precisions by accident.
+    let precision = match std::env::var("DTDBD_PRECISION").as_deref() {
+        Ok("int8") => Precision::Int8,
+        Ok("fp32") | Err(_) => Precision::Fp32,
+        Ok(other) => panic!("DTDBD_PRECISION: unknown precision {other:?}"),
+    };
     let mut builder = ServerBuilder::new()
         .batching(batching.clone())
         .threads(INTRA_THREADS)
+        .precision(precision)
         .cache_capacity(0);
     match FaultPlan::from_env() {
         Ok(Some(plan)) => {
@@ -164,6 +173,7 @@ fn main() {
         let checkpoint = checkpoint.clone();
         move |_| session_from_checkpoint(&checkpoint).expect("restore")
     });
+    let serving = predict.stats();
     let server = HttpServer::start(
         predict,
         HttpConfig {
@@ -199,6 +209,7 @@ fn main() {
     let predict_off = ServerBuilder::new()
         .batching(batching.clone())
         .threads(INTRA_THREADS)
+        .precision(precision)
         .cache_capacity(0)
         .telemetry(false)
         .start({
@@ -254,6 +265,7 @@ fn main() {
         let predict_ka = ServerBuilder::new()
             .batching(batching.clone())
             .threads(INTRA_THREADS)
+            .precision(precision)
             .cache_capacity(0)
             .start({
                 let checkpoint = checkpoint.clone();
@@ -304,7 +316,13 @@ fn main() {
     };
 
     render_table(&results, &batching, &telemetry, keepalive.as_ref());
-    let json_out = render_json(&results, &batching, &telemetry, keepalive.as_ref());
+    let json_out = render_json(
+        &results,
+        &batching,
+        &serving,
+        &telemetry,
+        keepalive.as_ref(),
+    );
     std::fs::write("BENCH_http.json", &json_out).expect("write BENCH_http.json");
     eprintln!("[serving_http] wrote BENCH_http.json");
     server.shutdown();
@@ -499,6 +517,7 @@ fn render_table(
 fn render_json(
     results: &[LoadResult],
     batching: &BatchingConfig,
+    serving: &ServingStats,
     telemetry: &TelemetryCost,
     keepalive: Option<&IdleKeepAliveResult>,
 ) -> String {
@@ -507,10 +526,13 @@ fn render_json(
     out.push_str("  \"model\": \"TextCNN-S\",\n");
     out.push_str("  \"transport\": \"http/1.1 keep-alive\",\n");
     out.push_str(&format!(
-        "  \"server\": {{\"workers\": {}, \"intra_op_threads\": {INTRA_THREADS}, \"max_batch_size\": {}, \"max_wait_ms\": {:.1}}},\n",
+        "  \"server\": {{\"workers\": {}, \"intra_op_threads\": {INTRA_THREADS}, \"max_batch_size\": {}, \"max_wait_ms\": {:.1}, \"precision\": \"{}\", \"resident_param_bytes_per_worker\": {}, \"quantized_param_bytes_per_worker\": {}}},\n",
         batching.workers,
         batching.max_batch_size,
-        batching.max_wait.as_secs_f64() * 1e3
+        batching.max_wait.as_secs_f64() * 1e3,
+        serving.precision.name(),
+        serving.resident_param_bytes_per_worker,
+        serving.quantized_param_bytes_per_worker
     ));
     out.push_str("  \"load_levels\": [\n");
     for (i, r) in results.iter().enumerate() {

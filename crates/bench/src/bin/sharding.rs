@@ -27,7 +27,7 @@
 use dtdbd_data::{weibo21_spec, GeneratorConfig, InferenceRequest, NewsGenerator};
 use dtdbd_metrics::TableBuilder;
 use dtdbd_models::{ModelConfig, TextCnnModel};
-use dtdbd_serve::{Checkpoint, PredictServer, ServerBuilder};
+use dtdbd_serve::{Checkpoint, Precision, PredictServer, ServerBuilder};
 use dtdbd_tensor::rng::Prng;
 use dtdbd_tensor::ParamStore;
 use std::sync::Arc;
@@ -46,6 +46,10 @@ struct Row {
     sharded_private_bytes: u64,
     /// Shard pool bytes, resident once per process.
     shard_pool_bytes: u64,
+    /// Bytes per worker of an int8 replica deployment (quantized table +
+    /// weights, fp32 biases).
+    int8_bytes_per_worker: u64,
+    int8_items_per_sec: f64,
 }
 
 impl Row {
@@ -56,6 +60,12 @@ impl Row {
 
     fn throughput_cost_pct(&self) -> f64 {
         (1.0 - self.sharded_items_per_sec / self.replica_items_per_sec) * 100.0
+    }
+
+    /// The quantization memory win: fp32 replica bytes over int8 replica
+    /// bytes per worker (`check_bench.sh` gates this at >= 3x).
+    fn int8_memory_ratio(&self) -> f64 {
+        self.replica_bytes_per_worker as f64 / self.int8_bytes_per_worker as f64
     }
 }
 
@@ -115,16 +125,35 @@ fn bench_pair(
     workers: usize,
     total_requests: usize,
 ) -> Row {
-    // Parity first: the sharded server must reproduce the replica bits.
+    // Parity first: the sharded server must reproduce the replica bits,
+    // and the int8 server must reproduce its own bits on a second pass
+    // (int8 may round differently from fp32, but never from itself).
     let replica = start(checkpoint, workers, 0);
     let sharded = start(checkpoint, workers, workers);
-    for request in requests.iter().take(64) {
+    let int8 = ServerBuilder::new()
+        .workers(workers)
+        .cache_capacity(0)
+        .precision(Precision::Int8)
+        .try_start_from_checkpoint(checkpoint)
+        .expect("valid int8 bench configuration");
+    let int8_first: Vec<u32> = requests
+        .iter()
+        .take(64)
+        .map(|r| int8.predict(r).expect("valid request").fake_prob.to_bits())
+        .collect();
+    for (request, want) in requests.iter().take(64).zip(&int8_first) {
         let a = replica.predict(request).expect("valid request");
         let b = sharded.predict(request).expect("valid request");
         assert_eq!(
             a.fake_prob.to_bits(),
             b.fake_prob.to_bits(),
             "{workers} workers: sharded prediction diverged from replica"
+        );
+        let again = int8.predict(request).expect("valid request");
+        assert_eq!(
+            again.fake_prob.to_bits(),
+            *want,
+            "{workers} workers: int8 prediction not self-deterministic"
         );
     }
     let replica_bytes_per_worker = replica.stats().resident_param_bytes_per_worker;
@@ -133,12 +162,14 @@ fn bench_pair(
         sharded_stats.resident_param_bytes_per_worker,
         sharded_stats.shard_pool_bytes,
     );
+    let int8_bytes_per_worker = int8.stats().resident_param_bytes_per_worker;
 
     let replica_items_per_sec = measure(replica, requests, total_requests);
     let sharded_items_per_sec = measure(sharded, requests, total_requests);
+    let int8_items_per_sec = measure(int8, requests, total_requests);
     eprintln!(
         "[sharding] {workers}w: replica {replica_items_per_sec:.0} items/s, \
-         sharded {sharded_items_per_sec:.0} items/s"
+         sharded {sharded_items_per_sec:.0} items/s, int8 {int8_items_per_sec:.0} items/s"
     );
     Row {
         workers,
@@ -148,6 +179,8 @@ fn bench_pair(
         replica_bytes_per_worker,
         sharded_private_bytes,
         shard_pool_bytes,
+        int8_bytes_per_worker,
+        int8_items_per_sec,
     }
 }
 
@@ -190,8 +223,10 @@ fn render_table(rows: &[Row]) {
             "Shards",
             "replica KiB/worker",
             "sharded KiB/worker",
+            "int8 KiB/worker",
             "replica items/s",
             "sharded items/s",
+            "int8 items/s",
             "cost %",
         ]);
     for r in rows {
@@ -200,8 +235,10 @@ fn render_table(rows: &[Row]) {
             r.shards.to_string(),
             format!("{:.0}", r.replica_bytes_per_worker as f64 / 1024.0),
             format!("{:.0}", r.sharded_bytes_per_worker() as f64 / 1024.0),
+            format!("{:.0}", r.int8_bytes_per_worker as f64 / 1024.0),
             format!("{:.0}", r.replica_items_per_sec),
             format!("{:.0}", r.sharded_items_per_sec),
+            format!("{:.0}", r.int8_items_per_sec),
             format!("{:+.1}", r.throughput_cost_pct()),
         ]);
     }
@@ -236,8 +273,11 @@ fn render_json(checkpoint: &Checkpoint, rows: &[Row]) -> String {
              \"sharded_bytes_per_worker\": {}, \
              \"sharded_private_bytes\": {}, \
              \"shard_pool_bytes\": {}, \
+             \"int8_bytes_per_worker\": {}, \
+             \"int8_memory_ratio\": {:.2}, \
              \"replica_items_per_sec\": {:.1}, \
              \"sharded_items_per_sec\": {:.1}, \
+             \"int8_items_per_sec\": {:.1}, \
              \"throughput_cost_pct\": {:.2}}}{}\n",
             r.workers,
             r.shards,
@@ -245,8 +285,11 @@ fn render_json(checkpoint: &Checkpoint, rows: &[Row]) -> String {
             r.sharded_bytes_per_worker(),
             r.sharded_private_bytes,
             r.shard_pool_bytes,
+            r.int8_bytes_per_worker,
+            r.int8_memory_ratio(),
             r.replica_items_per_sec,
             r.sharded_items_per_sec,
+            r.int8_items_per_sec,
             r.throughput_cost_pct(),
             if i + 1 < rows.len() { "," } else { "" }
         ));

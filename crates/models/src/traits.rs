@@ -4,7 +4,8 @@ use crate::config::ModelConfig;
 use crate::side_state::{SideState, SideStateError};
 use dtdbd_data::Batch;
 use dtdbd_tensor::{
-    BufferPool, Graph, KernelTimers, ParamId, ParamStore, ShardedTable, Tensor, Var,
+    BufferPool, Graph, KernelTimers, ParamId, ParamStore, QuantizedParams, ShardedTable, Tensor,
+    Var,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -85,6 +86,12 @@ pub struct InferOptions {
     /// durations to (see [`dtdbd_tensor::KernelTimers`]). `None` — the
     /// default — reads no clock; timing never changes computed bits.
     pub kernel_timers: Option<Arc<dyn KernelTimers>>,
+    /// Int8 registry for the model's quantizable weights: linear/conv
+    /// layers with an entry run the fused quantize → i32 GEMM → dequantize
+    /// kernel (see [`dtdbd_tensor::QuantizedParams`]). `None` — the default
+    /// — serves full f32. Int8 outputs differ from f32 within quantization
+    /// error but are bit-identical to themselves at any thread/shard count.
+    pub quantized: Option<Arc<QuantizedParams>>,
 }
 
 impl fmt::Debug for InferOptions {
@@ -93,6 +100,7 @@ impl fmt::Debug for InferOptions {
             .field("threads", &self.threads)
             .field("embedding_shards", &self.embedding_shards)
             .field("kernel_timers", &self.kernel_timers.is_some())
+            .field("quantized", &self.quantized.is_some())
             .finish()
     }
 }
@@ -226,7 +234,10 @@ pub trait FakeNewsModel {
         batch: &Batch,
         opts: &InferOptions,
     ) -> InferenceOutput {
-        if opts.embedding_shards.is_none() && opts.kernel_timers.is_none() {
+        if opts.embedding_shards.is_none()
+            && opts.kernel_timers.is_none()
+            && opts.quantized.is_none()
+        {
             self.infer_with_threads(store, pool, batch, opts.threads)
         } else {
             run_default_infer(self, store, pool, batch, opts)
@@ -250,6 +261,7 @@ fn run_default_infer<M: FakeNewsModel + ?Sized>(
         g.set_row_shards(*table, shards.clone());
     }
     g.set_kernel_timers(opts.kernel_timers.clone());
+    g.set_quantized_params(opts.quantized.clone());
     let out = model.forward(&mut g, batch);
     let result = InferenceOutput {
         logits: g.value(out.logits).clone(),

@@ -39,6 +39,7 @@ impl ConvBranch {
             format!("{name}.weight"),
             init::xavier_uniform(kernel * in_dim, channels, &[channels, kernel, in_dim], rng),
         );
+        store.get_mut(weight).quantizable = true;
         let bias = store.add(format!("{name}.bias"), init::zeros(&[channels]));
         Self {
             weight,
@@ -59,11 +60,12 @@ impl ConvBranch {
     }
 
     /// Apply conv -> ReLU -> max-over-time to a `[b, s, d]` input, producing
-    /// `[b, channels]`.
+    /// `[b, channels]`. The convolution dispatches through
+    /// [`Graph::conv1d_param`], so graphs with an int8 registry run the
+    /// fused quantized kernel and every other graph composes the exact
+    /// `param → conv1d` sequence as before.
     pub fn forward(&self, g: &mut Graph<'_>, x: Var) -> Var {
-        let w = g.param(self.weight);
-        let b = g.param(self.bias);
-        let conv = g.conv1d(x, w, b);
+        let conv = g.conv1d_param(x, self.weight, self.bias);
         let act = g.relu(conv);
         g.max_over_time(act)
     }

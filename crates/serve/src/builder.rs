@@ -18,7 +18,7 @@ use dtdbd_models::{
     BiGruModel, Eann, Eddfn, FakeNewsModel, M3Fend, Mdfend, ModelConfig, TextCnnModel,
 };
 use dtdbd_tensor::rng::Prng;
-use dtdbd_tensor::ParamStore;
+use dtdbd_tensor::{ParamStore, Precision};
 use std::fmt;
 
 /// A boxed model that can cross threads (what the server's workers hold).
@@ -112,6 +112,13 @@ pub enum ConfigError {
         /// Domains of the corpus being served.
         n_domains: usize,
     },
+    /// Int8 precision was requested but the architecture registers neither
+    /// a quantizable weight matrix nor a frozen embedding table — the
+    /// deployment would silently serve f32 under an int8 label.
+    NoQuantizableParams {
+        /// Architecture name of the rejected model.
+        arch: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -168,6 +175,13 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "drift baseline covers {baseline_domains} domains, corpus has {n_domains}"
+                )
+            }
+            Self::NoQuantizableParams { arch } => {
+                write!(
+                    f,
+                    "int8 precision requested but model {arch:?} has no quantizable weight or \
+                     frozen embedding table"
                 )
             }
         }
@@ -392,6 +406,20 @@ impl ServerBuilder {
     /// the documented "routing disabled" fallback.
     pub fn domain_routing(mut self, routing: DomainRouting) -> Self {
         self.tuning.routing = Some(routing);
+        self
+    }
+
+    /// Inference numeric precision. [`Precision::Fp32`] (the default) is
+    /// the exact training-time arithmetic; [`Precision::Int8`] quantizes
+    /// every worker's weight matrices and the frozen embedding table to
+    /// per-row int8 + scale form at start-up — ~4× less resident parameter
+    /// memory, predictions within quantization error of f32 and
+    /// bit-identical to themselves at any thread/shard count. Composes with
+    /// [`ServerBuilder::shards`]: an int8 sharded pool is both shared and
+    /// quantized. An arch with nothing to quantize is a
+    /// [`ConfigError::NoQuantizableParams`].
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.tuning.precision = precision;
         self
     }
 

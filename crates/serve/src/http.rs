@@ -555,6 +555,10 @@ impl HttpStats {
             ("workers_alive".into(), num(predict.workers_alive() as u64)),
             ("threads".into(), num(serving.threads as u64)),
             (
+                "precision".into(),
+                Json::Str(serving.precision.name().to_string()),
+            ),
+            (
                 "pool".into(),
                 Json::Obj(vec![
                     ("reuse_hits".into(), num(serving.pool_reuse_hits)),
@@ -582,6 +586,10 @@ impl HttpStats {
                     (
                         "resident_param_bytes_per_worker".into(),
                         num(serving.resident_param_bytes_per_worker),
+                    ),
+                    (
+                        "quantized_param_bytes_per_worker".into(),
+                        num(serving.quantized_param_bytes_per_worker),
                     ),
                 ]),
             ),
@@ -1408,6 +1416,28 @@ fn render_metrics(ctx: &Ctx) -> String {
     ] {
         page.sample("dtdbd_routed_total", &[("queue", queue)], v as f64);
     }
+    page.family(
+        "dtdbd_precision",
+        MetricKind::Gauge,
+        "1 for the numeric precision the prediction workers run at \
+         (fp32 or int8).",
+    );
+    page.sample(
+        "dtdbd_precision",
+        &[("precision", serving.precision.name())],
+        1.0,
+    );
+    page.family(
+        "dtdbd_quantized_param_bytes_per_worker",
+        MetricKind::Gauge,
+        "Mean bytes of int8 parameter codes + scales resident per worker \
+         (0 under fp32).",
+    );
+    page.sample(
+        "dtdbd_quantized_param_bytes_per_worker",
+        &[],
+        serving.quantized_param_bytes_per_worker as f64,
+    );
 
     if let Some(telemetry) = ctx.predict.telemetry() {
         let snap = telemetry.snapshot();

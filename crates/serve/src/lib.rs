@@ -77,6 +77,7 @@ pub use builder::{
 pub use cache::{CacheKey, CacheStats, PredictionCache, ShardedPredictionCache};
 pub use checkpoint::{Checkpoint, CheckpointError, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
 pub use dtdbd_models::{SideState, SideStateError};
+pub use dtdbd_tensor::Precision;
 pub use fault::{FaultParseError, FaultPlan};
 pub use http::{ClientResponse, ConnectionModel, HttpClient, HttpConfig, HttpServer};
 pub use routing::DomainRouting;

@@ -53,7 +53,7 @@ use crate::shards::ShardStore;
 use crate::telemetry::{DomainBaseline, Stage, Telemetry, TraceContext};
 use dtdbd_data::{EncodedRequest, InferenceRequest, RequestEncoder, RequestError};
 use dtdbd_models::FakeNewsModel;
-use dtdbd_tensor::KernelTimers;
+use dtdbd_tensor::{KernelTimers, Precision};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
@@ -125,6 +125,9 @@ pub(crate) struct ServerTuning {
     /// Deterministic fault-injection plan ([`crate::fault`]); `None` (the
     /// default) compiles to no hooks at all on the hot path.
     pub fault_plan: Option<FaultPlan>,
+    /// Inference numeric precision: [`Precision::Int8`] quantizes every
+    /// worker session (and the shard pool, when sharding) at start-up.
+    pub precision: Precision,
 }
 
 impl Default for ServerTuning {
@@ -138,6 +141,7 @@ impl Default for ServerTuning {
             telemetry: true,
             drift_baseline: None,
             fault_plan: None,
+            precision: Precision::Fp32,
         }
     }
 }
@@ -364,6 +368,13 @@ pub struct ServingStats {
     /// Requests shed with [`PredictError::DeadlineExceeded`] before
     /// inference because their deadline budget expired in the queue.
     pub requests_deadline_dropped: u64,
+    /// Numeric precision of worker inference ([`Precision::Int8`] when the
+    /// server quantized sessions at start-up).
+    pub precision: Precision,
+    /// Mean bytes of int8 codes + scales resident per worker (0 under
+    /// fp32). Already included in `resident_param_bytes_per_worker`;
+    /// reported separately so the quantization win is observable.
+    pub quantized_param_bytes_per_worker: u64,
 }
 
 /// An in-flight prediction; resolve it with [`PredictionHandle::wait`].
@@ -394,6 +405,8 @@ pub struct PredictServer {
     embedding_shards: usize,
     shard_pool_bytes: u64,
     resident_param_bytes_per_worker: u64,
+    quantized_param_bytes_per_worker: u64,
+    precision: Precision,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -490,12 +503,22 @@ impl PredictServer {
         // swaps its private copy for the shared shards as soon as it exists.
         let shard_pool = if tuning.embedding_shards > 0 {
             let vocab_rows = session0.model().config().vocab_size;
-            let pool = ShardStore::build(session0.store(), vocab_rows, tuning.embedding_shards)?;
+            let pool = ShardStore::build_with_precision(
+                session0.store(),
+                vocab_rows,
+                tuning.embedding_shards,
+                tuning.precision,
+            )?;
             session0.attach_embedding_shards(&pool)?;
             Some(pool)
         } else {
             None
         };
+        // Quantization runs after shard attachment so a shared (possibly
+        // int8) pool owns the table and the session only rewrites its
+        // private weights; in replica mode the session quantizes its own
+        // table copy too.
+        session0.quantize(tuning.precision)?;
         let mut sessions = Vec::with_capacity(config.workers);
         sessions.push(session0);
         for worker_id in 1..config.workers {
@@ -504,6 +527,7 @@ impl PredictServer {
             if let Some(pool) = shard_pool.as_ref() {
                 session.attach_embedding_shards(pool)?;
             }
+            session.quantize(tuning.precision)?;
             sessions.push(session);
         }
         if let Some(t) = telemetry.as_ref() {
@@ -515,6 +539,11 @@ impl PredictServer {
         let resident_param_bytes_per_worker = sessions
             .iter()
             .map(InferenceSession::resident_param_bytes)
+            .sum::<u64>()
+            / sessions.len() as u64;
+        let quantized_param_bytes_per_worker = sessions
+            .iter()
+            .map(InferenceSession::quantized_bytes)
             .sum::<u64>()
             / sessions.len() as u64;
 
@@ -558,6 +587,7 @@ impl PredictServer {
                 .as_ref()
                 .and_then(FaultPlan::backoff_override)
                 .unwrap_or(DEFAULT_RESPAWN_BACKOFF),
+            precision: tuning.precision,
         });
         let fault_tables: Vec<Option<WorkerFaults>> = match tuning.fault_plan.as_ref() {
             Some(plan) => plan
@@ -593,6 +623,8 @@ impl PredictServer {
             embedding_shards,
             shard_pool_bytes,
             resident_param_bytes_per_worker,
+            quantized_param_bytes_per_worker,
+            precision: tuning.precision,
             workers,
         })
     }
@@ -628,7 +660,9 @@ impl PredictServer {
         let (tx, rx) = mpsc::channel();
         let key = match self.shared.cache.as_ref() {
             Some(cache) => {
-                let key = CacheKey::of(&request);
+                // Keys carry the precision: fp32 and int8 deployments may
+                // legitimately disagree, so their entries must never alias.
+                let key = CacheKey::of_with_precision(&request, self.precision);
                 if let Some(hit) = cache.get_traced(&key, &trace) {
                     // A cache hit is a served prediction too: the drift
                     // tracker must see the traffic the clients see.
@@ -742,6 +776,8 @@ impl PredictServer {
             worker_panics: self.shared.worker_panics.load(Ordering::Relaxed),
             worker_restarts: self.shared.worker_restarts.load(Ordering::Relaxed),
             requests_deadline_dropped: self.shared.deadline_dropped.load(Ordering::Relaxed),
+            precision: self.precision,
+            quantized_param_bytes_per_worker: self.quantized_param_bytes_per_worker,
         };
         for counters in &self.shared.counters {
             // Seqlock snapshot: the four fields of one worker are coherent
@@ -792,6 +828,7 @@ struct Respawn<F> {
     threads: usize,
     kernel_timers: Option<Arc<dyn KernelTimers>>,
     initial_backoff: Duration,
+    precision: Precision,
 }
 
 /// The supervisor around one worker's batch loop: run the loop under
@@ -861,6 +898,9 @@ fn worker_shell<M, F>(
                 if fresh.attach_embedding_shards(pool).is_err() {
                     continue;
                 }
+            }
+            if fresh.quantize(respawn.precision).is_err() {
+                continue;
             }
             fresh.set_kernel_timers(respawn.kernel_timers.clone());
             session = fresh;

@@ -11,7 +11,10 @@ use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::shards::ShardStore;
 use dtdbd_data::{Batch, EncodedRequest, RequestEncoder};
 use dtdbd_models::{FakeNewsModel, InferOptions, ModelConfig};
-use dtdbd_tensor::{BufferPool, KernelTimers, ParamId, ParamStore, ShardedTable, Tensor};
+use dtdbd_tensor::{
+    BufferPool, KernelTimers, ParamId, ParamStore, Precision, QuantizedMatrix, QuantizedParams,
+    ShardedTable, Tensor,
+};
 use std::sync::Arc;
 
 /// Per-item serving result.
@@ -48,6 +51,17 @@ pub struct InferenceSession<M> {
     /// (the serving telemetry registry). `None` keeps the kernels free of
     /// clock reads; the sink never changes prediction bits either way.
     kernel_timers: Option<Arc<dyn KernelTimers>>,
+    /// Inference precision. [`Precision::Int8`] after a successful
+    /// [`InferenceSession::quantize`]; [`Precision::Fp32`] otherwise.
+    precision: Precision,
+    /// Int8 registry built by [`InferenceSession::quantize`]: the quantized
+    /// forms of every quantizable weight, threaded into each forward pass.
+    quantized: Option<Arc<QuantizedParams>>,
+    /// Bytes of a *private* quantized embedding table (replica-mode int8:
+    /// the table leaves the store for a one-shard int8 view held by this
+    /// session alone, so it still counts as per-worker resident memory —
+    /// unlike a shared [`ShardStore`] pool, which counts once per process).
+    private_table_bytes: u64,
 }
 
 impl<M: FakeNewsModel> InferenceSession<M> {
@@ -64,6 +78,9 @@ impl<M: FakeNewsModel> InferenceSession<M> {
             threads: 1,
             embedding_shards: None,
             kernel_timers: None,
+            precision: Precision::Fp32,
+            quantized: None,
+            private_table_bytes: 0,
         }
     }
 
@@ -138,12 +155,100 @@ impl<M: FakeNewsModel> InferenceSession<M> {
         &self.store
     }
 
-    /// Bytes of parameter values resident in this session's private store.
-    /// After [`InferenceSession::attach_embedding_shards`] the dominant
-    /// embedding table no longer counts here — it lives once in the shared
+    /// Bytes of parameter values resident in this session's private store,
+    /// plus — after [`InferenceSession::quantize`] — the int8 registry and
+    /// any private (replica-mode) quantized table. After
+    /// [`InferenceSession::attach_embedding_shards`] the dominant embedding
+    /// table no longer counts here — it lives once in the shared
     /// [`ShardStore`], not per worker.
     pub fn resident_param_bytes(&self) -> u64 {
         self.store.num_scalars() as u64 * std::mem::size_of::<f32>() as u64
+            + self.quantized.as_ref().map_or(0, |q| q.bytes())
+            + self.private_table_bytes
+    }
+
+    /// Inference precision of this session's forward passes.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Bytes of int8 weight matrices (codes + per-row scales) resident in
+    /// this session, including a private replica-mode quantized table; zero
+    /// before [`InferenceSession::quantize`].
+    pub fn quantized_bytes(&self) -> u64 {
+        self.quantized.as_ref().map_or(0, |q| q.bytes()) + self.private_table_bytes
+    }
+
+    /// Quantize this session to the given precision. [`Precision::Fp32`] is
+    /// the identity. [`Precision::Int8`] rewrites every quantizable weight
+    /// (linear/conv matrices, marked by the layers that registered them)
+    /// into per-row int8 + scale form, drops the f32 originals to empty
+    /// stubs, and — in replica mode, i.e. before any shared shard pool is
+    /// attached — moves the frozen embedding table into a private one-shard
+    /// int8 view. In sharded mode the table is the (already attached)
+    /// shared pool's concern and is left alone here.
+    ///
+    /// Subsequent forward passes run the fused quantize → i32 GEMM →
+    /// dequantize kernel: predictions differ from f32 within quantization
+    /// error but are bit-identical to themselves at any thread/shard count.
+    ///
+    /// Fails with [`ConfigError::NoQuantizableParams`] when the model has
+    /// neither a quantizable weight nor a frozen embedding table — an int8
+    /// deployment of such an arch would silently serve f32.
+    pub fn quantize(&mut self, precision: Precision) -> Result<(), crate::builder::ConfigError> {
+        use crate::builder::ConfigError;
+        if precision == Precision::Fp32 {
+            return Ok(());
+        }
+        let mut registry = QuantizedParams::new();
+        let mut stubs: Vec<(ParamId, Vec<usize>)> = Vec::new();
+        for (id, p) in self.store.iter() {
+            if !p.quantizable {
+                continue;
+            }
+            let matrix = match p.value.ndim() {
+                2 => QuantizedMatrix::from_linear(&p.value),
+                3 => QuantizedMatrix::from_conv(&p.value),
+                _ => continue,
+            };
+            registry.insert(id, Arc::new(matrix));
+            let mut stub = p.value.shape().to_vec();
+            stub[0] = 0;
+            stubs.push((id, stub));
+        }
+        // Replica mode only: move the frozen table (the same discovery rule
+        // the shard pool uses) into a private one-shard int8 view. With a
+        // shared pool attached the store already holds a stub.
+        let table_id = if self.embedding_shards.is_none() {
+            let vocab_rows = self.model.config().vocab_size;
+            self.store
+                .iter()
+                .filter(|(_, p)| {
+                    !p.trainable && p.value.ndim() == 2 && p.value.shape()[0] == vocab_rows
+                })
+                .max_by_key(|(_, p)| p.value.numel())
+                .map(|(id, _)| id)
+        } else {
+            None
+        };
+        if registry.is_empty() && table_id.is_none() && self.embedding_shards.is_none() {
+            return Err(ConfigError::NoQuantizableParams {
+                arch: self.model.name().to_string(),
+            });
+        }
+        for (id, stub) in stubs {
+            self.store.get_mut(id).value = Tensor::zeros(&stub);
+        }
+        if let Some(id) = table_id {
+            let table = ShardedTable::from_tensor_quantized(self.store.value(id), 1);
+            let dim = table.dim();
+            self.private_table_bytes = table.total_bytes() as u64;
+            self.store.get_mut(id).value = Tensor::zeros(&[0, dim]);
+            self.embedding_shards = Some((id, table));
+        }
+        self.quantized = Some(Arc::new(registry));
+        self.precision = Precision::Int8;
+        Ok(())
     }
 
     /// Serve embedding lookups of the pool's table from the shared shards
@@ -194,6 +299,7 @@ impl<M: FakeNewsModel> InferenceSession<M> {
             threads: self.threads,
             embedding_shards: self.embedding_shards.clone(),
             kernel_timers: self.kernel_timers.clone(),
+            quantized: self.quantized.clone(),
         };
         let output = self
             .model

@@ -20,7 +20,7 @@
 
 use crate::builder::ConfigError;
 use crate::checkpoint::Checkpoint;
-use dtdbd_tensor::{ParamStore, ShardedTable};
+use dtdbd_tensor::{ParamStore, Precision, ShardedTable};
 
 /// The shared, read-only embedding shard pool of a sharded deployment.
 ///
@@ -41,6 +41,19 @@ impl ShardStore {
         vocab_rows: usize,
         n_shards: usize,
     ) -> Result<Self, ConfigError> {
+        Self::build_with_precision(store, vocab_rows, n_shards, Precision::Fp32)
+    }
+
+    /// [`ShardStore::build`] with an explicit storage precision:
+    /// [`Precision::Int8`] quantizes each table row to int8 + scale while
+    /// splitting, so sharded and quantized serving compose — the pool is
+    /// both shared across workers *and* ~4× smaller.
+    pub fn build_with_precision(
+        store: &ParamStore,
+        vocab_rows: usize,
+        n_shards: usize,
+        precision: Precision,
+    ) -> Result<Self, ConfigError> {
         let (_, param) = store
             .iter()
             .filter(|(_, p)| {
@@ -55,15 +68,24 @@ impl ShardStore {
                 rows,
             });
         }
+        let shards = match precision {
+            Precision::Fp32 => ShardedTable::from_tensor(&param.value, n_shards),
+            Precision::Int8 => ShardedTable::from_tensor_quantized(&param.value, n_shards),
+        };
         Ok(Self {
             param_name: param.name.clone(),
-            shards: ShardedTable::from_tensor(&param.value, n_shards),
+            shards,
         })
     }
 
     /// [`ShardStore::build`] over a decoded checkpoint's parameters.
     pub fn from_checkpoint(checkpoint: &Checkpoint, n_shards: usize) -> Result<Self, ConfigError> {
         Self::build(&checkpoint.params, checkpoint.config.vocab_size, n_shards)
+    }
+
+    /// Storage precision of the pool's shard buffers.
+    pub fn precision(&self) -> Precision {
+        self.shards.precision()
     }
 
     /// Dotted name of the sharded table parameter (how sessions locate
@@ -126,6 +148,20 @@ mod tests {
         assert_eq!(pool.dim(), 8);
         assert_eq!(pool.n_shards(), 4);
         assert_eq!(pool.total_bytes(), 50 * 8 * 4);
+    }
+
+    #[test]
+    fn int8_pools_compose_sharding_with_quantization() {
+        // A realistic row width: the per-row f32 scale must amortize for
+        // the >3x memory win to hold.
+        let store = store_with_table(50, 64);
+        let pool = ShardStore::build_with_precision(&store, 50, 4, Precision::Int8).unwrap();
+        assert_eq!(pool.param_name(), "bert.pretrained");
+        assert_eq!(pool.precision(), Precision::Int8);
+        assert_eq!(pool.n_shards(), 4);
+        // int8 codes + one f32 scale per row.
+        assert_eq!(pool.total_bytes(), (50 * 64 + 50 * 4) as u64);
+        assert!(pool.total_bytes() * 3 < ShardStore::build(&store, 50, 4).unwrap().total_bytes());
     }
 
     #[test]

@@ -3,12 +3,12 @@
 //! panic and never a silently wrong deployment.
 
 use dtdbd_data::{
-    weibo21_spec, GeneratorConfig, InferenceRequest, MultiDomainDataset, NewsGenerator,
+    weibo21_spec, Batch, GeneratorConfig, InferenceRequest, MultiDomainDataset, NewsGenerator,
 };
-use dtdbd_models::{ModelConfig, TextCnnModel};
-use dtdbd_serve::{ConfigError, DomainRouting, InferenceSession, ServerBuilder};
+use dtdbd_models::{FakeNewsModel, ModelConfig, ModelOutput, TextCnnModel};
+use dtdbd_serve::{ConfigError, DomainRouting, InferenceSession, Precision, ServerBuilder};
 use dtdbd_tensor::rng::Prng;
-use dtdbd_tensor::ParamStore;
+use dtdbd_tensor::{Graph, ParamStore, Tensor};
 
 fn dataset() -> MultiDomainDataset {
     NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(4, 0.02)
@@ -186,6 +186,61 @@ fn routing_an_unknown_domain_is_a_typed_error() {
     );
 }
 
+/// A degenerate model with no parameters at all: nothing to quantize, no
+/// frozen table to shard. Int8 on this arch must be a typed error, not a
+/// silently-fp32 deployment.
+struct ConstantModel {
+    cfg: ModelConfig,
+}
+
+impl FakeNewsModel for ConstantModel {
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+    fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+    fn forward(&self, g: &mut Graph<'_>, batch: &Batch) -> ModelOutput {
+        let b = batch.batch_size;
+        let logits = g.constant(Tensor::zeros(&[b, 2]));
+        let features = g.constant(Tensor::zeros(&[b, self.cfg.feature_dim]));
+        ModelOutput::simple(logits, features)
+    }
+}
+
+#[test]
+fn int8_without_quantizable_params_is_a_typed_error() {
+    let ds = dataset();
+    let cfg = ModelConfig::tiny(&ds);
+    let make = {
+        let cfg = cfg.clone();
+        move |_| InferenceSession::new(ConstantModel { cfg: cfg.clone() }, ParamStore::new())
+    };
+    let err = err_of(
+        ServerBuilder::new()
+            .workers(1)
+            .precision(Precision::Int8)
+            .try_start(make),
+        "int8 with nothing to quantize must be rejected",
+    );
+    assert_eq!(
+        err,
+        ConfigError::NoQuantizableParams {
+            arch: "constant".into(),
+        }
+    );
+    // Fp32 on the same arch still deploys: the error is about the knob,
+    // not the model.
+    let make = {
+        let cfg = cfg.clone();
+        move |_| InferenceSession::new(ConstantModel { cfg: cfg.clone() }, ParamStore::new())
+    };
+    ServerBuilder::new()
+        .workers(1)
+        .try_start(make)
+        .expect("fp32 serving needs no quantizable params");
+}
+
 #[test]
 fn config_errors_render_actionable_messages() {
     // The Display impls are part of the operator surface (they end up in
@@ -208,4 +263,9 @@ fn config_errors_render_actionable_messages() {
     }
     .to_string();
     assert!(msg.contains("12") && msg.contains('9'), "{msg}");
+    let msg = ConfigError::NoQuantizableParams {
+        arch: "constant".into(),
+    }
+    .to_string();
+    assert!(msg.contains("constant") && msg.contains("int8"), "{msg}");
 }

@@ -1,0 +1,111 @@
+//! Byte-level pin of the int8 inference path: a deterministic TextCNN-S
+//! student (fixed seeds, fixed corpus) is quantized to int8 and its
+//! predictions over a fixed request set are committed, bit-for-bit, under
+//! `tests/fixtures/`. The quantization scheme (per-row symmetric scales,
+//! i32 ascending-k accumulation, one dequantize multiply at the boundary)
+//! is a compatibility surface: any change to rounding, scale derivation or
+//! accumulation order silently changes every deployed int8 prediction —
+//! this test makes that change loud instead.
+//!
+//! To regenerate after an *intentional* scheme change:
+//!
+//! ```text
+//! DTDBD_REGEN_FIXTURES=1 cargo test -p dtdbd-serve --test int8_fixture
+//! ```
+
+use dtdbd_data::{weibo21_spec, GeneratorConfig, MultiDomainDataset, NewsGenerator};
+use dtdbd_models::{ModelConfig, TextCnnModel};
+use dtdbd_serve::{session_from_checkpoint, Checkpoint, Precision};
+use dtdbd_tensor::rng::Prng;
+use dtdbd_tensor::ParamStore;
+use std::path::PathBuf;
+
+const FIXTURE: &str = "int8_predictions_v1.bin";
+const N_REQUESTS: usize = 32;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn dataset() -> MultiDomainDataset {
+    NewsGenerator::new(weibo21_spec(), GeneratorConfig::tiny()).generate_scaled(17, 0.03)
+}
+
+fn checkpoint(ds: &MultiDomainDataset) -> Checkpoint {
+    let cfg = ModelConfig::tiny(ds);
+    let mut store = ParamStore::new();
+    let model = TextCnnModel::student(&mut store, &cfg, &mut Prng::new(0xD7D8));
+    let ckpt = Checkpoint::capture(&model, &store);
+    Checkpoint::from_bytes(&ckpt.to_bytes()).expect("self round trip")
+}
+
+/// The pinned bytes: per request, the little-endian `to_bits()` of
+/// `fake_prob`, `logits[0]`, `logits[1]` — 12 bytes each, concatenated in
+/// request order.
+fn current_prediction_bytes() -> Vec<u8> {
+    let ds = dataset();
+    let ckpt = checkpoint(&ds);
+    let mut session = session_from_checkpoint(&ckpt).expect("restore");
+    session
+        .quantize(Precision::Int8)
+        .expect("TextCNN-S has quantizable weights and a frozen table");
+    let encoded: Vec<_> = ds
+        .items()
+        .iter()
+        .take(N_REQUESTS)
+        .map(|item| {
+            session
+                .encoder()
+                .encode(&dtdbd_data::InferenceRequest {
+                    tokens: item.tokens.clone(),
+                    domain: item.domain,
+                    style: Some(item.style.clone()),
+                    emotion: Some(item.emotion.clone()),
+                })
+                .expect("valid corpus item")
+        })
+        .collect();
+    let mut bytes = Vec::with_capacity(N_REQUESTS * 12);
+    for p in session.predict_requests(&encoded) {
+        for v in [p.fake_prob, p.logits[0], p.logits[1]] {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    bytes
+}
+
+fn read_or_regen(name: &str, expected: &[u8]) -> Vec<u8> {
+    let path = fixture_dir().join(name);
+    if std::env::var_os("DTDBD_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(fixture_dir()).unwrap();
+        std::fs::write(&path, expected).unwrap();
+    }
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {name} ({e}); run with DTDBD_REGEN_FIXTURES=1 to create it \
+             — but only as part of an intentional quantization-scheme change"
+        )
+    })
+}
+
+#[test]
+fn int8_prediction_bytes_are_pinned_exactly() {
+    let expected = current_prediction_bytes();
+    assert_eq!(expected.len(), N_REQUESTS * 12);
+    let on_disk = read_or_regen(FIXTURE, &expected);
+    assert_eq!(
+        on_disk, expected,
+        "the int8 path no longer reproduces the committed prediction fixture — \
+         a rounding, scale or accumulation-order change just altered every \
+         deployed int8 prediction; if intentional, regenerate the fixture and \
+         call it out in the changelog"
+    );
+    // The pinned probabilities are real probabilities, not NaN garbage.
+    for chunk in on_disk.chunks_exact(12) {
+        let p = f32::from_bits(u32::from_le_bytes(chunk[..4].try_into().unwrap()));
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "pinned fake_prob {p} out of range"
+        );
+    }
+}

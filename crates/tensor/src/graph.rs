@@ -145,6 +145,11 @@ pub struct Graph<'s> {
     /// embedding gather). `None` — the default — skips every clock read;
     /// timing is observation only and never changes computed values.
     kernel_timers: Option<Arc<dyn KernelTimers>>,
+    /// Int8 registry for [`Graph::linear_param`] / [`Graph::conv1d_param`]:
+    /// weights with an entry run the fused quantize → i32 GEMM → dequantize
+    /// kernel instead of the f32 path. Inference graphs only (the tape
+    /// cannot differentiate through the integer kernel).
+    quantized: Option<Arc<crate::quant::QuantizedParams>>,
 }
 
 impl<'s> Graph<'s> {
@@ -161,6 +166,7 @@ impl<'s> Graph<'s> {
             threads: 1,
             row_shards: Vec::new(),
             kernel_timers: None,
+            quantized: None,
         }
     }
 
@@ -178,6 +184,7 @@ impl<'s> Graph<'s> {
             threads: 1,
             row_shards: Vec::new(),
             kernel_timers: None,
+            quantized: None,
         }
     }
 
@@ -210,6 +217,18 @@ impl<'s> Graph<'s> {
     /// sink; a sinkless graph reads no clock at all.
     pub fn set_kernel_timers(&mut self, sink: Option<Arc<dyn KernelTimers>>) {
         self.kernel_timers = sink;
+    }
+
+    /// Serve [`Graph::linear_param`] / [`Graph::conv1d_param`] weights with
+    /// an entry in `quantized` through the fused int8 kernel. Inference
+    /// graphs only: the tape cannot differentiate through integer
+    /// arithmetic, so training graphs reject the registry outright.
+    pub fn set_quantized_params(&mut self, quantized: Option<Arc<crate::quant::QuantizedParams>>) {
+        assert!(
+            !self.tape || quantized.is_none(),
+            "quantized params are inference-only; tape graphs must stay f32"
+        );
+        self.quantized = quantized;
     }
 
     /// Intra-op thread count kernels launched from this graph may use.
@@ -508,6 +527,41 @@ impl<'s> Graph<'s> {
         let value = Tensor::new(vec![m, n], out);
         let rg = self.any_requires_grad(&[a.0, b.0]);
         self.push(value, Op::Matmul, &[a.0, b.0], None, rg)
+    }
+
+    /// A whole linear layer (`x · W + b`) by parameter id. When `weight`
+    /// has an entry in the quantized registry this runs the fused int8
+    /// kernel (quantize each activation row → i8×i8→i32 `A·Bᵀ` GEMM over
+    /// ascending `k` → dequantize with the bias folded in) and records one
+    /// tape-free node; otherwise it composes the exact f32 op sequence
+    /// (`param` → `matmul` → `add_bias`) every training graph uses, so the
+    /// f32 path is bit-unchanged.
+    pub fn linear_param(&mut self, x: Var, weight: ParamId, bias: ParamId) -> Var {
+        if let Some(qm) = self.quantized.as_ref().and_then(|q| q.get(weight)) {
+            let qm = Arc::clone(qm);
+            let timers = self.kernel_timers.clone();
+            let _timer = KernelSpan::start(timers.as_ref(), "matmul");
+            assert_eq!(self.nodes[x.0].value.ndim(), 2, "linear input must be 2-D");
+            let (m, k) = {
+                let s = self.nodes[x.0].value.shape();
+                (s[0], s[1])
+            };
+            assert_eq!(qm.cols(), k, "quantized linear inner dimension mismatch");
+            let n = qm.rows();
+            let mut out = self.alloc_for_overwrite(m * n);
+            let threads = self.threads;
+            {
+                let xd = self.nodes[x.0].value.data();
+                let bd = self.store.value(bias).data();
+                qm.matmul_into(xd, m, bd, &mut out, threads);
+            }
+            let value = Tensor::new(vec![m, n], out);
+            return self.push(value, Op::Leaf, &[], None, false);
+        }
+        let w = self.param(weight);
+        let b = self.param(bias);
+        let xw = self.matmul(x, w);
+        self.add_bias(xw, b)
     }
 
     // ------------------------------------------------------------------
@@ -892,6 +946,59 @@ impl<'s> Graph<'s> {
         let value = Tensor::new(vec![b, out_s, oc], data);
         let rg = self.any_requires_grad(&[x.0, weight.0, bias.0]);
         self.push(value, Op::Conv1d, &[x.0, weight.0, bias.0], None, rg)
+    }
+
+    /// A whole conv1d layer by parameter id. When `weight` has an entry in
+    /// the quantized registry this runs im2row followed by the fused int8
+    /// `A·Bᵀ` kernel over the unfolded `[b·(s-k+1), k·d]` rows (bias folded
+    /// into the dequantize) and records one tape-free node; otherwise it
+    /// composes the exact f32 sequence (`param` ×2 → `conv1d`) every
+    /// training graph uses, so the f32 path is bit-unchanged.
+    pub fn conv1d_param(&mut self, x: Var, weight: ParamId, bias: ParamId) -> Var {
+        if let Some(qm) = self.quantized.as_ref().and_then(|q| q.get(weight)) {
+            let qm = Arc::clone(qm);
+            let timers = self.kernel_timers.clone();
+            let _timer = KernelSpan::start(timers.as_ref(), "conv1d");
+            // Geometry comes from the input and the quantized matrix alone:
+            // the store may hold only a `[0, k, d]` stub for this weight
+            // (quantization drops the f32 original to reclaim memory).
+            let (b, s, d, oc, k) = {
+                let xv = &self.nodes[x.0].value;
+                assert_eq!(xv.ndim(), 3, "conv1d input must be [b, s, d]");
+                let (b, s, d) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+                assert_eq!(
+                    qm.cols() % d.max(1),
+                    0,
+                    "quantized conv width {} not a multiple of feature dim {d}",
+                    qm.cols()
+                );
+                let k = qm.cols() / d.max(1);
+                let oc = qm.rows();
+                assert!(
+                    s >= k,
+                    "conv1d: sequence length {s} shorter than kernel {k}"
+                );
+                (b, s, d, oc, k)
+            };
+            let out_s = s - k + 1;
+            let rows = b * out_s;
+            let width = k * d;
+            let threads = self.threads;
+            let mut data = self.alloc_for_overwrite(rows * oc);
+            let mut unfolded = self.alloc_for_overwrite(rows * width);
+            {
+                let xd = self.nodes[x.0].value.data();
+                let bd = self.store.value(bias).data();
+                kernels::im2row(xd, b, s, d, k, &mut unfolded, threads);
+                qm.matmul_into(&unfolded, rows, bd, &mut data, threads);
+            }
+            self.release_scratch(unfolded);
+            let value = Tensor::new(vec![b, out_s, oc], data);
+            return self.push(value, Op::Leaf, &[], None, false);
+        }
+        let w = self.param(weight);
+        let b = self.param(bias);
+        self.conv1d(x, w, b)
     }
 
     // ------------------------------------------------------------------

@@ -32,6 +32,7 @@ pub mod optim;
 pub mod par;
 pub mod params;
 pub mod pool;
+pub mod quant;
 pub mod rng;
 pub mod shape;
 pub mod shard;
@@ -41,6 +42,7 @@ pub mod timers;
 pub use graph::{Graph, Var};
 pub use params::{Param, ParamId, ParamStore};
 pub use pool::BufferPool;
+pub use quant::{Precision, QuantizedMatrix, QuantizedParams};
 pub use shard::ShardedTable;
 pub use tensor::Tensor;
 pub use timers::{KernelSpan, KernelTimers};

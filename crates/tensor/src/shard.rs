@@ -7,14 +7,21 @@
 //! workers can share one resident copy of the table instead of each holding
 //! a private replica — the memory-scaling half of sharded serving.
 //!
+//! Shards store either the original f32 rows or per-row-quantized int8
+//! codes plus one f32 scale per row (see [`crate::quant`]); the int8 form
+//! cuts shard bytes ~4× and composes with every shard/thread count.
+//!
 //! The only operation the inference hot path needs is a row gather
-//! ([`ShardedTable::gather_into`]). Gathering is pure row copying, so the
-//! sharded gather is bit-identical to [`crate::kernels::gather_rows`] over
-//! the unsharded table at any shard count and any thread count — the same
-//! determinism contract every other kernel in this workspace upholds.
+//! ([`ShardedTable::gather_into`]). The f32 gather is pure row copying, so
+//! it is bit-identical to [`crate::kernels::gather_rows`] over the unsharded
+//! table at any shard count and any thread count. The int8 gather
+//! dequantizes element-wise (`code × row_scale`, no reduction), so it too is
+//! bit-identical at any shard/thread count — the same determinism contract
+//! every other kernel in this workspace upholds.
 
 use crate::kernels;
 use crate::par::{self, SendMutPtr};
+use crate::quant::{self, Precision};
 use crate::tensor::Tensor;
 use std::ops::Range;
 use std::sync::Arc;
@@ -23,13 +30,22 @@ use std::sync::Arc;
 /// [`crate::kernels::gather_rows`] so the two paths split work identically.
 const PAR_MIN_ELEMS: usize = 8192;
 
+/// The storage behind one table: f32 rows, or int8 codes with one f32
+/// scale per row (row `r` of a shard dequantizes as `code * scales[r]`).
+#[derive(Debug, Clone)]
+enum ShardData {
+    F32(Vec<Arc<[f32]>>),
+    I8 {
+        shards: Vec<Arc<[i8]>>,
+        scales: Vec<Arc<[f32]>>,
+    },
+}
+
 /// A `[rows, dim]` table split into contiguous row-range shards, shared
 /// read-only via [`Arc`]s.
 #[derive(Debug, Clone)]
 pub struct ShardedTable {
-    /// The row-range shards, in row order. Every shard holds
-    /// `rows_per_shard` rows except possibly the last.
-    shards: Vec<Arc<[f32]>>,
+    data: ShardData,
     rows_per_shard: usize,
     rows: usize,
     dim: usize,
@@ -48,15 +64,7 @@ impl ShardedTable {
     /// or exceeds the row count (callers expose these as typed configuration
     /// errors; see `dtdbd-serve`).
     pub fn from_tensor(table: &Tensor, n_shards: usize) -> Self {
-        assert_eq!(table.ndim(), 2, "ShardedTable expects a [rows, dim] table");
-        let rows = table.shape()[0];
-        let dim = table.shape()[1];
-        assert!(rows > 0, "cannot shard an empty table");
-        assert!(
-            n_shards >= 1 && n_shards <= rows,
-            "shard count {n_shards} out of range (1..={rows})"
-        );
-        let rows_per_shard = rows.div_ceil(n_shards);
+        let (rows, dim, rows_per_shard) = Self::geometry(table, n_shards);
         let data = table.data();
         let shards = (0..rows)
             .step_by(rows_per_shard)
@@ -66,11 +74,55 @@ impl ShardedTable {
             })
             .collect();
         Self {
-            shards,
+            data: ShardData::F32(shards),
             rows_per_shard,
             rows,
             dim,
         }
+    }
+
+    /// [`ShardedTable::from_tensor`] with per-row int8 quantization
+    /// applied shard by shard: each row stores `round(v·127/maxabs)` codes
+    /// plus one f32 scale (`maxabs/127`), cutting shard bytes ~4×.
+    ///
+    /// # Panics
+    /// Same geometry panics as [`ShardedTable::from_tensor`].
+    pub fn from_tensor_quantized(table: &Tensor, n_shards: usize) -> Self {
+        let (rows, dim, rows_per_shard) = Self::geometry(table, n_shards);
+        let data = table.data();
+        let mut shards = Vec::new();
+        let mut scales = Vec::new();
+        for start in (0..rows).step_by(rows_per_shard) {
+            let end = (start + rows_per_shard).min(rows);
+            let mut codes = vec![0i8; (end - start) * dim];
+            let mut shard_scales = vec![0f32; end - start];
+            for (local, row) in (start..end).enumerate() {
+                shard_scales[local] = quant::quantize_row(
+                    &data[row * dim..(row + 1) * dim],
+                    &mut codes[local * dim..(local + 1) * dim],
+                );
+            }
+            shards.push(Arc::from(codes.as_slice()));
+            scales.push(Arc::from(shard_scales.as_slice()));
+        }
+        Self {
+            data: ShardData::I8 { shards, scales },
+            rows_per_shard,
+            rows,
+            dim,
+        }
+    }
+
+    fn geometry(table: &Tensor, n_shards: usize) -> (usize, usize, usize) {
+        assert_eq!(table.ndim(), 2, "ShardedTable expects a [rows, dim] table");
+        let rows = table.shape()[0];
+        let dim = table.shape()[1];
+        assert!(rows > 0, "cannot shard an empty table");
+        assert!(
+            n_shards >= 1 && n_shards <= rows,
+            "shard count {n_shards} out of range (1..={rows})"
+        );
+        (rows, dim, rows.div_ceil(n_shards))
     }
 
     /// Number of rows of the full (logical) table.
@@ -85,34 +137,59 @@ impl ShardedTable {
 
     /// Number of shards the rows are split into.
     pub fn n_shards(&self) -> usize {
-        self.shards.len()
+        match &self.data {
+            ShardData::F32(shards) => shards.len(),
+            ShardData::I8 { shards, .. } => shards.len(),
+        }
+    }
+
+    /// Storage precision of the shard buffers.
+    pub fn precision(&self) -> Precision {
+        match &self.data {
+            ShardData::F32(_) => Precision::Fp32,
+            ShardData::I8 { .. } => Precision::Int8,
+        }
     }
 
     /// Bytes resident in the shard buffers (held once per process however
-    /// many clones exist).
+    /// many clones exist). Int8 tables count their codes plus the per-row
+    /// f32 scales.
     pub fn total_bytes(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| std::mem::size_of_val(&s[..]))
-            .sum()
+        match &self.data {
+            ShardData::F32(shards) => shards.iter().map(|s| std::mem::size_of_val(&s[..])).sum(),
+            ShardData::I8 { shards, scales } => {
+                shards
+                    .iter()
+                    .map(|s| std::mem::size_of_val(&s[..]))
+                    .sum::<usize>()
+                    + scales
+                        .iter()
+                        .map(|s| std::mem::size_of_val(&s[..]))
+                        .sum::<usize>()
+            }
+        }
     }
 
-    /// Borrow one logical row.
+    /// Borrow one logical row (fp32 tables only; int8 rows have no f32
+    /// representation to borrow — gather dequantizes into caller buffers).
     ///
     /// # Panics
-    /// Panics if `row >= rows`.
+    /// Panics if `row >= rows` or the table is int8.
     pub fn row(&self, row: usize) -> &[f32] {
         assert!(row < self.rows, "row {row} out of range ({})", self.rows);
-        let shard = &self.shards[row / self.rows_per_shard];
+        let ShardData::F32(shards) = &self.data else {
+            panic!("row() borrows f32 rows; int8 tables dequantize via gather_into")
+        };
+        let shard = &shards[row / self.rows_per_shard];
         let local = row % self.rows_per_shard;
         &shard[local * self.dim..(local + 1) * self.dim]
     }
 
     /// Gather `ids.len()` rows into `dst` (`ids.len() * dim` floats),
     /// parallelised over `threads` with the same work split as
-    /// [`kernels::gather_rows`]; the output is bit-identical to gathering
-    /// from the unsharded table at any shard/thread count (row copies carry
-    /// no arithmetic).
+    /// [`kernels::gather_rows`]. The f32 path copies rows; the int8 path
+    /// dequantizes element-wise (`code × row_scale`, no reduction). Both are
+    /// bit-identical at any shard/thread count.
     ///
     /// # Panics
     /// Panics if `dst` has the wrong length or an id is out of range.
@@ -132,21 +209,31 @@ impl ShardedTable {
             let out = unsafe { ptr.slice_mut(range.start * dim..range.end * dim) };
             for (ri, r) in range.enumerate() {
                 let id = ids[r] as usize;
-                let shard = &self.shards[id / self.rows_per_shard];
+                let shard = id / self.rows_per_shard;
                 let local = id % self.rows_per_shard;
-                out[ri * dim..(ri + 1) * dim]
-                    .copy_from_slice(&shard[local * dim..(local + 1) * dim]);
+                let slot = &mut out[ri * dim..(ri + 1) * dim];
+                match &self.data {
+                    ShardData::F32(shards) => {
+                        slot.copy_from_slice(&shards[shard][local * dim..(local + 1) * dim]);
+                    }
+                    ShardData::I8 { shards, scales } => {
+                        let scale = scales[shard][local];
+                        let codes = &shards[shard][local * dim..(local + 1) * dim];
+                        for (d, &q) in slot.iter_mut().zip(codes) {
+                            *d = q as f32 * scale;
+                        }
+                    }
+                }
             }
         });
     }
 
-    /// Reassemble the full table (test/debug helper; the serving path never
-    /// materialises it).
+    /// Reassemble the full table, dequantizing if int8 (test/debug helper;
+    /// the serving path never materialises it).
     pub fn to_tensor(&self) -> Tensor {
-        let mut data = Vec::with_capacity(self.rows * self.dim);
-        for shard in &self.shards {
-            data.extend_from_slice(shard);
-        }
+        let mut data = vec![0f32; self.rows * self.dim];
+        let ids: Vec<u32> = (0..self.rows as u32).collect();
+        self.gather_into(&ids, &mut data, 1);
         Tensor::new(vec![self.rows, self.dim], data)
     }
 }
@@ -183,6 +270,7 @@ mod tests {
             assert!(sharded.n_shards() <= n);
             assert_eq!(sharded.rows(), 37);
             assert_eq!(sharded.dim(), 5);
+            assert_eq!(sharded.precision(), Precision::Fp32);
             assert_eq!(sharded.to_tensor(), table, "{n} shards");
             assert_eq!(sharded.total_bytes(), 37 * 5 * 4);
             for r in 0..37 {
@@ -216,12 +304,89 @@ mod tests {
     }
 
     #[test]
+    fn quantized_shards_gather_identically_at_any_geometry() {
+        let table = random_table(211, 16, 7);
+        let mut rng = Prng::new(9);
+        let ids: Vec<u32> = (0..500).map(|_| (rng.next_u64() % 211) as u32).collect();
+        // Reference: the 1-shard/1-thread quantized gather.
+        let reference = {
+            let sharded = ShardedTable::from_tensor_quantized(&table, 1);
+            let mut dst = vec![0f32; ids.len() * 16];
+            sharded.gather_into(&ids, &mut dst, 1);
+            dst
+        };
+        for n_shards in [1, 2, 4, 7] {
+            let sharded = ShardedTable::from_tensor_quantized(&table, n_shards);
+            assert_eq!(sharded.precision(), Precision::Int8);
+            assert_eq!(sharded.rows(), 211);
+            for threads in [1, 2, 4] {
+                let mut dst = vec![0f32; ids.len() * 16];
+                sharded.gather_into(&ids, &mut dst, threads);
+                assert!(
+                    reference
+                        .iter()
+                        .zip(&dst)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{n_shards} shards / {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_shards_cut_bytes_about_four_fold() {
+        let table = random_table(256, 32, 8);
+        let fp32 = ShardedTable::from_tensor(&table, 4);
+        let int8 = ShardedTable::from_tensor_quantized(&table, 4);
+        assert_eq!(fp32.total_bytes(), 256 * 32 * 4);
+        // codes (1 byte/elem) + one f32 scale per row.
+        assert_eq!(int8.total_bytes(), 256 * 32 + 256 * 4);
+        assert!(int8.total_bytes() * 3 < fp32.total_bytes());
+        // Dequantized values stay within half a quantization step per row.
+        let deq = int8.to_tensor();
+        for r in 0..256 {
+            let maxabs = table.row(r).iter().fold(0f32, |m, v| m.max(v.abs()));
+            let step = maxabs / 127.0;
+            for (a, b) in table.row(r).iter().zip(deq.row(r)) {
+                assert!((a - b).abs() <= step * 0.5 + 1e-7, "row {r}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
     fn clones_share_the_shard_buffers() {
         let table = random_table(64, 4, 4);
         let a = ShardedTable::from_tensor(&table, 4);
         let b = a.clone();
-        for (sa, sb) in a.shards.iter().zip(&b.shards) {
-            assert!(Arc::ptr_eq(sa, sb), "clone must not copy shard data");
+        match (&a.data, &b.data) {
+            (ShardData::F32(sa), ShardData::F32(sb)) => {
+                for (x, y) in sa.iter().zip(sb) {
+                    assert!(Arc::ptr_eq(x, y), "clone must not copy shard data");
+                }
+            }
+            _ => panic!("expected f32 shards"),
+        }
+        let a = ShardedTable::from_tensor_quantized(&table, 4);
+        let b = a.clone();
+        match (&a.data, &b.data) {
+            (
+                ShardData::I8 {
+                    shards: sa,
+                    scales: ca,
+                },
+                ShardData::I8 {
+                    shards: sb,
+                    scales: cb,
+                },
+            ) => {
+                for (x, y) in sa.iter().zip(sb) {
+                    assert!(Arc::ptr_eq(x, y), "clone must not copy int8 codes");
+                }
+                for (x, y) in ca.iter().zip(cb) {
+                    assert!(Arc::ptr_eq(x, y), "clone must not copy row scales");
+                }
+            }
+            _ => panic!("expected int8 shards"),
         }
     }
 

@@ -15,14 +15,21 @@
 #      followed by a named re-run of the chaos battery (seeded fault plan
 #      kills three prediction workers mid-storm; supervision must heal the
 #      server with zero wrong predictions — tests/integration/tests/chaos.rs)
+#      and the int8 determinism matrix (quantized predictions bit-identical
+#      to themselves across {1,4} intra-op threads x {1,4} shard counts,
+#      with routing + cache composed on top —
+#      crates/serve/tests/int8_parity.rs)
 #   3. kernel-parity smoke: the blocked/parallel GEMM must stay bit-identical
-#      to the naive reference on a fixed seed (threads 1/2/4)
+#      to the naive reference on a fixed seed (threads 1/2/4), and the int8
+#      quantized GEMM bit-identical to itself across thread counts
 #   4. bench regression gate (scripts/check_bench.sh): re-runs the quick
 #      kernels/serving benches in a throwaway dir and FAILS if throughput
 #      dropped more than BENCH_GATE_TOLERANCE percent (default 15) below the
 #      committed BENCH_kernels.json / BENCH_serving.json baselines, or if the
 #      serving p99 rose more than the tolerance above its baseline; also runs
-#      the sharding bench for its parity assertions and replica-vs-sharded log
+#      the sharding bench for its parity assertions and replica-vs-sharded
+#      log, and the fp32-vs-int8 agreement report with absolute gates
+#      (agreement >= 99.5%, macro-F1 delta <= 0.005, >=3x int8 memory win)
 #   5. the http_roundtrip end-to-end example (real TCP serving; also scrapes
 #      GET /metrics mid-run, holds the page to the strict exposition lint,
 #      and walks the /readyz drain sequence before shutdown)
@@ -103,6 +110,17 @@ fi
 # supervision + fault-injection layer keeps a fast, named gate of its own.
 stage "chaos battery (seeded worker kills, supervision + recovery)" \
   env CI_QUICK="$quick" cargo test -q -p dtdbd-integration --test chaos
+
+# Int8 determinism matrix: quantized predictions must be bit-identical to
+# themselves at every deployment shape — {1,4} intra-op threads x {1,4}
+# shard counts (plus replica mode), and again with domain routing and the
+# precision-tagged prediction cache composed on top. Int8 may differ from
+# fp32 (the bench gate bounds that drift); it may never differ from itself.
+# The workspace run above already executed the battery once; this dedicated
+# stage re-runs it with CI_QUICK trimming the matrix corners so the
+# quantized path keeps a fast, named gate of its own.
+stage "int8 determinism matrix (threads x shards x routing x cache, bit-exact)" \
+  env CI_QUICK="$quick" cargo test -q -p dtdbd-serve --test int8_parity
 
 if [ "$quick" != "1" ]; then
   stage "kernel parity smoke (blocked/parallel GEMM vs naive reference)" \
