@@ -4,8 +4,10 @@
 //!
 //! Trains a TextCNN-S student briefly, round-trips it through a checkpoint,
 //! binds the HTTP front-end on an ephemeral port, and drives it with
-//! persistent client connections. Results are printed as a table and
-//! written to `BENCH_http.json`.
+//! persistent client connections. A two-model zoo level then measures
+//! multi-tenant routing at equal total workers (two tenants x 1 worker vs
+//! one tenant x 2 workers). Results are printed as a table and written to
+//! `BENCH_http.json`.
 //!
 //! Run with: `cargo run --release -p dtdbd-bench --bin serving_http [--quick]`
 
@@ -52,6 +54,21 @@ struct TelemetryCost {
     off_req_per_sec: f64,
     overhead_pct: f64,
 }
+
+/// Two-model zoo level: the same student resident twice behind
+/// `/predict/a` and `/predict/b` with one prediction worker each, measured
+/// against a single tenant holding both workers. Equal total worker count,
+/// so the ratio isolates the cost of multi-tenant routing + per-tenant
+/// queues; `check_bench.sh` gates it at >= `MIN_ZOO_RATIO`.
+struct ZooResult {
+    connections: usize,
+    single_req_per_sec: f64,
+    two_model_req_per_sec: f64,
+    ratio: f64,
+}
+
+/// Minimum two-model/single-model throughput ratio at equal total workers.
+const MIN_ZOO_RATIO: f64 = 0.9;
 
 /// The c1024 mostly-idle keep-alive level: every connection held open for
 /// the whole level, a rotating few actually carrying a request at any
@@ -315,12 +332,16 @@ fn main() {
         None
     };
 
-    render_table(&results, &batching, &telemetry, keepalive.as_ref());
+    eprintln!("[serving_http] two-model zoo level (equal total workers)...");
+    let zoo = run_zoo_level(&checkpoint, precision, &bodies, requests_per_level);
+
+    render_table(&results, &batching, &telemetry, &zoo, keepalive.as_ref());
     let json_out = render_json(
         &results,
         &batching,
         &serving,
         &telemetry,
+        &zoo,
         keepalive.as_ref(),
     );
     std::fs::write("BENCH_http.json", &json_out).expect("write BENCH_http.json");
@@ -336,6 +357,19 @@ fn run_level(
     connections: usize,
     total_requests: usize,
 ) -> LoadResult {
+    run_level_on(addr, &["/predict"], bodies, connections, total_requests)
+}
+
+/// [`run_level`] with explicit target paths: each client cycles through
+/// `paths` request by request, so a multi-path level spreads its traffic
+/// evenly across zoo tenants.
+fn run_level_on(
+    addr: SocketAddr,
+    paths: &'static [&'static str],
+    bodies: &[String],
+    connections: usize,
+    total_requests: usize,
+) -> LoadResult {
     let per_client = total_requests / connections;
     let started = Instant::now();
     let handles: Vec<_> = (0..connections)
@@ -346,9 +380,10 @@ fn run_level(
             std::thread::spawn(move || {
                 let mut client = HttpClient::connect(addr).expect("connect");
                 let mut latencies = Vec::with_capacity(stream.len());
-                for body in &stream {
+                for (i, body) in stream.iter().enumerate() {
+                    let path = paths[i % paths.len()];
                     let t0 = Instant::now();
-                    let response = client.post("/predict", body).expect("request");
+                    let response = client.post(path, body).expect("request");
                     latencies.push(t0.elapsed().as_nanos() as f64);
                     assert_eq!(response.status, 200, "{}", response.body);
                 }
@@ -442,6 +477,82 @@ fn run_idle_keepalive_level(
     }
 }
 
+/// The two-model zoo level: the same checkpoint resident twice with one
+/// prediction worker per tenant, measured against one tenant holding both
+/// workers — equal total worker count, so any throughput gap is the cost of
+/// tenant routing and split queues, not compute.
+fn run_zoo_level(
+    checkpoint: &Checkpoint,
+    precision: Precision,
+    bodies: &[String],
+    total_requests: usize,
+) -> ZooResult {
+    let connections = 8;
+    let http = HttpConfig {
+        connection_workers: connections,
+        backlog: 64,
+        ..HttpConfig::default()
+    };
+    let level_batching = |workers| BatchingConfig {
+        max_batch_size: 32,
+        max_wait: Duration::from_millis(2),
+        workers,
+    };
+    let warmup = |addr: SocketAddr| {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        for body in bodies.iter().take(64) {
+            let response = client.post("/predict", body).expect("warmup");
+            assert_eq!(response.status, 200, "{}", response.body);
+        }
+    };
+
+    let single = ServerBuilder::new()
+        .batching(level_batching(2))
+        .threads(INTRA_THREADS)
+        .precision(precision)
+        .cache_capacity(0)
+        .http(http.clone())
+        .tenant("a", checkpoint)
+        .try_start_http_zoo()
+        .expect("single-tenant zoo");
+    warmup(single.local_addr());
+    let single_level = run_level_on(
+        single.local_addr(),
+        &["/predict/a"],
+        bodies,
+        connections,
+        total_requests,
+    );
+    single.shutdown();
+
+    let zoo = ServerBuilder::new()
+        .batching(level_batching(1))
+        .threads(INTRA_THREADS)
+        .precision(precision)
+        .cache_capacity(0)
+        .http(http)
+        .tenant("a", checkpoint)
+        .tenant("b", checkpoint)
+        .try_start_http_zoo()
+        .expect("two-tenant zoo");
+    warmup(zoo.local_addr());
+    let zoo_level = run_level_on(
+        zoo.local_addr(),
+        &["/predict/a", "/predict/b"],
+        bodies,
+        connections,
+        total_requests,
+    );
+    zoo.shutdown();
+
+    ZooResult {
+        connections,
+        single_req_per_sec: single_level.req_per_sec,
+        two_model_req_per_sec: zoo_level.req_per_sec,
+        ratio: zoo_level.req_per_sec / single_level.req_per_sec,
+    }
+}
+
 /// The server's own `open_connections` gauge from `GET /stats`.
 fn stats_open_connections(addr: SocketAddr) -> u64 {
     let mut client = HttpClient::connect(addr).expect("connect");
@@ -469,6 +580,7 @@ fn render_table(
     results: &[LoadResult],
     batching: &BatchingConfig,
     telemetry: &TelemetryCost,
+    zoo: &ZooResult,
     keepalive: Option<&IdleKeepAliveResult>,
 ) {
     let mut table = TableBuilder::new("Serving — HTTP/1.1 front-end (TextCNN-S, keep-alive)")
@@ -512,6 +624,11 @@ fn render_table(
          budget {MAX_TELEMETRY_OVERHEAD_PCT}%)",
         telemetry.overhead_pct, telemetry.on_req_per_sec, telemetry.off_req_per_sec
     );
+    println!(
+        "(two-model zoo at {} connections, equal total workers: {:.0} vs single {:.0} req/sec, \
+         ratio {:.2} — gate >= {MIN_ZOO_RATIO})",
+        zoo.connections, zoo.two_model_req_per_sec, zoo.single_req_per_sec, zoo.ratio
+    );
 }
 
 fn render_json(
@@ -519,6 +636,7 @@ fn render_json(
     batching: &BatchingConfig,
     serving: &ServingStats,
     telemetry: &TelemetryCost,
+    zoo: &ZooResult,
     keepalive: Option<&IdleKeepAliveResult>,
 ) -> String {
     let mut out = String::new();
@@ -555,8 +673,12 @@ fn render_json(
         "  \"baseline_pr2\": {{\"c32_req_per_sec\": {PR2_C32_REQ_PER_SEC}, \"speedup_c32\": {c32_speedup:.2}}},\n"
     ));
     out.push_str(&format!(
-        "  \"telemetry\": {{\"c32_req_per_sec_on\": {:.1}, \"c32_req_per_sec_off\": {:.1}, \"overhead_pct\": {:.2}, \"budget_pct\": {MAX_TELEMETRY_OVERHEAD_PCT}}}",
+        "  \"telemetry\": {{\"c32_req_per_sec_on\": {:.1}, \"c32_req_per_sec_off\": {:.1}, \"overhead_pct\": {:.2}, \"budget_pct\": {MAX_TELEMETRY_OVERHEAD_PCT}}},\n",
         telemetry.on_req_per_sec, telemetry.off_req_per_sec, telemetry.overhead_pct
+    ));
+    out.push_str(&format!(
+        "  \"zoo\": {{\"connections\": {}, \"single_req_per_sec\": {:.1}, \"two_model_req_per_sec\": {:.1}, \"ratio\": {:.3}, \"min_ratio\": {MIN_ZOO_RATIO}}}",
+        zoo.connections, zoo.single_req_per_sec, zoo.two_model_req_per_sec, zoo.ratio
     ));
     if let Some(ka) = keepalive {
         out.push_str(",\n");

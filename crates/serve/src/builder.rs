@@ -119,6 +119,13 @@ pub enum ConfigError {
         /// Architecture name of the rejected model.
         arch: String,
     },
+    /// A zoo start was requested with no tenants registered.
+    NoTenants,
+    /// Two tenants were registered under the same model id.
+    DuplicateModelId {
+        /// The id registered twice.
+        id: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -183,6 +190,10 @@ impl fmt::Display for ConfigError {
                     "int8 precision requested but model {arch:?} has no quantizable weight or \
                      frozen embedding table"
                 )
+            }
+            Self::NoTenants => write!(f, "a model zoo needs at least one registered tenant"),
+            Self::DuplicateModelId { id } => {
+                write!(f, "model id {id:?} registered more than once")
             }
         }
     }
@@ -325,6 +336,23 @@ pub struct ServerBuilder {
     batching: BatchingConfig,
     tuning: ServerTuning,
     http: HttpConfig,
+    tenants: Vec<TenantSpec>,
+    default_id: Option<String>,
+}
+
+/// One registered zoo tenant: an id plus where its checkpoint comes from.
+#[derive(Debug, Clone)]
+struct TenantSpec {
+    id: String,
+    source: TenantSource,
+}
+
+#[derive(Debug, Clone)]
+enum TenantSource {
+    /// A checkpoint already in memory; the tenant is not reloadable.
+    Resident(Checkpoint),
+    /// A checkpoint file; `POST /admin/reload/<id>` re-reads it.
+    File(std::path::PathBuf),
 }
 
 impl Default for ServerBuilder {
@@ -345,6 +373,8 @@ impl ServerBuilder {
             batching: BatchingConfig::default(),
             tuning: ServerTuning::default(),
             http: HttpConfig::default(),
+            tenants: Vec::new(),
+            default_id: None,
         }
     }
 
@@ -478,6 +508,77 @@ impl ServerBuilder {
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.tuning.fault_plan = Some(plan);
         self
+    }
+
+    /// Register a zoo tenant from a resident checkpoint. The tenant serves
+    /// under `POST /predict/<id>`; it has no file to re-read, so
+    /// `POST /admin/reload/<id>` reports it as not reloadable. The first
+    /// registered tenant is the default unless
+    /// [`ServerBuilder::default_model_id`] names another.
+    pub fn tenant(mut self, id: impl Into<String>, checkpoint: &Checkpoint) -> Self {
+        self.tenants.push(TenantSpec {
+            id: id.into(),
+            source: TenantSource::Resident(checkpoint.clone()),
+        });
+        self
+    }
+
+    /// Register a hot-swappable zoo tenant backed by a checkpoint file:
+    /// the file is loaded at start, and `POST /admin/reload/<id>` re-reads
+    /// it to flip the tenant to the new version without dropping traffic.
+    pub fn tenant_from_path(
+        mut self,
+        id: impl Into<String>,
+        path: impl Into<std::path::PathBuf>,
+    ) -> Self {
+        self.tenants.push(TenantSpec {
+            id: id.into(),
+            source: TenantSource::File(path.into()),
+        });
+        self
+    }
+
+    /// Which registered tenant bare `POST /predict` serves (defaults to the
+    /// first registered tenant).
+    pub fn default_model_id(mut self, id: impl Into<String>) -> Self {
+        self.default_id = Some(id.into());
+        self
+    }
+
+    /// Start every registered tenant as a [`crate::ModelZoo`]: one
+    /// [`PredictServer`] per tenant (same batching/tuning across the zoo),
+    /// byte-identical frozen tables deduped into shared shard pools.
+    pub fn try_start_zoo(self) -> Result<crate::ModelZoo, StartError> {
+        if self.tenants.is_empty() {
+            return Err(ConfigError::NoTenants.into());
+        }
+        for (i, spec) in self.tenants.iter().enumerate() {
+            if self.tenants[..i].iter().any(|other| other.id == spec.id) {
+                return Err(ConfigError::DuplicateModelId {
+                    id: spec.id.clone(),
+                }
+                .into());
+            }
+        }
+        let mut specs = Vec::with_capacity(self.tenants.len());
+        for spec in self.tenants {
+            let (checkpoint, source) = match spec.source {
+                TenantSource::Resident(checkpoint) => (checkpoint, None),
+                TenantSource::File(path) => (Checkpoint::load(&path)?, Some(path)),
+            };
+            specs.push((spec.id, checkpoint, source));
+        }
+        let default_id = self.default_id.unwrap_or_else(|| specs[0].0.clone());
+        crate::ModelZoo::from_specs(specs, &default_id, self.batching, self.tuning)
+    }
+
+    /// [`ServerBuilder::try_start_zoo`] with the HTTP front-end in front:
+    /// `POST /predict/<id>` routes per tenant, `GET /model` lists the zoo,
+    /// `POST /admin/reload/<id>` hot-swaps file-backed tenants.
+    pub fn try_start_http_zoo(self) -> Result<HttpServer, StartError> {
+        let http = self.http.clone();
+        let zoo = self.try_start_zoo()?;
+        Ok(HttpServer::start_zoo(zoo, http)?)
     }
 
     /// Start the server with a per-worker session factory, surfacing

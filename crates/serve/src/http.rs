@@ -24,11 +24,15 @@
 //!
 //! | Endpoint | Body | Response |
 //! |----------|------|----------|
-//! | `POST /predict` | single request object, or `{"items": [...]}` | prediction object, or `{"count": n, "predictions": [...]}` |
+//! | `POST /predict` | single request object, or `{"items": [...]}` | prediction object, or `{"count": n, "predictions": [...]}` — served by the zoo's **default** model |
+//! | `POST /predict/<id>` | as `POST /predict` | the same, served by the tenant registered under `<id>` (`404 unknown_model` otherwise) |
+//! | `GET /model` | — | the routing table: default id plus one descriptor per tenant (arch, version, precision, side-state tags, reload counters) |
+//! | `GET /model/<id>` | — | one tenant's descriptor |
+//! | `POST /admin/reload/<id>` | — | atomic hot-swap of `<id>` to the current contents of its checkpoint file: `200 {"model", "version"}`, `404 unknown_model`, `400 not_reloadable`, `503 reload_failed` (+`Retry-After`) |
 //! | `GET /healthz` | — | liveness: `{"status": "ok"}` whenever the process can answer at all |
-//! | `GET /readyz` | — | readiness: `200` while accepting work, `503` once draining ([`HttpServer::begin_drain`]) or shut down, or with dead prediction workers |
-//! | `GET /stats` | — | queue depth, worker/pool counters, per-endpoint request counters, per-stage latency quantiles and per-domain drift scores (see [`crate::telemetry`]) |
-//! | `GET /metrics` | — | Prometheus text exposition (format 0.0.4, `text/plain`) of the same counters, histograms and drift gauges |
+//! | `GET /readyz` | — | readiness: `200` while accepting work, `503` once draining ([`HttpServer::begin_drain`]) or shut down, or with dead prediction workers (any tenant) |
+//! | `GET /stats` | — | queue depth, worker/pool counters, per-endpoint request counters, a per-model object, per-stage latency quantiles and per-domain drift scores (see [`crate::telemetry`]) |
+//! | `GET /metrics` | — | Prometheus text exposition (format 0.0.4, `text/plain`) of the same counters, histograms and drift gauges, plus `model`-labelled per-tenant families |
 //!
 //! Request and prediction objects are specified in [`crate::json`]. Every
 //! error response carries `{"error": <code>, "message": <text>}`; statuses:
@@ -62,6 +66,7 @@ use crate::prom::{MetricKind, PromText};
 use crate::server::{PredictError, PredictServer};
 use crate::session::Prediction;
 use crate::telemetry::{DomainDrift, Stage};
+use crate::zoo::{ModelZoo, ReloadError, Tenant, TenantModel};
 use dtdbd_data::EncodedRequest;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -524,6 +529,8 @@ pub struct HttpStats {
     readyz_calls: AtomicU64,
     stats_calls: AtomicU64,
     metrics_calls: AtomicU64,
+    model_calls: AtomicU64,
+    reload_calls: AtomicU64,
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,
@@ -543,7 +550,9 @@ impl HttpStats {
     }
 
     fn render(&self, ctx: &Ctx) -> Json {
-        let predict = &ctx.predict;
+        // Top-level counters keep their single-model shape by reporting the
+        // default tenant; the `models` object below carries every tenant.
+        let predict = ctx.zoo.default_model();
         let serving = predict.stats();
         let num = |v: u64| Json::Num(v as f64);
         let mut fields = vec![
@@ -582,7 +591,12 @@ impl HttpStats {
                         "embedding_shards".into(),
                         num(serving.embedding_shards as u64),
                     ),
-                    ("shard_pool_bytes".into(), num(serving.shard_pool_bytes)),
+                    // Process-wide: tenants sharing a byte-identical frozen
+                    // table contribute its pool bytes once, not per tenant.
+                    (
+                        "shard_pool_bytes".into(),
+                        num(ctx.zoo.shard_pool_bytes_deduped()),
+                    ),
                     (
                         "resident_param_bytes_per_worker".into(),
                         num(serving.resident_param_bytes_per_worker),
@@ -619,6 +633,39 @@ impl HttpStats {
                 ]),
             ),
             (
+                "models".into(),
+                Json::Obj(
+                    ctx.zoo
+                        .tenants()
+                        .iter()
+                        .map(|tenant| {
+                            let model = tenant.model();
+                            let stats = model.stats();
+                            (
+                                tenant.id().to_string(),
+                                Json::Obj(vec![
+                                    ("version".into(), num(model.version())),
+                                    ("reloads".into(), num(tenant.reloads())),
+                                    (
+                                        "requests_served_total".into(),
+                                        num(tenant.requests_served_total()),
+                                    ),
+                                    ("requests_served_active".into(), num(stats.requests_served)),
+                                    ("queue_depth".into(), num(stats.queue_depth as u64)),
+                                    ("workers".into(), num(stats.workers as u64)),
+                                    ("workers_alive".into(), num(model.workers_alive() as u64)),
+                                    ("arch".into(), Json::Str(model.arch().to_string())),
+                                    (
+                                        "precision".into(),
+                                        Json::Str(stats.precision.name().to_string()),
+                                    ),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "endpoints".into(),
                 Json::Obj(vec![
                     (
@@ -640,6 +687,14 @@ impl HttpStats {
                     (
                         "metrics".into(),
                         num(self.metrics_calls.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "model".into(),
+                        num(self.model_calls.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "reload".into(),
+                        num(self.reload_calls.load(Ordering::Relaxed)),
                     ),
                 ]),
             ),
@@ -740,7 +795,7 @@ fn drift_json(d: &DomainDrift) -> Json {
 }
 
 pub(crate) struct Ctx {
-    pub(crate) predict: Arc<PredictServer>,
+    pub(crate) zoo: Arc<ModelZoo>,
     pub(crate) stats: HttpStats,
     pub(crate) config: HttpConfig,
     /// The model this server resolved to (`"epoll"` or `"pool"`).
@@ -752,16 +807,40 @@ pub(crate) struct Ctx {
     // Readiness only (`GET /readyz` answers 503): requests in flight still
     // complete, the listener stays up, `/healthz` keeps saying ok. Lets a
     // load balancer stop routing here before the hard shutdown starts.
-    // The epoll loop additionally drops its accept interest.
+    // The epoll loop additionally drops its accept interest and both
+    // backends release keep-alive clients (`Connection: close` on the next
+    // response, shortened idle deadlines).
     pub(crate) draining: AtomicBool,
 }
 
+impl Ctx {
+    /// Snapshot of the zoo's default tenant — what the single-model
+    /// surfaces (bare `/predict`, top-level `/stats`, the connection-level
+    /// telemetry recorder) resolve to.
+    pub(crate) fn default_model(&self) -> Arc<TenantModel> {
+        self.zoo.default_model()
+    }
+
+    /// True once either [`HttpServer::begin_drain`] or shutdown flipped:
+    /// capacity is not coming back on this listener.
+    pub(crate) fn draining_or_shutdown(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// `Retry-After` seconds for a 503 shed against `model`'s queue.
+    pub(crate) fn retry_after(&self, model: &PredictServer) -> u64 {
+        retry_after_secs(model.queue_depth(), self.draining_or_shutdown())
+    }
+}
+
 /// Readiness as `GET /readyz` reports it: not draining, not shut down, and
-/// every prediction worker still alive.
+/// every prediction worker of **every** tenant still alive.
 fn is_ready(ctx: &Ctx) -> bool {
-    !ctx.draining.load(Ordering::SeqCst)
-        && !ctx.shutdown.load(Ordering::SeqCst)
-        && ctx.predict.workers_alive() == ctx.predict.stats().workers
+    if ctx.draining_or_shutdown() {
+        return false;
+    }
+    let (alive, configured) = ctx.zoo.workers_health();
+    alive == configured
 }
 
 /// The HTTP listener wrapping a [`PredictServer`].
@@ -786,14 +865,25 @@ enum Backend {
 
 impl HttpServer {
     /// Bind `config.addr` and start serving `predict` over HTTP, under the
-    /// connection model `config.connection_model` resolves to.
+    /// connection model `config.connection_model` resolves to. The server
+    /// runs as a single-tenant [`ModelZoo`] under
+    /// [`crate::zoo::DEFAULT_MODEL_ID`], so the whole multi-model surface
+    /// (`/predict/<id>`, `/model`, per-model stats) answers consistently.
     pub fn start(predict: PredictServer, config: HttpConfig) -> io::Result<Self> {
+        Self::start_zoo(ModelZoo::single(predict), config)
+    }
+
+    /// Bind `config.addr` and serve a multi-tenant [`ModelZoo`]:
+    /// `POST /predict/<id>` routes per tenant, bare `POST /predict` serves
+    /// the zoo's default id, and `POST /admin/reload/<id>` hot-swaps
+    /// file-backed tenants without dropping traffic.
+    pub fn start_zoo(zoo: ModelZoo, config: HttpConfig) -> io::Result<Self> {
         assert!(config.connection_workers > 0, "need at least one worker");
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let connection_model = config.connection_model.resolved();
         let ctx = Arc::new(Ctx {
-            predict: Arc::new(predict),
+            zoo: Arc::new(zoo),
             stats: HttpStats::default(),
             config,
             connection_model,
@@ -857,7 +947,10 @@ impl HttpServer {
                         HttpStats::bump(&ctx.stats.connections_rejected);
                         ctx.stats.count_response(503);
                         let body = error_body("overloaded", "connection pool saturated");
-                        let retry = [("Retry-After", retry_after_secs(&ctx).to_string())];
+                        let retry = [(
+                            "Retry-After",
+                            ctx.retry_after(&ctx.default_model()).to_string(),
+                        )];
                         let _ = write_response(
                             &mut stream,
                             503,
@@ -883,10 +976,17 @@ impl HttpServer {
         self.local_addr
     }
 
-    /// The wrapped prediction server (e.g. to compare in-process answers
-    /// against wire answers in tests).
-    pub fn predict_server(&self) -> &PredictServer {
-        &self.ctx.predict
+    /// A snapshot of the default tenant's active model (e.g. to compare
+    /// in-process answers against wire answers in tests). The handle derefs
+    /// to its [`PredictServer`] and pins the version it snapshotted — a
+    /// hot-swap racing this call never swaps the model out from under it.
+    pub fn predict_server(&self) -> Arc<TenantModel> {
+        self.ctx.zoo.default_model()
+    }
+
+    /// The zoo behind this listener (tenant lookup, programmatic reloads).
+    pub fn zoo(&self) -> &Arc<ModelZoo> {
+        &self.ctx.zoo
     }
 
     /// The connection model actually serving this listener (`"epoll"` or
@@ -971,9 +1071,14 @@ impl Drop for HttpServer {
 }
 
 fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
-    let _ = stream.set_read_timeout(Some(ctx.config.read_timeout));
+    // Each blocking read is capped at a short poll interval rather than the
+    // full `read_timeout`, so a thread parked on an idle keep-alive socket
+    // observes drain/shutdown within one tick instead of one read_timeout.
+    // The idle deadline itself is tracked explicitly against `idle_since`.
+    let poll_cap = ctx.config.read_timeout.min(READ_POLL_INTERVAL);
+    let _ = stream.set_read_timeout(Some(poll_cap));
     let _ = stream.set_nodelay(true);
-    let trace = ctx.predict.trace();
+    let trace = ctx.default_model().trace();
     let mut parser = RequestParser::new(ctx.config.max_head_bytes, ctx.config.max_body_bytes);
     let mut chunk = [0u8; 8192];
     // Overall per-request deadline, armed from the first buffered byte of
@@ -984,6 +1089,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
     // complete parse (so it includes the client's own trickle time; a
     // pipelined request parsed straight out of the buffer records nothing).
     let mut parse_started: Option<Instant> = None;
+    let mut idle_since = Instant::now();
     loop {
         match parser.poll() {
             ParseOutcome::Request(request) => {
@@ -993,10 +1099,11 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
                 request_started = None;
                 let (status, body, content_type, extra) = route(&request, ctx);
                 ctx.stats.count_response(status);
-                // During shutdown the response still goes out, but with
-                // `Connection: close` so a busy keep-alive client cannot
-                // hold this worker (and the shutdown join) hostage.
-                let keep = request.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
+                // During drain or shutdown the response still goes out, but
+                // with `Connection: close` so a busy keep-alive client
+                // cannot hold this worker (and the shutdown join) hostage
+                // or keep hammering a drained listener.
+                let keep = request.keep_alive && !ctx.draining_or_shutdown();
                 let write_started = trace.is_enabled().then(Instant::now);
                 let wrote =
                     write_response(&mut stream, status, &body, content_type, keep, &extra).is_ok();
@@ -1006,6 +1113,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
                 if !wrote || !keep {
                     return;
                 }
+                idle_since = Instant::now();
             }
             ParseOutcome::Failed(e) => {
                 ctx.stats.count_response(e.status);
@@ -1015,11 +1123,23 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
             }
             ParseOutcome::NeedMore => {
                 // Between requests, an idle connection is released as soon
-                // as shutdown starts (at worst one read_timeout later).
-                if ctx.shutdown.load(Ordering::SeqCst) && parser.buffered() == 0 {
-                    return;
-                }
-                if parser.buffered() > 0 {
+                // as shutdown starts; while draining it gets the shortened
+                // drain deadline instead of the full read_timeout (a fresh
+                // request racing the drain flag still gets its answer).
+                if parser.buffered() == 0 {
+                    if ctx.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let idle_deadline = if ctx.draining.load(Ordering::SeqCst) {
+                        DRAIN_IDLE_DEADLINE.min(ctx.config.read_timeout)
+                    } else {
+                        ctx.config.read_timeout
+                    };
+                    if idle_since.elapsed() >= idle_deadline {
+                        HttpStats::bump(&ctx.stats.idle_timeouts);
+                        return;
+                    }
+                } else {
                     let started = *request_started.get_or_insert_with(Instant::now);
                     if started.elapsed() > ctx.config.request_timeout {
                         HttpStats::bump(&ctx.stats.request_timeouts);
@@ -1037,21 +1157,18 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
                             parse_started = Some(Instant::now());
                         }
                         parser.feed(&chunk[..n]);
+                        idle_since = Instant::now();
                     }
-                    Err(e) => {
-                        // Timeout or reset: close quietly. A read timeout
-                        // with nothing buffered is the idle keep-alive
-                        // deadline.
-                        if parser.buffered() == 0
-                            && matches!(
-                                e.kind(),
-                                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                            )
-                        {
-                            HttpStats::bump(&ctx.stats.idle_timeouts);
-                        }
-                        return;
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        // Poll tick: loop around to re-check the deadlines
+                        // and the drain/shutdown flags.
                     }
+                    Err(_) => return, // reset: close quietly
                 }
             }
         }
@@ -1061,41 +1178,212 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
 pub(crate) const CONTENT_TYPE_JSON: &str = "application/json";
 const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4";
 
+/// Cap on a pool thread's blocking socket read, so drain/shutdown flags are
+/// observed within one tick even on a completely idle keep-alive socket.
+const READ_POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// While draining, idle keep-alive connections are released after this much
+/// quiet time instead of the full `read_timeout` — both backends use it (the
+/// epoll loop re-arms its timer-wheel idle deadlines to this on the drain
+/// transition).
+pub(crate) const DRAIN_IDLE_DEADLINE: Duration = Duration::from_millis(100);
+
 pub(crate) type Routed = (u16, String, &'static str, Vec<(&'static str, String)>);
 
-/// How long a shed client should wait before retrying, in seconds: 5 while
-/// the server is draining or shutting down (capacity is not coming back
-/// here), otherwise scaled with the micro-batch queue depth — an extra
-/// second per 64 queued requests, clamped to 1..=30.
-pub(crate) fn retry_after_secs(ctx: &Ctx) -> u64 {
-    if ctx.draining.load(Ordering::SeqCst) || ctx.shutdown.load(Ordering::SeqCst) {
+/// How long a shed client should wait before retrying, in seconds — the
+/// **one** function behind every `Retry-After` header this server emits
+/// (accept shed, dispatch shed, predict-path 503s, failed reloads): 5 while
+/// `draining` (drain or shutdown — capacity is not coming back here),
+/// otherwise scaled with the shed queue's depth — an extra second per 64
+/// queued requests, clamped to 1..=30.
+pub(crate) fn retry_after_secs(queue_depth: usize, draining: bool) -> u64 {
+    if draining {
         return 5;
     }
-    (1 + ctx.predict.queue_depth() as u64 / 64).clamp(1, 30)
+    (1 + queue_depth as u64 / 64).clamp(1, 30)
+}
+
+/// Serve one predict request against `tenant`'s active model. The snapshot
+/// is taken once and pins the version for the whole request: a hot-swap
+/// flipping this tenant mid-request never changes the model it runs on.
+fn predict_route(request: &HttpRequest, ctx: &Ctx, tenant: &Tenant) -> Routed {
+    HttpStats::bump(&ctx.stats.predict_calls);
+    let model = tenant.model();
+    match handle_predict(&request.body, ctx, &model) {
+        Ok(body) => (200, body, CONTENT_TYPE_JSON, Vec::new()),
+        Err(e) => {
+            // Every 503 shed tells the client when to retry.
+            let headers = if e.status == 503 {
+                vec![("Retry-After", ctx.retry_after(&model).to_string())]
+            } else {
+                Vec::new()
+            };
+            (
+                e.status,
+                error_body(e.code, &e.message),
+                CONTENT_TYPE_JSON,
+                headers,
+            )
+        }
+    }
+}
+
+/// The descriptor `GET /model` / `GET /model/<id>` reports for one tenant.
+fn model_descriptor(tenant: &Tenant, ctx: &Ctx) -> Json {
+    let model = tenant.model();
+    let stats = model.stats();
+    Json::Obj(vec![
+        ("model".into(), Json::Str(tenant.id().to_string())),
+        ("arch".into(), Json::Str(model.arch().to_string())),
+        ("version".into(), Json::Num(model.version() as f64)),
+        (
+            "precision".into(),
+            Json::Str(stats.precision.name().to_string()),
+        ),
+        (
+            "default".into(),
+            Json::Bool(tenant.id() == ctx.zoo.default_id()),
+        ),
+        ("reloadable".into(), Json::Bool(tenant.reloadable())),
+        ("reloads".into(), Json::Num(tenant.reloads() as f64)),
+        (
+            "side_state".into(),
+            Json::Arr(
+                model
+                    .side_state_tags()
+                    .iter()
+                    .map(|tag| Json::Str(tag.clone()))
+                    .collect(),
+            ),
+        ),
+        ("workers".into(), Json::Num(stats.workers as f64)),
+        (
+            "requests_served_total".into(),
+            Json::Num(tenant.requests_served_total() as f64),
+        ),
+    ])
+}
+
+fn unknown_model(id: &str) -> Routed {
+    (
+        404,
+        error_body(
+            "unknown_model",
+            &format!("no model registered under id {id:?}"),
+        ),
+        CONTENT_TYPE_JSON,
+        Vec::new(),
+    )
+}
+
+fn method_not_allowed(allow: &'static str, hint: &str) -> Routed {
+    (
+        405,
+        error_body("method_not_allowed", hint),
+        CONTENT_TYPE_JSON,
+        vec![("Allow", allow.to_string())],
+    )
+}
+
+fn reload_route(id: &str, ctx: &Ctx) -> Routed {
+    HttpStats::bump(&ctx.stats.reload_calls);
+    match ctx.zoo.reload(id) {
+        Ok(version) => (
+            200,
+            Json::Obj(vec![
+                ("model".into(), Json::Str(id.to_string())),
+                ("version".into(), Json::Num(version as f64)),
+            ])
+            .render(),
+            CONTENT_TYPE_JSON,
+            Vec::new(),
+        ),
+        Err(e) => {
+            let (status, code) = match &e {
+                ReloadError::UnknownModel(_) => (404, "unknown_model"),
+                ReloadError::NotReloadable(_) => (400, "not_reloadable"),
+                ReloadError::Failed(_) => (503, "reload_failed"),
+            };
+            // A failed reload is retryable (the checkpoint on disk may have
+            // been mid-write): like every other 503 it carries Retry-After.
+            let headers = if status == 503 {
+                vec![(
+                    "Retry-After",
+                    ctx.retry_after(&ctx.default_model()).to_string(),
+                )]
+            } else {
+                Vec::new()
+            };
+            (
+                status,
+                error_body(code, &e.to_string()),
+                CONTENT_TYPE_JSON,
+                headers,
+            )
+        }
+    }
 }
 
 pub(crate) fn route(request: &HttpRequest, ctx: &Ctx) -> Routed {
-    match (request.method.as_str(), request.path()) {
-        ("POST", "/predict") => {
-            HttpStats::bump(&ctx.stats.predict_calls);
-            match handle_predict(&request.body, ctx) {
-                Ok(body) => (200, body, CONTENT_TYPE_JSON, Vec::new()),
-                Err(e) => {
-                    // Every 503 shed tells the client when to retry.
-                    let headers = if e.status == 503 {
-                        vec![("Retry-After", retry_after_secs(ctx).to_string())]
-                    } else {
-                        Vec::new()
-                    };
+    let method = request.method.as_str();
+    let path = request.path();
+    // Parameterised endpoints first; fixed paths fall through to the match.
+    if let Some(id) = path.strip_prefix("/predict/") {
+        return match method {
+            "POST" => match ctx.zoo.tenant(id) {
+                Some(tenant) => predict_route(request, ctx, tenant),
+                None => unknown_model(id),
+            },
+            _ => method_not_allowed("POST", &format!("use POST /predict/{id}")),
+        };
+    }
+    if let Some(id) = path.strip_prefix("/model/") {
+        return match method {
+            "GET" => match ctx.zoo.tenant(id) {
+                Some(tenant) => {
+                    HttpStats::bump(&ctx.stats.model_calls);
                     (
-                        e.status,
-                        error_body(e.code, &e.message),
+                        200,
+                        model_descriptor(tenant, ctx).render(),
                         CONTENT_TYPE_JSON,
-                        headers,
+                        Vec::new(),
                     )
                 }
-            }
+                None => unknown_model(id),
+            },
+            _ => method_not_allowed("GET", &format!("use GET /model/{id}")),
+        };
+    }
+    if let Some(id) = path.strip_prefix("/admin/reload/") {
+        return match method {
+            "POST" => reload_route(id, ctx),
+            _ => method_not_allowed("POST", &format!("use POST /admin/reload/{id}")),
+        };
+    }
+    match (method, path) {
+        ("POST", "/predict") => predict_route(request, ctx, ctx.zoo.default_tenant()),
+        ("GET", "/model") => {
+            HttpStats::bump(&ctx.stats.model_calls);
+            let body = Json::Obj(vec![
+                (
+                    "default".into(),
+                    Json::Str(ctx.zoo.default_id().to_string()),
+                ),
+                (
+                    "models".into(),
+                    Json::Arr(
+                        ctx.zoo
+                            .tenants()
+                            .iter()
+                            .map(|tenant| model_descriptor(tenant, ctx))
+                            .collect(),
+                    ),
+                ),
+            ])
+            .render();
+            (200, body, CONTENT_TYPE_JSON, Vec::new())
         }
+        (_, "/model") => method_not_allowed("GET", "use GET /model"),
         ("GET", "/healthz") => {
             HttpStats::bump(&ctx.stats.healthz_calls);
             (
@@ -1109,18 +1397,22 @@ pub(crate) fn route(request: &HttpRequest, ctx: &Ctx) -> Routed {
             HttpStats::bump(&ctx.stats.readyz_calls);
             let ready = is_ready(ctx);
             let num = |v: u64| Json::Num(v as f64);
+            let (alive, configured) = ctx.zoo.workers_health();
+            let queue_depth: usize = ctx
+                .zoo
+                .tenants()
+                .iter()
+                .map(|t| t.model().queue_depth())
+                .sum();
             let body = Json::Obj(vec![
                 ("ready".into(), Json::Bool(ready)),
                 (
                     "draining".into(),
                     Json::Bool(ctx.draining.load(Ordering::SeqCst)),
                 ),
-                ("queue_depth".into(), num(ctx.predict.queue_depth() as u64)),
-                (
-                    "workers_alive".into(),
-                    num(ctx.predict.workers_alive() as u64),
-                ),
-                ("workers".into(), num(ctx.predict.stats().workers as u64)),
+                ("queue_depth".into(), num(queue_depth as u64)),
+                ("workers_alive".into(), num(alive as u64)),
+                ("workers".into(), num(configured as u64)),
             ])
             .render();
             (
@@ -1168,7 +1460,10 @@ pub(crate) fn route(request: &HttpRequest, ctx: &Ctx) -> Routed {
 /// histogram and per-domain drift score in Prometheus text exposition
 /// format 0.0.4 (held to [`crate::prom::lint`] by the wire tests).
 fn render_metrics(ctx: &Ctx) -> String {
-    let serving = ctx.predict.stats();
+    // Unlabelled families keep their single-model meaning by reporting the
+    // default tenant; the `dtdbd_model_*` families below carry every tenant.
+    let default_model = ctx.zoo.default_model();
+    let serving = default_model.stats();
     let http = &ctx.stats;
     let load = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64;
     let mut page = PromText::new();
@@ -1263,6 +1558,8 @@ fn render_metrics(ctx: &Ctx) -> String {
         ("readyz", &http.readyz_calls),
         ("stats", &http.stats_calls),
         ("metrics", &http.metrics_calls),
+        ("model", &http.model_calls),
+        ("reload", &http.reload_calls),
     ] {
         page.sample(
             "dtdbd_http_requests_total",
@@ -1317,7 +1614,7 @@ fn render_metrics(ctx: &Ctx) -> String {
     page.sample(
         "dtdbd_workers_alive",
         &[],
-        ctx.predict.workers_alive() as f64,
+        default_model.workers_alive() as f64,
     );
     page.family(
         "dtdbd_ready",
@@ -1439,7 +1736,78 @@ fn render_metrics(ctx: &Ctx) -> String {
         serving.quantized_param_bytes_per_worker as f64,
     );
 
-    if let Some(telemetry) = ctx.predict.telemetry() {
+    // Per-tenant families: one consistent snapshot of each tenant's active
+    // model feeds every family, so a scrape racing a hot-swap stays
+    // self-consistent per model id.
+    let tenants: Vec<(String, u64, u64, u64, usize, usize)> = ctx
+        .zoo
+        .tenants()
+        .iter()
+        .map(|tenant| {
+            let model = tenant.model();
+            let stats = model.stats();
+            (
+                tenant.id().to_string(),
+                model.version(),
+                tenant.reloads(),
+                tenant.requests_served_total(),
+                model.workers_alive(),
+                stats.queue_depth,
+            )
+        })
+        .collect();
+    page.family(
+        "dtdbd_model_version",
+        MetricKind::Gauge,
+        "Checkpoint version ordinal each model id serves (1-based, +1 per \
+         hot-swap).",
+    );
+    for (id, version, ..) in &tenants {
+        page.sample("dtdbd_model_version", &[("model", id)], *version as f64);
+    }
+    page.family(
+        "dtdbd_model_reloads_total",
+        MetricKind::Counter,
+        "Successful zero-downtime hot-swaps per model id.",
+    );
+    for (id, _, reloads, ..) in &tenants {
+        page.sample(
+            "dtdbd_model_reloads_total",
+            &[("model", id)],
+            *reloads as f64,
+        );
+    }
+    page.family(
+        "dtdbd_model_requests_served_total",
+        MetricKind::Counter,
+        "Requests served per model id, monotone across checkpoint versions \
+         (retired versions fold their counts in at swap time).",
+    );
+    for (id, _, _, served, ..) in &tenants {
+        page.sample(
+            "dtdbd_model_requests_served_total",
+            &[("model", id)],
+            *served as f64,
+        );
+    }
+    page.family(
+        "dtdbd_model_workers_alive",
+        MetricKind::Gauge,
+        "Live prediction workers of each model id's active version.",
+    );
+    for (id, _, _, _, alive, _) in &tenants {
+        page.sample("dtdbd_model_workers_alive", &[("model", id)], *alive as f64);
+    }
+    page.family(
+        "dtdbd_model_queue_depth",
+        MetricKind::Gauge,
+        "Requests queued for each model id's active version.",
+    );
+    for (id, _, _, _, _, depth) in &tenants {
+        page.sample("dtdbd_model_queue_depth", &[("model", id)], *depth as f64);
+    }
+
+    if let Some(telemetry) = default_model.telemetry() {
         let snap = telemetry.snapshot();
         let arch = snap.arch;
         page.family(
@@ -1543,7 +1911,7 @@ fn render_metrics(ctx: &Ctx) -> String {
     page.into_string()
 }
 
-fn handle_predict(body: &[u8], ctx: &Ctx) -> Result<String, WireError> {
+fn handle_predict(body: &[u8], ctx: &Ctx, model: &TenantModel) -> Result<String, WireError> {
     let text = std::str::from_utf8(body)
         .map_err(|_| WireError::bad_request("body_not_utf8", "request body is not valid UTF-8"))?;
     let doc = json::parse(text)
@@ -1571,9 +1939,9 @@ fn handle_predict(body: &[u8], ctx: &Ctx) -> Result<String, WireError> {
         let encoded = items
             .iter()
             .enumerate()
-            .map(|(i, item)| encode_one(item, ctx, Some(i)))
+            .map(|(i, item)| encode_one(item, model, Some(i)))
             .collect::<Result<Vec<EncodedRequest>, WireError>>()?;
-        let predictions = predict_all(encoded, ctx)?;
+        let predictions = predict_all(encoded, ctx, model)?;
         Ok(Json::Obj(vec![
             ("count".into(), Json::Num(predictions.len() as f64)),
             (
@@ -1583,26 +1951,34 @@ fn handle_predict(body: &[u8], ctx: &Ctx) -> Result<String, WireError> {
         ])
         .render())
     } else {
-        let encoded = encode_one(&doc, ctx, None)?;
-        let prediction = predict_all(vec![encoded], ctx)?.remove(0);
+        let encoded = encode_one(&doc, model, None)?;
+        let prediction = predict_all(vec![encoded], ctx, model)?.remove(0);
         Ok(json::encode_prediction(&prediction).render())
     }
 }
 
-fn encode_one(item: &Json, ctx: &Ctx, index: Option<usize>) -> Result<EncodedRequest, WireError> {
+fn encode_one(
+    item: &Json,
+    model: &TenantModel,
+    index: Option<usize>,
+) -> Result<EncodedRequest, WireError> {
     let at = |msg: String| match index {
         Some(i) => format!("item {i}: {msg}"),
         None => msg,
     };
     let request =
         json::decode_request(item).map_err(|msg| WireError::bad_request("bad_request", at(msg)))?;
-    ctx.predict
+    model
         .encoder()
         .encode(&request)
         .map_err(|e| WireError::bad_request(e.wire_code(), at(e.to_string())))
 }
 
-fn predict_all(encoded: Vec<EncodedRequest>, ctx: &Ctx) -> Result<Vec<Prediction>, WireError> {
+fn predict_all(
+    encoded: Vec<EncodedRequest>,
+    ctx: &Ctx,
+    model: &TenantModel,
+) -> Result<Vec<Prediction>, WireError> {
     ctx.stats
         .items_predicted
         .fetch_add(encoded.len() as u64, Ordering::Relaxed);
@@ -1615,7 +1991,7 @@ fn predict_all(encoded: Vec<EncodedRequest>, ctx: &Ctx) -> Result<Vec<Prediction
     // coalesced batch on an idle server.
     let handles: Vec<_> = encoded
         .into_iter()
-        .map(|e| ctx.predict.submit_encoded_with_deadline(e, deadline))
+        .map(|e| model.submit_encoded_with_deadline(e, deadline))
         .collect();
     // A crashed prediction worker must degrade to a typed shed response,
     // not take the connection worker down with it.
@@ -2160,9 +2536,129 @@ mod tests {
     }
 
     #[test]
-    fn readyz_flips_to_503_when_draining_while_healthz_stays_ok() {
+    fn model_discovery_and_per_model_routing_answer() {
         let ds = dataset();
         let server = start_http(&ds);
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+        // The routing table: a single-model server is a one-tenant zoo
+        // under the default id.
+        let listing = client.get("/model").unwrap();
+        assert_eq!(listing.status, 200, "{}", listing.body);
+        let doc = listing.json().unwrap();
+        assert_eq!(doc.get("default").and_then(Json::as_str), Some("default"));
+        let models = doc.get("models").unwrap().as_array().unwrap();
+        assert_eq!(models.len(), 1);
+        let descriptor = &models[0];
+        assert_eq!(
+            descriptor.get("model").and_then(Json::as_str),
+            Some("default")
+        );
+        assert_eq!(descriptor.get("version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            descriptor.get("reloadable").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert!(!descriptor
+            .get("arch")
+            .and_then(Json::as_str)
+            .unwrap()
+            .is_empty());
+
+        let one = client.get("/model/default").unwrap();
+        assert_eq!(one.status, 200, "{}", one.body);
+        assert_eq!(
+            one.json().unwrap().get("model").and_then(Json::as_str),
+            Some("default")
+        );
+        let missing = client.get("/model/nope").unwrap();
+        assert_eq!(missing.status, 404);
+        assert_eq!(
+            missing.json().unwrap().get("error").and_then(Json::as_str),
+            Some("unknown_model")
+        );
+        let wrong_method = client.post("/model", "{}").unwrap();
+        assert_eq!(wrong_method.status, 405);
+        assert_eq!(wrong_method.header("allow"), Some("GET"));
+
+        // `POST /predict/<id>` answers bit-identically to the bare route.
+        let item = &ds.items()[0];
+        let body = json::encode_request(&dtdbd_data::InferenceRequest::new(
+            item.tokens.clone(),
+            item.domain,
+        ))
+        .render();
+        let bare = client.post("/predict", &body).unwrap();
+        assert_eq!(bare.status, 200, "{}", bare.body);
+        let routed = client.post("/predict/default", &body).unwrap();
+        assert_eq!(routed.status, 200, "{}", routed.body);
+        let prob = |r: &ClientResponse| {
+            r.json()
+                .unwrap()
+                .get("fake_prob")
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        assert_eq!(prob(&bare).to_bits(), prob(&routed).to_bits());
+        assert_eq!(client.post("/predict/nope", &body).unwrap().status, 404);
+
+        // A resident (non-file) tenant cannot be hot-swapped: typed 400.
+        let reload = client.post("/admin/reload/default", "").unwrap();
+        assert_eq!(reload.status, 400, "{}", reload.body);
+        assert_eq!(
+            reload.json().unwrap().get("error").and_then(Json::as_str),
+            Some("not_reloadable")
+        );
+        assert_eq!(client.post("/admin/reload/nope", "").unwrap().status, 404);
+
+        // /stats carries the per-model object and counts the new endpoints.
+        let stats = client.get("/stats").unwrap().json().unwrap();
+        let per_model = stats.get("models").unwrap().get("default").unwrap();
+        assert_eq!(per_model.get("version").and_then(Json::as_u64), Some(1));
+        assert_eq!(per_model.get("reloads").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            per_model
+                .get("requests_served_total")
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        let endpoints = stats.get("endpoints").unwrap();
+        assert_eq!(endpoints.get("model").and_then(Json::as_u64), Some(2));
+        assert_eq!(endpoints.get("reload").and_then(Json::as_u64), Some(2));
+
+        // /metrics grows the model-labelled families and still lints.
+        let scrape = client.get("/metrics").unwrap();
+        crate::prom::lint(&scrape.body).unwrap_or_else(|e| panic!("{e}\n---\n{}", scrape.body));
+        assert!(
+            scrape
+                .body
+                .contains("dtdbd_model_version{model=\"default\"} 1"),
+            "{}",
+            scrape.body
+        );
+        assert!(
+            scrape
+                .body
+                .contains("dtdbd_model_requests_served_total{model=\"default\"} 2"),
+            "{}",
+            scrape.body
+        );
+    }
+
+    #[test]
+    fn readyz_flips_to_503_when_draining_while_healthz_stays_ok() {
+        let ds = dataset();
+        // Pool model: the listener keeps accepting while draining (the
+        // readiness flip is the only signal a load balancer needs), which
+        // lets this test prove liveness on fresh connections. Under epoll
+        // the drain additionally drops the accept interest.
+        let server = start_http_as(
+            &ds,
+            HttpConfig {
+                connection_model: ConnectionModel::Pool,
+                ..HttpConfig::default()
+            },
+        );
         let mut client = HttpClient::connect(server.local_addr()).unwrap();
 
         let ready = client.get("/readyz").unwrap();
@@ -2178,15 +2674,69 @@ mod tests {
         let doc = draining.json().unwrap();
         assert_eq!(doc.get("ready").and_then(Json::as_bool), Some(false));
         assert_eq!(doc.get("draining").and_then(Json::as_bool), Some(true));
-        // Liveness is untouched: the process still answers, work still runs.
-        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        // The response that announced the drain also released the
+        // keep-alive client: capacity is not coming back here.
+        assert_eq!(draining.header("connection"), Some("close"));
+        // Liveness is untouched: fresh connections still answer and work
+        // still runs to completion (one request per connection now).
+        let mut probe = HttpClient::connect(server.local_addr()).unwrap();
+        assert_eq!(probe.get("/healthz").unwrap().status, 200);
         let item = &ds.items()[0];
         let body = json::encode_request(&dtdbd_data::InferenceRequest::new(
             item.tokens.clone(),
             item.domain,
         ))
         .render();
-        assert_eq!(client.post("/predict", &body).unwrap().status, 200);
+        let mut probe = HttpClient::connect(server.local_addr()).unwrap();
+        assert_eq!(probe.post("/predict", &body).unwrap().status, 200);
+    }
+
+    fn drain_releases_idle_keep_alive_promptly(model: ConnectionModel) {
+        let ds = dataset();
+        // A read_timeout far beyond what the test tolerates: the prompt cut
+        // below can only come from the shortened drain deadline.
+        let server = start_http_as(
+            &ds,
+            HttpConfig {
+                connection_model: model,
+                read_timeout: Duration::from_secs(30),
+                ..HttpConfig::default()
+            },
+        );
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut buf = [0u8; 2048];
+        let n = stream.read(&mut buf).unwrap();
+        assert!(
+            String::from_utf8_lossy(&buf[..n]).starts_with("HTTP/1.1 200"),
+            "first request answered"
+        );
+        // Idle now. The drain must cut this connection in ~one drain
+        // deadline, not the 30 s read_timeout.
+        server.begin_drain();
+        let t0 = Instant::now();
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap(); // EOF, not a reset
+        let cut_after = t0.elapsed();
+        assert!(
+            cut_after < Duration::from_secs(5),
+            "idle connection survived {cut_after:?} into the drain"
+        );
+    }
+
+    #[test]
+    fn drain_releases_idle_keep_alive_promptly_under_epoll() {
+        drain_releases_idle_keep_alive_promptly(ConnectionModel::Epoll);
+    }
+
+    #[test]
+    fn drain_releases_idle_keep_alive_promptly_under_pool() {
+        drain_releases_idle_keep_alive_promptly(ConnectionModel::Pool);
     }
 
     #[test]

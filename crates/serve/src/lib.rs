@@ -2,7 +2,7 @@
 //!
 //! The deployment subsystem of the DTDBD reproduction: everything needed to
 //! take a student trained by `dtdbd-core` and answer prediction traffic with
-//! it. Three layers, each usable on its own:
+//! it. Five layers, each usable on its own:
 //!
 //! 1. **Checkpointing** ([`checkpoint`]) — a dependency-free, versioned
 //!    binary codec (format 2) that persists a [`dtdbd_tensor::ParamStore`]
@@ -25,12 +25,20 @@
 //!    table held once process-wide instead of per worker, bit-identical
 //!    predictions) and **domain routing** ([`routing`]: per-domain
 //!    specialist queues with a shared fallback).
-//! 4. **HTTP/1.1 front-end** ([`http`], with its JSON codec in [`json`]) —
-//!    [`HttpServer`] binds a `TcpListener` and serves `POST /predict`,
-//!    `GET /healthz` and `GET /stats` over real sockets: a bounded
-//!    connection-worker pool, incremental request parsing with hard
-//!    head/body limits, keep-alive, and JSON whose `f32` round trips are
-//!    bit-exact. See the [`http`] module docs for the full wire protocol.
+//! 4. **Multi-model zoo** ([`zoo`]) — [`ModelZoo`] keeps several resident
+//!    models keyed by id (each with its own worker group, queues, cache and
+//!    supervision), dedups byte-identical frozen shard pools across tenants
+//!    by content digest, and hot-swaps a file-backed tenant to a new
+//!    checkpoint version without dropping or mis-versioning a single
+//!    request (build beside, warm, `Arc` flip at a batch boundary, drain,
+//!    retire).
+//! 5. **HTTP/1.1 front-end** ([`http`], with its JSON codec in [`json`]) —
+//!    [`HttpServer`] binds a `TcpListener` and serves `POST /predict`
+//!    (per-tenant: `POST /predict/<id>`), `GET /model`, `GET /healthz` and
+//!    `GET /stats` over real sockets: a bounded connection-worker pool,
+//!    incremental request parsing with hard head/body limits, keep-alive,
+//!    and JSON whose `f32` round trips are bit-exact. See the [`http`]
+//!    module docs for the full wire protocol.
 //!
 //! The typical round trip:
 //!
@@ -64,6 +72,7 @@ pub mod session;
 pub mod shards;
 pub mod telemetry;
 pub mod timer;
+pub mod zoo;
 
 /// The little-endian byte codec behind the checkpoint format. It moved to
 /// `dtdbd-models` (models encode their own side-state chunks with it) and is
@@ -90,3 +99,4 @@ pub use telemetry::{
     DomainBaseline, DomainDrift, DriftTracker, HistogramSnapshot, LatencyHistogram, Stage,
     Telemetry, TelemetrySnapshot, TraceContext, BASELINE_TAG,
 };
+pub use zoo::{ModelZoo, ReloadError, Tenant, TenantModel, DEFAULT_MODEL_ID};

@@ -52,8 +52,8 @@
 //! dispatch channel then releases the dispatcher threads.
 
 use crate::http::{
-    error_body, response_bytes, retry_after_secs, route, Ctx, HttpRequest, HttpStats, ParseOutcome,
-    RequestParser, CONTENT_TYPE_JSON,
+    error_body, response_bytes, route, Ctx, HttpRequest, HttpStats, ParseOutcome, RequestParser,
+    CONTENT_TYPE_JSON, DRAIN_IDLE_DEADLINE,
 };
 use crate::telemetry::{Stage, TraceContext};
 use crate::timer::TimerWheel;
@@ -423,7 +423,7 @@ fn dispatcher(
     completions: Arc<Completions>,
     waker: Arc<Waker>,
 ) {
-    let trace = ctx.predict.trace();
+    let trace = ctx.default_model().trace();
     loop {
         // Hold the lock only to pull the next job.
         let job = match rx.lock().expect("dispatch queue poisoned").recv() {
@@ -435,10 +435,10 @@ fn dispatcher(
         }
         let (status, body, content_type, extra) = route(&job.request, &ctx);
         ctx.stats.count_response(status);
-        // During shutdown the response still goes out, but with
+        // During drain or shutdown the response still goes out, but with
         // `Connection: close` so a busy keep-alive client cannot hold the
-        // event loop's exit hostage.
-        let keep = job.request.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
+        // event loop's exit hostage or keep hammering a drained listener.
+        let keep = job.request.keep_alive && !ctx.draining_or_shutdown();
         let bytes = response_bytes(status, &body, content_type, keep, &extra);
         completions
             .done
@@ -496,7 +496,7 @@ pub(crate) fn start(listener: TcpListener, ctx: Arc<Ctx>) -> io::Result<EpollBac
         })
         .collect();
     let event_loop = {
-        let trace = ctx.predict.trace();
+        let trace = ctx.default_model().trace();
         let mut event_loop = EventLoop {
             listener,
             wake_rx,
@@ -586,12 +586,26 @@ impl EventLoop {
                 self.fire_timer(token, gen);
             }
             // Drain (or shutdown) drops the accept interest: no new
-            // connections, in-flight state machines keep running.
-            let draining = self.ctx.draining.load(Ordering::SeqCst)
-                || self.ctx.shutdown.load(Ordering::SeqCst);
+            // connections, in-flight state machines keep running. Idle
+            // keep-alive connections must not sit out the full read_timeout
+            // against a drained listener, so their wheel deadlines are
+            // re-armed to the short drain window — safe under the lazy
+            // cancellation scheme (the superseded entry fires into a stale
+            // timer generation and is ignored).
+            let draining = self.ctx.draining_or_shutdown();
             if self.accepting && draining {
                 let _ = self.poller.delete(listener_fd);
                 self.accepting = false;
+                let drain_idle = DRAIN_IDLE_DEADLINE.min(self.ctx.config.read_timeout);
+                for idx in self.slab.live_indices() {
+                    let idle = self
+                        .slab
+                        .conn_mut(idx)
+                        .is_some_and(|conn| conn.state == State::Idle);
+                    if idle {
+                        self.arm_timer(idx, drain_idle);
+                    }
+                }
             }
             if accept_ready && self.accepting {
                 self.accept_ready();
@@ -785,7 +799,10 @@ impl EventLoop {
                     HttpStats::bump(&self.ctx.stats.connections_rejected);
                     self.ctx.stats.count_response(503);
                     let body = error_body("overloaded", "dispatch queue saturated");
-                    let retry = [("Retry-After", retry_after_secs(&self.ctx).to_string())];
+                    let retry = [(
+                        "Retry-After",
+                        self.ctx.retry_after(&self.ctx.default_model()).to_string(),
+                    )];
                     let bytes = response_bytes(503, &body, CONTENT_TYPE_JSON, false, &retry);
                     self.queue_response(idx, bytes, false, false);
                 } else {
@@ -887,7 +904,10 @@ impl EventLoop {
             }
             conn.out = Vec::new();
             conn.out_pos = 0;
-            conn.keep_after_write && !self.ctx.shutdown.load(Ordering::SeqCst)
+            // Responses built before the drain flag flipped may still say
+            // keep-alive; closing anyway is the benign race — a drained
+            // listener releases every connection at its next response.
+            conn.keep_after_write && !self.ctx.draining_or_shutdown()
         };
         if !keep {
             self.close(idx);

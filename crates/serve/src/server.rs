@@ -111,6 +111,11 @@ pub(crate) struct ServerTuning {
     /// Row-range shards of the shared embedding table (0 = replica mode:
     /// every worker keeps its private full copy).
     pub embedding_shards: usize,
+    /// A pre-built shard pool to attach instead of building one from worker
+    /// 0's store. The multi-tenant zoo injects this so tenants whose frozen
+    /// tables are byte-identical (equal [`ShardStore::digest`]) share one
+    /// resident pool. Ignored when `embedding_shards == 0`.
+    pub shard_pool: Option<ShardStore>,
     /// Domain → specialist-group assignment (`None` or empty = one shared
     /// queue).
     pub routing: Option<DomainRouting>,
@@ -137,6 +142,7 @@ impl Default for ServerTuning {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             cache_shards: DEFAULT_CACHE_SHARDS,
             embedding_shards: 0,
+            shard_pool: None,
             routing: None,
             telemetry: true,
             drift_baseline: None,
@@ -401,9 +407,11 @@ impl PredictionHandle {
 pub struct PredictServer {
     shared: Arc<Shared>,
     encoder: RequestEncoder,
+    arch: String,
     threads: usize,
     embedding_shards: usize,
     shard_pool_bytes: u64,
+    shard_pool_digest: Option<u64>,
     resident_param_bytes_per_worker: u64,
     quantized_param_bytes_per_worker: u64,
     precision: Precision,
@@ -471,6 +479,7 @@ impl PredictServer {
         let mut session0 = factory(0);
         session0.set_threads(threads);
         let encoder = session0.encoder().clone();
+        let arch = session0.model().name().to_string();
 
         if let Some(max_domain) = routing.as_ref().and_then(DomainRouting::max_domain) {
             if max_domain >= encoder.n_domains() {
@@ -502,13 +511,20 @@ impl PredictServer {
         // worker 0's store into the process-wide pool; every session then
         // swaps its private copy for the shared shards as soon as it exists.
         let shard_pool = if tuning.embedding_shards > 0 {
-            let vocab_rows = session0.model().config().vocab_size;
-            let pool = ShardStore::build_with_precision(
-                session0.store(),
-                vocab_rows,
-                tuning.embedding_shards,
-                tuning.precision,
-            )?;
+            // An injected pool (the zoo's digest-deduped registry) wins;
+            // otherwise build a private pool from worker 0's table.
+            let pool = match tuning.shard_pool {
+                Some(pool) => pool,
+                None => {
+                    let vocab_rows = session0.model().config().vocab_size;
+                    ShardStore::build_with_precision(
+                        session0.store(),
+                        vocab_rows,
+                        tuning.embedding_shards,
+                        tuning.precision,
+                    )?
+                }
+            };
             session0.attach_embedding_shards(&pool)?;
             Some(pool)
         } else {
@@ -572,6 +588,7 @@ impl PredictServer {
         });
         let embedding_shards = shard_pool.as_ref().map_or(0, ShardStore::n_shards);
         let shard_pool_bytes = shard_pool.as_ref().map_or(0, ShardStore::total_bytes);
+        let shard_pool_digest = shard_pool.as_ref().map(ShardStore::digest);
         // Everything a supervisor shell needs to rebuild a crashed worker:
         // the session factory plus the re-attachment state `start_tuned`
         // applies to a fresh session.
@@ -619,9 +636,11 @@ impl PredictServer {
         Ok(Self {
             shared,
             encoder,
+            arch,
             threads,
             embedding_shards,
             shard_pool_bytes,
+            shard_pool_digest,
             resident_param_bytes_per_worker,
             quantized_param_bytes_per_worker,
             precision: tuning.precision,
@@ -716,6 +735,19 @@ impl PredictServer {
     /// The encoder used to validate incoming requests.
     pub fn encoder(&self) -> &RequestEncoder {
         &self.encoder
+    }
+
+    /// Content digest of the attached shard pool's source table (`None` in
+    /// replica mode). Two tenants reporting the same digest share one
+    /// resident pool — the `/stats` sharding object counts its bytes once.
+    pub fn shard_pool_digest(&self) -> Option<u64> {
+        self.shard_pool_digest
+    }
+
+    /// Canonical architecture name of the model the workers serve (what
+    /// `GET /model` reports).
+    pub fn arch(&self) -> &str {
+        &self.arch
     }
 
     /// The telemetry registry, `None` when telemetry was disabled.

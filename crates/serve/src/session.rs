@@ -226,7 +226,12 @@ impl<M: FakeNewsModel> InferenceSession<M> {
                 .filter(|(_, p)| {
                     !p.trainable && p.value.ndim() == 2 && p.value.shape()[0] == vocab_rows
                 })
-                .max_by_key(|(_, p)| p.value.numel())
+                .max_by(|(_, a), (_, b)| {
+                    crate::shards::dominant_table_rank(
+                        (a.value.numel(), &a.name),
+                        (b.value.numel(), &b.name),
+                    )
+                })
                 .map(|(id, _)| id)
         } else {
             None

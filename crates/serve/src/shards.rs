@@ -20,7 +20,39 @@
 
 use crate::builder::ConfigError;
 use crate::checkpoint::Checkpoint;
-use dtdbd_tensor::{ParamStore, Precision, ShardedTable};
+use dtdbd_tensor::{ParamStore, Precision, ShardedTable, Tensor};
+
+/// Order among equal-`numel` candidates must not depend on `ParamStore`
+/// iteration order, so the dominant-table rule tie-breaks by name: on equal
+/// element counts the lexicographically smallest parameter name wins. Both
+/// the pool builder and the session quantizer rank with this same function.
+pub(crate) fn dominant_table_rank(a: (usize, &str), b: (usize, &str)) -> std::cmp::Ordering {
+    a.0.cmp(&b.0).then_with(|| b.1.cmp(a.1))
+}
+
+/// FNV-1a digest of a table's geometry and raw f32 bit patterns. Two tables
+/// collide exactly when they are byte-identical (same shape, same bits), so
+/// the digest decides shard-pool sharing across tenants — never the
+/// parameter name alone, which different checkpoints can reuse for
+/// different values.
+pub(crate) fn table_digest(table: &Tensor) -> u64 {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    for &dim in table.shape() {
+        eat(&(dim as u64).to_le_bytes());
+    }
+    for &v in table.data() {
+        eat(&v.to_bits().to_le_bytes());
+    }
+    hash
+}
 
 /// The shared, read-only embedding shard pool of a sharded deployment.
 ///
@@ -29,6 +61,7 @@ use dtdbd_tensor::{ParamStore, Precision, ShardedTable};
 #[derive(Debug, Clone)]
 pub struct ShardStore {
     param_name: String,
+    digest: u64,
     shards: ShardedTable,
 }
 
@@ -59,7 +92,9 @@ impl ShardStore {
             .filter(|(_, p)| {
                 !p.trainable && p.value.ndim() == 2 && p.value.shape()[0] == vocab_rows
             })
-            .max_by_key(|(_, p)| p.value.numel())
+            .max_by(|(_, a), (_, b)| {
+                dominant_table_rank((a.value.numel(), &a.name), (b.value.numel(), &b.name))
+            })
             .ok_or(ConfigError::NoShardableTable { vocab_rows })?;
         let rows = param.value.shape()[0];
         if n_shards == 0 || n_shards > rows {
@@ -68,12 +103,14 @@ impl ShardStore {
                 rows,
             });
         }
+        let digest = table_digest(&param.value);
         let shards = match precision {
             Precision::Fp32 => ShardedTable::from_tensor(&param.value, n_shards),
             Precision::Int8 => ShardedTable::from_tensor_quantized(&param.value, n_shards),
         };
         Ok(Self {
             param_name: param.name.clone(),
+            digest,
             shards,
         })
     }
@@ -92,6 +129,13 @@ impl ShardStore {
     /// their own copy to drop).
     pub fn param_name(&self) -> &str {
         &self.param_name
+    }
+
+    /// Content digest of the source table (shape + raw f32 bits, FNV-1a).
+    /// Pools built from byte-identical tables share a digest regardless of
+    /// storage precision; the multi-tenant registry dedups on it.
+    pub fn digest(&self) -> u64 {
+        self.digest
     }
 
     /// The shared shard view.
@@ -162,6 +206,58 @@ mod tests {
         // int8 codes + one f32 scale per row.
         assert_eq!(pool.total_bytes(), (50 * 64 + 50 * 4) as u64);
         assert!(pool.total_bytes() * 3 < ShardStore::build(&store, 50, 4).unwrap().total_bytes());
+    }
+
+    #[test]
+    fn tied_tables_resolve_by_name_not_insertion_order() {
+        // Two frozen 2-D tables with identical numel: discovery must pick
+        // the lexicographically smallest name whichever was added first.
+        let build = |first_is_alpha: bool| {
+            let mut store = ParamStore::new();
+            let alpha = Tensor::new(vec![50, 8], (0..400).map(|i| i as f32).collect());
+            let omega = Tensor::new(vec![50, 8], (0..400).map(|i| (i * 3) as f32).collect());
+            if first_is_alpha {
+                store.add_frozen("alpha.table", alpha);
+                store.add_frozen("omega.table", omega);
+            } else {
+                store.add_frozen("omega.table", omega);
+                store.add_frozen("alpha.table", alpha);
+            }
+            ShardStore::build(&store, 50, 4).unwrap()
+        };
+        let forward = build(true);
+        let reversed = build(false);
+        assert_eq!(forward.param_name(), "alpha.table");
+        assert_eq!(reversed.param_name(), "alpha.table");
+        assert_eq!(forward.digest(), reversed.digest());
+    }
+
+    #[test]
+    fn digest_separates_tables_by_bytes_not_name() {
+        let store_a = store_with_table(50, 8);
+        let store_b = store_with_table(50, 8);
+        let mut store_c = ParamStore::new();
+        // Same param name and shape as the others, different values.
+        store_c.add_frozen(
+            "bert.pretrained",
+            Tensor::new(vec![50, 8], (0..400).map(|i| (i + 1) as f32).collect()),
+        );
+        let pool_a = ShardStore::build(&store_a, 50, 4).unwrap();
+        let pool_b = ShardStore::build(&store_b, 50, 2).unwrap();
+        let pool_c = ShardStore::build(&store_c, 50, 4).unwrap();
+        assert_eq!(
+            pool_a.digest(),
+            pool_b.digest(),
+            "byte-identical tables share a digest at any shard count"
+        );
+        assert_ne!(
+            pool_a.digest(),
+            pool_c.digest(),
+            "same name, different bytes must not alias"
+        );
+        // Precision changes storage, not the source table identity.
+        let int8 = ShardStore::build_with_precision(&store_a, 50, 4, Precision::Int8).unwrap();
+        assert_eq!(pool_a.digest(), int8.digest());
     }
 
     #[test]

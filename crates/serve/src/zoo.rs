@@ -1,0 +1,470 @@
+//! The multi-tenant model zoo: several resident checkpoints keyed by model
+//! id, each with its own [`PredictServer`] (worker group, micro-batch
+//! queues, prediction cache, supervision counters), plus zero-downtime
+//! hot-swap.
+//!
+//! # Routing
+//!
+//! The HTTP front-end resolves `POST /predict/<id>` to the tenant named
+//! `<id>`; bare `POST /predict` serves the zoo's configured default id, so
+//! single-model deployments keep their wire protocol unchanged. `GET
+//! /model` lists every tenant; `GET /model/<id>` describes one.
+//!
+//! # Shard-pool dedup
+//!
+//! Tenants whose frozen embedding tables are **byte-identical** share one
+//! resident [`ShardStore`]. Identity is the table's content digest
+//! ([`ShardStore::digest`]: shape + raw f32 bits) together with its
+//! parameter name — never the parameter name alone, which two different
+//! checkpoints can reuse for different values. The registry is consulted at
+//! tenant registration and again on every reload; entries no longer
+//! referenced by any live tenant are pruned.
+//!
+//! # Hot-swap state machine
+//!
+//! `POST /admin/reload/<id>` walks one tenant through:
+//!
+//! ```text
+//! serving vN ──load──▶ vN+1 built beside vN (own workers, fresh cache)
+//!            ──warm──▶ one synthetic request through vN+1 (pools warm)
+//!            ──flip──▶ the tenant's active Arc now points at vN+1;
+//!                      every *new* request snapshots vN+1
+//!            ──drain─▶ wait for in-flight snapshots of vN to resolve
+//!                      (each request runs entirely on the version it
+//!                      snapshotted — batch-boundary granularity)
+//!            ──retire▶ vN's served count is folded into the tenant's
+//!                      retired total, its queues drained, workers joined
+//! ```
+//!
+//! Zero requests are dropped (the old server's shutdown drains every queued
+//! job) and none are mis-versioned (a request holds its `Arc` snapshot from
+//! encode to reply). Reloads of one tenant serialize behind a per-tenant
+//! lock; other tenants keep serving untouched throughout.
+
+use crate::builder::{session_from_checkpoint, StartError};
+use crate::checkpoint::Checkpoint;
+use crate::server::{BatchingConfig, PredictServer, ServerTuning};
+use crate::shards::ShardStore;
+use dtdbd_data::InferenceRequest;
+use std::ops::Deref;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// The model id bare `/predict` serves when the deployment never names one.
+pub const DEFAULT_MODEL_ID: &str = "default";
+
+/// How long [`ModelZoo::reload`] waits for in-flight requests against the
+/// retired version to resolve before giving up on folding its counters in
+/// eagerly (the last in-flight holder still drains it on drop).
+const RETIRE_DEADLINE: Duration = Duration::from_secs(30);
+
+/// One version of one tenant's model: the serving core plus the descriptor
+/// `GET /model/<id>` reports. Derefs to its [`PredictServer`], so handles
+/// snapshotted from [`Tenant::model`] predict directly.
+pub struct TenantModel {
+    server: PredictServer,
+    /// Checkpoint version ordinal: 1 for the registered checkpoint, +1 per
+    /// successful reload.
+    version: u64,
+    /// Side-state chunk tags the checkpoint carried (model chunks only).
+    side_state_tags: Vec<String>,
+}
+
+impl TenantModel {
+    /// Wrap an already-started server as version `version` of a tenant.
+    pub(crate) fn new(server: PredictServer, version: u64, side_state_tags: Vec<String>) -> Self {
+        Self {
+            server,
+            version,
+            side_state_tags,
+        }
+    }
+
+    /// Checkpoint version ordinal of this model (1-based, +1 per reload).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Side-state chunk tags of the checkpoint this model restored.
+    pub fn side_state_tags(&self) -> &[String] {
+        &self.side_state_tags
+    }
+}
+
+impl Deref for TenantModel {
+    type Target = PredictServer;
+    fn deref(&self) -> &PredictServer {
+        &self.server
+    }
+}
+
+/// One resident model id: the active version behind a swap point, plus the
+/// counters that survive swaps.
+pub struct Tenant {
+    id: String,
+    /// Checkpoint file the tenant reloads from; `None` = registered from a
+    /// resident checkpoint, not reloadable.
+    source: Option<PathBuf>,
+    /// The swap point. Readers clone the `Arc` (one `RwLock` read + one
+    /// refcount bump) and run their whole request against that snapshot.
+    active: RwLock<Arc<TenantModel>>,
+    /// Serializes reloads of this tenant (concurrent reloads of *different*
+    /// tenants proceed independently).
+    reload_lock: Mutex<()>,
+    /// Successful hot-swaps performed.
+    reloads: AtomicU64,
+    /// Requests served by retired versions (folded in at retirement), so
+    /// `requests_served_total` is monotone across swaps.
+    retired_requests: AtomicU64,
+}
+
+impl Tenant {
+    /// The tenant's model id (the `<id>` of `POST /predict/<id>`).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Whether `POST /admin/reload/<id>` can re-read this tenant from disk.
+    pub fn reloadable(&self) -> bool {
+        self.source.is_some()
+    }
+
+    /// Snapshot the active version. The returned handle pins that version
+    /// for the caller's whole request: a reload flipping the swap point
+    /// mid-request never changes the model the request runs on.
+    pub fn model(&self) -> Arc<TenantModel> {
+        Arc::clone(&self.active.read().expect("swap point poisoned"))
+    }
+
+    /// Successful hot-swaps of this tenant.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// Requests served across every version: the active server's count plus
+    /// everything folded in from retired versions.
+    pub fn requests_served_total(&self) -> u64 {
+        self.retired_requests.load(Ordering::Relaxed) + self.model().stats().requests_served
+    }
+}
+
+/// Why a [`ModelZoo::reload`] failed. Each maps to one wire status: unknown
+/// id → 404, no file source → 400, load/build trouble → 503 with retry
+/// advice (the checkpoint on disk may still be mid-write).
+#[derive(Debug)]
+pub enum ReloadError {
+    /// No tenant with the requested id.
+    UnknownModel(String),
+    /// The tenant was registered from a resident checkpoint, not a path —
+    /// there is nothing on disk to re-read.
+    NotReloadable(String),
+    /// Loading or restoring the new checkpoint (or starting its workers)
+    /// failed; the old version keeps serving untouched.
+    Failed(StartError),
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownModel(id) => write!(f, "no model registered under id {id:?}"),
+            Self::NotReloadable(id) => {
+                write!(f, "model {id:?} has no checkpoint path to reload from")
+            }
+            Self::Failed(e) => write!(f, "reload failed, previous version kept: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
+/// A pool the registry holds for live tenants. Sharing key: content digest
+/// plus parameter name (the digest decides identity; the name is required
+/// for sessions to locate their own copy to drop).
+struct PoolEntry {
+    digest: u64,
+    param_name: String,
+    pool: ShardStore,
+}
+
+/// The template a zoo rebuilds tenants from on reload: the same batching
+/// and tuning every tenant was started with (drift baseline and shard pool
+/// are per-tenant and re-derived from the incoming checkpoint).
+struct RebuildSpec {
+    batching: BatchingConfig,
+    tuning: ServerTuning,
+}
+
+/// Several resident models keyed by id, sharing byte-identical shard pools,
+/// each hot-swappable without dropping traffic.
+pub struct ModelZoo {
+    tenants: Vec<Arc<Tenant>>,
+    default_index: usize,
+    /// `None` for zoos wrapped around a pre-started [`PredictServer`]
+    /// (the single-model compatibility path): no template, no reloads.
+    rebuild: Option<RebuildSpec>,
+    pools: Mutex<Vec<PoolEntry>>,
+}
+
+impl ModelZoo {
+    /// Wrap one pre-started server as a single-tenant zoo under
+    /// [`DEFAULT_MODEL_ID`]. The compatibility path behind
+    /// [`crate::HttpServer::start`]: routing, `/model` and per-model stats
+    /// all work; reloads report the tenant as not reloadable.
+    pub fn single(server: PredictServer) -> Self {
+        Self {
+            tenants: vec![Arc::new(Tenant {
+                id: DEFAULT_MODEL_ID.to_string(),
+                source: None,
+                active: RwLock::new(Arc::new(TenantModel::new(server, 1, Vec::new()))),
+                reload_lock: Mutex::new(()),
+                reloads: AtomicU64::new(0),
+                retired_requests: AtomicU64::new(0),
+            })],
+            default_index: 0,
+            rebuild: None,
+            pools: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Build a zoo from registered tenant specs. Called by
+    /// [`crate::ServerBuilder::try_start_zoo`]; tenants sharing
+    /// byte-identical frozen tables come out sharing one pool.
+    pub(crate) fn from_specs(
+        specs: Vec<(String, Checkpoint, Option<PathBuf>)>,
+        default_id: &str,
+        batching: BatchingConfig,
+        tuning: ServerTuning,
+    ) -> Result<Self, StartError> {
+        let rebuild = RebuildSpec { batching, tuning };
+        let pools = Mutex::new(Vec::new());
+        let mut tenants = Vec::with_capacity(specs.len());
+        for (id, checkpoint, source) in &specs {
+            let model =
+                build_tenant_model(checkpoint, &rebuild.batching, &rebuild.tuning, &pools, 1)?;
+            tenants.push(Arc::new(Tenant {
+                id: id.clone(),
+                source: source.clone(),
+                active: RwLock::new(Arc::new(model)),
+                reload_lock: Mutex::new(()),
+                reloads: AtomicU64::new(0),
+                retired_requests: AtomicU64::new(0),
+            }));
+        }
+        let default_index = tenants.iter().position(|t| t.id == default_id).unwrap_or(0);
+        Ok(Self {
+            tenants,
+            default_index,
+            rebuild: Some(rebuild),
+            pools,
+        })
+    }
+
+    /// Every resident tenant, in registration order.
+    pub fn tenants(&self) -> &[Arc<Tenant>] {
+        &self.tenants
+    }
+
+    /// The tenant bare `/predict` routes to.
+    pub fn default_tenant(&self) -> &Arc<Tenant> {
+        &self.tenants[self.default_index]
+    }
+
+    /// Model id of the default tenant.
+    pub fn default_id(&self) -> &str {
+        &self.tenants[self.default_index].id
+    }
+
+    /// Look a tenant up by id.
+    pub fn tenant(&self, id: &str) -> Option<&Arc<Tenant>> {
+        self.tenants.iter().find(|t| t.id == id)
+    }
+
+    /// Snapshot the default tenant's active model (what the single-model
+    /// surfaces — bare `/predict`, top-level `/stats`, unlabeled `/metrics`
+    /// families — serve).
+    pub fn default_model(&self) -> Arc<TenantModel> {
+        self.default_tenant().model()
+    }
+
+    /// Shard-pool bytes resident in the process, counting each distinct
+    /// pool (by content digest) **once** however many tenants share it.
+    pub fn shard_pool_bytes_deduped(&self) -> u64 {
+        let mut seen: Vec<u64> = Vec::new();
+        let mut total = 0u64;
+        for tenant in &self.tenants {
+            let model = tenant.model();
+            let Some(digest) = model.shard_pool_digest() else {
+                continue;
+            };
+            if !seen.contains(&digest) {
+                seen.push(digest);
+                total += model.stats().shard_pool_bytes;
+            }
+        }
+        total
+    }
+
+    /// Workers alive across every tenant, against the total configured —
+    /// readiness means every tenant is at full capacity.
+    pub fn workers_health(&self) -> (usize, usize) {
+        let mut alive = 0;
+        let mut configured = 0;
+        for tenant in &self.tenants {
+            let model = tenant.model();
+            alive += model.workers_alive();
+            configured += model.stats().workers;
+        }
+        (alive, configured)
+    }
+
+    /// Hot-swap one tenant to the current contents of its checkpoint file.
+    /// Returns the new version ordinal. The swap is atomic at batch
+    /// boundaries: requests that snapshotted vN finish on vN, requests
+    /// arriving after the flip run on vN+1, nothing is dropped.
+    pub fn reload(&self, id: &str) -> Result<u64, ReloadError> {
+        let tenant = self
+            .tenant(id)
+            .ok_or_else(|| ReloadError::UnknownModel(id.to_string()))?;
+        let _guard = tenant
+            .reload_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let source = tenant
+            .source
+            .as_ref()
+            .ok_or_else(|| ReloadError::NotReloadable(id.to_string()))?;
+        let spec = self
+            .rebuild
+            .as_ref()
+            .ok_or_else(|| ReloadError::NotReloadable(id.to_string()))?;
+        let checkpoint =
+            Checkpoint::load(source).map_err(|e| ReloadError::Failed(StartError::Checkpoint(e)))?;
+        let old = tenant.model();
+        let next_version = old.version() + 1;
+        let fresh = build_tenant_model(
+            &checkpoint,
+            &spec.batching,
+            &spec.tuning,
+            &self.pools,
+            next_version,
+        )
+        .map_err(ReloadError::Failed)?;
+        // Warm the new version before it takes traffic: one synthetic
+        // request forces the first forward pass (buffer pools allocate,
+        // caches prime) off the serving path. The warm request counts in
+        // the new version's served total — exactly one per reload, which
+        // the parity battery reconciles against.
+        let _ = fresh.predict(&warm_request());
+        let fresh = Arc::new(fresh);
+        {
+            let mut active = tenant.active.write().expect("swap point poisoned");
+            *active = Arc::clone(&fresh);
+        }
+        // Drain: in-flight requests hold their own snapshots of vN; once
+        // the last one resolves, ours is the only reference left. The old
+        // server's drop then drains its queues and joins its workers.
+        let deadline = Instant::now() + RETIRE_DEADLINE;
+        let old = {
+            let mut old = old;
+            loop {
+                match Arc::try_unwrap(old) {
+                    Ok(model) => break Some(model),
+                    Err(still_shared) => {
+                        if Instant::now() >= deadline {
+                            // Give up on eager retirement; the last holder
+                            // drains it on drop. Counter folding happens
+                            // here regardless so totals stay monotone.
+                            tenant
+                                .retired_requests
+                                .fetch_add(still_shared.stats().requests_served, Ordering::Relaxed);
+                            break None;
+                        }
+                        old = still_shared;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        };
+        if let Some(model) = old {
+            tenant
+                .retired_requests
+                .fetch_add(model.stats().requests_served, Ordering::Relaxed);
+            drop(model); // drains queues, joins vN's workers
+        }
+        tenant.reloads.fetch_add(1, Ordering::Relaxed);
+        self.prune_pools();
+        Ok(next_version)
+    }
+
+    /// Drop registry entries no live tenant references any more (a reload
+    /// that changed the table leaves the old pool orphaned).
+    fn prune_pools(&self) {
+        let live: Vec<u64> = self
+            .tenants
+            .iter()
+            .filter_map(|t| t.model().shard_pool_digest())
+            .collect();
+        let mut pools = self.pools.lock().expect("pool registry poisoned");
+        pools.retain(|entry| live.contains(&entry.digest));
+    }
+}
+
+/// The synthetic request reloads warm new versions with: the first token of
+/// the vocabulary in the first domain — valid under every corpus geometry
+/// the generator produces.
+fn warm_request() -> InferenceRequest {
+    InferenceRequest::new(vec![0], 0)
+}
+
+/// Build one tenant version from a checkpoint: probe the restore, wire the
+/// drift baseline, dedup the shard pool through the registry, start the
+/// worker group.
+fn build_tenant_model(
+    checkpoint: &Checkpoint,
+    batching: &BatchingConfig,
+    tuning: &ServerTuning,
+    pools: &Mutex<Vec<PoolEntry>>,
+    version: u64,
+) -> Result<TenantModel, StartError> {
+    // Fail fast on a bad checkpoint instead of panicking in a worker
+    // factory (same discipline as `try_start_from_checkpoint`).
+    let probe = session_from_checkpoint(checkpoint)?;
+    drop(probe);
+    let mut tuning = tuning.clone();
+    if tuning.drift_baseline.is_none() {
+        tuning.drift_baseline = checkpoint.telemetry_baseline()?;
+    }
+    if tuning.embedding_shards > 0 {
+        let candidate = ShardStore::build_with_precision(
+            &checkpoint.params,
+            checkpoint.config.vocab_size,
+            tuning.embedding_shards,
+            tuning.precision,
+        )?;
+        let mut pools = pools.lock().expect("pool registry poisoned");
+        let pool = match pools
+            .iter()
+            .find(|e| e.digest == candidate.digest() && e.param_name == candidate.param_name())
+        {
+            Some(entry) => entry.pool.clone(),
+            None => {
+                pools.push(PoolEntry {
+                    digest: candidate.digest(),
+                    param_name: candidate.param_name().to_string(),
+                    pool: candidate.clone(),
+                });
+                candidate
+            }
+        };
+        tuning.shard_pool = Some(pool);
+    }
+    let model_chunks = checkpoint.side_state.model_chunks();
+    let side_state_tags: Vec<String> = model_chunks.tags().map(String::from).collect();
+    let retained = checkpoint.clone();
+    let server = PredictServer::start_tuned(batching.clone(), tuning, move |_| {
+        session_from_checkpoint(&retained).expect("checkpoint probed above")
+    })?;
+    Ok(TenantModel::new(server, version, side_state_tags))
+}

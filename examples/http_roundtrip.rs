@@ -212,6 +212,12 @@ fn main() {
     // 7. Graceful teardown: readiness drops first (load balancers stop
     //    routing), then the listener joins its threads and drains the
     //    micro-batching core.
+    // Once draining starts the listener stops accepting and every response
+    // carries `Connection: close`, so each pre-drain connection serves
+    // exactly one more request — the liveness check needs its own probe
+    // connection, opened (and served once, so it is accepted) before drain.
+    let mut live = HttpClient::connect(addr).expect("connect liveness probe");
+    assert_eq!(live.get("/healthz").expect("/healthz").status, 200);
     assert_eq!(probe.get("/readyz").expect("/readyz").status, 200);
     server.begin_drain();
     assert_eq!(
@@ -220,13 +226,13 @@ fn main() {
         "readiness must drop once draining starts"
     );
     assert_eq!(
-        probe
-            .get("/healthz")
+        live.get("/healthz")
             .expect("/healthz while draining")
             .status,
         200,
         "liveness must survive draining"
     );
+    drop(live);
     drop(probe);
     server.shutdown();
     println!("shutdown complete: drained via /readyz, listener joined, queue drained.");

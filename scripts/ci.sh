@@ -18,7 +18,11 @@
 #      and the int8 determinism matrix (quantized predictions bit-identical
 #      to themselves across {1,4} intra-op threads x {1,4} shard counts,
 #      with routing + cache composed on top —
-#      crates/serve/tests/int8_parity.rs)
+#      crates/serve/tests/int8_parity.rs), then the hot-swap parity +
+#      multi-tenant zoo battery (20 mid-traffic reloads under both
+#      connection models with bit-exact answers and reconciled counters,
+#      plus shard-pool dedup across tenants —
+#      tests/integration/tests/hotswap.rs)
 #   3. kernel-parity smoke: the blocked/parallel GEMM must stay bit-identical
 #      to the naive reference on a fixed seed (threads 1/2/4), and the int8
 #      quantized GEMM bit-identical to itself across thread counts
@@ -28,8 +32,10 @@
 #      committed BENCH_kernels.json / BENCH_serving.json baselines, or if the
 #      serving p99 rose more than the tolerance above its baseline; also runs
 #      the sharding bench for its parity assertions and replica-vs-sharded
-#      log, and the fp32-vs-int8 agreement report with absolute gates
-#      (agreement >= 99.5%, macro-F1 delta <= 0.005, >=3x int8 memory win)
+#      log, the fp32-vs-int8 agreement report with absolute gates
+#      (agreement >= 99.5%, macro-F1 delta <= 0.005, >=3x int8 memory win),
+#      and the two-model zoo routing gate (multi-tenant throughput >= 0.9x
+#      single-tenant at equal total workers)
 #   5. the http_roundtrip end-to-end example (real TCP serving; also scrapes
 #      GET /metrics mid-run, holds the page to the strict exposition lint,
 #      and walks the /readyz drain sequence before shutdown)
@@ -121,6 +127,18 @@ stage "chaos battery (seeded worker kills, supervision + recovery)" \
 # quantized path keeps a fast, named gate of its own.
 stage "int8 determinism matrix (threads x shards x routing x cache, bit-exact)" \
   env CI_QUICK="$quick" cargo test -q -p dtdbd-serve --test int8_parity
+
+# Hot-swap + multi-tenant battery: a file-backed tenant is reloaded 20 times
+# (CI_QUICK shrinks the count) while keep-alive clients stream traffic under
+# both connection models — every wire answer must be bit-identical to one of
+# the two checkpoints that ever lived on disk, with zero non-200 responses
+# and reconciled served/reload counters — plus the shard-pool dedup contract:
+# tenants with byte-identical frozen tables share exactly one resident pool
+# (tests/integration/tests/hotswap.rs). The workspace run above already
+# executed it once; this named stage keeps the zoo serving layer its own
+# fast gate.
+stage "hot-swap parity + multi-tenant zoo battery (mid-traffic reloads, pool dedup)" \
+  env CI_QUICK="$quick" cargo test -q -p dtdbd-integration --test hotswap
 
 if [ "$quick" != "1" ]; then
   stage "kernel parity smoke (blocked/parallel GEMM vs naive reference)" \
